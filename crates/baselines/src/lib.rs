@@ -1,0 +1,67 @@
+//! # fl-baselines — the four comparators of the paper's evaluation
+//!
+//! - [`classic`] — **Classic FL** (McMahan et al.): random selection,
+//!   maximum frequency.
+//! - [`fedcs`] — **FedCS** (Nishio & Yonetani): deadline-constrained
+//!   greedy selection of fast users.
+//! - [`fedl`] — **FEDL** (Tran et al.): random selection plus a
+//!   closed-form energy/delay frequency choice.
+//! - [`sl`] — **SL** (Ahn et al.): separated learning, no aggregation.
+//!
+//! Each baseline plugs into [`fl_sim::runner::run_federated`] through
+//! the same [`fl_sim::selection::ClientSelector`] /
+//! [`fl_sim::frequency::FrequencyPolicy`] traits the HELCFL crate
+//! implements, so every scheme shares one round loop, one MEC model,
+//! and one learning substrate — differences in results come only from
+//! the scheduling decisions.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use fl_baselines::classic::RandomSelector;
+//! use fl_baselines::fedl::FedlFrequencyPolicy;
+//! use fl_sim::dataset::{DatasetConfig, SyntheticTask};
+//! use fl_sim::partition::Partition;
+//! use fl_sim::runner::{run_federated, FederatedSetup, TrainingConfig};
+//! use mec_sim::population::PopulationBuilder;
+//!
+//! let config = TrainingConfig {
+//!     max_rounds: 3,
+//!     fraction: 0.2,
+//!     model_dims: vec![8, 8, 3],
+//!     ..TrainingConfig::default()
+//! };
+//! let task = SyntheticTask::generate(DatasetConfig {
+//!     num_classes: 3,
+//!     feature_dim: 8,
+//!     train_samples: 120,
+//!     test_samples: 30,
+//!     ..DatasetConfig::default()
+//! })?;
+//! let population = PopulationBuilder::paper_default().num_devices(10).build()?;
+//! let partition = Partition::iid(120, 10, 0)?;
+//! let mut setup = FederatedSetup::new(population, &task, &partition, &config)?;
+//!
+//! // FEDL = random selection + closed-form frequencies.
+//! let mut selector = RandomSelector::with_name(1, "fedl");
+//! let history = run_federated(
+//!     &mut setup,
+//!     &config,
+//!     &mut selector,
+//!     &FedlFrequencyPolicy::default(),
+//! )?;
+//! assert_eq!(history.scheme(), "fedl");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classic;
+pub mod fedcs;
+pub mod fedl;
+pub mod sl;
+
+pub use classic::RandomSelector;
+pub use fedcs::FedCsSelector;
+pub use fedl::FedlFrequencyPolicy;

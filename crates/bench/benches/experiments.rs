@@ -1,0 +1,97 @@
+//! Criterion benches that exercise each paper experiment end-to-end at
+//! reduced scale — one bench per table/figure, so `cargo bench` alone
+//! touches every evaluation pipeline.
+//!
+//! Full-scale regeneration (the paper's exact parameters) is the job
+//! of the `fig2_accuracy` / `table1_delay` / `fig3_energy` binaries;
+//! these benches use [`PaperScenario::fast`] and a handful of rounds
+//! to keep wall-clock sane while measuring the complete code path:
+//! selection → DVFS → TDMA timeline → local GD → FedAvg → evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use helcfl_bench::{PaperScenario, Scheme, Setting};
+
+fn mini_scenario() -> PaperScenario {
+    let mut s = PaperScenario::fast();
+    s.max_rounds = 5;
+    s
+}
+
+/// Fig. 2 pipeline: one accuracy-curve run per scheme (IID).
+fn bench_fig2_pipeline(c: &mut Criterion) {
+    let scenario = mini_scenario();
+    let config = scenario.training_config();
+    let mut group = c.benchmark_group("fig2_accuracy_mini");
+    group.sample_size(10);
+    for scheme in Scheme::lineup() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, scheme| {
+                b.iter_batched(
+                    || scenario.setup(Setting::Iid).unwrap(),
+                    |mut setup| black_box(scheme.run(&mut setup, &config).unwrap()),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Table I pipeline: run + time-to-accuracy queries (Non-IID).
+fn bench_table1_pipeline(c: &mut Criterion) {
+    let scenario = mini_scenario();
+    let config = scenario.training_config();
+    let mut group = c.benchmark_group("table1_delay_mini");
+    group.sample_size(10);
+    group.bench_function("helcfl_time_to_accuracy", |b| {
+        b.iter_batched(
+            || scenario.setup(Setting::NonIid).unwrap(),
+            |mut setup| {
+                let history = Scheme::Helcfl { eta: 0.5, dvfs: true }
+                    .run(&mut setup, &config)
+                    .unwrap();
+                black_box((
+                    history.time_to_accuracy(0.3),
+                    history.time_to_accuracy(0.4),
+                    history.time_to_accuracy(0.5),
+                ))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// Fig. 3 pipeline: the DVFS-on/off energy comparison (IID).
+fn bench_fig3_pipeline(c: &mut Criterion) {
+    let scenario = mini_scenario();
+    let config = scenario.training_config();
+    let mut group = c.benchmark_group("fig3_energy_mini");
+    group.sample_size(10);
+    for dvfs in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if dvfs { "with_dvfs" } else { "without_dvfs" }),
+            &dvfs,
+            |b, &dvfs| {
+                b.iter_batched(
+                    || scenario.setup(Setting::Iid).unwrap(),
+                    |mut setup| {
+                        let history = Scheme::Helcfl { eta: 0.5, dvfs }
+                            .run(&mut setup, &config)
+                            .unwrap();
+                        black_box(history.total_energy())
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_pipeline, bench_table1_pipeline, bench_fig3_pipeline);
+criterion_main!(benches);

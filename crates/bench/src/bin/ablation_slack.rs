@@ -1,0 +1,80 @@
+//! Ablation A3 — slack utilization of Alg. 3.
+//!
+//! For each round of a HELCFL run, compares the slack the traditional
+//! schedule would leave against what remains after Alg. 3's frequency
+//! determination (residual slack = head-room DVFS could not use due to
+//! `f_min` clamping), and the resulting per-round compute-energy
+//! saving.
+//!
+//! Usage: `ablation_slack [--fast] [--seed N] [--setting iid|noniid]`
+
+use helcfl_bench::report::ascii_table;
+use helcfl_bench::{CommonArgs, Scheme};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CommonArgs::parse(std::env::args().skip(1));
+    let scenario = args.scenario();
+    println!("Ablation — slack utilization of the Alg. 3 schedule");
+
+    for setting in args.settings() {
+        let config = scenario.training_config();
+        let mut with_setup = scenario.setup(setting)?;
+        let with_dvfs =
+            Scheme::Helcfl { eta: 0.5, dvfs: true }.run(&mut with_setup, &config)?;
+        let mut without_setup = scenario.setup(setting)?;
+        let without =
+            Scheme::Helcfl { eta: 0.5, dvfs: false }.run(&mut without_setup, &config)?;
+
+        // Aggregate over the run.
+        let total_slack_before: f64 =
+            without.records().iter().map(|r| r.slack.get()).sum();
+        let total_slack_after: f64 =
+            with_dvfs.records().iter().map(|r| r.slack.get()).sum();
+        let compute_before: f64 =
+            without.records().iter().map(|r| r.compute_energy.get()).sum();
+        let compute_after: f64 =
+            with_dvfs.records().iter().map(|r| r.compute_energy.get()).sum();
+
+        println!("\n=== {} setting ===", setting.label().to_uppercase());
+        let mut rows = Vec::new();
+        // A few representative rounds plus the aggregate.
+        let n = with_dvfs.len();
+        for idx in [0usize, n / 4, n / 2, 3 * n / 4, n - 1] {
+            let a = &without.records()[idx];
+            let b = &with_dvfs.records()[idx];
+            rows.push(vec![
+                format!("round {}", a.round),
+                format!("{:.1}s", a.slack.get()),
+                format!("{:.1}s", b.slack.get()),
+                format!("{:.1} J", a.compute_energy.get()),
+                format!("{:.1} J", b.compute_energy.get()),
+            ]);
+        }
+        rows.push(vec![
+            "TOTAL".into(),
+            format!("{total_slack_before:.0}s"),
+            format!("{total_slack_after:.0}s"),
+            format!("{compute_before:.0} J"),
+            format!("{compute_after:.0} J"),
+        ]);
+        println!(
+            "{}",
+            ascii_table(
+                &[
+                    "round",
+                    "slack w/o DVFS",
+                    "residual slack",
+                    "E_cal w/o DVFS",
+                    "E_cal w/ DVFS"
+                ],
+                &rows
+            )
+        );
+        println!(
+            "  slack utilized: {:.1}% | compute-energy saving: {:.2}%",
+            (1.0 - total_slack_after / total_slack_before.max(1e-12)) * 100.0,
+            (1.0 - compute_after / compute_before) * 100.0
+        );
+    }
+    Ok(())
+}

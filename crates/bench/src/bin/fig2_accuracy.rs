@@ -1,0 +1,75 @@
+//! Fig. 2 — accuracy vs training iteration, five schemes, IID and
+//! Non-IID CIFAR-10-like settings.
+//!
+//! Regenerates the series behind Fig. 2(a)/(b): per-round global test
+//! accuracy for HELCFL, Classic FL, FedCS, FEDL, and SL. Prints a
+//! summary table (best accuracy, accuracy at J=300) plus sparkline
+//! curves, and writes full per-round CSVs to `results/`.
+//!
+//! Usage: `fig2_accuracy [--fast] [--seed N] [--setting iid|noniid]`
+
+use std::path::Path;
+use std::time::Instant;
+
+use helcfl_bench::report::{ascii_table, downsample, sparkline, write_histories};
+use helcfl_bench::{CommonArgs, Scheme};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CommonArgs::parse(std::env::args().skip(1));
+    let scenario = args.scenario();
+    println!(
+        "Fig. 2 reproduction — {} devices, {} rounds, C = {}",
+        scenario.num_devices, scenario.max_rounds, scenario.fraction
+    );
+
+    for setting in args.settings() {
+        println!("\n=== {} setting ===", setting.label().to_uppercase());
+        let config = scenario.training_config();
+        let mut histories = Vec::new();
+        for scheme in Scheme::lineup() {
+            let started = Instant::now();
+            let mut setup = scenario.setup(setting)?;
+            let history = scheme.run(&mut setup, &config)?;
+            eprintln!(
+                "  ran {:<8} in {:.1}s (best accuracy {:.4})",
+                scheme.label(),
+                started.elapsed().as_secs_f64(),
+                history.best_accuracy()
+            );
+            histories.push(history);
+        }
+
+        let mut rows = Vec::new();
+        for h in &histories {
+            let curve = h.accuracy_curve();
+            rows.push(vec![
+                h.scheme().to_string(),
+                format!("{:.4}", h.best_accuracy()),
+                h.final_accuracy().map_or("-".into(), |a| format!("{a:.4}")),
+                sparkline(&downsample(&curve, 40)),
+            ]);
+        }
+        println!(
+            "{}",
+            ascii_table(&["scheme", "best acc", "final acc", "accuracy curve"], &rows)
+        );
+
+        // Paper-style deltas: HELCFL's best accuracy vs each baseline.
+        let helcfl_best = histories[0].best_accuracy();
+        for h in &histories[1..] {
+            println!(
+                "  HELCFL vs {:<8}: {:+.2}% best accuracy",
+                h.scheme(),
+                (helcfl_best - h.best_accuracy()) * 100.0
+            );
+        }
+
+        write_histories(
+            Path::new("results"),
+            &format!("fig2_{}", setting.label()),
+            &histories,
+        )?;
+        println!("  per-round CSVs written to results/fig2_{}_*.csv", setting.label());
+    }
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Table I — training delay to obtain desired accuracy.
+//!
+//! Regenerates the paper's Table I: cumulative (simulated) training
+//! delay until each scheme first reaches the desired accuracy —
+//! {60, 70, 80}% in the IID setting and {40, 50, 60}% Non-IID — with
+//! the paper's ✗ for schemes that never get there, plus the speedup
+//! of HELCFL over each baseline at the hardest target.
+//!
+//! Usage: `table1_delay [--fast] [--seed N] [--setting iid|noniid]`
+
+use std::path::Path;
+
+use helcfl_bench::report::{ascii_table, table1_cell, write_histories};
+use helcfl_bench::{CommonArgs, Scheme, Setting};
+
+fn targets(setting: Setting, fast: bool) -> Vec<f64> {
+    match (setting, fast) {
+        (Setting::Iid, false) => vec![0.60, 0.70, 0.80],
+        (Setting::NonIid, false) => vec![0.40, 0.50, 0.60],
+        // The fast scenario trains a much smaller run; use reachable
+        // smoke-test targets.
+        (Setting::Iid, true) => vec![0.30, 0.40, 0.50],
+        (Setting::NonIid, true) => vec![0.25, 0.35, 0.45],
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CommonArgs::parse(std::env::args().skip(1));
+    let scenario = args.scenario();
+    println!(
+        "Table I reproduction — {} devices, {} rounds",
+        scenario.num_devices, scenario.max_rounds
+    );
+
+    for setting in args.settings() {
+        let targets = targets(setting, args.fast);
+        let config = scenario.training_config();
+        let mut histories = Vec::new();
+        for scheme in Scheme::lineup() {
+            let mut setup = scenario.setup(setting)?;
+            let history = scheme.run(&mut setup, &config)?;
+            eprintln!(
+                "  ran {:<8} (best accuracy {:.4})",
+                history.scheme(),
+                history.best_accuracy()
+            );
+            histories.push(history);
+        }
+
+        let mut header: Vec<String> = vec![format!("{} / target", setting.label())];
+        header.extend(targets.iter().map(|t| format!("{:.0}%", t * 100.0)));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut rows = Vec::new();
+        for h in &histories {
+            let mut row = vec![h.scheme().to_string()];
+            for &t in &targets {
+                row.push(table1_cell(h.time_to_accuracy(t)));
+            }
+            rows.push(row);
+        }
+        println!("\n=== {} setting ===", setting.label().to_uppercase());
+        println!("{}", ascii_table(&header_refs, &rows));
+
+        // Speedups at the hardest reachable target (paper quotes e.g.
+        // 275.03% over FedCS at 60% Non-IID).
+        let hardest = *targets.last().expect("non-empty targets");
+        if let Some(ours) = histories[0].time_to_accuracy(hardest) {
+            for h in &histories[1..] {
+                match h.time_to_accuracy(hardest) {
+                    Some(theirs) => println!(
+                        "  speedup vs {:<8} at {:.0}%: {:.2}%",
+                        h.scheme(),
+                        hardest * 100.0,
+                        (theirs.get() / ours.get() - 1.0) * 100.0
+                    ),
+                    None => println!(
+                        "  speedup vs {:<8} at {:.0}%: ✗ (never reaches it)",
+                        h.scheme(),
+                        hardest * 100.0
+                    ),
+                }
+            }
+        }
+        write_histories(
+            Path::new("results"),
+            &format!("table1_{}", setting.label()),
+            &histories,
+        )?;
+    }
+    Ok(())
+}

@@ -1,0 +1,200 @@
+//! Algorithm 3 — DVFS-enabled operating-frequency determination.
+//!
+//! §VI-A observes that TDMA serialization leaves devices idling between
+//! compute completion and upload start (Fig. 1). Alg. 3 converts that
+//! slack into energy savings: sort the selected users by compute delay
+//! at `f_max`; the first (no slack) runs at `f_max`; every subsequent
+//! user is slowed so its local update finishes exactly when its
+//! predecessor's upload ends — because `E ∝ f²` (Eq. 5), finishing
+//! "just in time" is strictly cheaper than finishing early and
+//! waiting.
+//!
+//! The paper leaves the derived frequency unclamped; real DVFS ranges
+//! are bounded, so this implementation clamps into `[f_min, f_max]`
+//! and re-derives the actual finish time from the clamped frequency
+//! (see DESIGN.md §7). Clamping at `f_min` still finishes before the
+//! channel frees (the ideal frequency was *below* `f_min`), and
+//! clamping at `f_max` reproduces the traditional schedule, so the
+//! round makespan is never extended — a property test asserts this.
+
+use fl_sim::error::Result;
+use fl_sim::frequency::FrequencyPolicy;
+use mec_sim::device::Device;
+use mec_sim::units::{Bits, Hertz, Seconds};
+
+/// The HELCFL frequency policy (Alg. 3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlackFrequencyPolicy;
+
+impl SlackFrequencyPolicy {
+    /// Runs Alg. 3 and additionally returns the predicted per-device
+    /// upload-end times (diagnostics; index-aligned with the *sorted*
+    /// order used internally).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for non-empty inputs; returns an empty
+    /// assignment for an empty selection.
+    pub fn determine(
+        &self,
+        selected: &[Device],
+        payload: Bits,
+    ) -> Result<Vec<(usize, Hertz)>> {
+        // Line 1: ascending by model-update delay at f_max.
+        let mut order: Vec<usize> = (0..selected.len()).collect();
+        order.sort_by(|&a, &b| {
+            selected[a]
+                .compute_delay_at_max()
+                .partial_cmp(&selected[b].compute_delay_at_max())
+                .expect("delays are finite")
+                .then_with(|| selected[a].id().cmp(&selected[b].id()))
+        });
+
+        let mut assignment = Vec::with_capacity(selected.len());
+        let mut channel_free = Seconds::ZERO;
+        for (pos, &idx) in order.iter().enumerate() {
+            let device = &selected[idx];
+            let range = device.cpu().range();
+            let f = if pos == 0 {
+                // Lines 3–4: no slack for the first user.
+                range.max()
+            } else {
+                // Line 9: finish computing when the predecessor's
+                // upload ends (channel_free), clamped to the range.
+                let (clamped, _ideal) =
+                    device.cpu().frequency_for_deadline(device.work(), channel_free);
+                clamped
+            };
+            let compute_finish = device.work() / f;
+            let upload_start = compute_finish.max(channel_free);
+            channel_free = upload_start + device.upload_delay(payload);
+            assignment.push((idx, f));
+        }
+        Ok(assignment)
+    }
+}
+
+impl FrequencyPolicy for SlackFrequencyPolicy {
+    fn name(&self) -> &'static str {
+        "dvfs-slack"
+    }
+
+    fn frequencies(&self, selected: &[Device], payload: Bits) -> Result<Vec<Hertz>> {
+        let assignment = self.determine(selected, payload)?;
+        let mut freqs = vec![Hertz::ZERO; selected.len()];
+        for (idx, f) in assignment {
+            freqs[idx] = f;
+        }
+        Ok(freqs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_sim::comm::Uplink;
+    use mec_sim::cpu::DvfsCpu;
+    use mec_sim::device::DeviceId;
+    use mec_sim::timeline::RoundTimeline;
+    use mec_sim::units::{BitsPerSecond, Watts};
+
+    fn device(id: usize, fmax_ghz: f64, samples: usize, mbps: f64) -> Device {
+        let cpu =
+            DvfsCpu::with_paper_alpha(Hertz::from_ghz(0.3), Hertz::from_ghz(fmax_ghz)).unwrap();
+        let uplink = Uplink::new(Watts::new(0.2), BitsPerSecond::from_mbps(mbps)).unwrap();
+        Device::new(DeviceId(id), cpu, 1.0e7, samples, uplink).unwrap()
+    }
+
+    fn payload() -> Bits {
+        Bits::from_megabits(40.0)
+    }
+
+    #[test]
+    fn fastest_device_keeps_its_maximum_frequency() {
+        let devs = [device(0, 2.0, 500, 8.0), device(1, 1.0, 500, 8.0)];
+        let freqs = SlackFrequencyPolicy.frequencies(&devs, payload()).unwrap();
+        // Device 0 computes fastest (2.5 s vs 10 s) → f_max.
+        assert_eq!(freqs[0], Hertz::from_ghz(2.0));
+    }
+
+    #[test]
+    fn second_device_finishes_exactly_when_channel_frees() {
+        // Device 0: T_cal 2.5 s, upload 5 s → channel free at 7.5 s.
+        // Device 1 (same hardware, more data): ideal f = 6e9/7.5 = 0.8 GHz.
+        let devs = [device(0, 2.0, 500, 8.0), device(1, 2.0, 600, 8.0)];
+        let freqs = SlackFrequencyPolicy.frequencies(&devs, payload()).unwrap();
+        assert_eq!(freqs[0], Hertz::from_ghz(2.0));
+        assert!((freqs[1].ghz() - 0.8).abs() < 1e-9, "got {}", freqs[1].ghz());
+        // The tuned schedule leaves the second device zero slack.
+        let tl = RoundTimeline::simulate(&devs, &freqs, payload()).unwrap();
+        assert_eq!(tl.activity(DeviceId(1)).unwrap().slack(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn derived_frequency_clamps_to_f_min() {
+        // Huge slack: device 1 is tiny but the channel stays busy long.
+        let devs = [device(0, 2.0, 500, 0.5), device(1, 2.0, 520, 0.5)];
+        // Upload takes 80 s; ideal f for device 1 ≈ 5.2e9/82.5 ≈ 0.063 GHz
+        // → clamped to f_min = 0.3 GHz.
+        let freqs = SlackFrequencyPolicy.frequencies(&devs, payload()).unwrap();
+        assert_eq!(freqs[1], Hertz::from_ghz(0.3));
+    }
+
+    #[test]
+    fn derived_frequency_clamps_to_f_max_when_slack_is_negative() {
+        // Device 1 is much slower: even f_max cannot meet the channel-
+        // free deadline → clamp to f_max (traditional behaviour).
+        let devs = [device(0, 2.0, 100, 8.0), device(1, 0.5, 2000, 8.0)];
+        let freqs = SlackFrequencyPolicy.frequencies(&devs, payload()).unwrap();
+        assert_eq!(freqs[1], Hertz::from_ghz(0.5));
+    }
+
+    #[test]
+    fn dvfs_saves_energy_without_extending_the_round() {
+        let devs = [
+            device(0, 2.0, 500, 8.0),
+            device(1, 1.8, 520, 6.0),
+            device(2, 1.5, 480, 4.0),
+            device(3, 0.9, 510, 7.0),
+        ];
+        let baseline = RoundTimeline::simulate_at_max(&devs, payload()).unwrap();
+        let freqs = SlackFrequencyPolicy.frequencies(&devs, payload()).unwrap();
+        let tuned = RoundTimeline::simulate(&devs, &freqs, payload()).unwrap();
+        assert!(
+            (tuned.makespan().get() - baseline.makespan().get()).abs() < 1e-9,
+            "DVFS must not extend the round: {} vs {}",
+            tuned.makespan(),
+            baseline.makespan()
+        );
+        assert!(
+            tuned.total_energy() < baseline.total_energy(),
+            "DVFS must cut energy: {} vs {}",
+            tuned.total_energy(),
+            baseline.total_energy()
+        );
+    }
+
+    #[test]
+    fn single_device_gets_f_max() {
+        let devs = [device(0, 1.3, 700, 5.0)];
+        let freqs = SlackFrequencyPolicy.frequencies(&devs, payload()).unwrap();
+        assert_eq!(freqs, vec![Hertz::from_ghz(1.3)]);
+    }
+
+    #[test]
+    fn empty_selection_yields_empty_assignment() {
+        let freqs = SlackFrequencyPolicy.frequencies(&[], payload()).unwrap();
+        assert!(freqs.is_empty());
+    }
+
+    #[test]
+    fn assignment_indices_cover_input_order() {
+        let devs = [device(5, 0.8, 500, 8.0), device(2, 2.0, 500, 8.0)];
+        let assignment = SlackFrequencyPolicy.determine(&devs, payload()).unwrap();
+        let mut indices: Vec<usize> = assignment.iter().map(|(i, _)| *i).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1]);
+        // Sorted order starts with the faster device (input index 1).
+        assert_eq!(assignment[0].0, 1);
+    }
+}

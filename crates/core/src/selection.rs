@@ -1,0 +1,231 @@
+//! Algorithm 2 — utility-driven, greedy-decay user selection.
+//!
+//! Each round, every user's utility (Eq. 20) is computed from its
+//! Eq.-9 delay at maximum frequency and its appearance counter; the
+//! top-`N` users by utility are selected and their counters
+//! incremented. Fast users dominate early rounds (high efficiency);
+//! the geometric decay guarantees slow users — and their data — enter
+//! training (high final accuracy), fixing FedCS's accuracy ceiling.
+//!
+//! State is keyed by [`DeviceId`], not by position, so the selector
+//! stays correct when the selectable set shrinks mid-training (e.g.
+//! battery-depleted devices dropping out — see
+//! [`fl_sim::runner::TrainingConfig::battery_capacity`]).
+
+use serde::{Deserialize, Serialize};
+
+use fl_sim::error::{FlError, Result};
+use fl_sim::selection::{ClientSelector, SelectionContext};
+use mec_sim::device::DeviceId;
+use mec_sim::units::Seconds;
+
+use crate::utility::{utility, AppearanceCounters, DecayCoefficient};
+
+/// The HELCFL selector (Alg. 2).
+///
+/// Stateful across rounds: appearance counters persist for the whole
+/// training run. Per-user delays are derived from the resource
+/// information users report during initialization (Alg. 1 lines 1–2);
+/// since that information is static, deriving it per round is
+/// equivalent to Alg. 2's round-1 caching and stays correct under
+/// shrinking availability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GreedyDecaySelector {
+    eta: DecayCoefficient,
+    counters: AppearanceCounters,
+}
+
+impl GreedyDecaySelector {
+    /// Creates a selector with decay coefficient `eta`.
+    pub fn new(eta: DecayCoefficient) -> Self {
+        Self { eta, counters: AppearanceCounters::default() }
+    }
+
+    /// The configured decay coefficient.
+    #[inline]
+    pub fn eta(&self) -> DecayCoefficient {
+        self.eta
+    }
+
+    /// The appearance counters accumulated so far (indexed by
+    /// [`DeviceId`]).
+    #[inline]
+    pub fn counters(&self) -> &AppearanceCounters {
+        &self.counters
+    }
+}
+
+impl Default for GreedyDecaySelector {
+    fn default() -> Self {
+        Self::new(DecayCoefficient::default())
+    }
+}
+
+impl ClientSelector for GreedyDecaySelector {
+    fn name(&self) -> &'static str {
+        "helcfl"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>) -> Result<Vec<DeviceId>> {
+        if ctx.devices.is_empty() {
+            return Err(FlError::InvalidSelection { reason: "no devices to select".into() });
+        }
+        // Alg. 2 lines 1–7: counters start at zero for newly-seen ids.
+        let max_id = ctx.devices.iter().map(|d| d.id().0).max().expect("non-empty");
+        self.counters.grow_to(max_id + 1);
+        let n = ctx.target.min(ctx.devices.len()).max(1);
+
+        // Alg. 2 lines 8–10: utilities of every selectable user.
+        let mut scored: Vec<(DeviceId, f64)> = ctx
+            .devices
+            .iter()
+            .map(|d| {
+                let delay: Seconds = ctx.total_delay_at_max(d);
+                (d.id(), utility(self.eta, self.counters.get(d.id().0), delay))
+            })
+            .collect();
+        // Lines 14–19: greedily take the top-N by utility. A full sort
+        // (descending, ties by id for determinism) is equivalent to
+        // N arg-max passes over V'.
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("utilities are finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let mut selected = Vec::with_capacity(n);
+        for &(id, _) in scored.iter().take(n) {
+            self.counters.increment(id.0); // line 18: utility decay
+            selected.push(id);
+        }
+        Ok(selected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_sim::selection::validate_selection;
+    use mec_sim::device::Device;
+    use mec_sim::population::PopulationBuilder;
+    use mec_sim::units::Bits;
+
+    fn ctx<'a>(devices: &'a [Device], target: usize) -> SelectionContext<'a> {
+        SelectionContext { round: 1, devices, payload: Bits::from_megabits(40.0), target }
+    }
+
+    #[test]
+    fn first_round_picks_the_fastest_users() {
+        let pop = PopulationBuilder::paper_default().num_devices(20).seed(5).build().unwrap();
+        let mut sel = GreedyDecaySelector::default();
+        let c = ctx(pop.devices(), 5);
+        let picked = sel.select(&c).unwrap();
+        validate_selection(&c, &picked).unwrap();
+        // Compare against explicit fastest-5.
+        let mut by_delay: Vec<_> = pop.devices().iter().collect();
+        by_delay.sort_by(|a, b| {
+            c.total_delay_at_max(a).partial_cmp(&c.total_delay_at_max(b)).unwrap()
+        });
+        let fastest: Vec<_> = by_delay.iter().take(5).map(|d| d.id()).collect();
+        assert_eq!(picked, fastest);
+    }
+
+    #[test]
+    fn appearance_decay_rotates_users_in() {
+        let pop = PopulationBuilder::paper_default().num_devices(30).seed(6).build().unwrap();
+        let mut sel = GreedyDecaySelector::new(DecayCoefficient::new(0.5).unwrap());
+        let mut all_selected = std::collections::BTreeSet::new();
+        for round in 1..=40 {
+            let c = SelectionContext {
+                round,
+                devices: pop.devices(),
+                payload: Bits::from_megabits(40.0),
+                target: 3,
+            };
+            for id in sel.select(&c).unwrap() {
+                all_selected.insert(id);
+            }
+        }
+        // With η = 0.5 and 120 total slots over 30 users, decay must
+        // have rotated everyone in at least once.
+        assert_eq!(all_selected.len(), 30, "all users should eventually appear");
+        assert_eq!(sel.counters().coverage(), 30);
+        assert_eq!(sel.counters().total(), 120);
+    }
+
+    #[test]
+    fn high_eta_rotates_slower_than_low_eta() {
+        let pop = PopulationBuilder::paper_default().num_devices(40).seed(7).build().unwrap();
+        let coverage_after = |eta: f64, rounds: usize| {
+            let mut sel = GreedyDecaySelector::new(DecayCoefficient::new(eta).unwrap());
+            for round in 1..=rounds {
+                let c = SelectionContext {
+                    round,
+                    devices: pop.devices(),
+                    payload: Bits::from_megabits(40.0),
+                    target: 4,
+                };
+                sel.select(&c).unwrap();
+            }
+            sel.counters().coverage()
+        };
+        // Closer to 1 = weaker decay = fewer distinct users early on.
+        assert!(coverage_after(0.99, 8) <= coverage_after(0.3, 8));
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let pop = PopulationBuilder::paper_default().num_devices(15).seed(8).build().unwrap();
+        let run = || {
+            let mut sel = GreedyDecaySelector::default();
+            let mut out = Vec::new();
+            for round in 1..=10 {
+                let c = SelectionContext {
+                    round,
+                    devices: pop.devices(),
+                    payload: Bits::from_megabits(40.0),
+                    target: 2,
+                };
+                out.push(sel.select(&c).unwrap());
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn target_larger_than_population_is_capped() {
+        let pop = PopulationBuilder::paper_default().num_devices(3).seed(9).build().unwrap();
+        let mut sel = GreedyDecaySelector::default();
+        let c = ctx(pop.devices(), 10);
+        let picked = sel.select(&c).unwrap();
+        assert_eq!(picked.len(), 3);
+    }
+
+    #[test]
+    fn empty_population_is_rejected() {
+        let mut sel = GreedyDecaySelector::default();
+        let c = ctx(&[], 3);
+        assert!(sel.select(&c).is_err());
+    }
+
+    #[test]
+    fn counters_stay_keyed_by_id_when_devices_drop_out() {
+        let pop = PopulationBuilder::paper_default().num_devices(10).seed(10).build().unwrap();
+        let mut sel = GreedyDecaySelector::new(DecayCoefficient::new(0.5).unwrap());
+        // Round 1 over everyone.
+        let full = pop.devices().to_vec();
+        let picked = sel.select(&ctx(&full, 4)).unwrap();
+        let before: Vec<u32> = (0..10).map(|q| sel.counters().get(q)).collect();
+        // Rounds over a filtered set (say, the odd-id devices survive).
+        let alive: Vec<Device> =
+            pop.devices().iter().filter(|d| d.id().0 % 2 == 1).copied().collect();
+        let picked2 = sel.select(&ctx(&alive, 3)).unwrap();
+        assert!(picked2.iter().all(|id| id.0 % 2 == 1));
+        // Counter increments landed on the right ids.
+        for (q, &count_before) in before.iter().enumerate() {
+            let expected = count_before + u32::from(picked2.contains(&DeviceId(q)));
+            assert_eq!(sel.counters().get(q), expected, "device {q}");
+        }
+        let _ = picked;
+    }
+}

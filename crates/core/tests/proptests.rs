@@ -1,0 +1,148 @@
+//! Property-based tests for the HELCFL algorithms.
+
+use fl_sim::frequency::FrequencyPolicy;
+use fl_sim::selection::{ClientSelector, SelectionContext};
+use helcfl::dvfs::SlackFrequencyPolicy;
+use helcfl::selection::GreedyDecaySelector;
+use helcfl::utility::{utility, DecayCoefficient};
+use mec_sim::comm::Uplink;
+use mec_sim::cpu::DvfsCpu;
+use mec_sim::device::{Device, DeviceId};
+use mec_sim::timeline::RoundTimeline;
+use mec_sim::units::{Bits, BitsPerSecond, Hertz, Seconds, Watts};
+use proptest::prelude::*;
+
+fn device_strategy() -> impl Strategy<Value = (f64, usize, f64)> {
+    (0.31f64..=2.0, 50usize..1500, 0.5f64..15.0)
+}
+
+fn build_devices(specs: Vec<(f64, usize, f64)>) -> Vec<Device> {
+    specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (fmax, samples, mbps))| {
+            let cpu =
+                DvfsCpu::with_paper_alpha(Hertz::from_ghz(0.3), Hertz::from_ghz(fmax)).unwrap();
+            let uplink =
+                Uplink::new(Watts::new(0.2), BitsPerSecond::from_mbps(mbps)).unwrap();
+            Device::new(DeviceId(i), cpu, 1.0e7, samples, uplink).unwrap()
+        })
+        .collect()
+}
+
+proptest! {
+    /// **Makespan preservation (Alg. 3).** For any heterogeneous
+    /// selection, the DVFS schedule never extends the round beyond the
+    /// all-at-f_max schedule, and never costs more energy.
+    #[test]
+    fn dvfs_never_extends_round_and_never_costs_more(
+        specs in prop::collection::vec(device_strategy(), 1..10),
+        payload_mbit in 1.0f64..80.0,
+    ) {
+        let devices = build_devices(specs);
+        let payload = Bits::from_megabits(payload_mbit);
+        let baseline = RoundTimeline::simulate_at_max(&devices, payload).unwrap();
+        let freqs = SlackFrequencyPolicy.frequencies(&devices, payload).unwrap();
+        let tuned = RoundTimeline::simulate(&devices, &freqs, payload).unwrap();
+        prop_assert!(
+            tuned.makespan() <= baseline.makespan() + Seconds::new(1e-6),
+            "DVFS extended the round: {} vs {}",
+            tuned.makespan(),
+            baseline.makespan()
+        );
+        prop_assert!(
+            tuned.total_energy() <= baseline.total_energy() * (1.0 + 1e-9),
+            "DVFS increased energy: {} vs {}",
+            tuned.total_energy(),
+            baseline.total_energy()
+        );
+    }
+
+    /// Every DVFS-assigned frequency is within its device's supported
+    /// range.
+    #[test]
+    fn dvfs_frequencies_are_always_supported(
+        specs in prop::collection::vec(device_strategy(), 1..10),
+        payload_mbit in 1.0f64..80.0,
+    ) {
+        let devices = build_devices(specs);
+        let freqs = SlackFrequencyPolicy
+            .frequencies(&devices, Bits::from_megabits(payload_mbit))
+            .unwrap();
+        prop_assert_eq!(freqs.len(), devices.len());
+        for (d, f) in devices.iter().zip(&freqs) {
+            prop_assert!(d.cpu().range().contains(*f));
+        }
+    }
+
+    /// The selector always returns exactly `min(target, Q)` distinct
+    /// known users, every round.
+    #[test]
+    fn selector_output_is_always_valid(
+        specs in prop::collection::vec(device_strategy(), 1..20),
+        target in 1usize..8,
+        rounds in 1usize..20,
+        eta in 0.05f64..0.95,
+    ) {
+        let devices = build_devices(specs);
+        let mut sel = GreedyDecaySelector::new(DecayCoefficient::new(eta).unwrap());
+        for round in 1..=rounds {
+            let ctx = SelectionContext {
+                round,
+                devices: &devices,
+                payload: Bits::from_megabits(40.0),
+                target,
+            };
+            let picked = sel.select(&ctx).unwrap();
+            prop_assert_eq!(picked.len(), target.min(devices.len()));
+            let set: std::collections::BTreeSet<_> = picked.iter().collect();
+            prop_assert_eq!(set.len(), picked.len(), "duplicates in selection");
+        }
+        // Total appearances = rounds × selection size.
+        prop_assert_eq!(
+            sel.counters().total(),
+            (rounds * target.min(devices.len())) as u64
+        );
+    }
+
+    /// Given enough rounds, every user is eventually selected
+    /// (the greedy-decay guarantee that fixes FedCS).
+    #[test]
+    fn greedy_decay_eventually_covers_everyone(
+        specs in prop::collection::vec(device_strategy(), 2..15),
+        eta in 0.2f64..0.8,
+    ) {
+        let devices = build_devices(specs);
+        let q = devices.len();
+        let mut sel = GreedyDecaySelector::new(DecayCoefficient::new(eta).unwrap());
+        // Worst case needs ~log(T_max/T_min)/log(1/η) extra picks per
+        // user; 60·Q rounds of 1 pick is far beyond that for η ≤ 0.8.
+        for round in 1..=(60 * q) {
+            let ctx = SelectionContext {
+                round,
+                devices: &devices,
+                payload: Bits::from_megabits(40.0),
+                target: 1,
+            };
+            sel.select(&ctx).unwrap();
+            if sel.counters().coverage() == q {
+                break;
+            }
+        }
+        prop_assert_eq!(sel.counters().coverage(), q, "some users never selected");
+    }
+
+    /// Utility is strictly decreasing in appearances and in delay.
+    #[test]
+    fn utility_is_monotone(
+        eta in 0.05f64..0.95,
+        a in 0u32..30,
+        t in 0.1f64..1000.0,
+    ) {
+        let eta = DecayCoefficient::new(eta).unwrap();
+        prop_assert!(utility(eta, a + 1, Seconds::new(t)) < utility(eta, a, Seconds::new(t)));
+        prop_assert!(
+            utility(eta, a, Seconds::new(t * 1.5)) < utility(eta, a, Seconds::new(t))
+        );
+    }
+}

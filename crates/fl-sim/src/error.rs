@@ -1,0 +1,105 @@
+//! Error type for the FL simulation layer.
+
+use core::fmt;
+
+use mec_sim::MecError;
+use tinynn::NnError;
+
+/// Errors produced while configuring or running an FL simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlError {
+    /// An underlying MEC system model rejected its inputs.
+    Mec(MecError),
+    /// An underlying neural-network operation failed.
+    Nn(NnError),
+    /// A configuration field was invalid.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The partition does not cover the population (user count
+    /// mismatch) or references out-of-range samples.
+    PartitionMismatch {
+        /// Users in the partition.
+        partition_users: usize,
+        /// Devices in the population.
+        population_users: usize,
+    },
+    /// A selector returned no users or unknown users.
+    InvalidSelection {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Mec(e) => write!(f, "mec model error: {e}"),
+            Self::Nn(e) => write!(f, "neural-network error: {e}"),
+            Self::InvalidConfig { field, reason } => {
+                write!(f, "invalid config field `{field}`: {reason}")
+            }
+            Self::PartitionMismatch { partition_users, population_users } => write!(
+                f,
+                "partition covers {partition_users} users but population has {population_users}"
+            ),
+            Self::InvalidSelection { reason } => write!(f, "invalid selection: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Mec(e) => Some(e),
+            Self::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MecError> for FlError {
+    fn from(e: MecError) -> Self {
+        Self::Mec(e)
+    }
+}
+
+impl From<NnError> for FlError {
+    fn from(e: NnError) -> Self {
+        Self::Nn(e)
+    }
+}
+
+/// Convenience alias for results carrying an [`FlError`].
+pub type Result<T> = core::result::Result<T, FlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_substrate_errors_with_source() {
+        use std::error::Error;
+        let e = FlError::from(MecError::EmptyDeviceSet);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("mec model error"));
+        let e = FlError::from(NnError::EmptyBatch);
+        assert!(e.to_string().contains("neural-network"));
+    }
+
+    #[test]
+    fn config_errors_name_the_field() {
+        let e = FlError::InvalidConfig { field: "fraction", reason: "must be in (0,1]".into() };
+        assert!(e.to_string().contains("`fraction`"));
+    }
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<FlError>();
+    }
+}

@@ -1,0 +1,56 @@
+//! CPU-frequency assignment interface (Alg. 1 couples selection with a
+//! frequency decision; Alg. 3 is one implementation, living in the
+//! `helcfl` crate).
+
+use mec_sim::device::Device;
+use mec_sim::units::{Bits, Hertz};
+
+use crate::error::Result;
+
+/// Assigns an operating frequency to every selected device for the
+/// round.
+pub trait FrequencyPolicy {
+    /// Short policy name used in reports (e.g. `"dvfs-slack"`).
+    fn name(&self) -> &'static str;
+
+    /// Returns one frequency per device in `selected`, index-aligned.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error if a device cannot satisfy its
+    /// assignment.
+    fn frequencies(&self, selected: &[Device], payload: Bits) -> Result<Vec<Hertz>>;
+}
+
+/// The traditional policy (§VI-A): every device computes at `f_max`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxFrequency;
+
+impl FrequencyPolicy for MaxFrequency {
+    fn name(&self) -> &'static str {
+        "max-frequency"
+    }
+
+    fn frequencies(&self, selected: &[Device], _payload: Bits) -> Result<Vec<Hertz>> {
+        Ok(selected.iter().map(|d| d.cpu().range().max()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_sim::population::PopulationBuilder;
+
+    #[test]
+    fn max_frequency_returns_each_devices_fmax() {
+        let pop = PopulationBuilder::paper_default().num_devices(4).build().unwrap();
+        let freqs = MaxFrequency
+            .frequencies(pop.devices(), Bits::from_megabits(40.0))
+            .unwrap();
+        assert_eq!(freqs.len(), 4);
+        for (f, d) in freqs.iter().zip(pop.devices()) {
+            assert_eq!(*f, d.cpu().range().max());
+        }
+        assert_eq!(MaxFrequency.name(), "max-frequency");
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-round records and training-history queries backing every table
+//! and figure of the evaluation.
+
+use serde::{Deserialize, Serialize};
+
+use mec_sim::device::DeviceId;
+use mec_sim::units::{Joules, Seconds};
+
+/// Metrics of one completed training iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// 1-based iteration index `j`.
+    pub round: usize,
+    /// Users selected this round.
+    pub selected: Vec<DeviceId>,
+    /// Devices still alive (battery not depleted) when the round
+    /// started; equals the population size when batteries are
+    /// unlimited.
+    pub alive_devices: usize,
+    /// True TDMA round delay (makespan).
+    pub round_time: Seconds,
+    /// The paper's Eq. 10 bound for reference.
+    pub eq10_time: Seconds,
+    /// Round energy `E_Γ` (Eq. 11).
+    pub round_energy: Joules,
+    /// Compute-only share of the round energy.
+    pub compute_energy: Joules,
+    /// Total slack observed across selected devices.
+    pub slack: Seconds,
+    /// Mean pre-update training loss reported by the selected clients.
+    pub train_loss: f32,
+    /// Global-model test accuracy, when evaluated this round.
+    pub test_accuracy: Option<f64>,
+    /// Cumulative training delay through this round (Σ makespans).
+    pub cumulative_time: Seconds,
+    /// Cumulative training energy through this round.
+    pub cumulative_energy: Joules,
+}
+
+/// The full trajectory of one training run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrainingHistory {
+    scheme: String,
+    records: Vec<RoundRecord>,
+}
+
+impl TrainingHistory {
+    /// Creates an empty history for a named scheme.
+    pub fn new(scheme: impl Into<String>) -> Self {
+        Self { scheme: scheme.into(), records: Vec::new() }
+    }
+
+    /// The scheme name (e.g. `"helcfl"`, `"classic"`).
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// Appends a completed round.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.records.push(record);
+    }
+
+    /// All per-round records, in order.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Number of completed rounds.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no rounds completed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Highest test accuracy observed (0 if never evaluated).
+    pub fn best_accuracy(&self) -> f64 {
+        self.records
+            .iter()
+            .filter_map(|r| r.test_accuracy)
+            .fold(0.0, f64::max)
+    }
+
+    /// Last evaluated test accuracy.
+    pub fn final_accuracy(&self) -> Option<f64> {
+        self.records.iter().rev().find_map(|r| r.test_accuracy)
+    }
+
+    /// Total training delay across all rounds.
+    pub fn total_time(&self) -> Seconds {
+        self.records.last().map_or(Seconds::ZERO, |r| r.cumulative_time)
+    }
+
+    /// Total training energy across all rounds.
+    pub fn total_energy(&self) -> Joules {
+        self.records.last().map_or(Joules::ZERO, |r| r.cumulative_energy)
+    }
+
+    /// Cumulative training delay until the first evaluated round whose
+    /// accuracy reaches `target` — the paper's Table I metric. `None`
+    /// (the paper's ✗) if never reached.
+    pub fn time_to_accuracy(&self, target: f64) -> Option<Seconds> {
+        self.records
+            .iter()
+            .find(|r| r.test_accuracy.is_some_and(|a| a >= target))
+            .map(|r| r.cumulative_time)
+    }
+
+    /// Cumulative training energy until `target` accuracy — the Fig. 3
+    /// metric. `None` if never reached.
+    pub fn energy_to_accuracy(&self, target: f64) -> Option<Joules> {
+        self.records
+            .iter()
+            .find(|r| r.test_accuracy.is_some_and(|a| a >= target))
+            .map(|r| r.cumulative_energy)
+    }
+
+    /// The accuracy curve as `(round, accuracy)` pairs (evaluated
+    /// rounds only) — the Fig. 2 series.
+    pub fn accuracy_curve(&self) -> Vec<(usize, f64)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.test_accuracy.map(|a| (r.round, a)))
+            .collect()
+    }
+
+    /// Serializes the history as CSV (header + one row per round).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "scheme,round,num_selected,alive_devices,round_time_s,eq10_time_s,\
+             round_energy_j,compute_energy_j,slack_s,train_loss,test_accuracy,\
+             cumulative_time_s,cumulative_energy_j\n",
+        );
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{:.6},{:.6}\n",
+                self.scheme,
+                r.round,
+                r.selected.len(),
+                r.alive_devices,
+                r.round_time.get(),
+                r.eq10_time.get(),
+                r.round_energy.get(),
+                r.compute_energy.get(),
+                r.slack.get(),
+                r.train_loss,
+                r.test_accuracy.map_or(String::new(), |a| format!("{a:.6}")),
+                r.cumulative_time.get(),
+                r.cumulative_energy.get(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: usize, acc: Option<f64>, cum_t: f64, cum_e: f64) -> RoundRecord {
+        RoundRecord {
+            round,
+            selected: vec![DeviceId(0)],
+            alive_devices: 1,
+            round_time: Seconds::new(10.0),
+            eq10_time: Seconds::new(8.0),
+            round_energy: Joules::new(5.0),
+            compute_energy: Joules::new(3.0),
+            slack: Seconds::new(1.0),
+            train_loss: 1.0,
+            test_accuracy: acc,
+            cumulative_time: Seconds::new(cum_t),
+            cumulative_energy: Joules::new(cum_e),
+        }
+    }
+
+    fn history() -> TrainingHistory {
+        let mut h = TrainingHistory::new("test");
+        h.push(record(1, Some(0.3), 10.0, 5.0));
+        h.push(record(2, None, 20.0, 10.0));
+        h.push(record(3, Some(0.6), 30.0, 15.0));
+        h.push(record(4, Some(0.55), 40.0, 20.0));
+        h
+    }
+
+    #[test]
+    fn accuracy_queries_scan_evaluated_rounds() {
+        let h = history();
+        assert_eq!(h.best_accuracy(), 0.6);
+        assert_eq!(h.final_accuracy(), Some(0.55));
+        assert_eq!(h.accuracy_curve(), vec![(1, 0.3), (3, 0.6), (4, 0.55)]);
+    }
+
+    #[test]
+    fn time_and_energy_to_accuracy_find_first_crossing() {
+        let h = history();
+        assert_eq!(h.time_to_accuracy(0.5), Some(Seconds::new(30.0)));
+        assert_eq!(h.energy_to_accuracy(0.5), Some(Joules::new(15.0)));
+        assert_eq!(h.time_to_accuracy(0.3), Some(Seconds::new(10.0)));
+        // The paper's ✗: never reached.
+        assert_eq!(h.time_to_accuracy(0.9), None);
+        assert_eq!(h.energy_to_accuracy(0.9), None);
+    }
+
+    #[test]
+    fn totals_come_from_last_record() {
+        let h = history();
+        assert_eq!(h.total_time(), Seconds::new(40.0));
+        assert_eq!(h.total_energy(), Joules::new(20.0));
+        let empty = TrainingHistory::new("none");
+        assert_eq!(empty.total_time(), Seconds::ZERO);
+        assert!(empty.is_empty());
+        assert_eq!(empty.final_accuracy(), None);
+    }
+
+    #[test]
+    fn csv_has_header_plus_rows_and_blank_unevaluated_cells() {
+        let h = history();
+        let csv = h.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("scheme,round"));
+        // Round 2 was not evaluated → empty accuracy cell.
+        assert!(lines[2].contains(",,"));
+        assert!(lines[1].contains("test,1,1,1,"));
+    }
+}

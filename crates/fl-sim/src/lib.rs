@@ -1,0 +1,89 @@
+//! # fl-sim — federated-learning simulation substrate
+//!
+//! The synchronous FedAvg machinery of the HELCFL paper (Alg. 1),
+//! coupled to the MEC system model of [`mec_sim`] and the learning
+//! substrate of [`tinynn`]: synthetic CIFAR-10-like data
+//! ([`dataset`]), the paper's IID / sort-by-label Non-IID splits
+//! ([`partition`]), per-user clients and the FLCC ([`client`],
+//! [`server`]), pluggable selection and frequency strategies
+//! ([`selection`], [`frequency`]), the training loop ([`runner`]), and
+//! the separated-learning baseline runtime ([`separated`]).
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use fl_sim::dataset::{DatasetConfig, SyntheticTask};
+//! use fl_sim::frequency::MaxFrequency;
+//! use fl_sim::partition::Partition;
+//! use fl_sim::runner::{run_federated, FederatedSetup, TrainingConfig};
+//! use fl_sim::selection::{ClientSelector, SelectionContext};
+//! use mec_sim::device::DeviceId;
+//! use mec_sim::population::PopulationBuilder;
+//!
+//! // A selector that always picks the fastest `target` users.
+//! struct Greedy;
+//! impl ClientSelector for Greedy {
+//!     fn name(&self) -> &'static str { "greedy" }
+//!     fn select(
+//!         &mut self,
+//!         ctx: &SelectionContext<'_>,
+//!     ) -> fl_sim::Result<Vec<DeviceId>> {
+//!         let mut ids: Vec<_> = ctx.devices.iter().collect();
+//!         ids.sort_by(|a, b| {
+//!             ctx.total_delay_at_max(a)
+//!                 .partial_cmp(&ctx.total_delay_at_max(b))
+//!                 .unwrap()
+//!         });
+//!         Ok(ids.into_iter().take(ctx.target).map(|d| d.id()).collect())
+//!     }
+//! }
+//!
+//! let config = TrainingConfig {
+//!     max_rounds: 3,
+//!     fraction: 0.2,
+//!     model_dims: vec![8, 8, 3],
+//!     ..TrainingConfig::default()
+//! };
+//! let task = SyntheticTask::generate(DatasetConfig {
+//!     num_classes: 3,
+//!     feature_dim: 8,
+//!     train_samples: 120,
+//!     test_samples: 30,
+//!     ..DatasetConfig::default()
+//! })?;
+//! let population = PopulationBuilder::paper_default().num_devices(10).build()?;
+//! let partition = Partition::iid(120, 10, 0)?;
+//! let mut setup = FederatedSetup::new(population, &task, &partition, &config)?;
+//! let history = run_federated(&mut setup, &config, &mut Greedy, &MaxFrequency)?;
+//! assert_eq!(history.len(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod dataset;
+pub mod error;
+pub mod frequency;
+pub mod history;
+pub mod partition;
+pub mod runner;
+pub mod seeds;
+pub mod selection;
+pub mod separated;
+pub mod server;
+
+pub use error::{FlError, Result};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::dataset::SyntheticTask>();
+        assert_send_sync::<crate::history::TrainingHistory>();
+        assert_send_sync::<crate::runner::FederatedSetup>();
+        assert_send_sync::<crate::FlError>();
+    }
+}

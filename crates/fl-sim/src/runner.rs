@@ -1,0 +1,617 @@
+//! The synchronous FL training loop (paper Alg. 1), generic over the
+//! selection strategy and frequency policy.
+
+use serde::{Deserialize, Serialize};
+
+use mec_sim::battery::Battery;
+use mec_sim::device::Device;
+use mec_sim::population::Population;
+use mec_sim::timeline::RoundTimeline;
+use mec_sim::units::{Bits, Joules, Seconds};
+
+use crate::client::{build_clients, Client};
+use crate::dataset::{LabeledSet, SyntheticTask};
+use crate::error::{FlError, Result};
+use crate::frequency::FrequencyPolicy;
+use crate::history::{RoundRecord, TrainingHistory};
+use crate::partition::Partition;
+use crate::seeds::{derive, SeedDomain};
+use crate::selection::{
+    selection_target, validate_selection, ClientSelector, SelectionContext,
+};
+use crate::server::Flcc;
+
+/// Hyper-parameters of one training run (paper §VII-A defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Maximum number of training iterations `J` (paper: 300).
+    pub max_rounds: usize,
+    /// User selection fraction `C` (paper: 0.1).
+    pub fraction: f64,
+    /// Upload payload `C_model` in bits (SqueezeNet-scale 40 Mbit).
+    pub payload: Bits,
+    /// Learning rate `τ` of the local GD update (Eq. 3).
+    pub learning_rate: f32,
+    /// Local GD steps per round (paper Eq. 3 takes exactly 1).
+    pub local_epochs: usize,
+    /// Evaluate the global model every `eval_every` rounds (1 = every
+    /// round, as in Fig. 2).
+    pub eval_every: usize,
+    /// Cap test-set evaluation at this many strided samples
+    /// (0 = use the full test set).
+    pub eval_subsample: usize,
+    /// Optional wall-clock training deadline (constraint Eq. 14).
+    pub deadline: Option<Seconds>,
+    /// Optional per-device battery budget (paper §I: constrained
+    /// energy). Devices drain their round energy (Eq. 11 summand) and
+    /// shut down when depleted, disappearing from the selectable set.
+    pub battery_capacity: Option<Joules>,
+    /// Optional convergence-based early exit (Alg. 1's post-round
+    /// check: "the FLCC checks whether this newly created global ML
+    /// model converges … if so, the training exits").
+    pub convergence: Option<ConvergencePolicy>,
+    /// Model layer widths `[input, hidden…, classes]`.
+    pub model_dims: Vec<usize>,
+    /// Master seed (split per component; see [`crate::seeds`]).
+    pub seed: u64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        Self {
+            max_rounds: 300,
+            fraction: 0.1,
+            payload: Bits::from_megabits(40.0),
+            learning_rate: 0.5,
+            local_epochs: 1,
+            eval_every: 1,
+            eval_subsample: 0,
+            deadline: None,
+            battery_capacity: None,
+            convergence: None,
+            model_dims: vec![64, 64, 10],
+            seed: 0,
+        }
+    }
+}
+
+/// Accuracy-plateau convergence test: training stops once the best
+/// evaluated accuracy has improved by less than `min_improvement` over
+/// the last `window` evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergencePolicy {
+    /// Number of most-recent evaluations the plateau must span
+    /// (at least 2).
+    pub window: usize,
+    /// Minimum accuracy gain that still counts as progress.
+    pub min_improvement: f64,
+}
+
+impl ConvergencePolicy {
+    /// Whether the evaluated-accuracy sequence has plateaued.
+    pub fn converged(&self, accuracies: &[f64]) -> bool {
+        if accuracies.len() < self.window.max(2) {
+            return false;
+        }
+        let recent = &accuracies[accuracies.len() - self.window.max(2)..];
+        let first = recent[0];
+        let best_rest = recent[1..].iter().copied().fold(f64::MIN, f64::max);
+        best_rest - first < self.min_improvement
+    }
+}
+
+impl TrainingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_rounds == 0 {
+            return Err(FlError::InvalidConfig {
+                field: "max_rounds",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if !(self.fraction > 0.0 && self.fraction <= 1.0) {
+            return Err(FlError::InvalidConfig {
+                field: "fraction",
+                reason: format!("must be in (0, 1], got {}", self.fraction),
+            });
+        }
+        if self.payload.get() <= 0.0 {
+            return Err(FlError::InvalidConfig {
+                field: "payload",
+                reason: "must be positive".into(),
+            });
+        }
+        if !(self.learning_rate > 0.0 && self.learning_rate.is_finite()) {
+            return Err(FlError::InvalidConfig {
+                field: "learning_rate",
+                reason: format!("must be positive and finite, got {}", self.learning_rate),
+            });
+        }
+        if self.local_epochs == 0 {
+            return Err(FlError::InvalidConfig {
+                field: "local_epochs",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if self.eval_every == 0 {
+            return Err(FlError::InvalidConfig {
+                field: "eval_every",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if self.model_dims.len() < 2 {
+            return Err(FlError::InvalidConfig {
+                field: "model_dims",
+                reason: "need at least input and output widths".into(),
+            });
+        }
+        if let Some(capacity) = self.battery_capacity {
+            if !(capacity.get() > 0.0 && capacity.is_finite()) {
+                return Err(FlError::InvalidConfig {
+                    field: "battery_capacity",
+                    reason: format!("must be positive and finite, got {capacity}"),
+                });
+            }
+        }
+        if let Some(policy) = self.convergence {
+            if policy.window < 2 {
+                return Err(FlError::InvalidConfig {
+                    field: "convergence.window",
+                    reason: "plateau window must span at least 2 evaluations".into(),
+                });
+            }
+            if !(policy.min_improvement >= 0.0 && policy.min_improvement.is_finite()) {
+                return Err(FlError::InvalidConfig {
+                    field: "convergence.min_improvement",
+                    reason: format!("must be finite and non-negative, got {}",
+                        policy.min_improvement),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A fully-wired federated experiment: devices with real shard sizes,
+/// per-user clients, and the evaluation set.
+#[derive(Debug, Clone)]
+pub struct FederatedSetup {
+    population: Population,
+    clients: Vec<Client>,
+    eval_set: LabeledSet,
+}
+
+impl FederatedSetup {
+    /// Wires a population to a dataset through a partition: installs
+    /// each user's true `|D_q|` into its device (the compute-delay
+    /// driver of Eq. 4) and materializes per-client shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::PartitionMismatch`] if the partition and
+    /// population disagree on the user count, and propagates shard or
+    /// config errors.
+    pub fn new(
+        mut population: Population,
+        task: &SyntheticTask,
+        partition: &Partition,
+        config: &TrainingConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        if partition.num_users() != population.len() {
+            return Err(FlError::PartitionMismatch {
+                partition_users: partition.num_users(),
+                population_users: population.len(),
+            });
+        }
+        for (device, indices) in
+            population.devices_mut().iter_mut().zip(partition.assignments())
+        {
+            device.set_num_samples(indices.len()).map_err(FlError::from)?;
+        }
+        let clients = build_clients(task.train(), partition.assignments(), &config.model_dims)?;
+        let eval_set = if config.eval_subsample > 0 {
+            task.test().strided_subsample(config.eval_subsample)?
+        } else {
+            task.test().clone()
+        };
+        Ok(Self { population, clients, eval_set })
+    }
+
+    /// The device population with installed shard sizes.
+    #[inline]
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// The per-user clients.
+    #[inline]
+    pub fn clients(&self) -> &[Client] {
+        &self.clients
+    }
+
+    /// Mutable access to the per-user clients (training mutates each
+    /// client's scratch model).
+    #[inline]
+    pub fn clients_mut(&mut self) -> &mut [Client] {
+        &mut self.clients
+    }
+
+    /// The evaluation set used for accuracy reporting.
+    #[inline]
+    pub fn eval_set(&self) -> &LabeledSet {
+        &self.eval_set
+    }
+}
+
+/// Runs the full synchronous FL loop (Alg. 1) and returns its history.
+///
+/// Per round: select users (strategy), assign frequencies (policy),
+/// simulate the MEC round timeline, run the local updates, aggregate
+/// with FedAvg (Eq. 18), evaluate, and stop on `J` rounds or the
+/// deadline (Eq. 14).
+///
+/// # Errors
+///
+/// Propagates configuration, selection, simulation, and training
+/// errors.
+pub fn run_federated(
+    setup: &mut FederatedSetup,
+    config: &TrainingConfig,
+    selector: &mut dyn ClientSelector,
+    frequency_policy: &dyn FrequencyPolicy,
+) -> Result<TrainingHistory> {
+    config.validate()?;
+    let target = selection_target(setup.population.len(), config.fraction)?;
+    let mut server = Flcc::new(&config.model_dims, derive(config.seed, SeedDomain::Model))?;
+    let mut history = TrainingHistory::new(selector.name());
+    let mut cumulative_time = Seconds::ZERO;
+    let mut cumulative_energy = Joules::ZERO;
+    let mut batteries: Option<Vec<Battery>> = match config.battery_capacity {
+        Some(capacity) => Some(
+            (0..setup.population.len())
+                .map(|_| Battery::new(capacity).map_err(FlError::from))
+                .collect::<Result<_>>()?,
+        ),
+        None => None,
+    };
+    let mut evaluated_accuracies: Vec<f64> = Vec::new();
+
+    for round in 1..=config.max_rounds {
+        // 0. Battery-driven availability (paper §I: depleted devices
+        //    shut down and leave the selectable set V).
+        let alive: Vec<Device> = match &batteries {
+            Some(batteries) => setup
+                .population
+                .devices()
+                .iter()
+                .filter(|d| !batteries[d.id().0].is_depleted())
+                .copied()
+                .collect(),
+            None => setup.population.devices().to_vec(),
+        };
+        if alive.is_empty() {
+            break; // every device has shut down
+        }
+
+        // 1. Selection (Alg. 1 line 4).
+        let ctx = SelectionContext {
+            round,
+            devices: &alive,
+            payload: config.payload,
+            target: target.min(alive.len()),
+        };
+        let selected_ids = selector.select(&ctx)?;
+        validate_selection(&ctx, &selected_ids)?;
+
+        // 2. Frequency determination + MEC round simulation.
+        let selected: Vec<_> = selected_ids
+            .iter()
+            .map(|id| *setup.population.get(*id).expect("validated above"))
+            .collect();
+        let freqs = frequency_policy.frequencies(&selected, config.payload)?;
+        let timeline = RoundTimeline::simulate(&selected, &freqs, config.payload)?;
+
+        // 3. Local updates (Alg. 1 lines 6–9).
+        let global = server.broadcast();
+        let mut updates = Vec::with_capacity(selected_ids.len());
+        let mut loss_sum = 0.0f64;
+        for id in &selected_ids {
+            let client = &mut setup.clients[id.0];
+            let (params, loss) =
+                client.local_update(&global, config.learning_rate, config.local_epochs)?;
+            loss_sum += f64::from(loss);
+            updates.push((params, client.num_samples() as f64));
+        }
+
+        // 4. FedAvg integration (Alg. 1 line 10, Eq. 18).
+        server.aggregate(&updates)?;
+
+        // 5. Bookkeeping + evaluation.
+        cumulative_time += timeline.makespan();
+        cumulative_energy += timeline.total_energy();
+        if let Some(batteries) = batteries.as_mut() {
+            for activity in timeline.activities() {
+                batteries[activity.device.0].try_drain(activity.total_energy());
+            }
+        }
+        let evaluate_now = round % config.eval_every == 0 || round == config.max_rounds;
+        let test_accuracy = if evaluate_now {
+            let accuracy = server.evaluate(&setup.eval_set)?.1;
+            evaluated_accuracies.push(accuracy);
+            Some(accuracy)
+        } else {
+            None
+        };
+        history.push(RoundRecord {
+            round,
+            selected: selected_ids,
+            alive_devices: alive.len(),
+            round_time: timeline.makespan(),
+            eq10_time: timeline.eq10_bound(),
+            round_energy: timeline.total_energy(),
+            compute_energy: timeline.compute_energy(),
+            slack: timeline.total_slack(),
+            train_loss: (loss_sum / updates.len() as f64) as f32,
+            test_accuracy,
+            cumulative_time,
+            cumulative_energy,
+        });
+
+        // 6. Exit checks: deadline (Eq. 14) and the Alg. 1
+        //    convergence test.
+        if let Some(deadline) = config.deadline {
+            if cumulative_time >= deadline {
+                break;
+            }
+        }
+        if let Some(policy) = config.convergence {
+            if policy.converged(&evaluated_accuracies) {
+                break;
+            }
+        }
+    }
+    Ok(history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+    use crate::frequency::MaxFrequency;
+    use mec_sim::device::DeviceId;
+    use mec_sim::population::PopulationBuilder;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    /// A minimal random selector for exercising the loop.
+    struct RandomSelector {
+        rng: StdRng,
+    }
+
+    impl ClientSelector for RandomSelector {
+        fn name(&self) -> &'static str {
+            "test-random"
+        }
+
+        fn select(&mut self, ctx: &SelectionContext<'_>) -> Result<Vec<DeviceId>> {
+            let mut ids: Vec<DeviceId> = ctx.devices.iter().map(|d| d.id()).collect();
+            ids.shuffle(&mut self.rng);
+            ids.truncate(ctx.target);
+            Ok(ids)
+        }
+    }
+
+    fn tiny_world() -> (FederatedSetup, TrainingConfig) {
+        let config = TrainingConfig {
+            max_rounds: 8,
+            fraction: 0.25,
+            model_dims: vec![8, 8, 3],
+            learning_rate: 0.5,
+            eval_every: 2,
+            seed: 1,
+            ..TrainingConfig::default()
+        };
+        let task = SyntheticTask::generate(DatasetConfig {
+            num_classes: 3,
+            feature_dim: 8,
+            train_samples: 240,
+            test_samples: 60,
+            // Hard enough that random-init accuracy is low and training
+            // visibly climbs within a few dozen rounds.
+            separation: 1.5,
+            seed: 2,
+            ..DatasetConfig::default()
+        })
+        .unwrap();
+        let pop = PopulationBuilder::paper_default().num_devices(12).seed(3).build().unwrap();
+        let partition = Partition::iid(240, 12, 4).unwrap();
+        let setup = FederatedSetup::new(pop, &task, &partition, &config).unwrap();
+        (setup, config)
+    }
+
+    #[test]
+    fn config_validation_names_offending_fields() {
+        let invalid = [
+            TrainingConfig { max_rounds: 0, ..TrainingConfig::default() },
+            TrainingConfig { fraction: 0.0, ..TrainingConfig::default() },
+            TrainingConfig { learning_rate: -1.0, ..TrainingConfig::default() },
+            TrainingConfig { local_epochs: 0, ..TrainingConfig::default() },
+            TrainingConfig { eval_every: 0, ..TrainingConfig::default() },
+            TrainingConfig { model_dims: vec![8], ..TrainingConfig::default() },
+            TrainingConfig { payload: Bits::ZERO, ..TrainingConfig::default() },
+        ];
+        for c in invalid {
+            assert!(c.validate().is_err(), "accepted invalid config {c:?}");
+        }
+        assert!(TrainingConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn setup_installs_shard_sizes_into_devices() {
+        let (setup, _) = tiny_world();
+        for (device, client) in setup.population().devices().iter().zip(setup.clients()) {
+            assert_eq!(device.num_samples(), client.num_samples());
+            assert_eq!(device.num_samples(), 20);
+        }
+    }
+
+    #[test]
+    fn setup_rejects_mismatched_partition() {
+        let config = TrainingConfig { model_dims: vec![8, 3], ..TrainingConfig::default() };
+        let task = SyntheticTask::generate(DatasetConfig {
+            num_classes: 3,
+            feature_dim: 8,
+            train_samples: 120,
+            test_samples: 30,
+            seed: 2,
+            ..DatasetConfig::default()
+        })
+        .unwrap();
+        let pop = PopulationBuilder::paper_default().num_devices(10).build().unwrap();
+        let partition = Partition::iid(120, 6, 0).unwrap();
+        assert!(matches!(
+            FederatedSetup::new(pop, &task, &partition, &config),
+            Err(FlError::PartitionMismatch { partition_users: 6, population_users: 10 })
+        ));
+    }
+
+    #[test]
+    fn run_produces_one_record_per_round_with_eval_cadence() {
+        let (mut setup, config) = tiny_world();
+        let mut selector = RandomSelector { rng: StdRng::seed_from_u64(7) };
+        let history =
+            run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap();
+        assert_eq!(history.len(), 8);
+        assert_eq!(history.scheme(), "test-random");
+        for r in history.records() {
+            assert_eq!(r.selected.len(), 3); // 12 * 0.25
+            assert!(r.round_time.get() > 0.0);
+            assert!(r.round_energy.get() > 0.0);
+            // eval_every = 2 → even rounds evaluated (and the last).
+            assert_eq!(r.test_accuracy.is_some(), r.round % 2 == 0 || r.round == 8);
+        }
+        // Cumulative time strictly increases.
+        for w in history.records().windows(2) {
+            assert!(w[1].cumulative_time > w[0].cumulative_time);
+            assert!(w[1].cumulative_energy > w[0].cumulative_energy);
+        }
+    }
+
+    #[test]
+    fn training_improves_accuracy_over_random_init() {
+        let (mut setup, mut config) = tiny_world();
+        config.max_rounds = 40;
+        config.eval_every = 1;
+        let mut selector = RandomSelector { rng: StdRng::seed_from_u64(7) };
+        let history =
+            run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap();
+        let first = history.records()[0].test_accuracy.unwrap();
+        let best = history.best_accuracy();
+        assert!(
+            best > first + 0.15,
+            "training did not improve: first {first}, best {best}"
+        );
+        assert!(best > 0.6, "best accuracy only {best}");
+    }
+
+    #[test]
+    fn deadline_stops_training_early() {
+        let (mut setup, mut config) = tiny_world();
+        config.deadline = Some(Seconds::new(1.0)); // absurdly tight
+        let mut selector = RandomSelector { rng: StdRng::seed_from_u64(7) };
+        let history =
+            run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap();
+        assert_eq!(history.len(), 1);
+    }
+
+    #[test]
+    fn battery_depletion_shrinks_availability_and_can_end_training() {
+        let (mut setup, mut config) = tiny_world();
+        config.max_rounds = 60;
+        // Tiny budget: a device survives only a few rounds of
+        // participation.
+        config.battery_capacity = Some(Joules::new(6.0));
+        let mut selector = RandomSelector { rng: StdRng::seed_from_u64(7) };
+        let history =
+            run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap();
+        // Availability is monotonically non-increasing.
+        for w in history.records().windows(2) {
+            assert!(w[1].alive_devices <= w[0].alive_devices);
+        }
+        let first = history.records().first().unwrap().alive_devices;
+        let last = history.records().last().unwrap().alive_devices;
+        assert_eq!(first, 12);
+        assert!(last < first, "no device ever depleted (last alive {last})");
+        // Training stopped early: the fleet died before 60 rounds.
+        assert!(history.len() < 60, "ran all {} rounds", history.len());
+    }
+
+    #[test]
+    fn unlimited_battery_reports_full_availability() {
+        let (mut setup, config) = tiny_world();
+        let mut selector = RandomSelector { rng: StdRng::seed_from_u64(7) };
+        let history =
+            run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap();
+        assert!(history.records().iter().all(|r| r.alive_devices == 12));
+    }
+
+    #[test]
+    fn convergence_policy_detects_plateaus() {
+        let policy = ConvergencePolicy { window: 3, min_improvement: 0.01 };
+        assert!(!policy.converged(&[0.1, 0.2]));
+        assert!(!policy.converged(&[0.1, 0.2, 0.3]));
+        assert!(policy.converged(&[0.5, 0.502, 0.501]));
+        // Improvement within the window resets the clock.
+        assert!(!policy.converged(&[0.5, 0.55, 0.6]));
+    }
+
+    #[test]
+    fn convergence_stops_training_early() {
+        let (mut setup, mut config) = tiny_world();
+        config.max_rounds = 200;
+        config.eval_every = 1;
+        // Generous plateau detector: stop when 5 evaluations gain < 5%.
+        config.convergence =
+            Some(ConvergencePolicy { window: 5, min_improvement: 0.05 });
+        let mut selector = RandomSelector { rng: StdRng::seed_from_u64(7) };
+        let history =
+            run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap();
+        assert!(history.len() < 200, "never converged");
+        assert!(history.len() >= 5);
+    }
+
+    #[test]
+    fn battery_and_convergence_configs_are_validated() {
+        let c = TrainingConfig {
+            battery_capacity: Some(Joules::ZERO),
+            ..TrainingConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = TrainingConfig {
+            convergence: Some(ConvergencePolicy { window: 1, min_improvement: 0.1 }),
+            ..TrainingConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = TrainingConfig {
+            convergence: Some(ConvergencePolicy { window: 3, min_improvement: -0.5 }),
+            ..TrainingConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_histories() {
+        let run = || {
+            let (mut setup, config) = tiny_world();
+            let mut selector = RandomSelector { rng: StdRng::seed_from_u64(9) };
+            run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

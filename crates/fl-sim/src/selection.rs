@@ -1,0 +1,134 @@
+//! Client-selection strategy interface (Alg. 1, line 4 delegates
+//! here) and shared helpers.
+
+use mec_sim::device::{Device, DeviceId};
+use mec_sim::units::{Bits, Seconds};
+
+use crate::error::{FlError, Result};
+
+/// Everything a selector may consult when picking the round's users.
+#[derive(Debug)]
+pub struct SelectionContext<'a> {
+    /// 1-based training-iteration index `j`.
+    pub round: usize,
+    /// All `Q` devices (the selectable set `V`).
+    pub devices: &'a [Device],
+    /// Upload payload `C_model` in bits.
+    pub payload: Bits,
+    /// Requested selection size `N = max(Q·C, 1)`.
+    pub target: usize,
+}
+
+impl SelectionContext<'_> {
+    /// Total update-and-upload delay `T_q` of device `q` at its maximum
+    /// frequency (Eq. 9) — the ranking signal of Alg. 2 and FedCS.
+    pub fn total_delay_at_max(&self, device: &Device) -> Seconds {
+        device.total_delay_at_max(self.payload)
+    }
+}
+
+/// A per-round client-selection strategy.
+///
+/// Implementations may be stateful across rounds (HELCFL's appearance
+/// counters, for example), hence `&mut self`.
+pub trait ClientSelector {
+    /// Short scheme name used in reports (e.g. `"helcfl"`).
+    fn name(&self) -> &'static str;
+
+    /// Picks the users for this round.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`FlError::InvalidSelection`] when the
+    /// context admits no valid selection.
+    fn select(&mut self, ctx: &SelectionContext<'_>) -> Result<Vec<DeviceId>>;
+}
+
+/// Validates a selector's output: non-empty, no duplicates, and every
+/// id present in the context's device set.
+///
+/// # Errors
+///
+/// Returns [`FlError::InvalidSelection`] describing the violation.
+pub fn validate_selection(ctx: &SelectionContext<'_>, selected: &[DeviceId]) -> Result<()> {
+    if selected.is_empty() {
+        return Err(FlError::InvalidSelection { reason: "selector returned no users".into() });
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for id in selected {
+        if !seen.insert(*id) {
+            return Err(FlError::InvalidSelection {
+                reason: format!("device {id} selected twice"),
+            });
+        }
+        if !ctx.devices.iter().any(|d| d.id() == *id) {
+            return Err(FlError::InvalidSelection {
+                reason: format!("device {id} is not in the population"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The paper's selection size rule: `N = max(⌊Q·C⌋, 1)` (Alg. 2,
+/// line 11).
+///
+/// # Errors
+///
+/// Returns [`FlError::InvalidConfig`] unless `0 < fraction ≤ 1`.
+pub fn selection_target(num_devices: usize, fraction: f64) -> Result<usize> {
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(FlError::InvalidConfig {
+            field: "fraction",
+            reason: format!("must be in (0, 1], got {fraction}"),
+        });
+    }
+    Ok(((num_devices as f64 * fraction) as usize).max(1).min(num_devices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_sim::population::PopulationBuilder;
+
+    fn ctx(devices: &[Device]) -> SelectionContext<'_> {
+        SelectionContext {
+            round: 1,
+            devices,
+            payload: Bits::from_megabits(40.0),
+            target: 3,
+        }
+    }
+
+    #[test]
+    fn selection_target_follows_paper_rule() {
+        assert_eq!(selection_target(100, 0.1).unwrap(), 10);
+        assert_eq!(selection_target(100, 0.001).unwrap(), 1);
+        assert_eq!(selection_target(5, 1.0).unwrap(), 5);
+        assert_eq!(selection_target(7, 0.5).unwrap(), 3);
+        assert!(selection_target(100, 0.0).is_err());
+        assert!(selection_target(100, 1.5).is_err());
+        assert!(selection_target(100, -0.1).is_err());
+    }
+
+    #[test]
+    fn validate_selection_catches_violations() {
+        let pop = PopulationBuilder::paper_default().num_devices(5).build().unwrap();
+        let c = ctx(pop.devices());
+        assert!(validate_selection(&c, &[]).is_err());
+        assert!(validate_selection(&c, &[DeviceId(0), DeviceId(0)]).is_err());
+        assert!(validate_selection(&c, &[DeviceId(9)]).is_err());
+        assert!(validate_selection(&c, &[DeviceId(0), DeviceId(4)]).is_ok());
+    }
+
+    #[test]
+    fn context_exposes_eq9_delay() {
+        let pop = PopulationBuilder::paper_default().num_devices(3).build().unwrap();
+        let c = ctx(pop.devices());
+        let d = &pop.devices()[0];
+        assert_eq!(
+            c.total_delay_at_max(d),
+            d.compute_delay_at_max() + d.upload_delay(c.payload)
+        );
+    }
+}

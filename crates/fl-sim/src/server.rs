@@ -1,0 +1,159 @@
+//! The FL central controller (FLCC): global model custody and
+//! dataset-size-weighted federated averaging (paper Eq. 18).
+
+use serde::{Deserialize, Serialize};
+
+use tinynn::model::Mlp;
+
+use crate::dataset::LabeledSet;
+use crate::error::{FlError, Result};
+
+/// The FL central controller: a base station + edge server holding the
+/// global model `M_G`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Flcc {
+    global: Mlp,
+}
+
+impl Flcc {
+    /// Creates the controller with a freshly-initialized global model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model construction errors for invalid `dims`.
+    pub fn new(dims: &[usize], seed: u64) -> Result<Self> {
+        Ok(Self { global: Mlp::new(dims, seed).map_err(FlError::from)? })
+    }
+
+    /// The current global model.
+    #[inline]
+    pub fn global_model(&self) -> &Mlp {
+        &self.global
+    }
+
+    /// Broadcast: the flat global parameter vector sent to selected
+    /// users (Alg. 1, line 5).
+    pub fn broadcast(&self) -> Vec<f32> {
+        self.global.parameters()
+    }
+
+    /// FedAvg integration (Eq. 18): replaces the global parameters by
+    /// the dataset-size-weighted mean of the uploaded updates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidSelection`] for an empty update set or
+    /// non-positive total weight, and propagates shape errors if an
+    /// update has the wrong length.
+    pub fn aggregate(&mut self, updates: &[(Vec<f32>, f64)]) -> Result<()> {
+        if updates.is_empty() {
+            return Err(FlError::InvalidSelection {
+                reason: "aggregate called with no updates".into(),
+            });
+        }
+        let expected = self.global.num_parameters();
+        let total_weight: f64 = updates.iter().map(|(_, w)| *w).sum();
+        if !(total_weight > 0.0 && total_weight.is_finite()) {
+            return Err(FlError::InvalidSelection {
+                reason: format!("total aggregation weight {total_weight} must be positive"),
+            });
+        }
+        let mut acc = vec![0.0f64; expected];
+        for (params, weight) in updates {
+            if params.len() != expected {
+                return Err(FlError::Nn(tinynn::NnError::ParameterCountMismatch {
+                    expected,
+                    actual: params.len(),
+                }));
+            }
+            let w = *weight / total_weight;
+            for (a, &p) in acc.iter_mut().zip(params) {
+                *a += f64::from(p) * w;
+            }
+        }
+        let merged: Vec<f32> = acc.into_iter().map(|v| v as f32).collect();
+        self.global.set_parameters(&merged).map_err(FlError::from)
+    }
+
+    /// Evaluates the global model: `(loss, accuracy)` on `set`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors (e.g. empty set).
+    pub fn evaluate(&self, set: &LabeledSet) -> Result<(f32, f64)> {
+        let loss =
+            self.global.loss(set.features(), set.labels()).map_err(FlError::from)?;
+        let acc =
+            self.global.accuracy(set.features(), set.labels()).map_err(FlError::from)?;
+        Ok((loss, acc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinynn::tensor::Matrix;
+
+    fn flcc() -> Flcc {
+        Flcc::new(&[4, 6, 3], 7).unwrap()
+    }
+
+    #[test]
+    fn broadcast_returns_full_parameter_vector() {
+        let s = flcc();
+        assert_eq!(s.broadcast().len(), s.global_model().num_parameters());
+    }
+
+    #[test]
+    fn aggregate_weighted_mean_matches_eq18() {
+        let mut s = flcc();
+        let n = s.global_model().num_parameters();
+        // Two synthetic updates: all-ones (weight 300) and all-zeros
+        // (weight 100) → global becomes 0.75 everywhere.
+        let updates = vec![(vec![1.0f32; n], 300.0), (vec![0.0f32; n], 100.0)];
+        s.aggregate(&updates).unwrap();
+        for v in s.broadcast() {
+            assert!((v - 0.75).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn aggregate_single_update_replaces_global() {
+        let mut s = flcc();
+        let n = s.global_model().num_parameters();
+        s.aggregate(&[(vec![0.5f32; n], 42.0)]).unwrap();
+        assert!(s.broadcast().iter().all(|&v| (v - 0.5).abs() < 1e-7));
+    }
+
+    #[test]
+    fn aggregate_validates_inputs() {
+        let mut s = flcc();
+        let n = s.global_model().num_parameters();
+        assert!(s.aggregate(&[]).is_err());
+        assert!(s.aggregate(&[(vec![0.0; n], 0.0)]).is_err());
+        assert!(s.aggregate(&[(vec![0.0; n - 1], 1.0)]).is_err());
+        assert!(s.aggregate(&[(vec![0.0; n], f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn aggregation_is_idempotent_on_identical_updates() {
+        let mut s = flcc();
+        let before = s.broadcast();
+        let updates: Vec<(Vec<f32>, f64)> =
+            (0..5).map(|i| (before.clone(), 100.0 + i as f64)).collect();
+        s.aggregate(&updates).unwrap();
+        for (a, b) in s.broadcast().iter().zip(&before) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn evaluate_reports_loss_and_accuracy() {
+        let s = flcc();
+        let x = Matrix::zeros(6, 4).unwrap();
+        let set = LabeledSet::new(x, vec![0, 1, 2, 0, 1, 2]).unwrap();
+        let (loss, acc) = s.evaluate(&set).unwrap();
+        assert!(loss > 0.0);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

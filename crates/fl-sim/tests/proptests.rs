@@ -1,0 +1,115 @@
+//! Property-based tests for the FL substrate.
+
+use fl_sim::partition::Partition;
+use fl_sim::selection::selection_target;
+use fl_sim::server::Flcc;
+use proptest::prelude::*;
+
+/// Checks that a partition is an exact cover of `0..n`.
+fn assert_exact_cover(p: &Partition, n: usize) -> Result<(), TestCaseError> {
+    let mut seen = vec![false; n];
+    for u in 0..p.num_users() {
+        for &i in p.user(u) {
+            prop_assert!(i < n, "index {i} out of range");
+            prop_assert!(!seen[i], "index {i} assigned twice");
+            seen[i] = true;
+        }
+    }
+    prop_assert!(seen.iter().all(|&s| s), "some samples unassigned");
+    Ok(())
+}
+
+proptest! {
+    /// IID partitions exactly cover the sample set with near-equal
+    /// shard sizes.
+    #[test]
+    fn iid_partition_is_balanced_exact_cover(
+        users in 1usize..40,
+        extra in 0usize..200,
+        seed in 0u64..100,
+    ) {
+        let n = users + extra;
+        let p = Partition::iid(n, users, seed).unwrap();
+        assert_exact_cover(&p, n)?;
+        let sizes = p.sizes();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Shard partitions exactly cover the sample set and respect the
+    /// shards-per-user label bound.
+    #[test]
+    fn shard_partition_is_exact_cover_with_label_bound(
+        users in 1usize..20,
+        spu in 1usize..5,
+        classes in 2usize..8,
+        seed in 0u64..100,
+    ) {
+        let n = users * spu * 30;
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        let p = Partition::shards(&labels, users, spu, seed).unwrap();
+        assert_exact_cover(&p, n)?;
+        let shard_size = n / (users * spu) + 1;
+        let per_class = n / classes;
+        for u in 0..users {
+            prop_assert!(p.distinct_labels(&labels, u) <= classes);
+            if shard_size <= per_class {
+                // Each contiguous shard of the label-sorted sequence
+                // spans at most 2 labels when it fits in one class run.
+                prop_assert!(p.distinct_labels(&labels, u) <= 2 * spu);
+            }
+        }
+    }
+
+    /// Dirichlet partitions exactly cover the sample set and leave no
+    /// user empty.
+    #[test]
+    fn dirichlet_partition_is_exact_cover_nonempty(
+        users in 1usize..15,
+        classes in 2usize..6,
+        alpha in 0.05f64..5.0,
+        seed in 0u64..50,
+    ) {
+        let n = users * 40;
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        let p = Partition::dirichlet(&labels, users, classes, alpha, seed).unwrap();
+        assert_exact_cover(&p, n)?;
+        prop_assert!(p.sizes().iter().all(|&s| s > 0));
+    }
+
+    /// FedAvg output stays inside the per-coordinate convex hull of the
+    /// updates (it is a convex combination).
+    #[test]
+    fn fedavg_is_a_convex_combination(
+        w1 in 1.0f64..500.0,
+        w2 in 1.0f64..500.0,
+        w3 in 1.0f64..500.0,
+        seed in 0u64..50,
+    ) {
+        let mut flcc = Flcc::new(&[3, 4, 2], seed).unwrap();
+        let n = flcc.global_model().num_parameters();
+        let mk = |offset: f32| -> Vec<f32> {
+            (0..n).map(|i| offset + i as f32 * 0.01).collect()
+        };
+        let updates = vec![(mk(-1.0), w1), (mk(0.5), w2), (mk(2.0), w3)];
+        flcc.aggregate(&updates).unwrap();
+        let merged = flcc.broadcast();
+        for (i, &v) in merged.iter().enumerate() {
+            let lo = (-1.0f32 + i as f32 * 0.01).min(2.0 + i as f32 * 0.01);
+            let hi = (-1.0f32 + i as f32 * 0.01).max(2.0 + i as f32 * 0.01);
+            prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4);
+        }
+    }
+
+    /// The selection-size rule stays within `1..=Q` for all valid
+    /// fractions.
+    #[test]
+    fn selection_target_is_bounded(q in 1usize..1000, c in 0.0001f64..1.0) {
+        let n = selection_target(q, c).unwrap();
+        prop_assert!(n >= 1 && n <= q);
+        // Monotone in the fraction.
+        let n2 = selection_target(q, (c * 2.0).min(1.0)).unwrap();
+        prop_assert!(n2 >= n);
+    }
+}

@@ -1,0 +1,147 @@
+//! Battery model for energy-constrained user devices.
+//!
+//! The paper's §I motivation: "most of user devices are powered by
+//! batteries … their energy is quickly exhausted or even device
+//! shutdown occurs during FL training". This module supplies the
+//! battery the rest of the system drains — the FL runner (see
+//! `fl-sim`) removes depleted devices from the selectable set, which
+//! is how energy waste turns into *lost data* and ultimately lost
+//! accuracy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{MecError, Result};
+use crate::units::Joules;
+
+/// A device battery with finite capacity.
+///
+/// # Examples
+///
+/// ```
+/// use mec_sim::battery::Battery;
+/// use mec_sim::units::Joules;
+///
+/// let mut b = Battery::new(Joules::new(10.0))?;
+/// assert!(b.try_drain(Joules::new(4.0)));
+/// assert_eq!(b.remaining(), Joules::new(6.0));
+/// assert!(!b.try_drain(Joules::new(7.0))); // refuses and depletes
+/// assert!(b.is_depleted());
+/// # Ok::<(), mec_sim::MecError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    capacity: Joules,
+    remaining: Joules,
+}
+
+impl Battery {
+    /// Creates a full battery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::NonPositiveParameter`] for a non-positive
+    /// or non-finite capacity.
+    pub fn new(capacity: Joules) -> Result<Self> {
+        if !(capacity.get() > 0.0 && capacity.is_finite()) {
+            return Err(MecError::NonPositiveParameter {
+                name: "battery_capacity",
+                value: capacity.get(),
+            });
+        }
+        Ok(Self { capacity, remaining: capacity })
+    }
+
+    /// Total capacity.
+    #[inline]
+    pub fn capacity(&self) -> Joules {
+        self.capacity
+    }
+
+    /// Energy left.
+    #[inline]
+    pub fn remaining(&self) -> Joules {
+        self.remaining
+    }
+
+    /// Remaining fraction in `[0, 1]`.
+    #[inline]
+    pub fn fraction(&self) -> f64 {
+        (self.remaining.get() / self.capacity.get()).clamp(0.0, 1.0)
+    }
+
+    /// Whether the device has shut down (no usable energy).
+    #[inline]
+    pub fn is_depleted(&self) -> bool {
+        self.remaining.get() <= 0.0
+    }
+
+    /// Whether the battery can fund an expenditure of `amount`.
+    #[inline]
+    pub fn can_afford(&self, amount: Joules) -> bool {
+        self.remaining >= amount
+    }
+
+    /// Attempts to drain `amount`. On success the charge drops and
+    /// `true` is returned. If the battery cannot afford it, the device
+    /// browns out mid-round: the charge is zeroed (the energy was
+    /// spent trying) and `false` is returned.
+    pub fn try_drain(&mut self, amount: Joules) -> bool {
+        debug_assert!(amount.get() >= 0.0, "cannot drain negative energy");
+        if self.can_afford(amount) {
+            self.remaining -= amount;
+            true
+        } else {
+            self.remaining = Joules::ZERO;
+            false
+        }
+    }
+
+    /// Recharges to full (scenario resets between experiments).
+    pub fn recharge(&mut self) {
+        self.remaining = self.capacity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates_capacity() {
+        assert!(Battery::new(Joules::ZERO).is_err());
+        assert!(Battery::new(Joules::new(-5.0)).is_err());
+        assert!(Battery::new(Joules::new(f64::NAN)).is_err());
+        assert!(Battery::new(Joules::new(100.0)).is_ok());
+    }
+
+    #[test]
+    fn drain_decrements_until_depleted() {
+        let mut b = Battery::new(Joules::new(10.0)).unwrap();
+        assert_eq!(b.fraction(), 1.0);
+        assert!(b.try_drain(Joules::new(6.0)));
+        assert!((b.fraction() - 0.4).abs() < 1e-12);
+        assert!(!b.is_depleted());
+        // Over-drain browns out: refused, but charge is gone.
+        assert!(!b.try_drain(Joules::new(6.0)));
+        assert!(b.is_depleted());
+        assert_eq!(b.remaining(), Joules::ZERO);
+        // Once dead, even zero-cost work is "affordable" but pointless.
+        assert!(b.can_afford(Joules::ZERO));
+    }
+
+    #[test]
+    fn exact_drain_is_allowed() {
+        let mut b = Battery::new(Joules::new(5.0)).unwrap();
+        assert!(b.try_drain(Joules::new(5.0)));
+        assert!(b.is_depleted());
+    }
+
+    #[test]
+    fn recharge_restores_capacity() {
+        let mut b = Battery::new(Joules::new(5.0)).unwrap();
+        b.try_drain(Joules::new(5.0));
+        b.recharge();
+        assert_eq!(b.remaining(), Joules::new(5.0));
+        assert!(!b.is_depleted());
+    }
+}

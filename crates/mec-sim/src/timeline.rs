@@ -1,0 +1,321 @@
+//! Device-aware round timelines: compute spans + TDMA uploads +
+//! energy accounting for one synchronous FL training iteration.
+//!
+//! [`RoundTimeline`] glues the per-device models (Eq. 4–9) to the
+//! serialized TDMA channel ([`TdmaSchedule`]) and reports the metrics
+//! the paper's evaluation needs: round delay, per-round energy
+//! (Eq. 10–11), per-device slack, and an ASCII Gantt rendering of the
+//! Fig. 1 schedule.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::{Device, DeviceId};
+use crate::error::{MecError, Result};
+use crate::tdma::{TdmaSchedule, UploadRequest};
+use crate::units::{Bits, Hertz, Joules, Seconds};
+
+/// One device's fully-resolved activity within a round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceActivity {
+    /// The device.
+    pub device: DeviceId,
+    /// The operating frequency it computed at.
+    pub frequency: Hertz,
+    /// Local model-update delay `T^cal` (compute starts at t = 0).
+    pub compute_finish: Seconds,
+    /// When its upload obtained the channel.
+    pub upload_start: Seconds,
+    /// When its upload finished.
+    pub upload_end: Seconds,
+    /// Compute energy `E^cal` at `frequency` (Eq. 5).
+    pub compute_energy: Joules,
+    /// Upload energy `E^com` (Eq. 8).
+    pub upload_energy: Joules,
+}
+
+impl DeviceActivity {
+    /// Idle wait between compute completion and upload start.
+    #[inline]
+    pub fn slack(&self) -> Seconds {
+        self.upload_start - self.compute_finish
+    }
+
+    /// Total device energy in this round.
+    #[inline]
+    pub fn total_energy(&self) -> Joules {
+        self.compute_energy + self.upload_energy
+    }
+
+    /// End-to-end span of this device (Eq. 9 plus any wait).
+    #[inline]
+    pub fn total_delay(&self) -> Seconds {
+        self.upload_end
+    }
+}
+
+/// The resolved timeline of one synchronous round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundTimeline {
+    activities: Vec<DeviceActivity>,
+    payload: Bits,
+}
+
+impl RoundTimeline {
+    /// Simulates one round for `devices` operating at per-device
+    /// frequencies `frequencies`, each uploading `payload` bits.
+    ///
+    /// Computation runs in parallel across devices from t = 0; uploads
+    /// serialize on the TDMA channel in compute-finish order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::EmptyDeviceSet`] for no devices, a
+    /// [`MecError::NonPositiveParameter`] if `frequencies` length
+    /// mismatches, or [`MecError::FrequencyOutOfRange`] if a frequency
+    /// is unsupported by its device.
+    pub fn simulate(devices: &[Device], frequencies: &[Hertz], payload: Bits) -> Result<Self> {
+        if devices.is_empty() {
+            return Err(MecError::EmptyDeviceSet);
+        }
+        if devices.len() != frequencies.len() {
+            return Err(MecError::NonPositiveParameter {
+                name: "frequencies.len",
+                value: frequencies.len() as f64,
+            });
+        }
+        let mut requests = Vec::with_capacity(devices.len());
+        for (dev, &f) in devices.iter().zip(frequencies) {
+            requests.push(UploadRequest {
+                device: dev.id(),
+                compute_finish: dev.compute_delay(f)?,
+                upload_duration: dev.upload_delay(payload),
+            });
+        }
+        let schedule = TdmaSchedule::new(requests);
+        let mut activities = Vec::with_capacity(devices.len());
+        for slot in schedule.slots() {
+            let (dev, &f) = devices
+                .iter()
+                .zip(frequencies)
+                .find(|(d, _)| d.id() == slot.device)
+                .expect("slot devices come from the input set");
+            activities.push(DeviceActivity {
+                device: slot.device,
+                frequency: f,
+                compute_finish: slot.compute_finish,
+                upload_start: slot.upload_start,
+                upload_end: slot.upload_end,
+                compute_energy: dev.compute_energy(f)?,
+                upload_energy: dev.upload_energy(payload),
+            });
+        }
+        Ok(Self { activities, payload })
+    }
+
+    /// Convenience: simulate with every device at its maximum frequency
+    /// (the "traditional FL" baseline of §VI-A).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RoundTimeline::simulate`].
+    pub fn simulate_at_max(devices: &[Device], payload: Bits) -> Result<Self> {
+        let freqs: Vec<Hertz> = devices.iter().map(|d| d.cpu().range().max()).collect();
+        Self::simulate(devices, &freqs, payload)
+    }
+
+    /// Per-device activities in channel (upload) order.
+    #[inline]
+    pub fn activities(&self) -> &[DeviceActivity] {
+        &self.activities
+    }
+
+    /// The model payload size used for uploads.
+    #[inline]
+    pub fn payload(&self) -> Bits {
+        self.payload
+    }
+
+    /// Round delay: the TDMA makespan (when the last upload lands).
+    pub fn makespan(&self) -> Seconds {
+        self.activities.last().map_or(Seconds::ZERO, |a| a.upload_end)
+    }
+
+    /// The paper's Eq. 10 lower bound `max_q (T^cal + T^com)`, which
+    /// ignores channel contention.
+    pub fn eq10_bound(&self) -> Seconds {
+        self.activities
+            .iter()
+            .map(|a| a.compute_finish + (a.upload_end - a.upload_start))
+            .fold(Seconds::ZERO, Seconds::max)
+    }
+
+    /// Total round energy `E_Γ` (Eq. 11).
+    pub fn total_energy(&self) -> Joules {
+        self.activities.iter().map(DeviceActivity::total_energy).sum()
+    }
+
+    /// Total compute energy across devices.
+    pub fn compute_energy(&self) -> Joules {
+        self.activities.iter().map(|a| a.compute_energy).sum()
+    }
+
+    /// Total slack across devices — the head-room Alg. 3 exploits.
+    pub fn total_slack(&self) -> Seconds {
+        self.activities.iter().map(DeviceActivity::slack).sum()
+    }
+
+    /// Activity of a specific device, if it participated.
+    pub fn activity(&self, device: DeviceId) -> Option<&DeviceActivity> {
+        self.activities.iter().find(|a| a.device == device)
+    }
+
+    /// Renders the round as an ASCII Gantt chart (one row per device;
+    /// `=` compute, `.` slack wait, `#` upload), reproducing the
+    /// paper's Fig. 1 visually.
+    pub fn gantt(&self, width: usize) -> String {
+        let span = self.makespan().get();
+        if span <= 0.0 || width == 0 {
+            return String::new();
+        }
+        let scale = width as f64 / span;
+        let mut out = String::new();
+        for a in &self.activities {
+            let compute = (a.compute_finish.get() * scale).round() as usize;
+            let wait = (a.slack().get() * scale).round() as usize;
+            let upload =
+                ((a.upload_end.get() - a.upload_start.get()) * scale).round() as usize;
+            out.push_str(&format!("{:>6} |", a.device.to_string()));
+            out.push_str(&"=".repeat(compute));
+            out.push_str(&".".repeat(wait));
+            out.push_str(&"#".repeat(upload.max(1)));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "        0{}{:.1}s\n",
+            " ".repeat(width.saturating_sub(6)),
+            span
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Uplink;
+    use crate::cpu::DvfsCpu;
+    use crate::units::{BitsPerSecond, Watts};
+
+    fn device(id: usize, fmax_ghz: f64, samples: usize, mbps: f64) -> Device {
+        let cpu =
+            DvfsCpu::with_paper_alpha(Hertz::from_ghz(0.3), Hertz::from_ghz(fmax_ghz)).unwrap();
+        let uplink = Uplink::new(Watts::new(0.2), BitsPerSecond::from_mbps(mbps)).unwrap();
+        Device::new(DeviceId(id), cpu, 1.0e7, samples, uplink).unwrap()
+    }
+
+    fn payload() -> Bits {
+        Bits::from_megabits(40.0)
+    }
+
+    #[test]
+    fn empty_device_set_is_rejected() {
+        assert!(matches!(
+            RoundTimeline::simulate(&[], &[], payload()),
+            Err(MecError::EmptyDeviceSet)
+        ));
+    }
+
+    #[test]
+    fn mismatched_frequencies_are_rejected() {
+        let devs = [device(0, 2.0, 500, 8.0)];
+        assert!(RoundTimeline::simulate(&devs, &[], payload()).is_err());
+    }
+
+    #[test]
+    fn unsupported_frequency_is_rejected() {
+        let devs = [device(0, 1.0, 500, 8.0)];
+        assert!(RoundTimeline::simulate(&devs, &[Hertz::from_ghz(1.5)], payload()).is_err());
+    }
+
+    #[test]
+    fn single_device_round_is_compute_plus_upload() {
+        let devs = [device(0, 2.0, 500, 8.0)];
+        let tl = RoundTimeline::simulate_at_max(&devs, payload()).unwrap();
+        // 2.5 s compute + 5 s upload.
+        assert_eq!(tl.makespan(), Seconds::new(7.5));
+        assert_eq!(tl.eq10_bound(), tl.makespan());
+        assert_eq!(tl.total_slack(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn heterogeneous_round_serializes_uploads() {
+        // Fast device: T_cal = 2.5 s; slow device: T_cal = 5e9/0.5e9 = 10 s.
+        let devs = [device(0, 2.0, 500, 8.0), device(1, 0.5, 500, 8.0)];
+        let tl = RoundTimeline::simulate_at_max(&devs, payload()).unwrap();
+        let fast = tl.activity(DeviceId(0)).unwrap();
+        let slow = tl.activity(DeviceId(1)).unwrap();
+        assert_eq!(fast.upload_start, Seconds::new(2.5));
+        assert_eq!(fast.upload_end, Seconds::new(7.5));
+        // Slow device computes past the fast upload → starts at t=10.
+        assert_eq!(slow.upload_start, Seconds::new(10.0));
+        assert_eq!(tl.makespan(), Seconds::new(15.0));
+        // Eq. 10 ignores contention: max(7.5, 15) = 15 here.
+        assert_eq!(tl.eq10_bound(), Seconds::new(15.0));
+    }
+
+    #[test]
+    fn slack_appears_when_compute_finishes_during_prior_upload() {
+        // Both finish computing close together; uploads serialize.
+        let devs = [device(0, 2.0, 500, 8.0), device(1, 2.0, 600, 8.0)];
+        let tl = RoundTimeline::simulate_at_max(&devs, payload()).unwrap();
+        let second = tl.activity(DeviceId(1)).unwrap();
+        // Device 1 computes 3 s, waits until 7.5 s.
+        assert_eq!(second.slack(), Seconds::new(4.5));
+        assert!(tl.eq10_bound() < tl.makespan());
+    }
+
+    #[test]
+    fn energy_accounts_compute_plus_upload_eq11() {
+        let devs = [device(0, 2.0, 500, 8.0), device(1, 1.0, 500, 4.0)];
+        let tl = RoundTimeline::simulate_at_max(&devs, payload()).unwrap();
+        let manual: Joules = devs
+            .iter()
+            .map(|d| {
+                d.compute_energy(d.cpu().range().max()).unwrap() + d.upload_energy(payload())
+            })
+            .sum();
+        assert!((tl.total_energy().get() - manual.get()).abs() < 1e-12);
+        assert!(tl.compute_energy() < tl.total_energy());
+    }
+
+    #[test]
+    fn lower_frequency_cuts_energy_without_extending_round_when_slack_absorbs_it() {
+        let devs = [device(0, 2.0, 500, 8.0), device(1, 2.0, 600, 8.0)];
+        let at_max = RoundTimeline::simulate_at_max(&devs, payload()).unwrap();
+        // Slow device 1 so it finishes exactly when device 0's upload ends
+        // (t = 7.5 s): f = 6e9 cycles / 7.5 s = 0.8 GHz.
+        let freqs = [Hertz::from_ghz(2.0), Hertz::from_ghz(0.8)];
+        let tuned = RoundTimeline::simulate(&devs, &freqs, payload()).unwrap();
+        assert_eq!(tuned.makespan(), at_max.makespan());
+        assert!(tuned.total_energy() < at_max.total_energy());
+        assert_eq!(tuned.activity(DeviceId(1)).unwrap().slack(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn gantt_renders_one_row_per_device() {
+        let devs = [device(0, 2.0, 500, 8.0), device(1, 0.5, 500, 8.0)];
+        let tl = RoundTimeline::simulate_at_max(&devs, payload()).unwrap();
+        let g = tl.gantt(60);
+        assert_eq!(g.lines().count(), 3); // 2 devices + axis
+        assert!(g.contains("v0"));
+        assert!(g.contains("v1"));
+        assert!(g.contains('#'));
+    }
+
+    #[test]
+    fn gantt_with_zero_width_is_empty() {
+        let devs = [device(0, 2.0, 500, 8.0)];
+        let tl = RoundTimeline::simulate_at_max(&devs, payload()).unwrap();
+        assert!(tl.gantt(0).is_empty());
+    }
+}

@@ -1,0 +1,436 @@
+//! Strongly-typed physical quantities used throughout the simulator.
+//!
+//! Every model equation in the HELCFL paper mixes frequencies, delays,
+//! energies and data sizes; newtypes keep them statically distinct
+//! (API guideline C-NEWTYPE) while remaining zero-cost `f64` wrappers.
+//!
+//! Cross-type arithmetic is provided only where physically meaningful:
+//!
+//! - [`Cycles`] / [`Hertz`] → [`Seconds`] (compute delay, Eq. 4)
+//! - [`Bits`] / [`BitsPerSecond`] → [`Seconds`] (upload delay, Eq. 7)
+//! - [`Watts`] * [`Seconds`] → [`Joules`] (upload energy, Eq. 8)
+//!
+//! # Examples
+//!
+//! ```
+//! use mec_sim::units::{Cycles, Hertz, Seconds};
+//!
+//! let work = Cycles::new(5.0e9);
+//! let clock = Hertz::from_ghz(2.0);
+//! assert_eq!(work / clock, Seconds::new(2.5));
+//! ```
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// Defines an `f64`-backed quantity newtype with the shared trait surface.
+macro_rules! quantity {
+    ($(#[$doc:meta])* $name:ident, $unit:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Wraps a raw value expressed in the base unit ($unit).
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in the base unit ($unit).
+            #[inline]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the value is finite (neither NaN nor ±∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps `self` into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(lo.0 <= hi.0, "invalid clamp range");
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, Add::add)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A frequency in hertz; CPU clocks are expressed with this type.
+    Hertz,
+    "Hz"
+);
+quantity!(
+    /// A time duration in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// An energy in joules.
+    Joules,
+    "J"
+);
+quantity!(
+    /// A power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// A data size in bits (fractional bits are allowed for modelling).
+    Bits,
+    "bit"
+);
+quantity!(
+    /// A data rate in bits per second.
+    BitsPerSecond,
+    "bit/s"
+);
+quantity!(
+    /// A CPU work amount in clock cycles.
+    Cycles,
+    "cycles"
+);
+
+impl Hertz {
+    /// Constructs a frequency from gigahertz.
+    ///
+    /// ```
+    /// use mec_sim::units::Hertz;
+    /// assert_eq!(Hertz::from_ghz(2.0), Hertz::new(2.0e9));
+    /// ```
+    #[inline]
+    pub fn from_ghz(ghz: f64) -> Self {
+        Self::new(ghz * 1.0e9)
+    }
+
+    /// Constructs a frequency from megahertz.
+    #[inline]
+    pub fn from_mhz(mhz: f64) -> Self {
+        Self::new(mhz * 1.0e6)
+    }
+
+    /// Returns the value in gigahertz.
+    #[inline]
+    pub fn ghz(self) -> f64 {
+        self.get() / 1.0e9
+    }
+}
+
+impl Seconds {
+    /// Constructs a duration from minutes.
+    #[inline]
+    pub fn from_minutes(minutes: f64) -> Self {
+        Self::new(minutes * 60.0)
+    }
+
+    /// Returns the value in minutes.
+    ///
+    /// ```
+    /// use mec_sim::units::Seconds;
+    /// assert_eq!(Seconds::new(90.0).minutes(), 1.5);
+    /// ```
+    #[inline]
+    pub fn minutes(self) -> f64 {
+        self.get() / 60.0
+    }
+}
+
+impl Bits {
+    /// Constructs a size from megabits (10^6 bits).
+    #[inline]
+    pub fn from_megabits(mbit: f64) -> Self {
+        Self::new(mbit * 1.0e6)
+    }
+
+    /// Returns the value in megabits.
+    #[inline]
+    pub fn megabits(self) -> f64 {
+        self.get() / 1.0e6
+    }
+}
+
+impl BitsPerSecond {
+    /// Constructs a rate from megabits per second.
+    #[inline]
+    pub fn from_mbps(mbps: f64) -> Self {
+        Self::new(mbps * 1.0e6)
+    }
+
+    /// Returns the value in megabits per second.
+    #[inline]
+    pub fn mbps(self) -> f64 {
+        self.get() / 1.0e6
+    }
+}
+
+impl Div<Hertz> for Cycles {
+    type Output = Seconds;
+
+    /// Compute delay: `cycles / frequency` (paper Eq. 4).
+    #[inline]
+    fn div(self, rhs: Hertz) -> Seconds {
+        Seconds::new(self.get() / rhs.get())
+    }
+}
+
+impl Div<Seconds> for Cycles {
+    type Output = Hertz;
+
+    /// The frequency required to finish `cycles` of work in a given time
+    /// (used by Alg. 3's slack-filling step).
+    #[inline]
+    fn div(self, rhs: Seconds) -> Hertz {
+        Hertz::new(self.get() / rhs.get())
+    }
+}
+
+impl Div<BitsPerSecond> for Bits {
+    type Output = Seconds;
+
+    /// Upload delay: `size / rate` (paper Eq. 7).
+    #[inline]
+    fn div(self, rhs: BitsPerSecond) -> Seconds {
+        Seconds::new(self.get() / rhs.get())
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+
+    /// Energy: `power * time` (paper Eq. 8).
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.get() * rhs.get())
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+
+    /// Average power over a duration.
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.get() / rhs.get())
+    }
+}
+
+impl Mul<Seconds> for BitsPerSecond {
+    type Output = Bits;
+
+    /// Data transferred at a constant rate over a duration.
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Bits {
+        Bits::new(self.get() * rhs.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_delay_divides_cycles_by_frequency() {
+        let t = Cycles::new(4.0e9) / Hertz::from_ghz(2.0);
+        assert_eq!(t, Seconds::new(2.0));
+    }
+
+    #[test]
+    fn frequency_for_deadline_inverts_compute_delay() {
+        let f = Cycles::new(4.0e9) / Seconds::new(2.0);
+        assert_eq!(f, Hertz::from_ghz(2.0));
+    }
+
+    #[test]
+    fn upload_delay_divides_bits_by_rate() {
+        let t = Bits::from_megabits(40.0) / BitsPerSecond::from_mbps(8.0);
+        assert_eq!(t, Seconds::new(5.0));
+    }
+
+    #[test]
+    fn energy_is_power_times_time_commutative() {
+        let e1 = Watts::new(0.2) * Seconds::new(10.0);
+        let e2 = Seconds::new(10.0) * Watts::new(0.2);
+        assert_eq!(e1, Joules::new(2.0));
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn unit_constructors_scale_correctly() {
+        assert_eq!(Hertz::from_ghz(1.5).get(), 1.5e9);
+        assert_eq!(Hertz::from_mhz(2.0).get(), 2.0e6);
+        assert_eq!(Hertz::from_ghz(0.3).ghz(), 0.3);
+        assert_eq!(Seconds::from_minutes(2.0).get(), 120.0);
+        assert_eq!(Bits::from_megabits(40.0).get(), 40.0e6);
+        assert_eq!(BitsPerSecond::from_mbps(2.0).get(), 2.0e6);
+        assert_eq!(BitsPerSecond::from_mbps(2.0).mbps(), 2.0);
+        assert_eq!(Bits::from_megabits(3.0).megabits(), 3.0);
+    }
+
+    #[test]
+    fn ordering_and_min_max_follow_f64() {
+        let a = Seconds::new(1.0);
+        let b = Seconds::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.clamp(Seconds::ZERO, a), a);
+    }
+
+    #[test]
+    fn sum_adds_all_elements() {
+        let total: Joules = (1..=4).map(|i| Joules::new(f64::from(i))).sum();
+        assert_eq!(total, Joules::new(10.0));
+    }
+
+    #[test]
+    fn arithmetic_ops_behave_like_f64() {
+        let mut x = Seconds::new(3.0);
+        x += Seconds::new(1.0);
+        assert_eq!(x, Seconds::new(4.0));
+        x -= Seconds::new(2.0);
+        assert_eq!(x, Seconds::new(2.0));
+        assert_eq!(-x, Seconds::new(-2.0));
+        assert_eq!(x * 2.0, Seconds::new(4.0));
+        assert_eq!(2.0 * x, Seconds::new(4.0));
+        assert_eq!(x / 2.0, Seconds::new(1.0));
+        assert_eq!(x / Seconds::new(0.5), 4.0);
+        assert_eq!(x.abs(), x);
+    }
+
+    #[test]
+    fn display_includes_unit_suffix() {
+        assert_eq!(Hertz::new(5.0).to_string(), "5 Hz");
+        assert_eq!(Joules::new(1.25).to_string(), "1.25 J");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid clamp range")]
+    fn clamp_panics_on_inverted_range() {
+        let _ = Seconds::new(1.0).clamp(Seconds::new(2.0), Seconds::new(0.0));
+    }
+}

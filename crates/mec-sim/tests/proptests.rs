@@ -1,0 +1,159 @@
+//! Property-based tests for the MEC substrate invariants.
+
+use mec_sim::comm::Uplink;
+use mec_sim::cpu::DvfsCpu;
+use mec_sim::device::{Device, DeviceId};
+use mec_sim::tdma::{TdmaSchedule, UploadRequest};
+use mec_sim::timeline::RoundTimeline;
+use mec_sim::units::{Bits, BitsPerSecond, Cycles, Hertz, Seconds, Watts};
+use proptest::prelude::*;
+
+fn request_strategy() -> impl Strategy<Value = UploadRequest> {
+    (0usize..64, 0.0f64..100.0, 0.01f64..50.0).prop_map(|(id, finish, dur)| UploadRequest {
+        device: DeviceId(id),
+        compute_finish: Seconds::new(finish),
+        upload_duration: Seconds::new(dur),
+    })
+}
+
+fn device_strategy() -> impl Strategy<Value = Device> {
+    (0usize..1000, 0.3f64..=2.0, 1usize..2000, 0.5f64..20.0).prop_map(
+        |(id, fmax, samples, mbps)| {
+            let cpu =
+                DvfsCpu::with_paper_alpha(Hertz::from_ghz(0.3), Hertz::from_ghz(fmax)).unwrap();
+            let uplink =
+                Uplink::new(Watts::new(0.2), BitsPerSecond::from_mbps(mbps)).unwrap();
+            Device::new(DeviceId(id), cpu, 1.0e7, samples, uplink).unwrap()
+        },
+    )
+}
+
+proptest! {
+    /// Uploads never overlap: the channel serves one device at a time.
+    #[test]
+    fn tdma_slots_never_overlap(reqs in prop::collection::vec(request_strategy(), 0..32)) {
+        let schedule = TdmaSchedule::new(reqs);
+        for pair in schedule.slots().windows(2) {
+            prop_assert!(pair[0].upload_end <= pair[1].upload_start);
+        }
+    }
+
+    /// No upload starts before its device finished computing, and the
+    /// makespan dominates every device's unconstrained span.
+    #[test]
+    fn tdma_respects_compute_finish_and_spans(
+        reqs in prop::collection::vec(request_strategy(), 1..32),
+    ) {
+        let schedule = TdmaSchedule::new(reqs.clone());
+        for slot in schedule.slots() {
+            prop_assert!(slot.upload_start >= slot.compute_finish);
+            prop_assert!(slot.slack() >= Seconds::ZERO);
+        }
+        for req in &reqs {
+            prop_assert!(
+                schedule.makespan() >= req.compute_finish + req.upload_duration * 0.999,
+            );
+        }
+    }
+
+    /// Channel busy + idle exactly partition the makespan.
+    #[test]
+    fn tdma_busy_idle_partition(reqs in prop::collection::vec(request_strategy(), 0..32)) {
+        let schedule = TdmaSchedule::new(reqs);
+        let total = schedule.channel_busy() + schedule.channel_idle();
+        prop_assert!((total.get() - schedule.makespan().get()).abs() < 1e-9);
+        prop_assert!(schedule.channel_idle() >= Seconds::new(-1e-12));
+    }
+
+    /// The deadline-inverting frequency is always inside the supported
+    /// range, and hitting the ideal (unclamped) case reproduces the
+    /// deadline exactly.
+    #[test]
+    fn frequency_for_deadline_is_always_supported(
+        fmax in 0.31f64..=2.0,
+        work in 1.0e6f64..1.0e11,
+        deadline in 0.01f64..1.0e4,
+    ) {
+        let cpu = DvfsCpu::with_paper_alpha(
+            Hertz::from_ghz(0.3),
+            Hertz::from_ghz(fmax),
+        ).unwrap();
+        let (f, ideal) = cpu.frequency_for_deadline(
+            Cycles::new(work),
+            Seconds::new(deadline),
+        );
+        prop_assert!(cpu.range().contains(f));
+        if cpu.range().contains(ideal) {
+            let t = cpu.compute_delay(Cycles::new(work), f).unwrap();
+            prop_assert!((t.get() - deadline).abs() / deadline < 1e-9);
+        }
+    }
+
+    /// Compute energy is strictly increasing in frequency (Eq. 5) while
+    /// delay is strictly decreasing (Eq. 4).
+    #[test]
+    fn energy_delay_tradeoff_is_monotone(
+        dev in device_strategy(),
+        f_lo_frac in 0.0f64..0.49,
+        f_hi_frac in 0.51f64..1.0,
+    ) {
+        let range = dev.cpu().range();
+        let span = range.span();
+        let f_lo = range.min() + span * f_lo_frac;
+        let f_hi = range.min() + span * f_hi_frac;
+        prop_assume!(f_lo < f_hi);
+        prop_assert!(dev.compute_energy(f_lo).unwrap() < dev.compute_energy(f_hi).unwrap());
+        prop_assert!(dev.compute_delay(f_lo).unwrap() > dev.compute_delay(f_hi).unwrap());
+    }
+
+    /// Round timelines keep Eq. 10 as a lower bound of the true TDMA
+    /// makespan, and slack is non-negative everywhere.
+    #[test]
+    fn timeline_eq10_lower_bounds_makespan(
+        devs in prop::collection::vec(device_strategy(), 1..12),
+        payload_mbit in 1.0f64..80.0,
+    ) {
+        // Re-key ids so they are unique within the round.
+        let devs: Vec<Device> = devs
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| {
+                Device::new(
+                    DeviceId(i),
+                    *d.cpu(),
+                    d.cycles_per_sample(),
+                    d.num_samples(),
+                    *d.uplink(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let tl = RoundTimeline::simulate_at_max(&devs, Bits::from_megabits(payload_mbit))
+            .unwrap();
+        prop_assert!(tl.eq10_bound() <= tl.makespan() + Seconds::new(1e-9));
+        for a in tl.activities() {
+            prop_assert!(a.slack() >= Seconds::ZERO);
+            prop_assert!(a.total_energy().get() > 0.0);
+        }
+        let sum: Seconds = tl.activities().iter().map(|a| a.slack()).sum();
+        prop_assert!((sum.get() - tl.total_slack().get()).abs() < 1e-9);
+    }
+
+    /// Lowering any single device's frequency never reduces that
+    /// device's compute-finish time and never increases round energy
+    /// attributable to it.
+    #[test]
+    fn slower_device_trades_time_for_energy(
+        dev in device_strategy(),
+        frac in 0.0f64..1.0,
+    ) {
+        let range = dev.cpu().range();
+        let f = range.min() + range.span() * frac;
+        let t_max = dev.compute_delay_at_max();
+        let t = dev.compute_delay(f).unwrap();
+        prop_assert!(t >= t_max - Seconds::new(1e-12));
+        let e = dev.compute_energy(f).unwrap();
+        let e_max = dev.compute_energy(range.max()).unwrap();
+        prop_assert!(e <= e_max * (1.0 + 1e-12));
+    }
+}

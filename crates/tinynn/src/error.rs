@@ -1,0 +1,87 @@
+//! Error types for the neural-network substrate.
+
+use core::fmt;
+
+/// Errors produced by tensor and model operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Shape of the left operand (rows, cols).
+        left: (usize, usize),
+        /// Shape of the right operand (rows, cols).
+        right: (usize, usize),
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// A dimension that must be non-zero was zero.
+    ZeroDimension {
+        /// Where the zero dimension appeared.
+        context: &'static str,
+    },
+    /// A flattened parameter vector had the wrong length.
+    ParameterCountMismatch {
+        /// Number of parameters the model holds.
+        expected: usize,
+        /// Number of parameters supplied.
+        actual: usize,
+    },
+    /// A label was outside the model's class range.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes the model predicts.
+        classes: usize,
+    },
+    /// An operation requiring at least one sample received none.
+    EmptyBatch,
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            Self::ZeroDimension { context } => {
+                write!(f, "zero dimension in {context}")
+            }
+            Self::ParameterCountMismatch { expected, actual } => {
+                write!(f, "expected {expected} parameters, got {actual}")
+            }
+            Self::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} outside class range 0..{classes}")
+            }
+            Self::EmptyBatch => write!(f, "operation requires a non-empty batch"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+/// Convenience alias for results carrying an [`NnError`].
+pub type Result<T> = core::result::Result<T, NnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_failing_operation() {
+        let e = NnError::ShapeMismatch { left: (2, 3), right: (4, 5), op: "matmul" };
+        assert_eq!(e.to_string(), "shape mismatch in matmul: 2x3 vs 4x5");
+        assert!(NnError::EmptyBatch.to_string().contains("non-empty"));
+        assert!(NnError::ZeroDimension { context: "layer width" }
+            .to_string()
+            .contains("layer width"));
+    }
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<NnError>();
+    }
+}

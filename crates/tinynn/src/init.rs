@@ -1,0 +1,91 @@
+//! Seeded weight initialization.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::Result;
+use crate::tensor::Matrix;
+
+/// Weight-initialization schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Init {
+    /// He/Kaiming uniform — suited to ReLU networks (the default).
+    #[default]
+    HeUniform,
+    /// Xavier/Glorot uniform — suited to linear/softmax layers.
+    XavierUniform,
+    /// All zeros (used for biases and in tests).
+    Zeros,
+}
+
+impl Init {
+    /// Samples a `fan_in × fan_out` weight matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::ZeroDimension`] for empty shapes.
+    pub fn sample(self, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Result<Matrix> {
+        let mut m = Matrix::zeros(fan_in, fan_out)?;
+        let bound = match self {
+            Self::HeUniform => (6.0 / fan_in as f32).sqrt(),
+            Self::XavierUniform => (6.0 / (fan_in + fan_out) as f32).sqrt(),
+            Self::Zeros => return Ok(m),
+        };
+        for v in m.as_mut_slice() {
+            *v = rng.gen_range(-bound..=bound);
+        }
+        Ok(m)
+    }
+
+    /// Samples with a fresh RNG seeded from `seed` — convenience for
+    /// reproducible single-layer setups.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Init::sample`].
+    pub fn sample_seeded(self, fan_in: usize, fan_out: usize, seed: u64) -> Result<Matrix> {
+        self.sample(fan_in, fan_out, &mut StdRng::seed_from_u64(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_bound_scales_with_fan_in() {
+        let m = Init::HeUniform.sample_seeded(100, 10, 0).unwrap();
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+        // Not degenerate: at least half the entries are non-zero.
+        let nonzero = m.as_slice().iter().filter(|v| **v != 0.0).count();
+        assert!(nonzero > 500);
+    }
+
+    #[test]
+    fn xavier_bound_uses_both_fans() {
+        let m = Init::XavierUniform.sample_seeded(50, 50, 1).unwrap();
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn zeros_is_all_zero() {
+        let m = Init::Zeros.sample_seeded(4, 4, 2).unwrap();
+        assert!(m.as_slice().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = Init::HeUniform.sample_seeded(8, 8, 42).unwrap();
+        let b = Init::HeUniform.sample_seeded(8, 8, 42).unwrap();
+        assert_eq!(a, b);
+        let c = Init::HeUniform.sample_seeded(8, 8, 43).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_shape_is_rejected() {
+        assert!(Init::HeUniform.sample_seeded(0, 4, 0).is_err());
+    }
+}

@@ -1,0 +1,397 @@
+//! Multi-layer perceptron with ReLU hidden activations and a softmax
+//! cross-entropy head — the local model `M_q` of every simulated user.
+//!
+//! The model exposes the two operations federated averaging needs:
+//! a *flat parameter vector* view ([`Mlp::parameters`] /
+//! [`Mlp::set_parameters`]) and a *single full-batch gradient-descent
+//! step* ([`Mlp::train_step`], paper Eq. 3).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::{relu, relu_backward_inplace};
+use crate::error::{NnError, Result};
+use crate::init::Init;
+use crate::layer::{Dense, DenseGrad};
+use crate::loss::{softmax_cross_entropy, softmax_cross_entropy_loss};
+use crate::tensor::Matrix;
+
+/// Gradients of all layers of an [`Mlp`], ordered input → output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gradients {
+    layers: Vec<DenseGrad>,
+}
+
+impl Gradients {
+    /// Per-layer gradients, input-most first.
+    pub fn layers(&self) -> &[DenseGrad] {
+        &self.layers
+    }
+
+    /// L2 norm of the full gradient (diagnostics / tests).
+    pub fn norm(&self) -> f32 {
+        let mut acc = 0.0f32;
+        for g in &self.layers {
+            acc += g.weights.as_slice().iter().map(|v| v * v).sum::<f32>();
+            acc += g.bias.iter().map(|v| v * v).sum::<f32>();
+        }
+        acc.sqrt()
+    }
+}
+
+/// A ReLU MLP classifier.
+///
+/// # Examples
+///
+/// ```
+/// use tinynn::model::Mlp;
+/// use tinynn::tensor::Matrix;
+///
+/// // Tiny 4-feature, 3-class model.
+/// let mut model = Mlp::new(&[4, 8, 3], 0)?;
+/// let x = Matrix::from_rows(&[&[0.1, -0.2, 0.3, 0.4]])?;
+/// let before = model.loss(&x, &[2])?;
+/// for _ in 0..20 {
+///     model.train_step(&x, &[2], 0.5)?;
+/// }
+/// assert!(model.loss(&x, &[2])? < before);
+/// # Ok::<(), tinynn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    dims: Vec<usize>,
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer widths
+    /// (`[input, hidden…, classes]`), He-initialized from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ZeroDimension`] if fewer than two widths are
+    /// given or any width is zero.
+    pub fn new(dims: &[usize], seed: u64) -> Result<Self> {
+        if dims.len() < 2 || dims.contains(&0) {
+            return Err(NnError::ZeroDimension { context: "Mlp::new dims" });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for w in dims.windows(2) {
+            let init =
+                if layers.len() + 2 == dims.len() { Init::XavierUniform } else { Init::HeUniform };
+            layers.push(Dense::new(w[0], w[1], init, &mut rng)?);
+        }
+        Ok(Self { dims: dims.to_vec(), layers })
+    }
+
+    /// Layer widths `[input, hidden…, classes]`.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of output classes.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        *self.dims.last().expect("dims validated non-empty")
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.layers.iter().map(Dense::num_parameters).sum()
+    }
+
+    /// In-memory model size in bits at `f32` precision — a lower bound
+    /// for the upload payload `C_model` (Eq. 7). The evaluation keeps
+    /// `C_model` configurable because the paper uploads SqueezeNet.
+    pub fn size_bits(&self) -> u64 {
+        self.num_parameters() as u64 * 32
+    }
+
+    /// Forward pass producing logits (`n × classes`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `x.cols()` differs from
+    /// the input width.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
+        let mut a = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(&a)?;
+            a = if i + 1 < self.layers.len() { relu(&z) } else { z };
+        }
+        Ok(a)
+    }
+
+    /// Predicted class per row.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Mlp::forward`].
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<usize>> {
+        Ok(self.forward(x)?.argmax_rows())
+    }
+
+    /// Mean cross-entropy loss on a batch (Eq. 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward/loss validation errors.
+    pub fn loss(&self, x: &Matrix, labels: &[usize]) -> Result<f32> {
+        softmax_cross_entropy_loss(&self.forward(x)?, labels)
+    }
+
+    /// Classification accuracy on a batch, in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyBatch`] for an empty batch and
+    /// propagates forward errors.
+    pub fn accuracy(&self, x: &Matrix, labels: &[usize]) -> Result<f64> {
+        if labels.is_empty() || x.rows() != labels.len() {
+            return Err(NnError::EmptyBatch);
+        }
+        let preds = self.predict(x)?;
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        Ok(correct as f64 / labels.len() as f64)
+    }
+
+    /// Full forward + backward pass: mean loss and parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/label validation errors.
+    pub fn gradients(&self, x: &Matrix, labels: &[usize]) -> Result<(f32, Gradients)> {
+        // Forward, caching pre-activations and activations.
+        let mut activations: Vec<Matrix> = Vec::with_capacity(self.layers.len() + 1);
+        let mut pre_activations: Vec<Matrix> = Vec::with_capacity(self.layers.len());
+        activations.push(x.clone());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(activations.last().expect("non-empty"))?;
+            if i + 1 < self.layers.len() {
+                activations.push(relu(&z));
+                pre_activations.push(z);
+            } else {
+                pre_activations.push(z);
+            }
+        }
+        let logits = pre_activations.last().expect("at least one layer");
+        let (loss, mut dz) = softmax_cross_entropy(logits, labels)?;
+
+        // Backward through layers.
+        let mut grads: Vec<DenseGrad> = Vec::with_capacity(self.layers.len());
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let input = &activations[i];
+            let (grad, mut dx) = layer.backward(input, &dz)?;
+            grads.push(grad);
+            if i > 0 {
+                relu_backward_inplace(&mut dx, &pre_activations[i - 1]);
+                dz = dx;
+            }
+        }
+        grads.reverse();
+        Ok((loss, Gradients { layers: grads }))
+    }
+
+    /// One full-batch gradient-descent step at learning rate `lr`
+    /// (paper Eq. 3), returning the pre-step loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/label validation errors.
+    pub fn train_step(&mut self, x: &Matrix, labels: &[usize], lr: f32) -> Result<f32> {
+        let (loss, grads) = self.gradients(x, labels)?;
+        self.apply_gradients(&grads, lr)?;
+        Ok(loss)
+    }
+
+    /// Applies precomputed gradients with learning rate `lr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `grads` came from a
+    /// differently-shaped model.
+    pub fn apply_gradients(&mut self, grads: &Gradients, lr: f32) -> Result<()> {
+        if grads.layers.len() != self.layers.len() {
+            return Err(NnError::ParameterCountMismatch {
+                expected: self.layers.len(),
+                actual: grads.layers.len(),
+            });
+        }
+        for (layer, grad) in self.layers.iter_mut().zip(&grads.layers) {
+            layer.apply_step(grad, lr)?;
+        }
+        Ok(())
+    }
+
+    /// All parameters as one flat vector (layer order, weights then
+    /// bias) — the object FedAvg averages.
+    pub fn parameters(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_parameters());
+        for layer in &self.layers {
+            layer.write_parameters(&mut out);
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector produced by
+    /// [`Mlp::parameters`] on an identically-shaped model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParameterCountMismatch`] on length
+    /// disagreement.
+    pub fn set_parameters(&mut self, params: &[f32]) -> Result<()> {
+        if params.len() != self.num_parameters() {
+            return Err(NnError::ParameterCountMismatch {
+                expected: self.num_parameters(),
+                actual: params.len(),
+            });
+        }
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            offset += layer.read_parameters(&params[offset..])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_batch() -> (Matrix, Vec<usize>) {
+        // Two linearly separable clusters in 2-D.
+        let x = Matrix::from_rows(&[
+            &[1.0, 1.0],
+            &[0.9, 1.2],
+            &[1.1, 0.8],
+            &[-1.0, -1.0],
+            &[-0.8, -1.1],
+            &[-1.2, -0.9],
+        ])
+        .unwrap();
+        (x, vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn constructor_validates_dims() {
+        assert!(Mlp::new(&[4], 0).is_err());
+        assert!(Mlp::new(&[4, 0, 2], 0).is_err());
+        assert!(Mlp::new(&[], 0).is_err());
+    }
+
+    #[test]
+    fn parameter_count_matches_architecture() {
+        let m = Mlp::new(&[64, 96, 48, 10], 0).unwrap();
+        let expected = 64 * 96 + 96 + 96 * 48 + 48 + 48 * 10 + 10;
+        assert_eq!(m.num_parameters(), expected);
+        assert_eq!(m.size_bits(), expected as u64 * 32);
+    }
+
+    #[test]
+    fn forward_shape_is_batch_by_classes() {
+        let m = Mlp::new(&[4, 8, 3], 0).unwrap();
+        let x = Matrix::zeros(5, 4).unwrap();
+        assert_eq!(m.forward(&x).unwrap().shape(), (5, 3));
+        let bad = Matrix::zeros(5, 3).unwrap();
+        assert!(m.forward(&bad).is_err());
+    }
+
+    #[test]
+    fn training_reduces_loss_and_reaches_full_accuracy() {
+        let (x, y) = toy_batch();
+        let mut m = Mlp::new(&[2, 8, 2], 1).unwrap();
+        let initial = m.loss(&x, &y).unwrap();
+        for _ in 0..200 {
+            m.train_step(&x, &y, 0.5).unwrap();
+        }
+        assert!(m.loss(&x, &y).unwrap() < initial * 0.1);
+        assert_eq!(m.accuracy(&x, &y).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (x, y) = toy_batch();
+        let m = Mlp::new(&[2, 4, 2], 7).unwrap();
+        let (_, grads) = m.gradients(&x, &y).unwrap();
+        // Check a handful of coordinates through the flat view.
+        let params = m.parameters();
+        let flat_grad: Vec<f32> = {
+            let mut v = Vec::new();
+            for g in grads.layers() {
+                v.extend_from_slice(g.weights.as_slice());
+                v.extend_from_slice(&g.bias);
+            }
+            v
+        };
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 3, 7, params.len() - 1] {
+            let mut plus = m.clone();
+            let mut p = params.clone();
+            p[idx] += eps;
+            plus.set_parameters(&p).unwrap();
+            let mut minus = m.clone();
+            p[idx] -= 2.0 * eps;
+            minus.set_parameters(&p).unwrap();
+            let numeric =
+                (plus.loss(&x, &y).unwrap() - minus.loss(&x, &y).unwrap()) / (2.0 * eps);
+            assert!(
+                (numeric - flat_grad[idx]).abs() < 2e-2,
+                "param {idx}: numeric {numeric} vs analytic {}",
+                flat_grad[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_roundtrip_is_identity() {
+        let m = Mlp::new(&[3, 5, 4, 2], 9).unwrap();
+        let mut copy = Mlp::new(&[3, 5, 4, 2], 100).unwrap();
+        assert_ne!(m, copy);
+        copy.set_parameters(&m.parameters()).unwrap();
+        assert_eq!(m, copy);
+    }
+
+    #[test]
+    fn set_parameters_rejects_wrong_length() {
+        let mut m = Mlp::new(&[3, 2], 0).unwrap();
+        assert!(matches!(
+            m.set_parameters(&[0.0; 3]),
+            Err(NnError::ParameterCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_gradients_rejects_mismatched_model() {
+        let (x, y) = toy_batch();
+        let small = Mlp::new(&[2, 2], 0).unwrap();
+        let (_, grads) = small.gradients(&x, &y).unwrap();
+        let mut big = Mlp::new(&[2, 4, 4, 2], 0).unwrap();
+        assert!(big.apply_gradients(&grads, 0.1).is_err());
+    }
+
+    #[test]
+    fn same_seed_same_model() {
+        assert_eq!(Mlp::new(&[4, 8, 3], 5).unwrap(), Mlp::new(&[4, 8, 3], 5).unwrap());
+        assert_ne!(Mlp::new(&[4, 8, 3], 5).unwrap(), Mlp::new(&[4, 8, 3], 6).unwrap());
+    }
+
+    #[test]
+    fn accuracy_requires_consistent_batch() {
+        let m = Mlp::new(&[2, 2], 0).unwrap();
+        let x = Matrix::zeros(2, 2).unwrap();
+        assert!(m.accuracy(&x, &[]).is_err());
+        assert!(m.accuracy(&x, &[0]).is_err());
+    }
+
+    #[test]
+    fn gradient_norm_is_positive_for_unfit_model() {
+        let (x, y) = toy_batch();
+        let m = Mlp::new(&[2, 4, 2], 3).unwrap();
+        let (_, g) = m.gradients(&x, &y).unwrap();
+        assert!(g.norm() > 0.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Optimizers beyond the paper's plain gradient descent.
+//!
+//! HELCFL's local update (Eq. 3) is one full-batch GD step; this
+//! module provides the standard extensions a practitioner would reach
+//! for next — momentum and learning-rate schedules — as a drop-in
+//! wrapper around [`Mlp::gradients`]/[`Mlp::apply_gradients`]. The
+//! reproduction's experiments use plain GD to stay faithful; the
+//! `custom_selector` example and several tests exercise this path.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{NnError, Result};
+use crate::model::{Gradients, Mlp};
+use crate::tensor::Matrix;
+
+/// Learning-rate schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant rate (the paper's τ).
+    Constant,
+    /// `lr / (1 + decay·step)` — classic inverse-time decay.
+    InverseTime {
+        /// Decay strength per step.
+        decay: f32,
+    },
+    /// `lr · gamma^(step / period)` with integer division — staircase
+    /// exponential decay.
+    Step {
+        /// Multiplier applied once per period.
+        gamma: f32,
+        /// Steps between decays.
+        period: u32,
+    },
+}
+
+impl LrSchedule {
+    /// The effective learning rate at `step` (0-based) given base rate
+    /// `base`.
+    pub fn at(&self, base: f32, step: u32) -> f32 {
+        match *self {
+            Self::Constant => base,
+            Self::InverseTime { decay } => base / (1.0 + decay * step as f32),
+            Self::Step { gamma, period } => {
+                base * gamma.powi((step / period.max(1)) as i32)
+            }
+        }
+    }
+}
+
+/// Full-batch SGD with optional momentum and a learning-rate schedule.
+///
+/// With `momentum = 0` and [`LrSchedule::Constant`] this reproduces
+/// [`Mlp::train_step`] exactly (a unit test pins that equivalence).
+///
+/// # Examples
+///
+/// ```
+/// use tinynn::model::Mlp;
+/// use tinynn::optim::{LrSchedule, Sgd};
+/// use tinynn::tensor::Matrix;
+///
+/// let mut model = Mlp::new(&[2, 8, 2], 0)?;
+/// let mut opt = Sgd::new(0.3)?.with_momentum(0.9)?;
+/// let x = Matrix::from_rows(&[&[1.0, 1.0], &[-1.0, -1.0]])?;
+/// let y = [0usize, 1];
+/// for _ in 0..50 {
+///     opt.step(&mut model, &x, &y)?;
+/// }
+/// assert_eq!(model.accuracy(&x, &y)?, 1.0);
+/// # Ok::<(), tinynn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    base_lr: f32,
+    momentum: f32,
+    schedule: LrSchedule,
+    step_count: u32,
+    velocity: Option<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates plain SGD at the given base learning rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ZeroDimension`] if `base_lr` is not strictly
+    /// positive and finite (reusing the config-violation variant).
+    pub fn new(base_lr: f32) -> Result<Self> {
+        if !(base_lr > 0.0 && base_lr.is_finite()) {
+            return Err(NnError::ZeroDimension { context: "Sgd::new base_lr" });
+        }
+        Ok(Self {
+            base_lr,
+            momentum: 0.0,
+            schedule: LrSchedule::Constant,
+            step_count: 0,
+            velocity: None,
+        })
+    }
+
+    /// Enables classical momentum `v ← μ·v + g; θ ← θ − lr·v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ZeroDimension`] unless `0 ≤ μ < 1`.
+    pub fn with_momentum(mut self, momentum: f32) -> Result<Self> {
+        if !(0.0..1.0).contains(&momentum) {
+            return Err(NnError::ZeroDimension { context: "Sgd momentum" });
+        }
+        self.momentum = momentum;
+        Ok(self)
+    }
+
+    /// Installs a learning-rate schedule.
+    pub fn with_schedule(mut self, schedule: LrSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Steps taken so far.
+    #[inline]
+    pub fn step_count(&self) -> u32 {
+        self.step_count
+    }
+
+    /// The learning rate the *next* step will use.
+    pub fn current_lr(&self) -> f32 {
+        self.schedule.at(self.base_lr, self.step_count)
+    }
+
+    /// One optimization step on a full batch; returns the pre-step
+    /// loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/label errors from the forward/backward pass.
+    pub fn step(&mut self, model: &mut Mlp, x: &Matrix, labels: &[usize]) -> Result<f32> {
+        let (loss, grads) = model.gradients(x, labels)?;
+        let lr = self.current_lr();
+        self.step_count += 1;
+        if self.momentum == 0.0 {
+            model.apply_gradients(&grads, lr)?;
+            return Ok(loss);
+        }
+        // Flatten gradients to run momentum over one buffer.
+        let flat = flatten(&grads);
+        let velocity = self.velocity.get_or_insert_with(|| vec![0.0; flat.len()]);
+        if velocity.len() != flat.len() {
+            return Err(NnError::ParameterCountMismatch {
+                expected: velocity.len(),
+                actual: flat.len(),
+            });
+        }
+        for (v, g) in velocity.iter_mut().zip(&flat) {
+            *v = self.momentum * *v + *g;
+        }
+        let mut params = model.parameters();
+        for (p, v) in params.iter_mut().zip(velocity.iter()) {
+            *p -= lr * *v;
+        }
+        model.set_parameters(&params)?;
+        Ok(loss)
+    }
+}
+
+fn flatten(grads: &Gradients) -> Vec<f32> {
+    let mut out = Vec::new();
+    for layer in grads.layers() {
+        out.extend_from_slice(layer.weights.as_slice());
+        out.extend_from_slice(&layer.bias);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> (Matrix, Vec<usize>) {
+        let x = Matrix::from_rows(&[
+            &[1.0, 1.0],
+            &[0.8, 1.1],
+            &[-1.0, -1.0],
+            &[-0.9, -1.2],
+        ])
+        .unwrap();
+        (x, vec![0, 0, 1, 1])
+    }
+
+    #[test]
+    fn constructor_validates_hyperparameters() {
+        assert!(Sgd::new(0.0).is_err());
+        assert!(Sgd::new(-0.1).is_err());
+        assert!(Sgd::new(f32::NAN).is_err());
+        assert!(Sgd::new(0.1).unwrap().with_momentum(1.0).is_err());
+        assert!(Sgd::new(0.1).unwrap().with_momentum(-0.1).is_err());
+        assert!(Sgd::new(0.1).unwrap().with_momentum(0.9).is_ok());
+    }
+
+    #[test]
+    fn plain_sgd_matches_train_step_exactly() {
+        let (x, y) = batch();
+        let mut a = Mlp::new(&[2, 4, 2], 3).unwrap();
+        let mut b = a.clone();
+        let mut opt = Sgd::new(0.2).unwrap();
+        for _ in 0..5 {
+            a.train_step(&x, &y, 0.2).unwrap();
+            opt.step(&mut b, &x, &y).unwrap();
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn momentum_accelerates_early_progress() {
+        let (x, y) = batch();
+        let mut plain_model = Mlp::new(&[2, 4, 2], 3).unwrap();
+        let mut momentum_model = plain_model.clone();
+        let mut plain = Sgd::new(0.05).unwrap();
+        let mut with_mu = Sgd::new(0.05).unwrap().with_momentum(0.9).unwrap();
+        for _ in 0..30 {
+            plain.step(&mut plain_model, &x, &y).unwrap();
+            with_mu.step(&mut momentum_model, &x, &y).unwrap();
+        }
+        let plain_loss = plain_model.loss(&x, &y).unwrap();
+        let momentum_loss = momentum_model.loss(&x, &y).unwrap();
+        assert!(
+            momentum_loss < plain_loss,
+            "momentum {momentum_loss} should beat plain {plain_loss} at a small lr"
+        );
+    }
+
+    #[test]
+    fn schedules_evaluate_correctly() {
+        assert_eq!(LrSchedule::Constant.at(0.5, 100), 0.5);
+        let inv = LrSchedule::InverseTime { decay: 0.1 };
+        assert_eq!(inv.at(1.0, 0), 1.0);
+        assert!((inv.at(1.0, 10) - 0.5).abs() < 1e-6);
+        let step = LrSchedule::Step { gamma: 0.5, period: 10 };
+        assert_eq!(step.at(1.0, 9), 1.0);
+        assert_eq!(step.at(1.0, 10), 0.5);
+        assert_eq!(step.at(1.0, 25), 0.25);
+        // Degenerate period is clamped rather than dividing by zero.
+        let degenerate = LrSchedule::Step { gamma: 0.5, period: 0 };
+        assert_eq!(degenerate.at(1.0, 3), 0.125);
+    }
+
+    #[test]
+    fn scheduled_lr_decays_across_steps() {
+        let (x, y) = batch();
+        let mut model = Mlp::new(&[2, 4, 2], 3).unwrap();
+        let mut opt = Sgd::new(1.0)
+            .unwrap()
+            .with_schedule(LrSchedule::InverseTime { decay: 1.0 });
+        assert_eq!(opt.current_lr(), 1.0);
+        opt.step(&mut model, &x, &y).unwrap();
+        assert_eq!(opt.current_lr(), 0.5);
+        opt.step(&mut model, &x, &y).unwrap();
+        assert!((opt.current_lr() - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(opt.step_count(), 2);
+    }
+
+    #[test]
+    fn momentum_state_rejects_model_swap() {
+        let (x, y) = batch();
+        let mut small = Mlp::new(&[2, 3, 2], 0).unwrap();
+        let mut big = Mlp::new(&[2, 16, 2], 0).unwrap();
+        let mut opt = Sgd::new(0.1).unwrap().with_momentum(0.5).unwrap();
+        opt.step(&mut small, &x, &y).unwrap();
+        assert!(matches!(
+            opt.step(&mut big, &x, &y),
+            Err(NnError::ParameterCountMismatch { .. })
+        ));
+    }
+}

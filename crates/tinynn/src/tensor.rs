@@ -1,0 +1,487 @@
+//! A minimal row-major `f32` matrix — the only tensor the FL
+//! simulation needs.
+//!
+//! The design goal is *clarity and determinism*, not peak FLOPs: the
+//! training workloads in this reproduction are small MLPs (see
+//! DESIGN.md §4), and a straightforward cache-friendly `ikj` matmul is
+//! ample.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{NnError, Result};
+
+/// A dense row-major matrix of `f32`.
+///
+/// # Examples
+///
+/// ```
+/// use tinynn::tensor::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c, a);
+/// # Ok::<(), tinynn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ZeroDimension`] if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(NnError::ZeroDimension { context: "Matrix::zeros" });
+        }
+        Ok(Self { rows, cols, data: vec![0.0; rows * cols] })
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `data.len() != rows*cols`
+    /// and [`NnError::ZeroDimension`] for empty shapes.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(NnError::ZeroDimension { context: "Matrix::from_vec" });
+        }
+        if data.len() != rows * cols {
+            return Err(NnError::ShapeMismatch {
+                left: (rows, cols),
+                right: (data.len(), 1),
+                op: "from_vec",
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ZeroDimension`] for no rows or empty rows and
+    /// [`NnError::ShapeMismatch`] for ragged rows.
+    pub fn from_rows(rows: &[&[f32]]) -> Result<Self> {
+        let r = rows.len();
+        if r == 0 || rows[0].is_empty() {
+            return Err(NnError::ZeroDimension { context: "Matrix::from_rows" });
+        }
+        let c = rows[0].len();
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(NnError::ShapeMismatch {
+                    left: (1, c),
+                    right: (1, row.len()),
+                    op: "from_rows",
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self { rows: r, cols: c, data })
+    }
+
+    /// The `n × n` identity matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn identity(n: usize) -> Self {
+        assert!(n > 0, "identity size must be non-zero");
+        let mut m = Self::zeros(n, n).expect("n > 0");
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A new matrix holding the given subset of rows, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ZeroDimension`] for an empty index set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Self> {
+        if indices.is_empty() {
+            return Err(NnError::ZeroDimension { context: "Matrix::select_rows" });
+        }
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Self::from_vec(indices.len(), self.cols, data)
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless
+    /// `self.cols == rhs.rows`.
+    pub fn matmul(&self, rhs: &Self) -> Result<Self> {
+        if self.cols != rhs.rows {
+            return Err(NnError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "matmul",
+            });
+        }
+        let mut out = Self::zeros(self.rows, rhs.cols)?;
+        // ikj order: stream rhs rows, accumulate into the output row.
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed-left product `selfᵀ · rhs` without materializing the
+    /// transpose (used for weight gradients `aᵀ·δ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless
+    /// `self.rows == rhs.rows`.
+    pub fn matmul_tn(&self, rhs: &Self) -> Result<Self> {
+        if self.rows != rhs.rows {
+            return Err(NnError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "matmul_tn",
+            });
+        }
+        let mut out = Self::zeros(self.cols, rhs.cols)?;
+        for r in 0..self.rows {
+            let left_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let right_row = &rhs.data[r * rhs.cols..(r + 1) * rhs.cols];
+            for (i, &a) in left_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(right_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed-right product `self · rhsᵀ` without materializing the
+    /// transpose (used for input gradients `δ·Wᵀ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless
+    /// `self.cols == rhs.cols`.
+    pub fn matmul_nt(&self, rhs: &Self) -> Result<Self> {
+        if self.cols != rhs.cols {
+            return Err(NnError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "matmul_nt",
+            });
+        }
+        let mut out = Self::zeros(self.rows, rhs.rows)?;
+        for i in 0..self.rows {
+            let left_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..rhs.rows {
+                let right_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                let mut acc = 0.0;
+                for (&a, &b) in left_row.iter().zip(right_row) {
+                    acc += a * b;
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Adds `row` to every row of `self` in place (bias broadcast).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless
+    /// `row.len() == self.cols`.
+    pub fn add_row_broadcast(&mut self, row: &[f32]) -> Result<()> {
+        if row.len() != self.cols {
+            return Err(NnError::ShapeMismatch {
+                left: self.shape(),
+                right: (1, row.len()),
+                op: "add_row_broadcast",
+            });
+        }
+        for r in 0..self.rows {
+            let dst = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (d, &b) in dst.iter_mut().zip(row) {
+                *d += b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Column sums as a vector of length `cols` (bias gradients).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (s, &v) in sums.iter_mut().zip(self.row(r)) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Element-wise in-place addition of `rhs * scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] on shape disagreement.
+    pub fn add_scaled(&mut self, rhs: &Self, scale: f32) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(NnError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "add_scaled",
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b * scale;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element in place.
+    pub fn scale(&mut self, factor: f32) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+
+    /// Index of the maximum element in each row (ties → first).
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row(r);
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> (Matrix, Matrix) {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn constructors_validate_shapes() {
+        assert!(Matrix::zeros(0, 3).is_err());
+        assert!(Matrix::zeros(3, 0).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let (a, b) = abc();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let (a, _) = abc();
+        assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let (a, b) = abc();
+        // aᵀ is 3x2, b is 3x2 → matmul_tn(a→3 rows? no: a is 2x3.
+        // matmul_tn computes aᵀ·rhs where rhs has a.rows rows.
+        let rhs = Matrix::from_rows(&[&[1.0, 0.5], &[2.0, -1.0]]).unwrap();
+        let got = a.matmul_tn(&rhs).unwrap();
+        // aᵀ = [[1,4],[2,5],[3,6]]; aᵀ·rhs:
+        let want = Matrix::from_rows(&[
+            &[1.0 + 8.0, 0.5 - 4.0],
+            &[2.0 + 10.0, 1.0 - 5.0],
+            &[3.0 + 12.0, 1.5 - 6.0],
+        ])
+        .unwrap();
+        assert_eq!(got, want);
+        let _ = b; // silence unused
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let (a, _) = abc();
+        let got = a.matmul_nt(&a).unwrap();
+        // a·aᵀ for a = [[1,2,3],[4,5,6]]:
+        let want = Matrix::from_rows(&[&[14.0, 32.0], &[32.0, 77.0]]).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let (a, _) = abc();
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+    }
+
+    #[test]
+    fn broadcast_and_col_sums_roundtrip() {
+        let mut m = Matrix::zeros(3, 2).unwrap();
+        m.add_row_broadcast(&[1.0, 2.0]).unwrap();
+        assert_eq!(m.col_sums(), vec![3.0, 6.0]);
+        assert!(m.add_row_broadcast(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let (a, _) = abc();
+        let mut acc = Matrix::zeros(2, 3).unwrap();
+        acc.add_scaled(&a, 2.0).unwrap();
+        acc.add_scaled(&a, -1.0).unwrap();
+        assert_eq!(acc, a);
+        let wrong = Matrix::zeros(3, 3).unwrap();
+        assert!(acc.add_scaled(&wrong, 1.0).is_err());
+    }
+
+    #[test]
+    fn scale_multiplies_all_elements() {
+        let (a, _) = abc();
+        let mut m = a.clone();
+        m.scale(0.5);
+        for (x, y) in m.as_slice().iter().zip(a.as_slice()) {
+            assert_eq!(*x, y * 0.5);
+        }
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_maximum() {
+        let m = Matrix::from_rows(&[&[1.0, 3.0, 2.0], &[5.0, 5.0, 4.0]]).unwrap();
+        assert_eq!(m.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn select_rows_extracts_in_order() {
+        let (a, _) = abc();
+        let s = a.select_rows(&[1, 0]).unwrap();
+        assert_eq!(s.row(0), a.row(1));
+        assert_eq!(s.row(1), a.row(0));
+        assert!(a.select_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn frobenius_norm_matches_definition() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        assert_eq!(m.frobenius_norm(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn at_panics_out_of_bounds() {
+        let (a, _) = abc();
+        let _ = a.at(2, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the neural-network substrate.
+
+use proptest::prelude::*;
+use tinynn::activation::softmax_rows;
+use tinynn::loss::softmax_cross_entropy;
+use tinynn::model::Mlp;
+use tinynn::tensor::Matrix;
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f32..5.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+}
+
+proptest! {
+    /// (A·B)·I == A·B and identity is neutral on both sides.
+    #[test]
+    fn identity_is_two_sided_neutral(a in matrix_strategy(4, 4)) {
+        let i = Matrix::identity(4);
+        prop_assert_eq!(a.matmul(&i).unwrap(), a.clone());
+        prop_assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    /// matmul_tn and matmul_nt agree with explicit transposition
+    /// expressed through plain matmul.
+    #[test]
+    fn fused_transpose_products_agree_with_naive(
+        a in matrix_strategy(3, 5),
+        b in matrix_strategy(3, 2),
+    ) {
+        // Explicit transpose of `a`.
+        let mut at = Matrix::zeros(5, 3).unwrap();
+        for r in 0..3 {
+            for c in 0..5 {
+                at.set(c, r, a.at(r, c));
+            }
+        }
+        let naive = at.matmul(&b).unwrap();
+        let fused = a.matmul_tn(&b).unwrap();
+        for (x, y) in naive.as_slice().iter().zip(fused.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// matmul_nt(a, b) equals a·bᵀ computed naively.
+    #[test]
+    fn matmul_nt_matches_naive(
+        a in matrix_strategy(4, 3),
+        b in matrix_strategy(2, 3),
+    ) {
+        let mut bt = Matrix::zeros(3, 2).unwrap();
+        for r in 0..2 {
+            for c in 0..3 {
+                bt.set(c, r, b.at(r, c));
+            }
+        }
+        let naive = a.matmul(&bt).unwrap();
+        let fused = a.matmul_nt(&b).unwrap();
+        for (x, y) in naive.as_slice().iter().zip(fused.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax rows are probability distributions for any finite input.
+    #[test]
+    fn softmax_rows_are_distributions(m in matrix_strategy(5, 7)) {
+        let s = softmax_rows(&m);
+        for r in 0..5 {
+            let row = s.row(r);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    /// Cross-entropy loss is non-negative and its gradient rows sum to
+    /// ~0 (softmax-CE conservation).
+    #[test]
+    fn cross_entropy_invariants(
+        logits in matrix_strategy(6, 4),
+        labels in prop::collection::vec(0usize..4, 6),
+    ) {
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        prop_assert!(loss >= 0.0);
+        for r in 0..6 {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    /// Flat-parameter round trip is the identity for arbitrary
+    /// architectures.
+    #[test]
+    fn parameter_roundtrip_identity(
+        hidden in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let dims = [5, hidden, 3];
+        let m = Mlp::new(&dims, seed).unwrap();
+        let mut copy = Mlp::new(&dims, seed.wrapping_add(1)).unwrap();
+        copy.set_parameters(&m.parameters()).unwrap();
+        prop_assert_eq!(m, copy);
+    }
+
+    /// A small-enough GD step never increases full-batch loss on a
+    /// smooth model (sanity of the backward pass).
+    #[test]
+    fn tiny_gd_step_does_not_increase_loss(
+        seed in 0u64..200,
+        x in matrix_strategy(8, 3),
+        labels in prop::collection::vec(0usize..3, 8),
+    ) {
+        let mut m = Mlp::new(&[3, 6, 3], seed).unwrap();
+        let before = m.loss(&x, &labels).unwrap();
+        m.train_step(&x, &labels, 1e-3).unwrap();
+        let after = m.loss(&x, &labels).unwrap();
+        prop_assert!(after <= before + 1e-4, "loss rose from {before} to {after}");
+    }
+
+    /// FedAvg-style parameter averaging of two identical models is the
+    /// identity.
+    #[test]
+    fn averaging_identical_models_is_identity(seed in 0u64..500) {
+        let m = Mlp::new(&[4, 5, 2], seed).unwrap();
+        let p = m.parameters();
+        let avg: Vec<f32> = p.iter().map(|&v| (v + v) / 2.0).collect();
+        let mut copy = m.clone();
+        copy.set_parameters(&avg).unwrap();
+        prop_assert_eq!(m, copy);
+    }
+}

@@ -1,0 +1,102 @@
+//! Extending the framework: write your own selection strategy.
+//!
+//! The whole evaluation surface — HELCFL, every baseline, every bench
+//! — plugs into two traits: [`ClientSelector`] and [`FrequencyPolicy`].
+//! This example implements a third-party strategy ("stale-first":
+//! always pick the users not seen for longest, a pure round-robin
+//! fairness rule) and races it against HELCFL on the same setup.
+//!
+//! ```bash
+//! cargo run --release --example custom_selector
+//! ```
+
+use fl_sim::dataset::{DatasetConfig, SyntheticTask};
+use fl_sim::error::FlError;
+use fl_sim::partition::Partition;
+use fl_sim::runner::{run_federated, FederatedSetup, TrainingConfig};
+use fl_sim::selection::{ClientSelector, SelectionContext};
+use helcfl::framework::Helcfl;
+use helcfl::SlackFrequencyPolicy;
+use mec_sim::device::DeviceId;
+use mec_sim::population::PopulationBuilder;
+
+/// Selects the users that have waited longest since last selection
+/// (ties broken by id). Perfect fairness, zero delay-awareness.
+#[derive(Debug, Default)]
+struct StaleFirstSelector {
+    last_seen: Vec<usize>,
+}
+
+impl ClientSelector for StaleFirstSelector {
+    fn name(&self) -> &'static str {
+        "stale-first"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>) -> fl_sim::Result<Vec<DeviceId>> {
+        if ctx.devices.is_empty() {
+            return Err(FlError::InvalidSelection { reason: "no devices".into() });
+        }
+        if self.last_seen.len() != ctx.devices.len() {
+            self.last_seen = vec![0; ctx.devices.len()];
+        }
+        let mut order: Vec<usize> = (0..ctx.devices.len()).collect();
+        order.sort_by_key(|&q| (self.last_seen[q], q));
+        let n = ctx.target.min(ctx.devices.len()).max(1);
+        let picked: Vec<DeviceId> = order
+            .into_iter()
+            .take(n)
+            .map(|q| {
+                self.last_seen[q] = ctx.round;
+                ctx.devices[q].id()
+            })
+            .collect();
+        Ok(picked)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let task = SyntheticTask::generate(DatasetConfig {
+        train_samples: 6_000,
+        test_samples: 1_000,
+        seed: 21,
+        ..DatasetConfig::default()
+    })?;
+    let config = TrainingConfig {
+        max_rounds: 60,
+        fraction: 0.2,
+        seed: 21,
+        ..TrainingConfig::default()
+    };
+    let make_setup = || -> fl_sim::Result<FederatedSetup> {
+        let population =
+            PopulationBuilder::paper_default().num_devices(30).seed(21).build()?;
+        let partition = Partition::iid(task.train().len(), population.len(), 21)?;
+        FederatedSetup::new(population, &task, &partition, &config)
+    };
+
+    // Your strategy, paired with HELCFL's DVFS policy — the traits
+    // compose freely.
+    let mut setup = make_setup()?;
+    let mut custom = StaleFirstSelector::default();
+    let stale = run_federated(&mut setup, &config, &mut custom, &SlackFrequencyPolicy)?;
+
+    let mut setup = make_setup()?;
+    let helcfl = Helcfl::default().run(&mut setup, &config)?;
+
+    println!("{:<12} {:>10} {:>14} {:>12}", "scheme", "best acc", "delay (min)", "energy (J)");
+    for h in [&helcfl, &stale] {
+        println!(
+            "{:<12} {:>9.2}% {:>14.1} {:>12.1}",
+            h.scheme(),
+            h.best_accuracy() * 100.0,
+            h.total_time().minutes(),
+            h.total_energy().get()
+        );
+    }
+    println!(
+        "\nstale-first reaches similar accuracy (it covers everyone) but pays \
+         {:.0}% more delay: it keeps scheduling the slowest stragglers.",
+        (stale.total_time().get() / helcfl.total_time().get() - 1.0) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate re-exporting the HELCFL reproduction workspace.
+pub use fl_baselines as baselines;
+pub use fl_sim;
+pub use helcfl;
+pub use mec_sim;
+pub use tinynn;

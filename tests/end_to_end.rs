@@ -1,0 +1,175 @@
+//! Cross-crate integration: the five schemes on one shared world,
+//! checking the paper's qualitative claims at smoke scale.
+
+use fl_baselines::classic::RandomSelector;
+use fl_baselines::fedcs::FedCsSelector;
+use fl_baselines::fedl::FedlFrequencyPolicy;
+use fl_sim::dataset::{DatasetConfig, SyntheticTask};
+use fl_sim::frequency::MaxFrequency;
+use fl_sim::history::TrainingHistory;
+use fl_sim::partition::Partition;
+use fl_sim::runner::{run_federated, FederatedSetup, TrainingConfig};
+use fl_sim::separated::{run_separated, SeparatedConfig};
+use helcfl::framework::Helcfl;
+use mec_sim::population::{Population, PopulationBuilder};
+use mec_sim::units::Seconds;
+
+const SEED: u64 = 99;
+
+fn world() -> (Population, SyntheticTask, Partition, TrainingConfig) {
+    let config = TrainingConfig {
+        max_rounds: 25,
+        fraction: 0.2,
+        model_dims: vec![16, 16, 5],
+        seed: SEED,
+        ..TrainingConfig::default()
+    };
+    let task = SyntheticTask::generate(DatasetConfig {
+        num_classes: 5,
+        feature_dim: 16,
+        train_samples: 1_500,
+        test_samples: 300,
+        seed: SEED,
+        ..DatasetConfig::default()
+    })
+    .unwrap();
+    let population =
+        PopulationBuilder::paper_default().num_devices(15).seed(SEED).build().unwrap();
+    // Non-IID: each user holds ~2 labels out of 5.
+    let partition = Partition::shards(task.train().labels(), 15, 2, SEED).unwrap();
+    (population, task, partition, config)
+}
+
+fn run_all() -> Vec<TrainingHistory> {
+    let (population, task, partition, config) = world();
+    let mut histories = Vec::new();
+
+    let mut setup =
+        FederatedSetup::new(population.clone(), &task, &partition, &config).unwrap();
+    histories.push(Helcfl::default().run(&mut setup, &config).unwrap());
+
+    let mut setup =
+        FederatedSetup::new(population.clone(), &task, &partition, &config).unwrap();
+    let mut classic = RandomSelector::new(SEED);
+    histories.push(run_federated(&mut setup, &config, &mut classic, &MaxFrequency).unwrap());
+
+    let mut setup =
+        FederatedSetup::new(population.clone(), &task, &partition, &config).unwrap();
+    // Tight enough that only the fast minority ever participates —
+    // the regime the paper's §V-A critique targets.
+    let mut fedcs = FedCsSelector::new(Seconds::new(12.0)).unwrap();
+    histories.push(run_federated(&mut setup, &config, &mut fedcs, &MaxFrequency).unwrap());
+
+    let mut setup =
+        FederatedSetup::new(population.clone(), &task, &partition, &config).unwrap();
+    let mut fedl_sel = RandomSelector::with_name(SEED, "fedl");
+    let fedl_policy = FedlFrequencyPolicy::default();
+    histories.push(run_federated(&mut setup, &config, &mut fedl_sel, &fedl_policy).unwrap());
+
+    let mut setup = FederatedSetup::new(population, &task, &partition, &config).unwrap();
+    histories.push(
+        run_separated(
+            &mut setup,
+            &config,
+            &SeparatedConfig { user_stride: 1, eval_subsample: 0 },
+        )
+        .unwrap(),
+    );
+    histories
+}
+
+#[test]
+fn all_five_schemes_complete_and_learn() {
+    let histories = run_all();
+    assert_eq!(histories.len(), 5);
+    let names: Vec<&str> = histories.iter().map(|h| h.scheme()).collect();
+    assert_eq!(names, vec!["helcfl", "classic", "fedcs", "fedl", "sl"]);
+    for h in &histories {
+        assert_eq!(h.len(), 25, "{} stopped early", h.scheme());
+        assert!(h.best_accuracy() > 0.2, "{} never learned", h.scheme());
+        assert!(h.total_energy().get() > 0.0);
+        assert!(h.total_time().get() > 0.0);
+        // Cumulative metrics are monotone.
+        for w in h.records().windows(2) {
+            assert!(w[1].cumulative_time >= w[0].cumulative_time);
+            assert!(w[1].cumulative_energy >= w[0].cumulative_energy);
+        }
+    }
+}
+
+#[test]
+fn separated_learning_is_worst_under_label_skew() {
+    let histories = run_all();
+    let sl = histories.iter().find(|h| h.scheme() == "sl").unwrap();
+    for h in histories.iter().filter(|h| h.scheme() != "sl") {
+        assert!(
+            sl.best_accuracy() < h.best_accuracy(),
+            "SL ({:.3}) should be below {} ({:.3})",
+            sl.best_accuracy(),
+            h.scheme(),
+            h.best_accuracy()
+        );
+    }
+}
+
+#[test]
+fn classic_and_fedl_trace_identical_accuracy_curves() {
+    // The paper notes FEDL and Classic FL share the selection rule and
+    // hence the FedAvg trajectory; only frequencies (energy) differ.
+    let histories = run_all();
+    let classic = histories.iter().find(|h| h.scheme() == "classic").unwrap();
+    let fedl = histories.iter().find(|h| h.scheme() == "fedl").unwrap();
+    assert_eq!(classic.accuracy_curve(), fedl.accuracy_curve());
+    assert!(fedl.total_energy() <= classic.total_energy() * (1.0 + 1e-9));
+}
+
+#[test]
+fn helcfl_dvfs_cuts_energy_for_free() {
+    let (population, task, partition, config) = world();
+    let mut setup =
+        FederatedSetup::new(population.clone(), &task, &partition, &config).unwrap();
+    let with_dvfs = Helcfl::default().run(&mut setup, &config).unwrap();
+    let mut setup = FederatedSetup::new(population, &task, &partition, &config).unwrap();
+    let without = Helcfl::default().without_dvfs().run(&mut setup, &config).unwrap();
+
+    // Same users, same accuracy trajectory, same delays.
+    assert_eq!(with_dvfs.accuracy_curve(), without.accuracy_curve());
+    assert!(
+        (with_dvfs.total_time().get() - without.total_time().get()).abs() < 1e-6,
+        "DVFS changed total delay"
+    );
+    // Strictly cheaper.
+    assert!(with_dvfs.total_energy() < without.total_energy());
+}
+
+#[test]
+fn helcfl_covers_all_users_fedcs_does_not() {
+    let histories = run_all();
+    let coverage = |h: &TrainingHistory| {
+        h.records()
+            .iter()
+            .flat_map(|r| r.selected.iter().copied())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    };
+    let helcfl = histories.iter().find(|h| h.scheme() == "helcfl").unwrap();
+    let fedcs = histories.iter().find(|h| h.scheme() == "fedcs").unwrap();
+    assert_eq!(coverage(helcfl), 15, "greedy-decay must rotate everyone in");
+    assert!(
+        coverage(fedcs) < 15,
+        "FedCS with a binding deadline must exclude slow users (covered {})",
+        coverage(fedcs)
+    );
+}
+
+#[test]
+fn fedcs_rounds_are_shorter_but_it_caps_lower() {
+    let histories = run_all();
+    let fedcs = histories.iter().find(|h| h.scheme() == "fedcs").unwrap();
+    let classic = histories.iter().find(|h| h.scheme() == "classic").unwrap();
+    let mean_round = |h: &TrainingHistory| h.total_time().get() / h.len() as f64;
+    assert!(
+        mean_round(fedcs) < mean_round(classic),
+        "FedCS picks fast users → shorter rounds"
+    );
+}

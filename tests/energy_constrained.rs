@@ -1,0 +1,96 @@
+//! Integration: the paper's §I energy-constraint story — batteries,
+//! device shutdown, and what HELCFL's DVFS buys under them — plus the
+//! Alg. 1 convergence exit.
+
+use fl_sim::dataset::{DatasetConfig, SyntheticTask};
+use fl_sim::partition::Partition;
+use fl_sim::runner::{ConvergencePolicy, FederatedSetup, TrainingConfig};
+use helcfl::framework::Helcfl;
+use mec_sim::population::PopulationBuilder;
+use mec_sim::units::Joules;
+
+const SEED: u64 = 77;
+
+fn world(config: &TrainingConfig) -> FederatedSetup {
+    let task = SyntheticTask::generate(DatasetConfig {
+        num_classes: 4,
+        feature_dim: 12,
+        train_samples: 800,
+        test_samples: 160,
+        seed: SEED,
+        ..DatasetConfig::default()
+    })
+    .unwrap();
+    let population =
+        PopulationBuilder::paper_default().num_devices(16).seed(SEED).build().unwrap();
+    let partition = Partition::iid(800, 16, SEED).unwrap();
+    FederatedSetup::new(population, &task, &partition, config).unwrap()
+}
+
+fn base_config() -> TrainingConfig {
+    TrainingConfig {
+        max_rounds: 40,
+        fraction: 0.25,
+        model_dims: vec![12, 12, 4],
+        seed: SEED,
+        ..TrainingConfig::default()
+    }
+}
+
+#[test]
+fn dvfs_keeps_more_of_the_fleet_alive_under_tight_batteries() {
+    let mut config = base_config();
+    config.battery_capacity = Some(Joules::new(15.0));
+    let mut setup = world(&config);
+    let with_dvfs = Helcfl::default().run(&mut setup, &config).unwrap();
+    let mut setup = world(&config);
+    let without = Helcfl::default().without_dvfs().run(&mut setup, &config).unwrap();
+
+    let survivors = |h: &fl_sim::history::TrainingHistory| {
+        h.records().last().unwrap().alive_devices
+    };
+    assert!(
+        survivors(&with_dvfs) >= survivors(&without),
+        "DVFS must never kill more devices ({} vs {})",
+        survivors(&with_dvfs),
+        survivors(&without)
+    );
+    // The energy trajectories must reflect the Alg. 3 savings even
+    // while the fleet shrinks.
+    assert!(with_dvfs.total_energy() <= without.total_energy() * (1.0 + 1e-9));
+}
+
+#[test]
+fn training_survives_partial_fleet_collapse() {
+    let mut config = base_config();
+    // Small enough that many devices die mid-run, large enough that
+    // training continues on the survivors.
+    config.battery_capacity = Some(Joules::new(20.0));
+    let mut setup = world(&config);
+    let history = Helcfl::default().run(&mut setup, &config).unwrap();
+    assert!(!history.is_empty());
+    let first = history.records().first().unwrap().alive_devices;
+    let last = history.records().last().unwrap().alive_devices;
+    assert_eq!(first, 16);
+    assert!(last <= first);
+    // Selection never exceeds availability.
+    for r in history.records() {
+        assert!(r.selected.len() <= r.alive_devices);
+    }
+}
+
+#[test]
+fn convergence_exit_composes_with_helcfl() {
+    let mut config = base_config();
+    config.max_rounds = 300;
+    config.convergence = Some(ConvergencePolicy { window: 6, min_improvement: 0.02 });
+    let mut setup = world(&config);
+    let history = Helcfl::default().run(&mut setup, &config).unwrap();
+    assert!(
+        history.len() < 300,
+        "plateau detector never fired over {} rounds",
+        history.len()
+    );
+    // The run still learned something before stopping.
+    assert!(history.best_accuracy() > 0.4);
+}

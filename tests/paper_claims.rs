@@ -1,0 +1,91 @@
+//! The paper's §V-A theoretical claim and §VI mechanics, verified at
+//! the integration level (helcfl × fl-sim × tinynn × mec-sim).
+
+use fl_sim::dataset::{DatasetConfig, SyntheticTask};
+use fl_sim::frequency::FrequencyPolicy;
+use fl_sim::partition::Partition;
+use helcfl::theory::{centralized_equivalent_step, federated_one_step};
+use helcfl::SlackFrequencyPolicy;
+use mec_sim::population::PopulationBuilder;
+use mec_sim::timeline::RoundTimeline;
+use mec_sim::units::Bits;
+use tinynn::model::Mlp;
+
+/// Eq. 16–19: one FedAvg round over selected users ≡ one centralized
+/// GD step on their pooled data — across several partitions and seeds.
+#[test]
+fn eq19_equivalence_across_partitions() {
+    let task = SyntheticTask::generate(DatasetConfig {
+        num_classes: 4,
+        feature_dim: 12,
+        train_samples: 480,
+        test_samples: 60,
+        seed: 31,
+        ..DatasetConfig::default()
+    })
+    .unwrap();
+    for (users, seed) in [(4usize, 0u64), (6, 1), (8, 2)] {
+        let partition = Partition::shards(task.train().labels(), users, 2, seed).unwrap();
+        let shards: Vec<_> = partition
+            .assignments()
+            .iter()
+            .map(|idx| task.train().subset(idx).unwrap())
+            .collect();
+        let refs: Vec<_> = shards.iter().collect();
+        let global = Mlp::new(&[12, 8, 4], seed).unwrap();
+        let fed = federated_one_step(&global, &refs, 0.3).unwrap();
+        let cen = centralized_equivalent_step(&global, &refs, 0.3).unwrap();
+        let max_diff = fed
+            .iter()
+            .zip(&cen)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 1e-4, "users={users} seed={seed}: max diff {max_diff}");
+    }
+}
+
+/// §VI-B: Alg. 3 on a real heterogeneous population — slack shrinks,
+/// energy drops, makespan is untouched, for many payload sizes.
+#[test]
+fn alg3_slack_reclamation_on_paper_population() {
+    let population = PopulationBuilder::paper_default().num_devices(100).seed(41).build().unwrap();
+    for (take, mbit) in [(5usize, 40.0f64), (10, 40.0), (10, 10.0), (20, 80.0)] {
+        let selected: Vec<_> = population.devices().iter().take(take).copied().collect();
+        let payload = Bits::from_megabits(mbit);
+        let baseline = RoundTimeline::simulate_at_max(&selected, payload).unwrap();
+        let freqs = SlackFrequencyPolicy.frequencies(&selected, payload).unwrap();
+        let tuned = RoundTimeline::simulate(&selected, &freqs, payload).unwrap();
+        assert!(
+            (tuned.makespan().get() - baseline.makespan().get()).abs()
+                < 1e-6 * baseline.makespan().get().max(1.0),
+            "take={take} mbit={mbit}: makespan moved"
+        );
+        assert!(tuned.total_energy() <= baseline.total_energy() * (1.0 + 1e-9));
+        assert!(tuned.total_slack() <= baseline.total_slack() + mec_sim::units::Seconds::new(1e-9));
+        // If the baseline had any meaningful slack, Alg. 3 must recover
+        // some energy.
+        if baseline.total_slack().get() > 1.0 {
+            assert!(
+                tuned.compute_energy() < baseline.compute_energy(),
+                "take={take} mbit={mbit}: slack existed but no energy saved"
+            );
+        }
+    }
+}
+
+/// Eq. 10 vs the true TDMA makespan: the paper's round-delay formula
+/// is a lower bound that the serialized channel can exceed.
+#[test]
+fn eq10_is_a_lower_bound_not_the_makespan() {
+    let population = PopulationBuilder::paper_default().num_devices(50).seed(51).build().unwrap();
+    let selected: Vec<_> = population.devices().iter().take(10).copied().collect();
+    let tl = RoundTimeline::simulate_at_max(&selected, Bits::from_megabits(40.0)).unwrap();
+    assert!(tl.eq10_bound() <= tl.makespan());
+    // With 10 serialized 3–20 s uploads, contention is inevitable.
+    assert!(
+        tl.eq10_bound() < tl.makespan(),
+        "expected contention: eq10 {} vs makespan {}",
+        tl.eq10_bound(),
+        tl.makespan()
+    );
+}
