@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI gate for the HELCFL reproduction workspace.
+#
+# The workspace has a zero-dependency policy: everything must build,
+# test, and lint with no registry access. `--offline` makes any
+# accidental external dependency an immediate hard failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> ci.sh: all gates passed"

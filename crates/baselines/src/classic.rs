@@ -1,9 +1,7 @@
 //! Classic FL (McMahan et al. [9]): uniform random selection of
 //! `Q·C` users per round, everyone at maximum frequency.
 
-use rand::rngs::StdRng;
-use rand::seq::index::sample;
-use rand::SeedableRng;
+use detrand::Rng;
 
 use fl_sim::error::{FlError, Result};
 use fl_sim::selection::{ClientSelector, SelectionContext};
@@ -12,21 +10,21 @@ use mec_sim::device::DeviceId;
 /// The classic FedAvg selector: uniform without replacement.
 #[derive(Debug, Clone)]
 pub struct RandomSelector {
-    rng: StdRng,
+    rng: Rng,
     name: &'static str,
 }
 
 impl RandomSelector {
     /// Creates a seeded random selector.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), name: "classic" }
+        Self { rng: Rng::seed_from_u64(seed), name: "classic" }
     }
 
     /// Same selection rule under a different reported scheme name
     /// (FEDL reuses Classic FL's selection; see the paper's §VII-B
     /// note that their accuracy curves coincide).
     pub fn with_name(seed: u64, name: &'static str) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), name }
+        Self { rng: Rng::seed_from_u64(seed), name }
     }
 }
 
@@ -40,7 +38,7 @@ impl ClientSelector for RandomSelector {
             return Err(FlError::InvalidSelection { reason: "no devices to select".into() });
         }
         let n = ctx.target.min(ctx.devices.len()).max(1);
-        let picked = sample(&mut self.rng, ctx.devices.len(), n);
+        let picked = self.rng.sample_indices(ctx.devices.len(), n);
         Ok(picked.into_iter().map(|i| ctx.devices[i].id()).collect())
     }
 }

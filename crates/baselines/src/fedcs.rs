@@ -8,7 +8,6 @@
 //! analysis targets, is that slow users are **never** selected, so
 //! their data never enters training and accuracy plateaus.
 
-use serde::{Deserialize, Serialize};
 
 use fl_sim::error::{FlError, Result};
 use fl_sim::selection::{ClientSelector, SelectionContext};
@@ -16,7 +15,7 @@ use mec_sim::device::{Device, DeviceId};
 use mec_sim::units::Seconds;
 
 /// The FedCS selector.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FedCsSelector {
     /// Per-round deadline the TDMA schedule must fit.
     round_deadline: Seconds,

@@ -8,7 +8,6 @@
 //! DVFS range. Large κ (energy-sensitive) lowers `f*`; small κ
 //! (delay-sensitive) raises it.
 
-use serde::{Deserialize, Serialize};
 
 use fl_sim::error::{FlError, Result};
 use fl_sim::frequency::FrequencyPolicy;
@@ -16,7 +15,7 @@ use mec_sim::device::Device;
 use mec_sim::units::{Bits, Hertz};
 
 /// The FEDL frequency policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FedlFrequencyPolicy {
     kappa: f64,
 }

@@ -34,9 +34,9 @@ mod tests {
         .unwrap();
         let pop = PopulationBuilder::paper_default().num_devices(6).seed(2).build().unwrap();
         let partition = Partition::iid(120, 6, 3).unwrap();
-        let mut setup = FederatedSetup::new(pop, &task, &partition, &config).unwrap();
+        let setup = FederatedSetup::new(pop, &task, &partition, &config).unwrap();
         let history = run_separated(
-            &mut setup,
+            &setup,
             &config,
             &SeparatedConfig { user_stride: 1, eval_subsample: 0 },
         )

@@ -1,0 +1,162 @@
+//! Round-engine performance harness (no external bench framework).
+//!
+//! Times three things with plain [`std::time::Instant`]:
+//!
+//! 1. **Blocked matmul kernels** — GFLOP/s of `matmul_into` at a few
+//!    square sizes, steady-state (outputs preallocated, zero
+//!    allocation inside the timed loop).
+//! 2. **Serial round engine** — rounds/sec of `run_federated` with
+//!    `threads = 1`.
+//! 3. **Parallel round engine** — the same scenario with the pool
+//!    sized to the detected host parallelism, plus the bit-identity
+//!    check that both runs produced the same `TrainingHistory`.
+//!
+//! Results go to stdout and `results/BENCH_round_engine.json`. The
+//! recorded numbers are whatever the current host produces — on a
+//! single-core container the speedup is honestly ~1.0; the ≥2×
+//! target applies to hosts with ≥4 cores.
+//!
+//! Usage: `bench_round_engine [--fast] [--seed N]`
+
+use std::path::Path;
+use std::time::Instant;
+
+use detrand::Rng;
+use fl_sim::frequency::MaxFrequency;
+use fl_sim::history::TrainingHistory;
+use fl_sim::parallel::worker_threads;
+use fl_sim::runner::run_federated;
+use fl_sim::seeds::{derive, SeedDomain};
+use fl_baselines::classic::RandomSelector;
+use helcfl_bench::json::JsonObject;
+use helcfl_bench::{CommonArgs, PaperScenario, Setting};
+use tinynn::tensor::Matrix;
+
+/// Measures one square matmul size: returns (seconds/iter, GFLOP/s).
+fn bench_matmul(n: usize, iters: usize, rng: &mut Rng) -> (f64, f64) {
+    let a = random_matrix(n, n, rng);
+    let b = random_matrix(n, n, rng);
+    let mut out = Matrix::zeros(n, n).expect("zeros");
+    // Warm up (fills caches, faults pages, JIT-free but still fair).
+    for _ in 0..2 {
+        a.matmul_into(&b, &mut out).expect("matmul");
+    }
+    let started = Instant::now();
+    for _ in 0..iters {
+        a.matmul_into(&b, &mut out).expect("matmul");
+    }
+    let secs = started.elapsed().as_secs_f64() / iters as f64;
+    let flops = 2.0 * (n as f64).powi(3);
+    (secs, flops / secs / 1e9)
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut Rng) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+    Matrix::from_vec(rows, cols, data).expect("from_vec")
+}
+
+/// Runs the scenario with a fixed thread count; returns the history
+/// and the wall-clock seconds of the training loop itself (setup
+/// excluded).
+fn timed_run(
+    scenario: &PaperScenario,
+    threads: usize,
+) -> Result<(TrainingHistory, f64), Box<dyn std::error::Error>> {
+    let mut config = scenario.training_config();
+    config.threads = threads;
+    let mut setup = scenario.setup(Setting::Iid)?;
+    let mut selector = RandomSelector::new(derive(config.seed, SeedDomain::Selection));
+    let started = Instant::now();
+    let history = run_federated(&mut setup, &config, &mut selector, &MaxFrequency)?;
+    Ok((history, started.elapsed().as_secs_f64()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CommonArgs::parse(std::env::args().skip(1));
+    let scenario = args.scenario();
+    let detected = worker_threads(0);
+    println!(
+        "Round-engine bench — {} devices, {} rounds, detected parallelism {}",
+        scenario.num_devices, scenario.max_rounds, detected
+    );
+
+    // --- 1. Kernel microbenchmarks -------------------------------
+    let mut rng = Rng::seed_from_u64(scenario.seed);
+    let mut kernels = Vec::new();
+    for &n in &[64usize, 128, 256] {
+        let iters = (1 << 24) / (n * n) + 1; // keep each size ~comparable work
+        let (secs, gflops) = bench_matmul(n, iters, &mut rng);
+        println!("  matmul {n}x{n}x{n}: {gflops:.2} GFLOP/s ({:.1} µs/iter)", secs * 1e6);
+        let mut k = JsonObject::new();
+        k.field("n", n).field("iters", iters).field("secs_per_iter", secs).field(
+            "gflops",
+            gflops,
+        );
+        kernels.push(k);
+    }
+
+    // --- 2 & 3. Serial vs parallel round engine ------------------
+    let (serial_history, serial_secs) = timed_run(&scenario, 1)?;
+    let serial_rps = scenario.max_rounds as f64 / serial_secs;
+    println!("  serial   (1 thread ): {serial_secs:.2}s, {serial_rps:.2} rounds/sec");
+
+    let (parallel_history, parallel_secs) = timed_run(&scenario, detected)?;
+    let parallel_rps = scenario.max_rounds as f64 / parallel_secs;
+    let speedup = serial_secs / parallel_secs;
+    println!(
+        "  parallel ({detected} threads): {parallel_secs:.2}s, {parallel_rps:.2} rounds/sec \
+         ({speedup:.2}x)"
+    );
+
+    let bit_identical = serial_history == parallel_history;
+    assert!(
+        bit_identical,
+        "determinism violation: serial and parallel histories differ"
+    );
+    println!("  histories bit-identical: {bit_identical}");
+
+    // --- Report --------------------------------------------------
+    let mut host = JsonObject::new();
+    host.field("detected_parallelism", detected)
+        .field("helcfl_threads_env", std::env::var("HELCFL_THREADS").ok());
+
+    let mut scn = JsonObject::new();
+    scn.field("fast", args.fast)
+        .field("num_devices", scenario.num_devices)
+        .field("max_rounds", scenario.max_rounds)
+        .field("train_samples", scenario.train_samples)
+        .field("seed", scenario.seed);
+
+    let mut serial = JsonObject::new();
+    serial.field("threads", 1usize).field("seconds", serial_secs).field(
+        "rounds_per_sec",
+        serial_rps,
+    );
+    let mut parallel = JsonObject::new();
+    parallel.field("threads", detected).field("seconds", parallel_secs).field(
+        "rounds_per_sec",
+        parallel_rps,
+    );
+
+    let mut engine = JsonObject::new();
+    engine
+        .object("serial", serial)
+        .object("parallel", parallel)
+        .field("speedup", speedup)
+        .field("bit_identical", bit_identical);
+
+    let mut report = JsonObject::new();
+    report
+        .field("bench", "round_engine")
+        .object("host", host)
+        .object("scenario", scn)
+        .object("round_engine", engine)
+        .field("matmul", kernels);
+
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_round_engine.json");
+    std::fs::write(&path, report.finish() + "\n")?;
+    println!("  report written to {}", path.display());
+    Ok(())
+}

@@ -13,13 +13,18 @@
 //! | A3 | `ablation_slack` | slack utilization across rounds |
 //!
 //! Pass `--fast` to any binary for a reduced-scale smoke run; results
-//! land in `results/` as CSV plus console tables. Criterion
-//! micro-benchmarks for the scheduling algorithms live under
-//! `benches/`.
+//! land in `results/` as CSV plus console tables.
+//!
+//! Performance benchmarks use no external harness: the
+//! `bench_round_engine` binary times the round engine and the matmul
+//! kernels with [`std::time::Instant`] and writes
+//! `results/BENCH_round_engine.json` through the hand-rolled [`json`]
+//! emitter (rounds/sec serial vs parallel, speedup, matmul GFLOP/s).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod report;
 pub mod scenario;
 pub mod schemes;

@@ -87,7 +87,7 @@ impl Default for PaperScenario {
 }
 
 impl PaperScenario {
-    /// A heavily reduced variant for tests and Criterion benches:
+    /// A heavily reduced variant for tests and timing harnesses:
     /// 20 devices, 30 rounds, a tiny model — same code paths, seconds
     /// of wall clock.
     pub fn fast() -> Self {

@@ -12,7 +12,6 @@
 //! battery-depleted devices dropping out — see
 //! [`fl_sim::runner::TrainingConfig::battery_capacity`]).
 
-use serde::{Deserialize, Serialize};
 
 use fl_sim::error::{FlError, Result};
 use fl_sim::selection::{ClientSelector, SelectionContext};
@@ -29,7 +28,7 @@ use crate::utility::{utility, AppearanceCounters, DecayCoefficient};
 /// since that information is static, deriving it per round is
 /// equivalent to Alg. 2's round-1 caching and stays correct under
 /// shrinking availability.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GreedyDecaySelector {
     eta: DecayCoefficient,
     counters: AppearanceCounters,

@@ -8,14 +8,13 @@
 //! §V-A derives from the FedAvg equivalence (Eq. 19): accuracy needs
 //! the *data* of slow users, not just fast updates.
 
-use serde::{Deserialize, Serialize};
 
 use mec_sim::units::Seconds;
 
 use fl_sim::error::{FlError, Result};
 
 /// The decay coefficient `η` with its `(0, 1)` validity window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecayCoefficient(f64);
 
 impl DecayCoefficient {
@@ -74,7 +73,7 @@ pub fn utility(eta: DecayCoefficient, appearances: u32, total_delay: Seconds) ->
 
 /// Per-user appearance counters `α_q` (Alg. 2 line 5 initializes them
 /// to zero; line 18 increments on selection).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AppearanceCounters {
     counts: Vec<u32>,
 }

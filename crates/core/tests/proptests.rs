@@ -1,5 +1,12 @@
-//! Property-based tests for the HELCFL algorithms.
+//! Property-style tests for the HELCFL algorithms.
+//!
+//! Formerly backed by the `proptest` crate; rewritten as deterministic
+//! seeded case loops over [`detrand::Rng`] so `cargo test` runs fully
+//! offline. The invariants are unchanged; each test draws a few
+//! hundred cases from a fixed seed, and the case index appears in
+//! every assertion message for reproducibility.
 
+use detrand::Rng;
 use fl_sim::frequency::FrequencyPolicy;
 use fl_sim::selection::{ClientSelector, SelectionContext};
 use helcfl::dvfs::SlackFrequencyPolicy;
@@ -10,17 +17,16 @@ use mec_sim::cpu::DvfsCpu;
 use mec_sim::device::{Device, DeviceId};
 use mec_sim::timeline::RoundTimeline;
 use mec_sim::units::{Bits, BitsPerSecond, Hertz, Seconds, Watts};
-use proptest::prelude::*;
 
-fn device_strategy() -> impl Strategy<Value = (f64, usize, f64)> {
-    (0.31f64..=2.0, 50usize..1500, 0.5f64..15.0)
-}
+const CASES: usize = 200;
 
-fn build_devices(specs: Vec<(f64, usize, f64)>) -> Vec<Device> {
-    specs
-        .into_iter()
-        .enumerate()
-        .map(|(i, (fmax, samples, mbps))| {
+fn gen_devices(rng: &mut Rng, min: usize, max: usize) -> Vec<Device> {
+    let n = rng.range_usize(min, max);
+    (0..n)
+        .map(|i| {
+            let fmax = rng.uniform(0.3100001, 2.0);
+            let samples = rng.range_usize(50, 1500);
+            let mbps = rng.uniform(0.5, 15.0);
             let cpu =
                 DvfsCpu::with_paper_alpha(Hertz::from_ghz(0.3), Hertz::from_ghz(fmax)).unwrap();
             let uplink =
@@ -30,61 +36,59 @@ fn build_devices(specs: Vec<(f64, usize, f64)>) -> Vec<Device> {
         .collect()
 }
 
-proptest! {
-    /// **Makespan preservation (Alg. 3).** For any heterogeneous
-    /// selection, the DVFS schedule never extends the round beyond the
-    /// all-at-f_max schedule, and never costs more energy.
-    #[test]
-    fn dvfs_never_extends_round_and_never_costs_more(
-        specs in prop::collection::vec(device_strategy(), 1..10),
-        payload_mbit in 1.0f64..80.0,
-    ) {
-        let devices = build_devices(specs);
-        let payload = Bits::from_megabits(payload_mbit);
+/// **Makespan preservation (Alg. 3).** For any heterogeneous
+/// selection, the DVFS schedule never extends the round beyond the
+/// all-at-f_max schedule, and never costs more energy.
+#[test]
+fn dvfs_never_extends_round_and_never_costs_more() {
+    let mut rng = Rng::seed_from_u64(0xc04e_0001);
+    for case in 0..CASES {
+        let devices = gen_devices(&mut rng, 1, 10);
+        let payload = Bits::from_megabits(rng.uniform(1.0, 80.0));
         let baseline = RoundTimeline::simulate_at_max(&devices, payload).unwrap();
         let freqs = SlackFrequencyPolicy.frequencies(&devices, payload).unwrap();
         let tuned = RoundTimeline::simulate(&devices, &freqs, payload).unwrap();
-        prop_assert!(
+        assert!(
             tuned.makespan() <= baseline.makespan() + Seconds::new(1e-6),
-            "DVFS extended the round: {} vs {}",
+            "case {case}: DVFS extended the round: {} vs {}",
             tuned.makespan(),
             baseline.makespan()
         );
-        prop_assert!(
+        assert!(
             tuned.total_energy() <= baseline.total_energy() * (1.0 + 1e-9),
-            "DVFS increased energy: {} vs {}",
+            "case {case}: DVFS increased energy: {} vs {}",
             tuned.total_energy(),
             baseline.total_energy()
         );
     }
+}
 
-    /// Every DVFS-assigned frequency is within its device's supported
-    /// range.
-    #[test]
-    fn dvfs_frequencies_are_always_supported(
-        specs in prop::collection::vec(device_strategy(), 1..10),
-        payload_mbit in 1.0f64..80.0,
-    ) {
-        let devices = build_devices(specs);
-        let freqs = SlackFrequencyPolicy
-            .frequencies(&devices, Bits::from_megabits(payload_mbit))
-            .unwrap();
-        prop_assert_eq!(freqs.len(), devices.len());
+/// Every DVFS-assigned frequency is within its device's supported
+/// range.
+#[test]
+fn dvfs_frequencies_are_always_supported() {
+    let mut rng = Rng::seed_from_u64(0xc04e_0002);
+    for case in 0..CASES {
+        let devices = gen_devices(&mut rng, 1, 10);
+        let payload = Bits::from_megabits(rng.uniform(1.0, 80.0));
+        let freqs = SlackFrequencyPolicy.frequencies(&devices, payload).unwrap();
+        assert_eq!(freqs.len(), devices.len(), "case {case}");
         for (d, f) in devices.iter().zip(&freqs) {
-            prop_assert!(d.cpu().range().contains(*f));
+            assert!(d.cpu().range().contains(*f), "case {case}: {f} unsupported");
         }
     }
+}
 
-    /// The selector always returns exactly `min(target, Q)` distinct
-    /// known users, every round.
-    #[test]
-    fn selector_output_is_always_valid(
-        specs in prop::collection::vec(device_strategy(), 1..20),
-        target in 1usize..8,
-        rounds in 1usize..20,
-        eta in 0.05f64..0.95,
-    ) {
-        let devices = build_devices(specs);
+/// The selector always returns exactly `min(target, Q)` distinct
+/// known users, every round.
+#[test]
+fn selector_output_is_always_valid() {
+    let mut rng = Rng::seed_from_u64(0xc04e_0003);
+    for case in 0..128 {
+        let devices = gen_devices(&mut rng, 1, 20);
+        let target = rng.range_usize(1, 8);
+        let rounds = rng.range_usize(1, 20);
+        let eta = rng.uniform(0.05, 0.95);
         let mut sel = GreedyDecaySelector::new(DecayCoefficient::new(eta).unwrap());
         for round in 1..=rounds {
             let ctx = SelectionContext {
@@ -94,25 +98,27 @@ proptest! {
                 target,
             };
             let picked = sel.select(&ctx).unwrap();
-            prop_assert_eq!(picked.len(), target.min(devices.len()));
+            assert_eq!(picked.len(), target.min(devices.len()), "case {case}");
             let set: std::collections::BTreeSet<_> = picked.iter().collect();
-            prop_assert_eq!(set.len(), picked.len(), "duplicates in selection");
+            assert_eq!(set.len(), picked.len(), "case {case}: duplicates in selection");
         }
         // Total appearances = rounds × selection size.
-        prop_assert_eq!(
+        assert_eq!(
             sel.counters().total(),
-            (rounds * target.min(devices.len())) as u64
+            (rounds * target.min(devices.len())) as u64,
+            "case {case}"
         );
     }
+}
 
-    /// Given enough rounds, every user is eventually selected
-    /// (the greedy-decay guarantee that fixes FedCS).
-    #[test]
-    fn greedy_decay_eventually_covers_everyone(
-        specs in prop::collection::vec(device_strategy(), 2..15),
-        eta in 0.2f64..0.8,
-    ) {
-        let devices = build_devices(specs);
+/// Given enough rounds, every user is eventually selected
+/// (the greedy-decay guarantee that fixes FedCS).
+#[test]
+fn greedy_decay_eventually_covers_everyone() {
+    let mut rng = Rng::seed_from_u64(0xc04e_0004);
+    for case in 0..64 {
+        let devices = gen_devices(&mut rng, 2, 15);
+        let eta = rng.uniform(0.2, 0.8);
         let q = devices.len();
         let mut sel = GreedyDecaySelector::new(DecayCoefficient::new(eta).unwrap());
         // Worst case needs ~log(T_max/T_min)/log(1/η) extra picks per
@@ -129,20 +135,25 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(sel.counters().coverage(), q, "some users never selected");
+        assert_eq!(sel.counters().coverage(), q, "case {case}: some users never selected");
     }
+}
 
-    /// Utility is strictly decreasing in appearances and in delay.
-    #[test]
-    fn utility_is_monotone(
-        eta in 0.05f64..0.95,
-        a in 0u32..30,
-        t in 0.1f64..1000.0,
-    ) {
-        let eta = DecayCoefficient::new(eta).unwrap();
-        prop_assert!(utility(eta, a + 1, Seconds::new(t)) < utility(eta, a, Seconds::new(t)));
-        prop_assert!(
-            utility(eta, a, Seconds::new(t * 1.5)) < utility(eta, a, Seconds::new(t))
+/// Utility is strictly decreasing in appearances and in delay.
+#[test]
+fn utility_is_monotone() {
+    let mut rng = Rng::seed_from_u64(0xc04e_0005);
+    for case in 0..CASES {
+        let eta = DecayCoefficient::new(rng.uniform(0.05, 0.95)).unwrap();
+        let a = rng.below(30) as u32;
+        let t = rng.uniform(0.1, 1000.0);
+        assert!(
+            utility(eta, a + 1, Seconds::new(t)) < utility(eta, a, Seconds::new(t)),
+            "case {case}: utility not decreasing in appearances"
+        );
+        assert!(
+            utility(eta, a, Seconds::new(t * 1.5)) < utility(eta, a, Seconds::new(t)),
+            "case {case}: utility not decreasing in delay"
         );
     }
 }

@@ -1,44 +1,53 @@
 //! Simulated FL clients: the learning half of a user device.
 //!
-//! A [`Client`] owns its local shard of the training data (materialized
-//! once) and a scratch model used to run the paper's local update
-//! (Eq. 3): load the broadcast global parameters, take `local_epochs`
-//! full-batch gradient-descent steps on the local dataset, and return
-//! the updated parameters.
+//! A [`Client`] is pure data — its device id and the local shard of
+//! the training set, materialized once. The learning state (model,
+//! gradient scratch, minibatch buffers) lives in a [`ClientTrainer`],
+//! of which the round engine keeps one per worker thread: clients are
+//! shared read-only across workers while each worker reuses its own
+//! trainer, so steady-state local training allocates nothing per step.
+//!
+//! The paper's local update (Eq. 3) — load the broadcast global
+//! parameters, take `local_epochs` gradient-descent passes over the
+//! local shard, return the updated parameters — is
+//! [`ClientTrainer::local_update`].
 
-use serde::{Deserialize, Serialize};
-
+use detrand::Rng;
 use mec_sim::device::DeviceId;
-use tinynn::model::Mlp;
+use tinynn::loss::softmax_cross_entropy_loss_sum;
+use tinynn::metrics::count_correct;
+use tinynn::model::{Mlp, TrainScratch};
+use tinynn::tensor::Matrix;
 
 use crate::dataset::LabeledSet;
 use crate::error::{FlError, Result};
 
-/// One user's learning state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Row-block size used when streaming a dataset through a trainer for
+/// evaluation. Fixed (never derived from the worker count) so chunked
+/// reductions are bit-identical for every thread count.
+pub const EVAL_CHUNK_ROWS: usize = 256;
+
+/// One user's local data: the immutable half of a simulated client.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Client {
     id: DeviceId,
     data: LabeledSet,
-    scratch: Mlp,
 }
 
 impl Client {
-    /// Creates a client from its device id, local data shard, and the
-    /// shared model architecture.
+    /// Creates a client from its device id and local data shard.
     ///
     /// # Errors
     ///
-    /// Returns [`FlError::InvalidConfig`] for an empty shard and
-    /// propagates model construction errors.
-    pub fn new(id: DeviceId, data: LabeledSet, model_dims: &[usize]) -> Result<Self> {
+    /// Returns [`FlError::InvalidConfig`] for an empty shard.
+    pub fn new(id: DeviceId, data: LabeledSet) -> Result<Self> {
         if data.is_empty() {
             return Err(FlError::InvalidConfig {
                 field: "data",
                 reason: format!("client {id} has an empty data shard"),
             });
         }
-        let scratch = Mlp::new(model_dims, 0).map_err(FlError::from)?;
-        Ok(Self { id, data, scratch })
+        Ok(Self { id, data })
     }
 
     /// The owning device's id.
@@ -58,49 +67,190 @@ impl Client {
     pub fn data(&self) -> &LabeledSet {
         &self.data
     }
+}
 
-    /// Runs the local model update (Eq. 3): loads `global_params`,
-    /// takes `local_epochs` full-batch GD steps at learning rate `lr`,
-    /// and returns `(updated_params, pre-update loss)`.
+/// Hyper-parameters of one local update (the per-round, per-client
+/// slice of [`crate::runner::TrainingConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalUpdateSpec {
+    /// Learning rate `τ` of the local GD update (Eq. 3).
+    pub learning_rate: f32,
+    /// Gradient-descent passes over the shard per round.
+    pub local_epochs: usize,
+    /// Minibatch size; `0` (or anything ≥ the shard size) trains
+    /// full-batch, exactly as the paper's Eq. 3.
+    pub batch_size: usize,
+}
+
+/// Reusable per-worker learning state: a model the broadcast
+/// parameters are loaded into, gradient/activation scratch, and
+/// minibatch gather buffers. After warm-up, running local updates and
+/// evaluations through a trainer performs zero heap allocation per
+/// step (the returned parameter vector is the one inherent upload
+/// allocation).
+#[derive(Debug, Clone)]
+pub struct ClientTrainer {
+    model: Mlp,
+    scratch: TrainScratch,
+    /// Gathered minibatch features / evaluation row block.
+    input: Matrix,
+    /// Gathered minibatch labels.
+    batch_labels: Vec<usize>,
+    /// Shuffled sample permutation (minibatch mode).
+    perm: Vec<usize>,
+}
+
+impl ClientTrainer {
+    /// Creates a trainer for the given model architecture. The initial
+    /// parameter values are irrelevant: every use loads explicit
+    /// parameters first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model construction errors for invalid `model_dims`.
+    pub fn new(model_dims: &[usize]) -> Result<Self> {
+        let model = Mlp::new(model_dims, 0).map_err(FlError::from)?;
+        let scratch = TrainScratch::for_model(&model).map_err(FlError::from)?;
+        Ok(Self {
+            model,
+            scratch,
+            input: Matrix::zeros(1, 1).map_err(FlError::from)?,
+            batch_labels: Vec::new(),
+            perm: Vec::new(),
+        })
+    }
+
+    /// Runs one client's local model update (Eq. 3): loads
+    /// `global_params`, takes `spec.local_epochs` GD passes over the
+    /// client's shard at `spec.learning_rate`, and returns
+    /// `(updated_params, first-epoch pre-update loss)`.
+    ///
+    /// With `spec.batch_size == 0` each pass is one full-batch step and
+    /// `rng` is untouched; otherwise each pass reshuffles the shard
+    /// with `rng` and steps per minibatch. The result depends only on
+    /// `(global_params, client, spec, rng)` — never on which worker
+    /// thread runs it or what the trainer computed before — which is
+    /// what makes parallel rounds bit-identical to serial ones.
     ///
     /// # Errors
     ///
     /// Propagates parameter-shape and training errors.
     pub fn local_update(
         &mut self,
+        client: &Client,
         global_params: &[f32],
-        lr: f32,
-        local_epochs: usize,
+        spec: &LocalUpdateSpec,
+        rng: &mut Rng,
     ) -> Result<(Vec<f32>, f32)> {
-        self.scratch.set_parameters(global_params).map_err(FlError::from)?;
-        let mut first_loss = 0.0;
-        for epoch in 0..local_epochs.max(1) {
-            let loss = self
-                .scratch
-                .train_step(self.data.features(), self.data.labels(), lr)
-                .map_err(FlError::from)?;
-            if epoch == 0 {
-                first_loss = loss;
+        self.model.set_parameters(global_params).map_err(FlError::from)?;
+        let data = client.data();
+        let n = data.len();
+        let mut first_loss = 0.0f32;
+        if spec.batch_size == 0 || spec.batch_size >= n {
+            for epoch in 0..spec.local_epochs.max(1) {
+                let loss = self
+                    .model
+                    .train_step_with(
+                        data.features(),
+                        data.labels(),
+                        spec.learning_rate,
+                        &mut self.scratch,
+                    )
+                    .map_err(FlError::from)?;
+                if epoch == 0 {
+                    first_loss = loss;
+                }
+            }
+        } else {
+            let Self { model, scratch, input, batch_labels, perm } = self;
+            perm.clear();
+            perm.extend(0..n);
+            for epoch in 0..spec.local_epochs.max(1) {
+                rng.shuffle(perm);
+                let mut loss_sum = 0.0f64;
+                for chunk in perm.chunks(spec.batch_size) {
+                    data.features().gather_rows_into(chunk, input).map_err(FlError::from)?;
+                    batch_labels.clear();
+                    batch_labels.extend(chunk.iter().map(|&i| data.labels()[i]));
+                    let loss = model
+                        .train_step_with(input, batch_labels, spec.learning_rate, scratch)
+                        .map_err(FlError::from)?;
+                    loss_sum += f64::from(loss) * chunk.len() as f64;
+                }
+                if epoch == 0 {
+                    first_loss = (loss_sum / n as f64) as f32;
+                }
             }
         }
-        Ok((self.scratch.parameters(), first_loss))
+        Ok((self.model.parameters(), first_loss))
     }
 
-    /// Evaluates an arbitrary parameter vector on this client's local
-    /// data, returning `(loss, accuracy)` — used by the separated-
-    /// learning baseline and diagnostics.
+    /// Scores one fixed row block `[start, start + len)` of `set`
+    /// under `model`, returning the block's summed cross-entropy loss
+    /// and its correct-prediction count. Summing block results in
+    /// block order reproduces the full-set statistics exactly,
+    /// independent of how blocks were distributed over workers.
     ///
     /// # Errors
     ///
-    /// Propagates parameter-shape errors.
-    pub fn evaluate_params(&mut self, params: &[f32], test: &LabeledSet) -> Result<(f32, f64)> {
-        self.scratch.set_parameters(params).map_err(FlError::from)?;
-        let loss =
-            self.scratch.loss(test.features(), test.labels()).map_err(FlError::from)?;
-        let acc =
-            self.scratch.accuracy(test.features(), test.labels()).map_err(FlError::from)?;
-        Ok((loss, acc))
+    /// Propagates shape errors (e.g. an out-of-range block).
+    pub fn eval_chunk(
+        &mut self,
+        model: &Mlp,
+        set: &LabeledSet,
+        start: usize,
+        len: usize,
+    ) -> Result<(f64, usize)> {
+        let Self { scratch, input, .. } = self;
+        eval_chunk_inner(model, scratch, input, set, start, len)
     }
+
+    /// Evaluates an arbitrary parameter vector on `set`, returning
+    /// `(mean loss, accuracy)` — used by the separated-learning
+    /// baseline and diagnostics. Streams the set through the trainer's
+    /// buffers in [`EVAL_CHUNK_ROWS`]-row blocks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-shape errors and rejects an empty set.
+    pub fn evaluate_params(&mut self, params: &[f32], set: &LabeledSet) -> Result<(f32, f64)> {
+        self.model.set_parameters(params).map_err(FlError::from)?;
+        let n = set.len();
+        if n == 0 {
+            return Err(FlError::InvalidConfig {
+                field: "eval_set",
+                reason: "cannot evaluate on an empty set".into(),
+            });
+        }
+        let Self { model, scratch, input, .. } = self;
+        let mut loss_sum = 0.0f64;
+        let mut correct = 0usize;
+        let mut start = 0;
+        while start < n {
+            let len = EVAL_CHUNK_ROWS.min(n - start);
+            let (l, c) = eval_chunk_inner(model, scratch, input, set, start, len)?;
+            loss_sum += l;
+            correct += c;
+            start += len;
+        }
+        Ok(((loss_sum / n as f64) as f32, correct as f64 / n as f64))
+    }
+}
+
+fn eval_chunk_inner(
+    model: &Mlp,
+    scratch: &mut TrainScratch,
+    input: &mut Matrix,
+    set: &LabeledSet,
+    start: usize,
+    len: usize,
+) -> Result<(f64, usize)> {
+    set.features().copy_rows_into(start, len, input).map_err(FlError::from)?;
+    let labels = &set.labels()[start..start + len];
+    let logits = model.forward_with(input, scratch).map_err(FlError::from)?;
+    let loss = softmax_cross_entropy_loss_sum(logits, labels).map_err(FlError::from)?;
+    let correct = count_correct(logits, labels).map_err(FlError::from)?;
+    Ok((loss, correct))
 }
 
 /// Builds one [`Client`] per partition user from the shared training
@@ -110,11 +260,7 @@ impl Client {
 ///
 /// Propagates subset and client construction errors; fails if any user
 /// received an empty shard.
-pub fn build_clients(
-    train: &LabeledSet,
-    assignments: &[Vec<usize>],
-    model_dims: &[usize],
-) -> Result<Vec<Client>> {
+pub fn build_clients(train: &LabeledSet, assignments: &[Vec<usize>]) -> Result<Vec<Client>> {
     let mut clients = Vec::with_capacity(assignments.len());
     for (u, indices) in assignments.iter().enumerate() {
         if indices.is_empty() {
@@ -124,7 +270,7 @@ pub fn build_clients(
             });
         }
         let shard = train.subset(indices)?;
-        clients.push(Client::new(DeviceId(u), shard, model_dims)?);
+        clients.push(Client::new(DeviceId(u), shard)?);
     }
     Ok(clients)
 }
@@ -134,7 +280,6 @@ mod tests {
     use super::*;
     use crate::dataset::{DatasetConfig, SyntheticTask};
     use crate::partition::Partition;
-    use tinynn::tensor::Matrix;
 
     fn task() -> SyntheticTask {
         SyntheticTask::generate(DatasetConfig {
@@ -148,11 +293,15 @@ mod tests {
         .unwrap()
     }
 
+    fn full_batch(lr: f32, epochs: usize) -> LocalUpdateSpec {
+        LocalUpdateSpec { learning_rate: lr, local_epochs: epochs, batch_size: 0 }
+    }
+
     #[test]
     fn build_clients_covers_partition() {
         let t = task();
         let p = Partition::iid(90, 9, 0).unwrap();
-        let clients = build_clients(t.train(), p.assignments(), &[8, 4, 3]).unwrap();
+        let clients = build_clients(t.train(), p.assignments()).unwrap();
         assert_eq!(clients.len(), 9);
         assert!(clients.iter().all(|c| c.num_samples() == 10));
         assert_eq!(clients[3].id(), DeviceId(3));
@@ -161,28 +310,28 @@ mod tests {
     #[test]
     fn empty_shard_is_rejected() {
         let t = task();
-        let m = Matrix::zeros(1, 8).unwrap();
-        let empty = LabeledSet::new(m, vec![0]).unwrap();
-        // Manually construct a degenerate assignment list.
         let assignments = vec![vec![0usize], vec![]];
-        assert!(build_clients(t.train(), &assignments, &[8, 3]).is_err());
-        let _ = empty;
+        assert!(build_clients(t.train(), &assignments).is_err());
     }
 
     #[test]
     fn local_update_takes_a_descent_step() {
         let t = task();
         let p = Partition::iid(90, 3, 0).unwrap();
-        let mut clients = build_clients(t.train(), p.assignments(), &[8, 8, 3]).unwrap();
+        let clients = build_clients(t.train(), p.assignments()).unwrap();
+        let mut trainer = ClientTrainer::new(&[8, 8, 3]).unwrap();
+        let mut rng = Rng::seed_from_u64(0);
         let global = Mlp::new(&[8, 8, 3], 42).unwrap();
         let params = global.parameters();
-        let (updated, loss) = clients[0].local_update(&params, 0.5, 1).unwrap();
+        let (updated, loss) =
+            trainer.local_update(&clients[0], &params, &full_batch(0.5, 1), &mut rng).unwrap();
         assert_eq!(updated.len(), params.len());
         assert_ne!(updated, params);
         assert!(loss > 0.0);
         // A second update from the updated point should (almost always)
         // report a lower pre-step loss on the same data.
-        let (_, loss2) = clients[0].local_update(&updated, 0.5, 1).unwrap();
+        let (_, loss2) =
+            trainer.local_update(&clients[0], &updated, &full_batch(0.5, 1), &mut rng).unwrap();
         assert!(loss2 < loss);
     }
 
@@ -190,10 +339,14 @@ mod tests {
     fn multiple_local_epochs_move_parameters_further() {
         let t = task();
         let p = Partition::iid(90, 3, 0).unwrap();
-        let mut clients = build_clients(t.train(), p.assignments(), &[8, 8, 3]).unwrap();
+        let clients = build_clients(t.train(), p.assignments()).unwrap();
+        let mut trainer = ClientTrainer::new(&[8, 8, 3]).unwrap();
+        let mut rng = Rng::seed_from_u64(0);
         let params = Mlp::new(&[8, 8, 3], 42).unwrap().parameters();
-        let (one, _) = clients[0].local_update(&params, 0.1, 1).unwrap();
-        let (five, _) = clients[0].local_update(&params, 0.1, 5).unwrap();
+        let (one, _) =
+            trainer.local_update(&clients[0], &params, &full_batch(0.1, 1), &mut rng).unwrap();
+        let (five, _) =
+            trainer.local_update(&clients[0], &params, &full_batch(0.1, 5), &mut rng).unwrap();
         let dist = |a: &[f32], b: &[f32]| -> f32 {
             a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
         };
@@ -204,18 +357,55 @@ mod tests {
     fn local_update_rejects_foreign_parameter_vectors() {
         let t = task();
         let p = Partition::iid(90, 3, 0).unwrap();
-        let mut clients = build_clients(t.train(), p.assignments(), &[8, 8, 3]).unwrap();
-        assert!(clients[0].local_update(&[0.0; 7], 0.1, 1).is_err());
+        let clients = build_clients(t.train(), p.assignments()).unwrap();
+        let mut trainer = ClientTrainer::new(&[8, 8, 3]).unwrap();
+        let mut rng = Rng::seed_from_u64(0);
+        assert!(trainer
+            .local_update(&clients[0], &[0.0; 7], &full_batch(0.1, 1), &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn minibatch_update_is_deterministic_in_the_rng_stream() {
+        let t = task();
+        let p = Partition::iid(90, 3, 0).unwrap();
+        let clients = build_clients(t.train(), p.assignments()).unwrap();
+        let params = Mlp::new(&[8, 8, 3], 42).unwrap().parameters();
+        let spec = LocalUpdateSpec { learning_rate: 0.2, local_epochs: 2, batch_size: 8 };
+        let run = |trainer: &mut ClientTrainer| {
+            let mut rng = Rng::stream(99, 7);
+            trainer.local_update(&clients[0], &params, &spec, &mut rng).unwrap()
+        };
+        let mut fresh = ClientTrainer::new(&[8, 8, 3]).unwrap();
+        let mut reused = ClientTrainer::new(&[8, 8, 3]).unwrap();
+        // Warm the reused trainer on a different client/spec first: the
+        // result must not depend on the trainer's history.
+        let mut warm_rng = Rng::seed_from_u64(1);
+        reused
+            .local_update(&clients[1], &params, &full_batch(0.5, 3), &mut warm_rng)
+            .unwrap();
+        assert_eq!(run(&mut fresh), run(&mut reused));
+        // A different stream shuffles differently.
+        let mut other_rng = Rng::stream(99, 8);
+        let (other, _) =
+            reused.local_update(&clients[0], &params, &spec, &mut other_rng).unwrap();
+        assert_ne!(other, run(&mut fresh).0);
     }
 
     #[test]
     fn evaluate_params_scores_on_given_set() {
         let t = task();
         let p = Partition::iid(90, 3, 0).unwrap();
-        let mut clients = build_clients(t.train(), p.assignments(), &[8, 8, 3]).unwrap();
+        let _clients = build_clients(t.train(), p.assignments()).unwrap();
+        let mut trainer = ClientTrainer::new(&[8, 8, 3]).unwrap();
         let params = Mlp::new(&[8, 8, 3], 42).unwrap().parameters();
-        let (loss, acc) = clients[0].evaluate_params(&params, t.test()).unwrap();
+        let (loss, acc) = trainer.evaluate_params(&params, t.test()).unwrap();
         assert!(loss > 0.0);
         assert!((0.0..=1.0).contains(&acc));
+        // Chunked streaming matches the model's own whole-set scoring.
+        let mut model = Mlp::new(&[8, 8, 3], 0).unwrap();
+        model.set_parameters(&params).unwrap();
+        let acc_direct = model.accuracy(t.test().features(), t.test().labels()).unwrap();
+        assert_eq!(acc, acc_direct);
     }
 }

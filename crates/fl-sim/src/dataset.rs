@@ -11,10 +11,7 @@
 //! Train labels are exactly balanced (needed by the paper's
 //! sort-by-label 400-shard Non-IID split), then shuffled.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use detrand::Rng;
 
 use mec_sim::channel::standard_normal;
 use tinynn::tensor::Matrix;
@@ -22,7 +19,7 @@ use tinynn::tensor::Matrix;
 use crate::error::{FlError, Result};
 
 /// Configuration of the synthetic task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetConfig {
     /// Number of classes (paper: 10, like CIFAR-10).
     pub num_classes: usize,
@@ -115,7 +112,7 @@ impl DatasetConfig {
 }
 
 /// A labelled set of samples.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LabeledSet {
     features: Matrix,
     labels: Vec<usize>,
@@ -195,7 +192,7 @@ impl LabeledSet {
 }
 
 /// The generated train/test task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticTask {
     config: DatasetConfig,
     train: LabeledSet,
@@ -211,7 +208,7 @@ impl SyntheticTask {
     /// Returns [`FlError::InvalidConfig`] for invalid configurations.
     pub fn generate(config: DatasetConfig) -> Result<Self> {
         config.validate()?;
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Rng::seed_from_u64(config.seed);
         let prototypes = Self::sample_prototypes(&config, &mut rng)?;
         let train = Self::sample_split(&config, &prototypes, config.train_samples, &mut rng)?;
         let test = Self::sample_split(&config, &prototypes, config.test_samples, &mut rng)?;
@@ -219,7 +216,7 @@ impl SyntheticTask {
     }
 
     /// Draws a random direction of length `scale` in `R^d`.
-    fn random_direction(d: usize, scale: f32, rng: &mut StdRng) -> Vec<f32> {
+    fn random_direction(d: usize, scale: f32, rng: &mut Rng) -> Vec<f32> {
         let mut norm = 0.0f32;
         let raw: Vec<f32> = (0..d)
             .map(|_| {
@@ -234,7 +231,7 @@ impl SyntheticTask {
 
     /// Generates the `k·V × d` variant-centroid matrix: row `c·V + k`
     /// is `separation·unit(p_c) + variant_spread·unit(w_{c,k})`.
-    fn sample_prototypes(config: &DatasetConfig, rng: &mut StdRng) -> Result<Matrix> {
+    fn sample_prototypes(config: &DatasetConfig, rng: &mut Rng) -> Result<Matrix> {
         let k = config.num_classes;
         let v = config.variants_per_class;
         let d = config.feature_dim;
@@ -255,17 +252,17 @@ impl SyntheticTask {
         config: &DatasetConfig,
         prototypes: &Matrix,
         n: usize,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Result<LabeledSet> {
         let k = config.num_classes;
         let d = config.feature_dim;
         // Exactly balanced labels, then shuffled.
         let mut labels: Vec<usize> = (0..n).map(|i| i % k).collect();
-        labels.shuffle(rng);
+        rng.shuffle(&mut labels);
         let mut features = Matrix::zeros(n, d).map_err(FlError::from)?;
         for (i, &label) in labels.iter().enumerate() {
-            let scale = 1.0 + rng.gen_range(-config.scale_jitter..=config.scale_jitter);
-            let variant = rng.gen_range(0..config.variants_per_class);
+            let scale = 1.0 + rng.uniform_f32(-config.scale_jitter, config.scale_jitter);
+            let variant = rng.below(config.variants_per_class);
             let proto = prototypes.row(label * config.variants_per_class + variant);
             for (j, &p) in proto.iter().enumerate().take(d) {
                 let noise = standard_normal(rng) as f32 * config.noise_std;

@@ -1,13 +1,12 @@
 //! Per-round records and training-history queries backing every table
 //! and figure of the evaluation.
 
-use serde::{Deserialize, Serialize};
 
 use mec_sim::device::DeviceId;
 use mec_sim::units::{Joules, Seconds};
 
 /// Metrics of one completed training iteration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundRecord {
     /// 1-based iteration index `j`.
     pub round: usize,
@@ -38,7 +37,7 @@ pub struct RoundRecord {
 }
 
 /// The full trajectory of one training run.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TrainingHistory {
     scheme: String,
     records: Vec<RoundRecord>,

@@ -6,8 +6,9 @@
 //! ([`dataset`]), the paper's IID / sort-by-label Non-IID splits
 //! ([`partition`]), per-user clients and the FLCC ([`client`],
 //! [`server`]), pluggable selection and frequency strategies
-//! ([`selection`], [`frequency`]), the training loop ([`runner`]), and
-//! the separated-learning baseline runtime ([`separated`]).
+//! ([`selection`], [`frequency`]), the deterministic multi-threaded
+//! training loop ([`runner`], [`parallel`]), and the
+//! separated-learning baseline runtime ([`separated`]).
 //!
 //! ## Quick tour
 //!
@@ -67,6 +68,7 @@ pub mod dataset;
 pub mod error;
 pub mod frequency;
 pub mod history;
+pub mod parallel;
 pub mod partition;
 pub mod runner;
 pub mod seeds;

@@ -1,0 +1,224 @@
+//! Deterministic scoped-thread fan-out for the round engine.
+//!
+//! Built entirely on `std::thread::scope` — no external threadpool.
+//! Two properties make parallel training bit-identical to serial:
+//!
+//! 1. **Work items are thread-invariant.** Every item's result is a
+//!    pure function of the item and the broadcast inputs; the
+//!    per-worker scratch ([`ClientTrainer`]) is fully overwritten
+//!    before use, so which worker runs an item (and in what order)
+//!    cannot change its result.
+//! 2. **Reduction order is fixed.** Results are collected into
+//!    index-addressed slots and reduced in item order on the calling
+//!    thread, never in completion order.
+//!
+//! The worker count comes from [`worker_threads`]: an explicit config
+//! value, else the `HELCFL_THREADS` environment variable, else
+//! [`std::thread::available_parallelism`].
+
+use std::sync::mpsc;
+
+use tinynn::model::Mlp;
+
+use crate::client::{ClientTrainer, EVAL_CHUNK_ROWS};
+use crate::dataset::LabeledSet;
+use crate::error::{FlError, Result};
+
+/// Resolves the worker-thread count for a round engine.
+///
+/// Precedence: a non-zero `requested` value (from
+/// [`crate::runner::TrainingConfig::threads`]) wins; otherwise a
+/// positive integer in the `HELCFL_THREADS` environment variable;
+/// otherwise the machine's available parallelism (1 if unknown).
+pub fn worker_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(value) = std::env::var("HELCFL_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `0..num_items`, fanning the indices out over one
+/// worker per `pool` slot (strided assignment) and returning the
+/// results in index order. Each worker exclusively owns one `&mut S`
+/// scratch slot for its whole stride; with a single slot (or a single
+/// item) everything runs on the calling thread.
+///
+/// # Errors
+///
+/// If any items fail, returns the error of the lowest-indexed failing
+/// item (deterministic regardless of completion order).
+///
+/// # Panics
+///
+/// Panics if `pool` is empty.
+pub fn parallel_map_pooled<S, R, F>(pool: &mut [S], num_items: usize, f: F) -> Result<Vec<R>>
+where
+    S: Send,
+    R: Send,
+    F: Fn(&mut S, usize) -> Result<R> + Sync,
+{
+    assert!(!pool.is_empty(), "worker pool must have at least one scratch slot");
+    if num_items == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = pool.len().min(num_items);
+    if workers == 1 {
+        let state = &mut pool[0];
+        return (0..num_items).map(|i| f(state, i)).collect();
+    }
+    let mut slots: Vec<Option<Result<R>>> = Vec::with_capacity(num_items);
+    slots.resize_with(num_items, || None);
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        for (wid, state) in pool.iter_mut().take(workers).enumerate() {
+            let tx = tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                for i in (wid..num_items).step_by(workers) {
+                    let out = f(state, i);
+                    if tx.send((i, out)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (i, out) in rx {
+            slots[i] = Some(out);
+        }
+    });
+    let mut results = Vec::with_capacity(num_items);
+    for slot in slots {
+        results.push(slot.expect("every index is assigned to exactly one worker")?);
+    }
+    Ok(results)
+}
+
+/// Evaluates `model` on `set` — `(mean loss, accuracy)` — by scoring
+/// fixed [`EVAL_CHUNK_ROWS`]-row blocks across the worker pool and
+/// reducing per-block sums in block order. The block size is a
+/// constant (never derived from the pool size), so the result is
+/// bit-identical for every worker count, including 1.
+///
+/// # Errors
+///
+/// Propagates shape errors and rejects an empty set.
+pub fn evaluate_chunked(
+    model: &Mlp,
+    set: &LabeledSet,
+    pool: &mut [ClientTrainer],
+) -> Result<(f32, f64)> {
+    let n = set.len();
+    if n == 0 {
+        return Err(FlError::InvalidConfig {
+            field: "eval_set",
+            reason: "cannot evaluate on an empty set".into(),
+        });
+    }
+    let chunks = n.div_ceil(EVAL_CHUNK_ROWS);
+    let partials = parallel_map_pooled(pool, chunks, |trainer, c| {
+        let start = c * EVAL_CHUNK_ROWS;
+        let len = EVAL_CHUNK_ROWS.min(n - start);
+        trainer.eval_chunk(model, set, start, len)
+    })?;
+    let mut loss_sum = 0.0f64;
+    let mut correct = 0usize;
+    for (l, c) in partials {
+        loss_sum += l;
+        correct += c;
+    }
+    Ok(((loss_sum / n as f64) as f32, correct as f64 / n as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetConfig, SyntheticTask};
+
+    #[test]
+    fn explicit_thread_request_wins() {
+        assert_eq!(worker_threads(3), 3);
+        assert_eq!(worker_threads(1), 1);
+        assert!(worker_threads(0) >= 1);
+    }
+
+    #[test]
+    fn pooled_map_preserves_index_order() {
+        let mut pool = vec![0usize; 4];
+        let out = parallel_map_pooled(&mut pool, 37, |hits, i| {
+            *hits += 1;
+            Ok(i * 10)
+        })
+        .unwrap();
+        assert_eq!(out, (0..37).map(|i| i * 10).collect::<Vec<_>>());
+        // Every item ran exactly once, spread over the pool.
+        assert_eq!(pool.iter().sum::<usize>(), 37);
+        assert!(pool.iter().all(|&h| h > 0));
+    }
+
+    #[test]
+    fn pooled_map_matches_single_worker() {
+        let mut one = vec![(); 1];
+        let mut many = vec![(); 5];
+        let f = |_: &mut (), i: usize| Ok(i * i + 1);
+        let serial = parallel_map_pooled(&mut one, 23, f).unwrap();
+        let parallel = parallel_map_pooled(&mut many, 23, f).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn lowest_indexed_error_wins() {
+        let mut pool = vec![(); 3];
+        let err = parallel_map_pooled::<_, usize, _>(&mut pool, 20, |_, i| {
+            if i == 7 || i == 13 {
+                Err(FlError::InvalidConfig { field: "item", reason: format!("{i}") })
+            } else {
+                Ok(i)
+            }
+        })
+        .unwrap_err();
+        match err {
+            FlError::InvalidConfig { reason, .. } => assert_eq!(reason, "7"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_items_yield_empty_results() {
+        let mut pool = vec![(); 2];
+        let out = parallel_map_pooled::<_, usize, _>(&mut pool, 0, |_, i| Ok(i)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunked_evaluation_is_pool_size_invariant() {
+        let task = SyntheticTask::generate(DatasetConfig {
+            num_classes: 4,
+            feature_dim: 6,
+            train_samples: 40,
+            // More test rows than one chunk so several blocks exist.
+            test_samples: 700,
+            seed: 5,
+            ..DatasetConfig::default()
+        })
+        .unwrap();
+        let model = Mlp::new(&[6, 8, 4], 11).unwrap();
+        let dims = [6, 8, 4];
+        let mut pool1 = vec![ClientTrainer::new(&dims).unwrap()];
+        let mut pool4: Vec<_> =
+            (0..4).map(|_| ClientTrainer::new(&dims).unwrap()).collect();
+        let serial = evaluate_chunked(&model, task.test(), &mut pool1).unwrap();
+        let parallel = evaluate_chunked(&model, task.test(), &mut pool4).unwrap();
+        assert_eq!(serial, parallel);
+        // And both agree with the model's own whole-set accuracy.
+        let direct = model.accuracy(task.test().features(), task.test().labels()).unwrap();
+        assert_eq!(serial.1, direct);
+    }
+}

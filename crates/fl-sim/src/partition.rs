@@ -8,17 +8,14 @@
 //!   classic McMahan shard split. With 100 users each user holds ≤ 4
 //!   distinct labels, starving greedy selectors of class coverage.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use detrand::Rng;
 
 use mec_sim::channel::standard_normal;
 
 use crate::error::{FlError, Result};
 
 /// An assignment of training-sample indices to users.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     assignments: Vec<Vec<usize>>,
 }
@@ -38,9 +35,9 @@ impl Partition {
                 reason: format!("{num_samples} samples cannot cover {num_users} users"),
             });
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut indices: Vec<usize> = (0..num_samples).collect();
-        indices.shuffle(&mut rng);
+        rng.shuffle(&mut indices);
         let base = num_samples / num_users;
         let extra = num_samples % num_users;
         let mut assignments = Vec::with_capacity(num_users);
@@ -78,7 +75,7 @@ impl Partition {
                 ),
             });
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut order: Vec<usize> = (0..labels.len()).collect();
         order.sort_by_key(|&i| (labels[i], i));
         // Cut into equal shards (remainder spread over the first shards).
@@ -92,7 +89,7 @@ impl Partition {
             cursor += take;
         }
         let mut shard_ids: Vec<usize> = (0..num_shards).collect();
-        shard_ids.shuffle(&mut rng);
+        rng.shuffle(&mut shard_ids);
         let mut assignments = vec![Vec::new(); num_users];
         for (pos, &shard) in shard_ids.iter().enumerate() {
             assignments[pos / shards_per_user].extend_from_slice(&shards[shard]);
@@ -131,7 +128,7 @@ impl Partition {
                 reason: format!("must be positive and finite, got {alpha}"),
             });
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         // Per-class index pools, shuffled.
         let mut pools: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
         for (i, &l) in labels.iter().enumerate() {
@@ -144,7 +141,7 @@ impl Partition {
             pools[l].push(i);
         }
         for pool in &mut pools {
-            pool.shuffle(&mut rng);
+            rng.shuffle(pool);
         }
         let mut assignments = vec![Vec::new(); num_users];
         for pool in pools {
@@ -224,11 +221,11 @@ impl Partition {
 }
 
 /// Samples Gamma(α, 1) via Marsaglia–Tsang (with the α<1 boost),
-/// using only `rand` + the in-repo normal sampler.
-fn sample_gamma(alpha: f64, rng: &mut StdRng) -> f64 {
+/// using only `detrand` + the in-repo normal sampler.
+fn sample_gamma(alpha: f64, rng: &mut Rng) -> f64 {
     if alpha < 1.0 {
         // Gamma(α) = Gamma(α+1) · U^(1/α).
-        let u: f64 = rng.gen::<f64>().max(1e-300);
+        let u: f64 = rng.next_f64().max(1e-300);
         return sample_gamma(alpha + 1.0, rng) * u.powf(1.0 / alpha);
     }
     let d = alpha - 1.0 / 3.0;
@@ -239,7 +236,7 @@ fn sample_gamma(alpha: f64, rng: &mut StdRng) -> f64 {
         if v <= 0.0 {
             continue;
         }
-        let u: f64 = rng.gen();
+        let u: f64 = rng.next_f64();
         if u < 1.0 - 0.0331 * x.powi(4) {
             return d * v;
         }
@@ -360,7 +357,7 @@ mod tests {
 
     #[test]
     fn gamma_sampler_has_correct_mean() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         for &alpha in &[0.3f64, 1.0, 2.5, 8.0] {
             let n = 5_000;
             let mean: f64 =

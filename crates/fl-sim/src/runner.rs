@@ -1,19 +1,26 @@
 //! The synchronous FL training loop (paper Alg. 1), generic over the
 //! selection strategy and frequency policy.
+//!
+//! Local updates and test-set evaluation fan out over a deterministic
+//! worker pool (see [`crate::parallel`]): per-worker
+//! [`ClientTrainer`]s are reused across rounds, per-client RNG streams
+//! are derived from the master seed, and all reductions happen in
+//! fixed index order — so a run's [`TrainingHistory`] is bit-identical
+//! for every thread count.
 
-use serde::{Deserialize, Serialize};
-
+use detrand::Rng;
 use mec_sim::battery::Battery;
 use mec_sim::device::Device;
 use mec_sim::population::Population;
 use mec_sim::timeline::RoundTimeline;
 use mec_sim::units::{Bits, Joules, Seconds};
 
-use crate::client::{build_clients, Client};
+use crate::client::{build_clients, Client, ClientTrainer, LocalUpdateSpec};
 use crate::dataset::{LabeledSet, SyntheticTask};
 use crate::error::{FlError, Result};
 use crate::frequency::FrequencyPolicy;
 use crate::history::{RoundRecord, TrainingHistory};
+use crate::parallel::{evaluate_chunked, parallel_map_pooled, worker_threads};
 use crate::partition::Partition;
 use crate::seeds::{derive, SeedDomain};
 use crate::selection::{
@@ -22,7 +29,7 @@ use crate::selection::{
 use crate::server::Flcc;
 
 /// Hyper-parameters of one training run (paper §VII-A defaults).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainingConfig {
     /// Maximum number of training iterations `J` (paper: 300).
     pub max_rounds: usize,
@@ -34,6 +41,16 @@ pub struct TrainingConfig {
     pub learning_rate: f32,
     /// Local GD steps per round (paper Eq. 3 takes exactly 1).
     pub local_epochs: usize,
+    /// Minibatch size of the local update; `0` trains full-batch,
+    /// exactly as the paper's Eq. 3. Minibatch shuffles draw from a
+    /// per-`(round, client)` RNG stream derived from [`Self::seed`],
+    /// so results are independent of the thread count.
+    pub batch_size: usize,
+    /// Worker threads of the round engine: `0` (the default) resolves
+    /// through the `HELCFL_THREADS` environment variable and then
+    /// [`std::thread::available_parallelism`]; any other value is used
+    /// as-is. Every setting produces bit-identical histories.
+    pub threads: usize,
     /// Evaluate the global model every `eval_every` rounds (1 = every
     /// round, as in Fig. 2).
     pub eval_every: usize,
@@ -64,6 +81,8 @@ impl Default for TrainingConfig {
             payload: Bits::from_megabits(40.0),
             learning_rate: 0.5,
             local_epochs: 1,
+            batch_size: 0,
+            threads: 0,
             eval_every: 1,
             eval_subsample: 0,
             deadline: None,
@@ -78,7 +97,7 @@ impl Default for TrainingConfig {
 /// Accuracy-plateau convergence test: training stops once the best
 /// evaluated accuracy has improved by less than `min_improvement` over
 /// the last `window` evaluations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConvergencePolicy {
     /// Number of most-recent evaluations the plateau must span
     /// (at least 2).
@@ -89,11 +108,30 @@ pub struct ConvergencePolicy {
 
 impl ConvergencePolicy {
     /// Whether the evaluated-accuracy sequence has plateaued.
+    ///
+    /// Looks at the trailing `window` entries (`window` is clamped up
+    /// to 2, since a plateau needs a before and an after) and reports
+    /// convergence when the **best** accuracy among the last
+    /// `window - 1` entries exceeds the window's **first** entry by
+    /// strictly less than `min_improvement`:
+    ///
+    /// * Fewer than the (clamped) `window` evaluations → `false`;
+    ///   training can never stop before `window` evaluations exist.
+    /// * A gain of exactly `min_improvement` still counts as progress
+    ///   (the comparison is strict), so `min_improvement == 0.0` stops
+    ///   only on strict regression — a perfectly flat window is a gain
+    ///   of exactly zero and keeps training.
+    /// * Only the windowed entries matter: improvement older than
+    ///   `window` evaluations cannot postpone convergence.
+    ///
+    /// [`TrainingConfig::validate`] rejects `window < 2`; the clamp
+    /// here merely keeps direct callers of this method safe.
     pub fn converged(&self, accuracies: &[f64]) -> bool {
-        if accuracies.len() < self.window.max(2) {
+        let window = self.window.max(2);
+        if accuracies.len() < window {
             return false;
         }
-        let recent = &accuracies[accuracies.len() - self.window.max(2)..];
+        let recent = &accuracies[accuracies.len() - window..];
         let first = recent[0];
         let best_rest = recent[1..].iter().copied().fold(f64::MIN, f64::max);
         best_rest - first < self.min_improvement
@@ -213,7 +251,7 @@ impl FederatedSetup {
         {
             device.set_num_samples(indices.len()).map_err(FlError::from)?;
         }
-        let clients = build_clients(task.train(), partition.assignments(), &config.model_dims)?;
+        let clients = build_clients(task.train(), partition.assignments())?;
         let eval_set = if config.eval_subsample > 0 {
             task.test().strided_subsample(config.eval_subsample)?
         } else {
@@ -228,17 +266,11 @@ impl FederatedSetup {
         &self.population
     }
 
-    /// The per-user clients.
+    /// The per-user clients (pure data; learning state lives in the
+    /// engine's per-worker [`ClientTrainer`]s).
     #[inline]
     pub fn clients(&self) -> &[Client] {
         &self.clients
-    }
-
-    /// Mutable access to the per-user clients (training mutates each
-    /// client's scratch model).
-    #[inline]
-    pub fn clients_mut(&mut self) -> &mut [Client] {
-        &mut self.clients
     }
 
     /// The evaluation set used for accuracy reporting.
@@ -251,9 +283,11 @@ impl FederatedSetup {
 /// Runs the full synchronous FL loop (Alg. 1) and returns its history.
 ///
 /// Per round: select users (strategy), assign frequencies (policy),
-/// simulate the MEC round timeline, run the local updates, aggregate
-/// with FedAvg (Eq. 18), evaluate, and stop on `J` rounds or the
-/// deadline (Eq. 14).
+/// simulate the MEC round timeline, run the local updates (fanned out
+/// over the worker pool; see [`TrainingConfig::threads`]), aggregate
+/// with FedAvg (Eq. 18) in selection order, evaluate in fixed row
+/// blocks, and stop on `J` rounds or the deadline (Eq. 14). The
+/// returned history is bit-identical for every worker count.
 ///
 /// # Errors
 ///
@@ -268,6 +302,17 @@ pub fn run_federated(
     config.validate()?;
     let target = selection_target(setup.population.len(), config.fraction)?;
     let mut server = Flcc::new(&config.model_dims, derive(config.seed, SeedDomain::Model))?;
+    // One reusable trainer per worker: model + gradient scratch +
+    // minibatch buffers, allocated once for the whole run.
+    let mut pool: Vec<ClientTrainer> = (0..worker_threads(config.threads))
+        .map(|_| ClientTrainer::new(&config.model_dims))
+        .collect::<Result<_>>()?;
+    let spec = LocalUpdateSpec {
+        learning_rate: config.learning_rate,
+        local_epochs: config.local_epochs,
+        batch_size: config.batch_size,
+    };
+    let train_seed = derive(config.seed, SeedDomain::ClientTraining);
     let mut history = TrainingHistory::new(selector.name());
     let mut cumulative_time = Seconds::ZERO;
     let mut cumulative_energy = Joules::ZERO;
@@ -316,16 +361,25 @@ pub fn run_federated(
         let freqs = frequency_policy.frequencies(&selected, config.payload)?;
         let timeline = RoundTimeline::simulate(&selected, &freqs, config.payload)?;
 
-        // 3. Local updates (Alg. 1 lines 6–9).
+        // 3. Local updates (Alg. 1 lines 6–9), fanned out over the
+        //    worker pool. Each selected client's update is a pure
+        //    function of (global params, its shard, its RNG stream),
+        //    and the results come back in `selected_ids` order, so the
+        //    fan-out is invisible to the aggregation below.
         let global = server.broadcast();
-        let mut updates = Vec::with_capacity(selected_ids.len());
+        let clients = &setup.clients;
+        let round_results = parallel_map_pooled(&mut pool, selected_ids.len(), |trainer, i| {
+            let client = &clients[selected_ids[i].0];
+            let mut rng =
+                Rng::stream(train_seed, ((round as u64) << 32) | client.id().0 as u64);
+            let (params, loss) = trainer.local_update(client, &global, &spec, &mut rng)?;
+            Ok((params, client.num_samples() as f64, loss))
+        })?;
+        let mut updates = Vec::with_capacity(round_results.len());
         let mut loss_sum = 0.0f64;
-        for id in &selected_ids {
-            let client = &mut setup.clients[id.0];
-            let (params, loss) =
-                client.local_update(&global, config.learning_rate, config.local_epochs)?;
+        for (params, weight, loss) in round_results {
             loss_sum += f64::from(loss);
-            updates.push((params, client.num_samples() as f64));
+            updates.push((params, weight));
         }
 
         // 4. FedAvg integration (Alg. 1 line 10, Eq. 18).
@@ -341,7 +395,8 @@ pub fn run_federated(
         }
         let evaluate_now = round % config.eval_every == 0 || round == config.max_rounds;
         let test_accuracy = if evaluate_now {
-            let accuracy = server.evaluate(&setup.eval_set)?.1;
+            let accuracy =
+                evaluate_chunked(server.global_model(), &setup.eval_set, &mut pool)?.1;
             evaluated_accuracies.push(accuracy);
             Some(accuracy)
         } else {
@@ -385,13 +440,10 @@ mod tests {
     use crate::frequency::MaxFrequency;
     use mec_sim::device::DeviceId;
     use mec_sim::population::PopulationBuilder;
-    use rand::rngs::StdRng;
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
 
     /// A minimal random selector for exercising the loop.
     struct RandomSelector {
-        rng: StdRng,
+        rng: Rng,
     }
 
     impl ClientSelector for RandomSelector {
@@ -401,7 +453,7 @@ mod tests {
 
         fn select(&mut self, ctx: &SelectionContext<'_>) -> Result<Vec<DeviceId>> {
             let mut ids: Vec<DeviceId> = ctx.devices.iter().map(|d| d.id()).collect();
-            ids.shuffle(&mut self.rng);
+            self.rng.shuffle(&mut ids);
             ids.truncate(ctx.target);
             Ok(ids)
         }
@@ -484,7 +536,7 @@ mod tests {
     #[test]
     fn run_produces_one_record_per_round_with_eval_cadence() {
         let (mut setup, config) = tiny_world();
-        let mut selector = RandomSelector { rng: StdRng::seed_from_u64(7) };
+        let mut selector = RandomSelector { rng: Rng::seed_from_u64(7) };
         let history =
             run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap();
         assert_eq!(history.len(), 8);
@@ -508,7 +560,7 @@ mod tests {
         let (mut setup, mut config) = tiny_world();
         config.max_rounds = 40;
         config.eval_every = 1;
-        let mut selector = RandomSelector { rng: StdRng::seed_from_u64(7) };
+        let mut selector = RandomSelector { rng: Rng::seed_from_u64(7) };
         let history =
             run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap();
         let first = history.records()[0].test_accuracy.unwrap();
@@ -524,7 +576,7 @@ mod tests {
     fn deadline_stops_training_early() {
         let (mut setup, mut config) = tiny_world();
         config.deadline = Some(Seconds::new(1.0)); // absurdly tight
-        let mut selector = RandomSelector { rng: StdRng::seed_from_u64(7) };
+        let mut selector = RandomSelector { rng: Rng::seed_from_u64(7) };
         let history =
             run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap();
         assert_eq!(history.len(), 1);
@@ -537,7 +589,7 @@ mod tests {
         // Tiny budget: a device survives only a few rounds of
         // participation.
         config.battery_capacity = Some(Joules::new(6.0));
-        let mut selector = RandomSelector { rng: StdRng::seed_from_u64(7) };
+        let mut selector = RandomSelector { rng: Rng::seed_from_u64(7) };
         let history =
             run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap();
         // Availability is monotonically non-increasing.
@@ -555,7 +607,7 @@ mod tests {
     #[test]
     fn unlimited_battery_reports_full_availability() {
         let (mut setup, config) = tiny_world();
-        let mut selector = RandomSelector { rng: StdRng::seed_from_u64(7) };
+        let mut selector = RandomSelector { rng: Rng::seed_from_u64(7) };
         let history =
             run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap();
         assert!(history.records().iter().all(|r| r.alive_devices == 12));
@@ -572,6 +624,56 @@ mod tests {
     }
 
     #[test]
+    fn convergence_window_below_two_is_clamped_for_direct_callers() {
+        // `validate()` rejects window < 2; direct calls get the clamp.
+        for window in [0usize, 1, 2] {
+            let policy = ConvergencePolicy { window, min_improvement: 0.01 };
+            // One evaluation can never be a plateau.
+            assert!(!policy.converged(&[0.5]), "window={window}");
+            assert!(!policy.converged(&[]), "window={window}");
+            // Two entries behave exactly like an explicit window of 2.
+            assert!(policy.converged(&[0.5, 0.505]), "window={window}");
+            assert!(!policy.converged(&[0.5, 0.52]), "window={window}");
+        }
+    }
+
+    #[test]
+    fn convergence_comparison_is_strict() {
+        let policy = ConvergencePolicy { window: 2, min_improvement: 0.01 };
+        // A gain of exactly `min_improvement` still counts as progress.
+        assert!(!policy.converged(&[0.50, 0.51]));
+        assert!(policy.converged(&[0.50, 0.50999]));
+        // With zero threshold a gain of exactly zero (a flat window)
+        // still counts as progress; only strict regression converges.
+        let zero = ConvergencePolicy { window: 2, min_improvement: 0.0 };
+        assert!(!zero.converged(&[0.5, 0.5]));
+        assert!(zero.converged(&[0.5, 0.4]));
+        assert!(!zero.converged(&[0.5, 0.5000001]));
+    }
+
+    #[test]
+    fn convergence_regression_counts_as_plateau() {
+        let policy = ConvergencePolicy { window: 3, min_improvement: 0.01 };
+        // Falling accuracy is "no progress", not "keep training".
+        assert!(policy.converged(&[0.6, 0.55, 0.5]));
+        // The best of the trailing entries is compared, not the last:
+        // a spike inside the window counts as progress even if the
+        // final entry fell back.
+        assert!(!policy.converged(&[0.5, 0.58, 0.4]));
+    }
+
+    #[test]
+    fn convergence_ignores_history_older_than_the_window() {
+        let policy = ConvergencePolicy { window: 3, min_improvement: 0.01 };
+        // Strong early gains don't postpone convergence once the
+        // trailing window is flat.
+        assert!(policy.converged(&[0.1, 0.3, 0.5, 0.501, 0.502]));
+        // And a long flat prefix doesn't force convergence while the
+        // trailing window is still improving.
+        assert!(!policy.converged(&[0.5, 0.5, 0.5, 0.5, 0.55]));
+    }
+
+    #[test]
     fn convergence_stops_training_early() {
         let (mut setup, mut config) = tiny_world();
         config.max_rounds = 200;
@@ -579,7 +681,7 @@ mod tests {
         // Generous plateau detector: stop when 5 evaluations gain < 5%.
         config.convergence =
             Some(ConvergencePolicy { window: 5, min_improvement: 0.05 });
-        let mut selector = RandomSelector { rng: StdRng::seed_from_u64(7) };
+        let mut selector = RandomSelector { rng: Rng::seed_from_u64(7) };
         let history =
             run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap();
         assert!(history.len() < 200, "never converged");
@@ -609,7 +711,7 @@ mod tests {
     fn identical_seeds_reproduce_identical_histories() {
         let run = || {
             let (mut setup, config) = tiny_world();
-            let mut selector = RandomSelector { rng: StdRng::seed_from_u64(9) };
+            let mut selector = RandomSelector { rng: Rng::seed_from_u64(9) };
             run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap()
         };
         assert_eq!(run(), run());

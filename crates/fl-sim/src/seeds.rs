@@ -18,6 +18,11 @@ pub enum SeedDomain {
     Model,
     /// Client-selection randomness.
     Selection,
+    /// Per-client local-training randomness (minibatch shuffles). The
+    /// runner splits this domain further into one
+    /// [`detrand::Rng::stream`] per `(round, client)` pair, so a
+    /// client's draws never depend on which worker thread trains it.
+    ClientTraining,
     /// Anything experiment-specific.
     Experiment(u64),
 }
@@ -30,6 +35,7 @@ impl SeedDomain {
             Self::Partition => 0x03,
             Self::Model => 0x04,
             Self::Selection => 0x05,
+            Self::ClientTraining => 0x06,
             Self::Experiment(n) => 0x1000 + n,
         }
     }
@@ -72,6 +78,7 @@ mod tests {
             derive(master, SeedDomain::Partition),
             derive(master, SeedDomain::Model),
             derive(master, SeedDomain::Selection),
+            derive(master, SeedDomain::ClientTraining),
             derive(master, SeedDomain::Experiment(0)),
             derive(master, SeedDomain::Experiment(1)),
         ];

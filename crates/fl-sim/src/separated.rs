@@ -9,18 +9,19 @@
 //! supports training a deterministic user subsample and evaluating on
 //! a strided test subset.
 
-use serde::{Deserialize, Serialize};
 
+use detrand::Rng;
 use mec_sim::units::{Joules, Seconds};
 use tinynn::model::Mlp;
 
+use crate::client::{ClientTrainer, LocalUpdateSpec};
 use crate::error::{FlError, Result};
 use crate::history::{RoundRecord, TrainingHistory};
 use crate::runner::{FederatedSetup, TrainingConfig};
 use crate::seeds::{derive, SeedDomain};
 
 /// Extra knobs of the SL baseline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeparatedConfig {
     /// Train only every `stride`-th user (1 = all users). Accuracy is
     /// weighted over the trained subset; delay/energy are scaled back
@@ -49,7 +50,7 @@ impl Default for SeparatedConfig {
 ///
 /// Propagates configuration and training errors.
 pub fn run_separated(
-    setup: &mut FederatedSetup,
+    setup: &FederatedSetup,
     config: &TrainingConfig,
     sl: &SeparatedConfig,
 ) -> Result<TrainingHistory> {
@@ -104,12 +105,23 @@ pub fn run_separated(
         .sum::<Joules>()
         * scale;
 
+    // One reusable trainer: SL trains users one after another, so a
+    // single scratch slot suffices.
+    let mut trainer = ClientTrainer::new(&config.model_dims)?;
+    let spec = LocalUpdateSpec {
+        learning_rate: config.learning_rate,
+        local_epochs: config.local_epochs,
+        batch_size: config.batch_size,
+    };
+    let train_seed = derive(config.seed, SeedDomain::ClientTraining);
+
     for round in 1..=config.max_rounds {
         let mut loss_sum = 0.0f64;
         for (slot, &u) in trained.iter().enumerate() {
-            let client = setup_client(setup, u);
+            let client = &setup.clients()[u];
+            let mut rng = Rng::stream(train_seed, ((round as u64) << 32) | u as u64);
             let (params, loss) =
-                client.local_update(&models[slot], config.learning_rate, config.local_epochs)?;
+                trainer.local_update(client, &models[slot], &spec, &mut rng)?;
             models[slot] = params;
             loss_sum += f64::from(loss);
         }
@@ -121,9 +133,9 @@ pub fn run_separated(
             let mut weighted = 0.0f64;
             let mut weight_total = 0.0f64;
             for (slot, &u) in trained.iter().enumerate() {
-                let client = setup_client(setup, u);
+                let client = &setup.clients()[u];
                 let w = client.num_samples() as f64;
-                let (_, acc) = client.evaluate_params(&models[slot], &eval_set)?;
+                let (_, acc) = trainer.evaluate_params(&models[slot], &eval_set)?;
                 weighted += acc * w;
                 weight_total += w;
             }
@@ -154,13 +166,6 @@ pub fn run_separated(
         }
     }
     Ok(history)
-}
-
-/// Mutable access to one client by user index (borrow helper).
-fn setup_client(setup: &mut FederatedSetup, u: usize) -> &mut crate::client::Client {
-    // SAFETY of indexing: `u` comes from `0..population.len()` and
-    // FederatedSetup guarantees one client per device.
-    &mut setup.clients_mut()[u]
 }
 
 #[cfg(test)]
@@ -201,9 +206,9 @@ mod tests {
 
     #[test]
     fn separated_learning_produces_full_history() {
-        let (mut setup, config) = world(false);
+        let (setup, config) = world(false);
         let sl = SeparatedConfig { user_stride: 2, eval_subsample: 0 };
-        let history = run_separated(&mut setup, &config, &sl).unwrap();
+        let history = run_separated(&setup, &config, &sl).unwrap();
         assert_eq!(history.len(), 10);
         assert_eq!(history.scheme(), "sl");
         // Evaluations only at the configured cadence.
@@ -217,10 +222,10 @@ mod tests {
     #[test]
     fn noniid_separated_learning_caps_below_global_training() {
         // Users holding ≤2 classes cannot classify 4 classes well.
-        let (mut setup, mut config) = world(true);
+        let (setup, mut config) = world(true);
         config.max_rounds = 30;
         let sl = SeparatedConfig { user_stride: 1, eval_subsample: 0 };
-        let history = run_separated(&mut setup, &config, &sl).unwrap();
+        let history = run_separated(&setup, &config, &sl).unwrap();
         let best = history.best_accuracy();
         assert!(best < 0.75, "SL should plateau under label skew, got {best}");
         assert!(best > 0.2, "SL should still beat chance, got {best}");
@@ -228,16 +233,16 @@ mod tests {
 
     #[test]
     fn stride_scales_energy_back_to_population_scale() {
-        let (mut setup, config) = world(false);
+        let (setup, config) = world(false);
         let all = run_separated(
-            &mut setup,
+            &setup,
             &config,
             &SeparatedConfig { user_stride: 1, eval_subsample: 0 },
         )
         .unwrap();
-        let (mut setup2, _) = world(false);
+        let (setup2, _) = world(false);
         let strided = run_separated(
-            &mut setup2,
+            &setup2,
             &config,
             &SeparatedConfig { user_stride: 2, eval_subsample: 0 },
         )
@@ -253,8 +258,8 @@ mod tests {
 
     #[test]
     fn zero_stride_is_rejected() {
-        let (mut setup, config) = world(false);
+        let (setup, config) = world(false);
         let sl = SeparatedConfig { user_stride: 0, eval_subsample: 0 };
-        assert!(run_separated(&mut setup, &config, &sl).is_err());
+        assert!(run_separated(&setup, &config, &sl).is_err());
     }
 }

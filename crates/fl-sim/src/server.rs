@@ -1,7 +1,6 @@
 //! The FL central controller (FLCC): global model custody and
 //! dataset-size-weighted federated averaging (paper Eq. 18).
 
-use serde::{Deserialize, Serialize};
 
 use tinynn::model::Mlp;
 
@@ -10,7 +9,7 @@ use crate::error::{FlError, Result};
 
 /// The FL central controller: a base station + edge server holding the
 /// global model `M_G`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Flcc {
     global: Mlp,
 }

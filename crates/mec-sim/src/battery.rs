@@ -8,7 +8,6 @@
 //! is how energy waste turns into *lost data* and ultimately lost
 //! accuracy.
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::{MecError, Result};
 use crate::units::Joules;
@@ -28,7 +27,7 @@ use crate::units::Joules;
 /// assert!(b.is_depleted());
 /// # Ok::<(), mec_sim::MecError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Battery {
     capacity: Joules,
     remaining: Joules,

@@ -13,14 +13,13 @@
 //! shadowing ([`PathLossModel`]) whose defaults land upload rates in
 //! the few-Mbit/s regime the paper's delay numbers imply.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use detrand::Rng;
 
 use crate::error::{MecError, Result};
 use crate::units::{BitsPerSecond, Hertz, Watts};
 
 /// Shared radio environment of the MEC cell: bandwidth and noise floor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RadioEnvironment {
     bandwidth: Hertz,
     noise: Watts,
@@ -86,7 +85,7 @@ impl RadioEnvironment {
 /// Log-distance path-loss model producing per-user amplitude gains.
 ///
 /// `h² = g0 · (d0 / d)^γ · 10^(X/10)` with `X ~ N(0, σ_shadow²)` dB.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PathLossModel {
     /// Power gain `g0` at the reference distance.
     pub reference_gain: f64,
@@ -128,7 +127,7 @@ impl PathLossModel {
 
     /// Samples a power gain `h²` at distance `d`, applying log-normal
     /// shadowing drawn from `rng`.
-    pub fn sample_power_gain<R: Rng + ?Sized>(&self, distance_m: f64, rng: &mut R) -> f64 {
+    pub fn sample_power_gain(&self, distance_m: f64, rng: &mut Rng) -> f64 {
         let mean = self.mean_power_gain(distance_m);
         if self.shadowing_db == 0.0 {
             return mean;
@@ -138,27 +137,23 @@ impl PathLossModel {
     }
 
     /// Samples the amplitude gain `h` (square root of the power gain).
-    pub fn sample_amplitude_gain<R: Rng + ?Sized>(&self, distance_m: f64, rng: &mut R) -> f64 {
+    pub fn sample_amplitude_gain(&self, distance_m: f64, rng: &mut Rng) -> f64 {
         self.sample_power_gain(distance_m, rng).sqrt()
     }
 }
 
 /// Draws one standard-normal variate via the Box–Muller transform.
 ///
-/// Implemented in-repo so the only randomness dependency stays `rand`
-/// (see DESIGN.md §3).
-pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    // u1 in (0, 1] to keep ln(u1) finite.
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+/// Thin forwarding wrapper kept for API continuity; the
+/// implementation lives in [`detrand::Rng::standard_normal`] so every
+/// crate shares one bit-stable normal sampler (see DESIGN.md §3).
+pub fn standard_normal(rng: &mut Rng) -> f64 {
+    rng.standard_normal()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn environment_rejects_nonpositive_parameters() {
@@ -204,7 +199,7 @@ mod tests {
     #[test]
     fn sampling_without_shadowing_is_deterministic() {
         let model = PathLossModel { shadowing_db: 0.0, ..PathLossModel::default() };
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let g = model.sample_power_gain(150.0, &mut rng);
         assert_eq!(g, model.mean_power_gain(150.0));
     }
@@ -212,7 +207,7 @@ mod tests {
     #[test]
     fn shadowing_perturbs_but_preserves_scale() {
         let model = PathLossModel::default();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         let mean = model.mean_power_gain(100.0);
         for _ in 0..100 {
             let g = model.sample_power_gain(100.0, &mut rng);
@@ -224,14 +219,14 @@ mod tests {
     #[test]
     fn amplitude_gain_is_sqrt_of_power_gain() {
         let model = PathLossModel { shadowing_db: 0.0, ..PathLossModel::default() };
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let h = model.sample_amplitude_gain(100.0, &mut rng);
         assert!((h * h - model.mean_power_gain(100.0)).abs() < 1e-15);
     }
 
     #[test]
     fn standard_normal_has_roughly_zero_mean_unit_variance() {
-        let mut rng = StdRng::seed_from_u64(123);
+        let mut rng = Rng::seed_from_u64(123);
         let n = 20_000;
         let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;

@@ -1,6 +1,5 @@
 //! Per-user uplink: upload delay and energy (paper Eq. 7–8).
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::{MecError, Result};
 use crate::units::{Bits, BitsPerSecond, Joules, Seconds, Watts};
@@ -23,7 +22,7 @@ use crate::units::{Bits, BitsPerSecond, Joules, Seconds, Watts};
 /// assert_eq!(up.upload_energy(Bits::from_megabits(40.0)).get(), 1.0);
 /// # Ok::<(), mec_sim::MecError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Uplink {
     power: Watts,
     rate: BitsPerSecond,

@@ -9,7 +9,6 @@
 //! the chosen operating frequency, and `α/2` the effective switched
 //! capacitance of the chip.
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::{MecError, Result};
 use crate::units::{Cycles, Hertz, Joules, Seconds};
@@ -32,7 +31,7 @@ pub const PAPER_ALPHA: f64 = 2.0e-28;
 /// assert_eq!(range.clamp(Hertz::from_ghz(3.0)), Hertz::from_ghz(2.0));
 /// # Ok::<(), mec_sim::MecError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FrequencyRange {
     min: Hertz,
     max: Hertz,
@@ -85,7 +84,7 @@ impl FrequencyRange {
 }
 
 /// A DVFS-capable CPU with an operating range and switched capacitance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DvfsCpu {
     range: FrequencyRange,
     /// Effective switched-capacitance coefficient α (Eq. 5 uses α/2).

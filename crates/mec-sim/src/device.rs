@@ -1,6 +1,5 @@
 //! Heterogeneous user devices (the `v_q` of the paper).
 
-use serde::{Deserialize, Serialize};
 
 use crate::comm::Uplink;
 use crate::cpu::DvfsCpu;
@@ -8,10 +7,7 @@ use crate::error::{MecError, Result};
 use crate::units::{Bits, Cycles, Hertz, Joules, Seconds};
 
 /// Stable identifier of a user device within a population.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceId(pub usize);
 
 impl core::fmt::Display for DeviceId {
@@ -42,7 +38,7 @@ impl core::fmt::Display for DeviceId {
 /// assert_eq!(total.get(), 7.5);
 /// # Ok::<(), mec_sim::MecError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Device {
     id: DeviceId,
     cpu: DvfsCpu,

@@ -5,9 +5,7 @@
 //! 0.2 W transmit power, and a 2 MHz TDMA system. [`PopulationBuilder`]
 //! reproduces that setting by default and exposes every knob.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use detrand::Rng;
 
 use crate::channel::{PathLossModel, RadioEnvironment};
 use crate::comm::Uplink;
@@ -27,7 +25,7 @@ use crate::units::{Hertz, Watts};
 /// assert_eq!(pop.len(), 100);
 /// # Ok::<(), mec_sim::MecError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PopulationBuilder {
     num_devices: usize,
     f_min: Hertz,
@@ -157,17 +155,17 @@ impl PopulationBuilder {
                 max: self.f_max_high,
             });
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut devices = Vec::with_capacity(self.num_devices);
         for i in 0..self.num_devices {
             let f_max = if self.f_max_low == self.f_max_high {
                 self.f_max_high
             } else {
-                Hertz::new(rng.gen_range(self.f_max_low.get()..=self.f_max_high.get()))
+                Hertz::new(rng.uniform(self.f_max_low.get(), self.f_max_high.get()))
             };
             let cpu = DvfsCpu::new(FrequencyRange::new(self.f_min, f_max)?, self.alpha)?;
             let distance =
-                rng.gen_range(self.distance_range_m.0..=self.distance_range_m.1);
+                rng.uniform(self.distance_range_m.0, self.distance_range_m.1);
             let gain = self.path_loss.sample_amplitude_gain(distance, &mut rng);
             let rate = self.environment.uplink_rate(self.transmit_power, gain);
             let uplink = Uplink::new(self.transmit_power, rate)?;
@@ -184,7 +182,7 @@ impl PopulationBuilder {
 }
 
 /// A generated fleet of heterogeneous user devices.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Population {
     devices: Vec<Device>,
     environment: RadioEnvironment,

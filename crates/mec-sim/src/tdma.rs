@@ -7,7 +7,6 @@
 //! it idles until the previous upload completes. That idle interval is
 //! the *slack time* Alg. 3 converts into energy savings.
 
-use serde::{Deserialize, Serialize};
 
 use crate::device::DeviceId;
 use crate::units::Seconds;
@@ -15,7 +14,7 @@ use crate::units::Seconds;
 /// An upload request: a device that finishes computing at
 /// `compute_finish` (relative to the round start) and then needs the
 /// channel for `upload_duration`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UploadRequest {
     /// The requesting device.
     pub device: DeviceId,
@@ -26,7 +25,7 @@ pub struct UploadRequest {
 }
 
 /// A scheduled, serialized channel occupation for one device.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UploadSlot {
     /// The uploading device.
     pub device: DeviceId,
@@ -48,7 +47,7 @@ impl UploadSlot {
 }
 
 /// The serialized TDMA schedule of one FL round.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TdmaSchedule {
     slots: Vec<UploadSlot>,
 }

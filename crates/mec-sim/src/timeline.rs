@@ -7,7 +7,6 @@
 //! (Eq. 10–11), per-device slack, and an ASCII Gantt rendering of the
 //! Fig. 1 schedule.
 
-use serde::{Deserialize, Serialize};
 
 use crate::device::{Device, DeviceId};
 use crate::error::{MecError, Result};
@@ -15,7 +14,7 @@ use crate::tdma::{TdmaSchedule, UploadRequest};
 use crate::units::{Bits, Hertz, Joules, Seconds};
 
 /// One device's fully-resolved activity within a round.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceActivity {
     /// The device.
     pub device: DeviceId,
@@ -54,7 +53,7 @@ impl DeviceActivity {
 }
 
 /// The resolved timeline of one synchronous round.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundTimeline {
     activities: Vec<DeviceActivity>,
     payload: Bits,

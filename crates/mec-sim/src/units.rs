@@ -23,16 +23,12 @@
 use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
-use serde::{Deserialize, Serialize};
 
 /// Defines an `f64`-backed quantity newtype with the shared trait surface.
 macro_rules! quantity {
     ($(#[$doc:meta])* $name:ident, $unit:literal) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize,
-        )]
-        #[serde(transparent)]
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
         pub struct $name(f64);
 
         impl $name {

@@ -13,6 +13,17 @@ pub fn relu(x: &Matrix) -> Matrix {
     out
 }
 
+/// Applies ReLU element-wise into a caller-owned buffer (resized as
+/// needed; zero allocation at steady state).
+pub fn relu_into(x: &Matrix, out: &mut Matrix) {
+    out.copy_from(x);
+    for v in out.as_mut_slice() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
 /// Masks `grad` by the ReLU derivative evaluated at pre-activation
 /// `z` in place: `grad[i] = 0` wherever `z[i] <= 0`.
 ///

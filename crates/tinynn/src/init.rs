@@ -1,7 +1,6 @@
 //! Seeded weight initialization.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use detrand::Rng;
 
 use crate::error::Result;
 use crate::tensor::Matrix;
@@ -24,7 +23,7 @@ impl Init {
     /// # Errors
     ///
     /// Returns [`crate::NnError::ZeroDimension`] for empty shapes.
-    pub fn sample(self, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Result<Matrix> {
+    pub fn sample(self, fan_in: usize, fan_out: usize, rng: &mut Rng) -> Result<Matrix> {
         let mut m = Matrix::zeros(fan_in, fan_out)?;
         let bound = match self {
             Self::HeUniform => (6.0 / fan_in as f32).sqrt(),
@@ -32,7 +31,7 @@ impl Init {
             Self::Zeros => return Ok(m),
         };
         for v in m.as_mut_slice() {
-            *v = rng.gen_range(-bound..=bound);
+            *v = rng.uniform_f32(-bound, bound);
         }
         Ok(m)
     }
@@ -44,7 +43,7 @@ impl Init {
     ///
     /// Same conditions as [`Init::sample`].
     pub fn sample_seeded(self, fan_in: usize, fan_out: usize, seed: u64) -> Result<Matrix> {
-        self.sample(fan_in, fan_out, &mut StdRng::seed_from_u64(seed))
+        self.sample(fan_in, fan_out, &mut Rng::seed_from_u64(seed))
     }
 }
 

@@ -1,28 +1,39 @@
 //! Fully-connected layer.
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::{NnError, Result};
 use crate::init::Init;
 use crate::tensor::Matrix;
-use rand::rngs::StdRng;
+use detrand::Rng;
 
 /// A dense (fully-connected) layer `y = x·W + b`.
 ///
 /// Weights are `fan_in × fan_out`; bias is a length-`fan_out` vector.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dense {
     weights: Matrix,
     bias: Vec<f32>,
 }
 
 /// Parameter gradients of one [`Dense`] layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DenseGrad {
     /// Gradient w.r.t. the weights.
     pub weights: Matrix,
     /// Gradient w.r.t. the bias.
     pub bias: Vec<f32>,
+}
+
+impl DenseGrad {
+    /// Zero-valued gradients shaped for a `fan_in × fan_out` layer —
+    /// the reusable storage behind [`Dense::backward_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ZeroDimension`] for empty shapes.
+    pub fn zeros(fan_in: usize, fan_out: usize) -> Result<Self> {
+        Ok(Self { weights: Matrix::zeros(fan_in, fan_out)?, bias: vec![0.0; fan_out] })
+    }
 }
 
 impl Dense {
@@ -31,7 +42,7 @@ impl Dense {
     /// # Errors
     ///
     /// Returns [`NnError::ZeroDimension`] for empty shapes.
-    pub fn new(fan_in: usize, fan_out: usize, init: Init, rng: &mut StdRng) -> Result<Self> {
+    pub fn new(fan_in: usize, fan_out: usize, init: Init, rng: &mut Rng) -> Result<Self> {
         Ok(Self { weights: init.sample(fan_in, fan_out, rng)?, bias: vec![0.0; fan_out] })
     }
 
@@ -93,6 +104,17 @@ impl Dense {
         Ok(out)
     }
 
+    /// Forward pass `x·W + b` into a caller-owned buffer (resized as
+    /// needed; zero allocation at steady state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `x.cols() != fan_in`.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) -> Result<()> {
+        x.matmul_into(&self.weights, out)?;
+        out.add_row_broadcast(&self.bias)
+    }
+
     /// Backward pass: given the input `x` and the upstream gradient
     /// `dz` (w.r.t. this layer's output), returns this layer's
     /// parameter gradients and the gradient w.r.t. `x`.
@@ -101,10 +123,29 @@ impl Dense {
     ///
     /// Returns [`NnError::ShapeMismatch`] on inconsistent shapes.
     pub fn backward(&self, x: &Matrix, dz: &Matrix) -> Result<(DenseGrad, Matrix)> {
-        let d_weights = x.matmul_tn(dz)?;
-        let d_bias = dz.col_sums();
-        let dx = dz.matmul_nt(&self.weights)?;
-        Ok((DenseGrad { weights: d_weights, bias: d_bias }, dx))
+        let mut grad = DenseGrad::zeros(self.fan_in(), self.fan_out())?;
+        let mut dx = Matrix::zeros(dz.rows(), self.fan_in())?;
+        self.backward_into(x, dz, &mut grad, &mut dx)?;
+        Ok((grad, dx))
+    }
+
+    /// Backward pass writing the parameter gradients and the input
+    /// gradient into caller-owned buffers (resized as needed; zero
+    /// allocation at steady state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] on inconsistent shapes.
+    pub fn backward_into(
+        &self,
+        x: &Matrix,
+        dz: &Matrix,
+        grad: &mut DenseGrad,
+        dx: &mut Matrix,
+    ) -> Result<()> {
+        x.matmul_tn_into(dz, &mut grad.weights)?;
+        dz.col_sums_into(&mut grad.bias);
+        dz.matmul_nt_into(&self.weights, dx)
     }
 
     /// In-place gradient-descent step `θ ← θ - lr·∇θ` (paper Eq. 3).
@@ -156,7 +197,6 @@ impl Dense {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn layer() -> Dense {
         let w = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[1.0, 1.0]]).unwrap();
@@ -215,7 +255,7 @@ mod tests {
 
     #[test]
     fn parameter_roundtrip_preserves_layer() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let l = Dense::new(4, 3, Init::HeUniform, &mut rng).unwrap();
         let mut flat = Vec::new();
         l.write_parameters(&mut flat);

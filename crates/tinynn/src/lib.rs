@@ -6,8 +6,9 @@
 //! the flat-parameter view federated averaging (Eq. 18) requires.
 //!
 //! Everything is deterministic given a seed and entirely
-//! dependency-free beyond `rand`/`serde` — see DESIGN.md §3/§4 for why
-//! the reproduction substitutes an MLP for SqueezeNet.
+//! dependency-free (randomness comes from the workspace's own
+//! `detrand` crate) — see DESIGN.md §3/§4 for why the reproduction
+//! substitutes an MLP for SqueezeNet.
 //!
 //! ## Quick tour
 //!

@@ -6,19 +6,19 @@
 //! [`Mlp::set_parameters`]) and a *single full-batch gradient-descent
 //! step* ([`Mlp::train_step`], paper Eq. 3).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use detrand::Rng;
 
-use crate::activation::{relu, relu_backward_inplace};
+use crate::activation::{relu, relu_backward_inplace, relu_into};
 use crate::error::{NnError, Result};
 use crate::init::Init;
 use crate::layer::{Dense, DenseGrad};
-use crate::loss::{softmax_cross_entropy, softmax_cross_entropy_loss};
+use crate::loss::{
+    softmax_cross_entropy, softmax_cross_entropy_into, softmax_cross_entropy_loss,
+};
 use crate::tensor::Matrix;
 
 /// Gradients of all layers of an [`Mlp`], ordered input → output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Gradients {
     layers: Vec<DenseGrad>,
 }
@@ -40,6 +40,60 @@ impl Gradients {
     }
 }
 
+/// Reusable forward/backward workspace for one [`Mlp`] shape.
+///
+/// Holds every intermediate buffer a training step needs —
+/// pre-activations, hidden activations, the two alternating
+/// upstream-gradient buffers, and the parameter-gradient storage — so
+/// [`Mlp::train_step_with`] performs **zero heap allocation at steady
+/// state**: buffers grow to the largest batch seen, then are reused.
+/// In the parallel round engine each worker thread owns one scratch
+/// and reuses it across all clients it trains.
+#[derive(Debug, Clone)]
+pub struct TrainScratch {
+    /// Pre-activation output of each layer (`z = x·W + b`); the last
+    /// entry holds the logits.
+    pre: Vec<Matrix>,
+    /// Post-ReLU activation of each hidden layer.
+    acts: Vec<Matrix>,
+    /// Upstream gradient buffers, swapped while walking backward.
+    dz: Matrix,
+    dx: Matrix,
+    /// Parameter-gradient storage.
+    grads: Gradients,
+}
+
+impl TrainScratch {
+    /// Creates a scratch sized for `model` (buffers start minimal and
+    /// grow to the steady-state batch size on first use).
+    ///
+    /// # Errors
+    ///
+    /// Propagates buffer-construction errors (unreachable for a valid
+    /// model).
+    pub fn for_model(model: &Mlp) -> Result<Self> {
+        let num_layers = model.layers.len();
+        let placeholder = Matrix::zeros(1, 1)?;
+        let mut grads = Vec::with_capacity(num_layers);
+        for layer in &model.layers {
+            grads.push(DenseGrad::zeros(layer.fan_in(), layer.fan_out())?);
+        }
+        Ok(Self {
+            pre: vec![placeholder.clone(); num_layers],
+            acts: vec![placeholder.clone(); num_layers.saturating_sub(1)],
+            dz: placeholder.clone(),
+            dx: placeholder,
+            grads: Gradients { layers: grads },
+        })
+    }
+
+    /// The gradients computed by the most recent
+    /// [`Mlp::gradients_into`] call.
+    pub fn gradients(&self) -> &Gradients {
+        &self.grads
+    }
+}
+
 /// A ReLU MLP classifier.
 ///
 /// # Examples
@@ -58,7 +112,7 @@ impl Gradients {
 /// assert!(model.loss(&x, &[2])? < before);
 /// # Ok::<(), tinynn::NnError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
     dims: Vec<usize>,
     layers: Vec<Dense>,
@@ -76,7 +130,7 @@ impl Mlp {
         if dims.len() < 2 || dims.contains(&0) {
             return Err(NnError::ZeroDimension { context: "Mlp::new dims" });
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for w in dims.windows(2) {
             let init =
@@ -195,6 +249,59 @@ impl Mlp {
         Ok((loss, Gradients { layers: grads }))
     }
 
+    /// [`Mlp::gradients`] without allocation: the loss is returned and
+    /// the gradients land in `scratch` ([`TrainScratch::gradients`]).
+    ///
+    /// Bit-identical to [`Mlp::gradients`] — both run the same blocked
+    /// kernels in the same order — which a unit test pins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/label validation errors, and
+    /// [`NnError::ParameterCountMismatch`] if `scratch` was built for a
+    /// differently-shaped model.
+    pub fn gradients_into(
+        &self,
+        x: &Matrix,
+        labels: &[usize],
+        scratch: &mut TrainScratch,
+    ) -> Result<f32> {
+        if scratch.grads.layers.len() != self.layers.len() {
+            return Err(NnError::ParameterCountMismatch {
+                expected: self.layers.len(),
+                actual: scratch.grads.layers.len(),
+            });
+        }
+        // Forward, caching pre-activations and hidden activations in
+        // the reusable buffers.
+        for (i, layer) in self.layers.iter().enumerate() {
+            let input = if i == 0 { x } else { &scratch.acts[i - 1] };
+            layer.forward_into(input, &mut scratch.pre[i])?;
+            if i + 1 < self.layers.len() {
+                let (pre_i, act_i) = (&scratch.pre[i], &mut scratch.acts[i]);
+                relu_into(pre_i, act_i);
+            }
+        }
+        let logits = scratch.pre.last().expect("at least one layer");
+        let loss = softmax_cross_entropy_into(logits, labels, &mut scratch.dz)?;
+
+        // Backward through layers, alternating the dz/dx buffers.
+        for i in (0..self.layers.len()).rev() {
+            let input = if i == 0 { x } else { &scratch.acts[i - 1] };
+            self.layers[i].backward_into(
+                input,
+                &scratch.dz,
+                &mut scratch.grads.layers[i],
+                &mut scratch.dx,
+            )?;
+            if i > 0 {
+                relu_backward_inplace(&mut scratch.dx, &scratch.pre[i - 1]);
+                core::mem::swap(&mut scratch.dz, &mut scratch.dx);
+            }
+        }
+        Ok(loss)
+    }
+
     /// One full-batch gradient-descent step at learning rate `lr`
     /// (paper Eq. 3), returning the pre-step loss.
     ///
@@ -205,6 +312,56 @@ impl Mlp {
         let (loss, grads) = self.gradients(x, labels)?;
         self.apply_gradients(&grads, lr)?;
         Ok(loss)
+    }
+
+    /// [`Mlp::train_step`] without allocation: gradients are computed
+    /// into `scratch` and applied in place. This is the step the
+    /// parallel round engine's per-worker trainers run.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Mlp::gradients_into`].
+    pub fn train_step_with(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        lr: f32,
+        scratch: &mut TrainScratch,
+    ) -> Result<f32> {
+        let loss = self.gradients_into(x, labels, scratch)?;
+        // Split the borrow: gradients live in scratch, weights in self.
+        for (layer, grad) in self.layers.iter_mut().zip(&scratch.grads.layers) {
+            layer.apply_step(grad, lr)?;
+        }
+        Ok(loss)
+    }
+
+    /// Forward pass into `scratch`'s buffers, returning the logits by
+    /// reference — the allocation-free evaluation path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Mlp::forward`].
+    pub fn forward_with<'s>(
+        &self,
+        x: &Matrix,
+        scratch: &'s mut TrainScratch,
+    ) -> Result<&'s Matrix> {
+        if scratch.pre.len() != self.layers.len() {
+            return Err(NnError::ParameterCountMismatch {
+                expected: self.layers.len(),
+                actual: scratch.pre.len(),
+            });
+        }
+        for (i, layer) in self.layers.iter().enumerate() {
+            let input = if i == 0 { x } else { &scratch.acts[i - 1] };
+            layer.forward_into(input, &mut scratch.pre[i])?;
+            if i + 1 < self.layers.len() {
+                let (pre_i, act_i) = (&scratch.pre[i], &mut scratch.acts[i]);
+                relu_into(pre_i, act_i);
+            }
+        }
+        Ok(scratch.pre.last().expect("at least one layer"))
     }
 
     /// Applies precomputed gradients with learning rate `lr`.
@@ -385,6 +542,53 @@ mod tests {
         let x = Matrix::zeros(2, 2).unwrap();
         assert!(m.accuracy(&x, &[]).is_err());
         assert!(m.accuracy(&x, &[0]).is_err());
+    }
+
+    #[test]
+    fn gradients_into_is_bit_identical_to_gradients() {
+        let (x, y) = toy_batch();
+        let m = Mlp::new(&[2, 4, 3, 2], 11).unwrap();
+        let (loss, grads) = m.gradients(&x, &y).unwrap();
+        let mut scratch = TrainScratch::for_model(&m).unwrap();
+        // Run twice so the second pass exercises fully-reused buffers.
+        for _ in 0..2 {
+            let loss2 = m.gradients_into(&x, &y, &mut scratch).unwrap();
+            assert_eq!(loss, loss2);
+            assert_eq!(&grads, scratch.gradients());
+        }
+    }
+
+    #[test]
+    fn forward_with_matches_forward() {
+        let (x, _) = toy_batch();
+        let m = Mlp::new(&[2, 5, 2], 4).unwrap();
+        let want = m.forward(&x).unwrap();
+        let mut scratch = TrainScratch::for_model(&m).unwrap();
+        let got = m.forward_with(&x, &mut scratch).unwrap();
+        assert_eq!(&want, got);
+    }
+
+    #[test]
+    fn train_step_with_matches_train_step() {
+        let (x, y) = toy_batch();
+        let mut a = Mlp::new(&[2, 6, 2], 2).unwrap();
+        let mut b = a.clone();
+        let mut scratch = TrainScratch::for_model(&b).unwrap();
+        for _ in 0..5 {
+            let la = a.train_step(&x, &y, 0.3).unwrap();
+            let lb = b.train_step_with(&x, &y, 0.3, &mut scratch).unwrap();
+            assert_eq!(la, lb);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_rejects_mismatched_model() {
+        let (x, y) = toy_batch();
+        let m = Mlp::new(&[2, 4, 2], 0).unwrap();
+        let other = Mlp::new(&[2, 4, 4, 2], 0).unwrap();
+        let mut scratch = TrainScratch::for_model(&other).unwrap();
+        assert!(m.gradients_into(&x, &y, &mut scratch).is_err());
     }
 
     #[test]

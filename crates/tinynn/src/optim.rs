@@ -7,14 +7,13 @@
 //! reproduction's experiments use plain GD to stay faithful; the
 //! `custom_selector` example and several tests exercise this path.
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::{NnError, Result};
 use crate::model::{Gradients, Mlp};
 use crate::tensor::Matrix;
 
 /// Learning-rate schedules.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LrSchedule {
     /// Constant rate (the paper's τ).
     Constant,
@@ -69,7 +68,7 @@ impl LrSchedule {
 /// assert_eq!(model.accuracy(&x, &y)?, 1.0);
 /// # Ok::<(), tinynn::NnError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sgd {
     base_lr: f32,
     momentum: f32,

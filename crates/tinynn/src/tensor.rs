@@ -1,14 +1,23 @@
 //! A minimal row-major `f32` matrix — the only tensor the FL
 //! simulation needs.
 //!
-//! The design goal is *clarity and determinism*, not peak FLOPs: the
-//! training workloads in this reproduction are small MLPs (see
-//! DESIGN.md §4), and a straightforward cache-friendly `ikj` matmul is
-//! ample.
-
-use serde::{Deserialize, Serialize};
+//! The design goals are *determinism* and *allocation discipline*: the
+//! hot kernels (`matmul`, `matmul_tn`, `matmul_nt`) come in `_into`
+//! variants that write into caller-owned buffers, blocked over the
+//! reduction dimension for cache locality, so steady-state training
+//! performs zero heap allocation per step. Summation order per output
+//! element is fixed (ascending `k`) regardless of blocking, which
+//! keeps results bit-identical across buffer reuse and thread counts.
 
 use crate::error::{NnError, Result};
+
+/// Row-block size for the blocked kernels: output rows processed per
+/// tile so their accumulators stay resident in L1.
+const BLOCK_ROWS: usize = 64;
+
+/// Reduction-block size: `k` values consumed per tile, sized so a
+/// `BLOCK_K × cols` panel of the right-hand side stays cache-warm.
+const BLOCK_K: usize = 256;
 
 /// A dense row-major matrix of `f32`.
 ///
@@ -23,7 +32,7 @@ use crate::error::{NnError, Result};
 /// assert_eq!(c, a);
 /// # Ok::<(), tinynn::NnError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -186,6 +195,36 @@ impl Matrix {
         Self::from_vec(indices.len(), self.cols, data)
     }
 
+    /// Reshapes this matrix to `rows × cols`, reusing the existing
+    /// allocation when capacity allows. Contents become all zeros.
+    ///
+    /// This is the buffer-reuse primitive behind every `_into` kernel:
+    /// once a scratch matrix has grown to its steady-state size,
+    /// resizing is a `memset`, not an allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ZeroDimension`] if either dimension is zero.
+    pub fn resize(&mut self, rows: usize, cols: usize) -> Result<()> {
+        if rows == 0 || cols == 0 {
+            return Err(NnError::ZeroDimension { context: "Matrix::resize" });
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        Ok(())
+    }
+
+    /// Copies `src` into `self`, resizing as needed (no allocation once
+    /// capacity suffices).
+    pub fn copy_from(&mut self, src: &Self) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Matrix product `self · rhs`.
     ///
     /// # Errors
@@ -193,6 +232,25 @@ impl Matrix {
     /// Returns [`NnError::ShapeMismatch`] unless
     /// `self.cols == rhs.rows`.
     pub fn matmul(&self, rhs: &Self) -> Result<Self> {
+        let mut out = Self::zeros(self.rows, rhs.cols)?;
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Blocked matrix product `self · rhs` written into `out`
+    /// (resized as needed; zero allocation at steady state).
+    ///
+    /// Tiles `BLOCK_ROWS × BLOCK_K` panels so the output rows and the
+    /// active slice of `rhs` stay cache-resident, while preserving the
+    /// ascending-`k` accumulation order of the naive `ikj` loop — the
+    /// result is bit-identical to the unblocked kernel. Zero entries of
+    /// `self` are skipped, which ReLU activations make frequent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless
+    /// `self.cols == rhs.rows`.
+    pub fn matmul_into(&self, rhs: &Self, out: &mut Self) -> Result<()> {
         if self.cols != rhs.rows {
             return Err(NnError::ShapeMismatch {
                 left: self.shape(),
@@ -200,22 +258,27 @@ impl Matrix {
                 op: "matmul",
             });
         }
-        let mut out = Self::zeros(self.rows, rhs.cols)?;
-        // ikj order: stream rhs rows, accumulate into the output row.
-        for i in 0..self.rows {
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
+        out.resize(self.rows, rhs.cols)?;
+        for i0 in (0..self.rows).step_by(BLOCK_ROWS) {
+            let i1 = (i0 + BLOCK_ROWS).min(self.rows);
+            for k0 in (0..self.cols).step_by(BLOCK_K) {
+                let k1 = (k0 + BLOCK_K).min(self.cols);
+                for i in i0..i1 {
+                    let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                    let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                    for (k, &a) in lhs_row.iter().enumerate().take(k1).skip(k0) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                        for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                            *o += a * b;
+                        }
+                    }
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Transposed-left product `selfᵀ · rhs` without materializing the
@@ -226,6 +289,23 @@ impl Matrix {
     /// Returns [`NnError::ShapeMismatch`] unless
     /// `self.rows == rhs.rows`.
     pub fn matmul_tn(&self, rhs: &Self) -> Result<Self> {
+        let mut out = Self::zeros(self.cols, rhs.cols)?;
+        self.matmul_tn_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Blocked `selfᵀ · rhs` written into `out` (resized as needed).
+    ///
+    /// The reduction runs over the shared row index `r`; blocking tiles
+    /// `r` so the active panels of both operands stay cache-resident.
+    /// `r` ascends within and across tiles, so accumulation order —
+    /// and therefore the float result — matches the naive loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless
+    /// `self.rows == rhs.rows`.
+    pub fn matmul_tn_into(&self, rhs: &Self, out: &mut Self) -> Result<()> {
         if self.rows != rhs.rows {
             return Err(NnError::ShapeMismatch {
                 left: self.shape(),
@@ -233,21 +313,24 @@ impl Matrix {
                 op: "matmul_tn",
             });
         }
-        let mut out = Self::zeros(self.cols, rhs.cols)?;
-        for r in 0..self.rows {
-            let left_row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let right_row = &rhs.data[r * rhs.cols..(r + 1) * rhs.cols];
-            for (i, &a) in left_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(right_row) {
-                    *o += a * b;
+        out.resize(self.cols, rhs.cols)?;
+        for r0 in (0..self.rows).step_by(BLOCK_K) {
+            let r1 = (r0 + BLOCK_K).min(self.rows);
+            for r in r0..r1 {
+                let left_row = &self.data[r * self.cols..(r + 1) * self.cols];
+                let right_row = &rhs.data[r * rhs.cols..(r + 1) * rhs.cols];
+                for (i, &a) in left_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                    for (o, &b) in out_row.iter_mut().zip(right_row) {
+                        *o += a * b;
+                    }
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Transposed-right product `self · rhsᵀ` without materializing the
@@ -258,6 +341,22 @@ impl Matrix {
     /// Returns [`NnError::ShapeMismatch`] unless
     /// `self.cols == rhs.cols`.
     pub fn matmul_nt(&self, rhs: &Self) -> Result<Self> {
+        let mut out = Self::zeros(self.rows, rhs.rows)?;
+        self.matmul_nt_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Blocked `self · rhsᵀ` written into `out` (resized as needed).
+    ///
+    /// Each output element is an independent dot product over the
+    /// shared column index; blocking tiles the `rhs` rows (`j`) so a
+    /// panel of them is reused across every `self` row while resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless
+    /// `self.cols == rhs.cols`.
+    pub fn matmul_nt_into(&self, rhs: &Self, out: &mut Self) -> Result<()> {
         if self.cols != rhs.cols {
             return Err(NnError::ShapeMismatch {
                 left: self.shape(),
@@ -265,19 +364,22 @@ impl Matrix {
                 op: "matmul_nt",
             });
         }
-        let mut out = Self::zeros(self.rows, rhs.rows)?;
-        for i in 0..self.rows {
-            let left_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..rhs.rows {
-                let right_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                let mut acc = 0.0;
-                for (&a, &b) in left_row.iter().zip(right_row) {
-                    acc += a * b;
+        out.resize(self.rows, rhs.rows)?;
+        for j0 in (0..rhs.rows).step_by(BLOCK_ROWS) {
+            let j1 = (j0 + BLOCK_ROWS).min(rhs.rows);
+            for i in 0..self.rows {
+                let left_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                for j in j0..j1 {
+                    let right_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                    let mut acc = 0.0;
+                    for (&a, &b) in left_row.iter().zip(right_row) {
+                        acc += a * b;
+                    }
+                    out.data[i * rhs.rows + j] = acc;
                 }
-                out.data[i * rhs.rows + j] = acc;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Adds `row` to every row of `self` in place (bias broadcast).
@@ -306,12 +408,69 @@ impl Matrix {
     /// Column sums as a vector of length `cols` (bias gradients).
     pub fn col_sums(&self) -> Vec<f32> {
         let mut sums = vec![0.0; self.cols];
+        self.col_sums_into(&mut sums);
+        sums
+    }
+
+    /// Column sums written into a caller-owned vector (cleared and
+    /// resized as needed; zero allocation at steady state).
+    pub fn col_sums_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
         for r in 0..self.rows {
-            for (s, &v) in sums.iter_mut().zip(self.row(r)) {
+            for (s, &v) in out.iter_mut().zip(self.row(r)) {
                 *s += v;
             }
         }
-        sums
+    }
+
+    /// Copies the given rows of `self`, in order, into a caller-owned
+    /// matrix (resized as needed; zero allocation at steady state).
+    /// The gather primitive behind minibatch sampling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ZeroDimension`] for an empty index set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Self) -> Result<()> {
+        if indices.is_empty() {
+            return Err(NnError::ZeroDimension { context: "Matrix::gather_rows_into" });
+        }
+        out.rows = indices.len();
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.reserve(indices.len() * self.cols);
+        for &i in indices {
+            out.data.extend_from_slice(self.row(i));
+        }
+        Ok(())
+    }
+
+    /// Copies the contiguous row range `start..start + len` into a
+    /// caller-owned matrix (resized as needed; zero allocation at
+    /// steady state). The block-extraction primitive behind chunked
+    /// parallel evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ZeroDimension`] if `len == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the row count.
+    pub fn copy_rows_into(&self, start: usize, len: usize, out: &mut Self) -> Result<()> {
+        if len == 0 {
+            return Err(NnError::ZeroDimension { context: "Matrix::copy_rows_into" });
+        }
+        assert!(start + len <= self.rows, "row range out of bounds");
+        out.rows = len;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.extend_from_slice(&self.data[start * self.cols..(start + len) * self.cols]);
+        Ok(())
     }
 
     /// Element-wise in-place addition of `rhs * scale`.

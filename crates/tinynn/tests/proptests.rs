@@ -1,130 +1,191 @@
-//! Property-based tests for the neural-network substrate.
+//! Property-style tests for the neural-network substrate.
+//!
+//! Formerly backed by the `proptest` crate; rewritten as deterministic
+//! seeded case loops over [`detrand::Rng`] so `cargo test` runs fully
+//! offline. The invariants are unchanged; each test draws a few
+//! hundred cases from a fixed seed, and the case index appears in
+//! every assertion message for reproducibility.
 
-use proptest::prelude::*;
+use detrand::Rng;
 use tinynn::activation::softmax_rows;
 use tinynn::loss::softmax_cross_entropy;
-use tinynn::model::Mlp;
+use tinynn::model::{Mlp, TrainScratch};
 use tinynn::tensor::Matrix;
 
-fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-5.0f32..5.0, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+const CASES: usize = 200;
+
+fn gen_matrix(rng: &mut Rng, rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.uniform_f32(-5.0, 5.0)).collect();
+    Matrix::from_vec(rows, cols, data).unwrap()
 }
 
-proptest! {
-    /// (A·B)·I == A·B and identity is neutral on both sides.
-    #[test]
-    fn identity_is_two_sided_neutral(a in matrix_strategy(4, 4)) {
-        let i = Matrix::identity(4);
-        prop_assert_eq!(a.matmul(&i).unwrap(), a.clone());
-        prop_assert_eq!(i.matmul(&a).unwrap(), a);
-    }
+fn gen_labels(rng: &mut Rng, n: usize, classes: usize) -> Vec<usize> {
+    (0..n).map(|_| rng.below(classes)).collect()
+}
 
-    /// matmul_tn and matmul_nt agree with explicit transposition
-    /// expressed through plain matmul.
-    #[test]
-    fn fused_transpose_products_agree_with_naive(
-        a in matrix_strategy(3, 5),
-        b in matrix_strategy(3, 2),
-    ) {
-        // Explicit transpose of `a`.
-        let mut at = Matrix::zeros(5, 3).unwrap();
-        for r in 0..3 {
-            for c in 0..5 {
-                at.set(c, r, a.at(r, c));
-            }
+fn explicit_transpose(m: &Matrix) -> Matrix {
+    let mut t = Matrix::zeros(m.cols(), m.rows()).unwrap();
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            t.set(c, r, m.at(r, c));
         }
-        let naive = at.matmul(&b).unwrap();
+    }
+    t
+}
+
+/// (A·B)·I == A·B and identity is neutral on both sides.
+#[test]
+fn identity_is_two_sided_neutral() {
+    let mut rng = Rng::seed_from_u64(0x4e4e_0001);
+    let i = Matrix::identity(4);
+    for case in 0..CASES {
+        let a = gen_matrix(&mut rng, 4, 4);
+        assert_eq!(a.matmul(&i).unwrap(), a, "case {case}: right identity");
+        assert_eq!(i.matmul(&a).unwrap(), a, "case {case}: left identity");
+    }
+}
+
+/// matmul_tn agrees with explicit transposition expressed through
+/// plain matmul.
+#[test]
+fn fused_transpose_products_agree_with_naive() {
+    let mut rng = Rng::seed_from_u64(0x4e4e_0002);
+    for case in 0..CASES {
+        let a = gen_matrix(&mut rng, 3, 5);
+        let b = gen_matrix(&mut rng, 3, 2);
+        let naive = explicit_transpose(&a).matmul(&b).unwrap();
         let fused = a.matmul_tn(&b).unwrap();
         for (x, y) in naive.as_slice().iter().zip(fused.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-4);
+            assert!((x - y).abs() < 1e-4, "case {case}: {x} vs {y}");
         }
     }
+}
 
-    /// matmul_nt(a, b) equals a·bᵀ computed naively.
-    #[test]
-    fn matmul_nt_matches_naive(
-        a in matrix_strategy(4, 3),
-        b in matrix_strategy(2, 3),
-    ) {
-        let mut bt = Matrix::zeros(3, 2).unwrap();
-        for r in 0..2 {
-            for c in 0..3 {
-                bt.set(c, r, b.at(r, c));
-            }
-        }
-        let naive = a.matmul(&bt).unwrap();
+/// matmul_nt(a, b) equals a·bᵀ computed naively.
+#[test]
+fn matmul_nt_matches_naive() {
+    let mut rng = Rng::seed_from_u64(0x4e4e_0003);
+    for case in 0..CASES {
+        let a = gen_matrix(&mut rng, 4, 3);
+        let b = gen_matrix(&mut rng, 2, 3);
+        let naive = a.matmul(&explicit_transpose(&b)).unwrap();
         let fused = a.matmul_nt(&b).unwrap();
         for (x, y) in naive.as_slice().iter().zip(fused.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-4);
+            assert!((x - y).abs() < 1e-4, "case {case}: {x} vs {y}");
         }
     }
+}
 
-    /// Softmax rows are probability distributions for any finite input.
-    #[test]
-    fn softmax_rows_are_distributions(m in matrix_strategy(5, 7)) {
+/// The blocked `_into` kernels are bit-identical to their allocating
+/// wrappers even on shapes larger than one block, and buffer reuse
+/// across mismatched shapes leaves no stale state behind.
+#[test]
+fn into_kernels_match_allocating_kernels_bitwise() {
+    let mut rng = Rng::seed_from_u64(0x4e4e_0008);
+    let mut out = Matrix::zeros(1, 1).unwrap();
+    for case in 0..24 {
+        let m = rng.range_usize(1, 90);
+        let k = rng.range_usize(1, 300);
+        let n = rng.range_usize(1, 40);
+        let a = gen_matrix(&mut rng, m, k);
+        let b = gen_matrix(&mut rng, k, n);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap(), "case {case}: matmul");
+        let c = gen_matrix(&mut rng, k, m);
+        c.matmul_tn_into(&b, &mut out).unwrap();
+        assert_eq!(out, c.matmul_tn(&b).unwrap(), "case {case}: matmul_tn");
+        let d = gen_matrix(&mut rng, n, k);
+        a.matmul_nt_into(&d, &mut out).unwrap();
+        assert_eq!(out, a.matmul_nt(&d).unwrap(), "case {case}: matmul_nt");
+    }
+}
+
+/// Softmax rows are probability distributions for any finite input.
+#[test]
+fn softmax_rows_are_distributions() {
+    let mut rng = Rng::seed_from_u64(0x4e4e_0004);
+    for case in 0..CASES {
+        let m = gen_matrix(&mut rng, 5, 7);
         let s = softmax_rows(&m);
         for r in 0..5 {
             let row = s.row(r);
-            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(
+                row.iter().all(|&v| (0.0..=1.0).contains(&v)),
+                "case {case}: entry outside [0, 1]"
+            );
             let sum: f32 = row.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-5);
+            assert!((sum - 1.0).abs() < 1e-5, "case {case}: row sums to {sum}");
         }
     }
+}
 
-    /// Cross-entropy loss is non-negative and its gradient rows sum to
-    /// ~0 (softmax-CE conservation).
-    #[test]
-    fn cross_entropy_invariants(
-        logits in matrix_strategy(6, 4),
-        labels in prop::collection::vec(0usize..4, 6),
-    ) {
+/// Cross-entropy loss is non-negative and its gradient rows sum to
+/// ~0 (softmax-CE conservation).
+#[test]
+fn cross_entropy_invariants() {
+    let mut rng = Rng::seed_from_u64(0x4e4e_0005);
+    for case in 0..CASES {
+        let logits = gen_matrix(&mut rng, 6, 4);
+        let labels = gen_labels(&mut rng, 6, 4);
         let (loss, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
-        prop_assert!(loss >= 0.0);
+        assert!(loss >= 0.0, "case {case}: negative loss {loss}");
         for r in 0..6 {
             let s: f32 = grad.row(r).iter().sum();
-            prop_assert!(s.abs() < 1e-5);
+            assert!(s.abs() < 1e-5, "case {case}: gradient row sums to {s}");
         }
     }
+}
 
-    /// Flat-parameter round trip is the identity for arbitrary
-    /// architectures.
-    #[test]
-    fn parameter_roundtrip_identity(
-        hidden in 1usize..16,
-        seed in 0u64..1000,
-    ) {
+/// Flat-parameter round trip is the identity for arbitrary
+/// architectures.
+#[test]
+fn parameter_roundtrip_identity() {
+    let mut rng = Rng::seed_from_u64(0x4e4e_0006);
+    for case in 0..64 {
+        let hidden = rng.range_usize(1, 16);
+        let seed = rng.next_u64();
         let dims = [5, hidden, 3];
         let m = Mlp::new(&dims, seed).unwrap();
         let mut copy = Mlp::new(&dims, seed.wrapping_add(1)).unwrap();
         copy.set_parameters(&m.parameters()).unwrap();
-        prop_assert_eq!(m, copy);
+        assert_eq!(m, copy, "case {case}");
     }
+}
 
-    /// A small-enough GD step never increases full-batch loss on a
-    /// smooth model (sanity of the backward pass).
-    #[test]
-    fn tiny_gd_step_does_not_increase_loss(
-        seed in 0u64..200,
-        x in matrix_strategy(8, 3),
-        labels in prop::collection::vec(0usize..3, 8),
-    ) {
+/// A small-enough GD step never increases full-batch loss on a smooth
+/// model (sanity of the backward pass), and the scratch-based step is
+/// bit-identical to the allocating one.
+#[test]
+fn tiny_gd_step_does_not_increase_loss() {
+    let mut rng = Rng::seed_from_u64(0x4e4e_0007);
+    for case in 0..64 {
+        let seed = rng.next_u64();
+        let x = gen_matrix(&mut rng, 8, 3);
+        let labels = gen_labels(&mut rng, 8, 3);
         let mut m = Mlp::new(&[3, 6, 3], seed).unwrap();
+        let mut m_scratch = m.clone();
+        let mut scratch = TrainScratch::for_model(&m_scratch).unwrap();
         let before = m.loss(&x, &labels).unwrap();
-        m.train_step(&x, &labels, 1e-3).unwrap();
+        let l1 = m.train_step(&x, &labels, 1e-3).unwrap();
+        let l2 = m_scratch.train_step_with(&x, &labels, 1e-3, &mut scratch).unwrap();
+        assert_eq!(l1, l2, "case {case}: scratch loss diverged");
+        assert_eq!(m, m_scratch, "case {case}: scratch parameters diverged");
         let after = m.loss(&x, &labels).unwrap();
-        prop_assert!(after <= before + 1e-4, "loss rose from {before} to {after}");
+        assert!(after <= before + 1e-4, "case {case}: loss rose from {before} to {after}");
     }
+}
 
-    /// FedAvg-style parameter averaging of two identical models is the
-    /// identity.
-    #[test]
-    fn averaging_identical_models_is_identity(seed in 0u64..500) {
-        let m = Mlp::new(&[4, 5, 2], seed).unwrap();
+/// FedAvg-style parameter averaging of two identical models is the
+/// identity.
+#[test]
+fn averaging_identical_models_is_identity() {
+    let mut rng = Rng::seed_from_u64(0x4e4e_0009);
+    for case in 0..CASES {
+        let m = Mlp::new(&[4, 5, 2], rng.next_u64()).unwrap();
         let p = m.parameters();
         let avg: Vec<f32> = p.iter().map(|&v| (v + v) / 2.0).collect();
         let mut copy = m.clone();
         copy.set_parameters(&avg).unwrap();
-        prop_assert_eq!(m, copy);
+        assert_eq!(m, copy, "case {case}");
     }
 }

@@ -66,10 +66,10 @@ fn run_all() -> Vec<TrainingHistory> {
     let fedl_policy = FedlFrequencyPolicy::default();
     histories.push(run_federated(&mut setup, &config, &mut fedl_sel, &fedl_policy).unwrap());
 
-    let mut setup = FederatedSetup::new(population, &task, &partition, &config).unwrap();
+    let setup = FederatedSetup::new(population, &task, &partition, &config).unwrap();
     histories.push(
         run_separated(
-            &mut setup,
+            &setup,
             &config,
             &SeparatedConfig { user_stride: 1, eval_subsample: 0 },
         )
