@@ -16,4 +16,16 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> telemetry smoke: traced table1_delay + trace validation"
+# Run from a scratch directory: the smoke run's reduced-scale CSVs and
+# trace must not clobber the full-scale artifacts tracked in results/.
+repo_root="$PWD"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+(
+  cd "$smoke_dir"
+  HELCFL_TRACE=jsonl "$repo_root/target/release/table1_delay" --fast --setting iid
+  "$repo_root/target/release/check_trace" results/trace_table1_delay.jsonl
+)
+
 echo "==> ci.sh: all gates passed"

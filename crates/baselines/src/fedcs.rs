@@ -11,6 +11,7 @@
 
 use fl_sim::error::{FlError, Result};
 use fl_sim::selection::{ClientSelector, SelectionContext};
+use helcfl_telemetry::{Class, Telemetry};
 use mec_sim::device::{Device, DeviceId};
 use mec_sim::units::Seconds;
 
@@ -68,12 +69,12 @@ impl FedCsSelector {
     }
 }
 
-impl ClientSelector for FedCsSelector {
-    fn name(&self) -> &'static str {
-        "fedcs"
-    }
-
-    fn select(&mut self, ctx: &SelectionContext<'_>) -> Result<Vec<DeviceId>> {
+impl FedCsSelector {
+    fn select_inner(
+        &mut self,
+        ctx: &SelectionContext<'_>,
+        tele: &Telemetry,
+    ) -> Result<Vec<DeviceId>> {
         if ctx.devices.is_empty() {
             return Err(FlError::InvalidSelection { reason: "no devices to select".into() });
         }
@@ -109,7 +110,37 @@ impl ClientSelector for FedCsSelector {
                 break;
             }
         }
+        if tele.is_enabled() {
+            // FedCS's accuracy ceiling is visible right here: the gap
+            // between admitted and rejected never closes, because the
+            // same slow users are rejected every round.
+            let admitted = chosen.len() as u64;
+            let rejected = ctx.devices.len() as u64 - admitted;
+            tele.with_metrics(|m| {
+                m.counter_add(Class::Sim, "fedcs.rounds", 1);
+                m.counter_add(Class::Sim, "fedcs.admitted", admitted);
+                m.counter_add(Class::Sim, "fedcs.rejected", rejected);
+            });
+        }
         Ok(chosen.into_iter().map(|d| d.id()).collect())
+    }
+}
+
+impl ClientSelector for FedCsSelector {
+    fn name(&self) -> &'static str {
+        "fedcs"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>) -> Result<Vec<DeviceId>> {
+        self.select_inner(ctx, &Telemetry::disabled())
+    }
+
+    fn select_traced(
+        &mut self,
+        ctx: &SelectionContext<'_>,
+        tele: &Telemetry,
+    ) -> Result<Vec<DeviceId>> {
+        self.select_inner(ctx, tele)
     }
 }
 
@@ -209,5 +240,21 @@ mod tests {
     fn empty_population_is_rejected() {
         let mut sel = FedCsSelector::new(Seconds::new(60.0)).unwrap();
         assert!(sel.select(&ctx(&[], 3)).is_err());
+    }
+
+    #[test]
+    fn traced_selection_matches_untraced_and_counts_admissions() {
+        let pop = PopulationBuilder::paper_default().num_devices(40).seed(3).build().unwrap();
+        let tele = Telemetry::metrics_only();
+        let mut plain = FedCsSelector::new(Seconds::new(120.0)).unwrap();
+        let mut traced = FedCsSelector::new(Seconds::new(120.0)).unwrap();
+        let a = plain.select(&ctx(pop.devices(), 10)).unwrap();
+        let b = traced.select_traced(&ctx(pop.devices(), 10), &tele).unwrap();
+        assert_eq!(a, b, "tracing changed the selection");
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("fedcs.rounds"), 1);
+        assert_eq!(snap.counter("fedcs.admitted"), a.len() as u64);
+        assert_eq!(snap.counter("fedcs.rejected"), (40 - a.len()) as u64);
+        assert_eq!(snap.deterministic().len(), snap.len());
     }
 }

@@ -10,6 +10,10 @@
 //! 3. **Parallel round engine** — the same scenario with the pool
 //!    sized to the detected host parallelism, plus the bit-identity
 //!    check that both runs produced the same `TrainingHistory`.
+//! 4. **Telemetry overhead** — the parallel run repeated with a
+//!    metrics-collecting (null-sink) telemetry handle; the report
+//!    records the relative slowdown so the <2 % overhead budget in
+//!    DESIGN.md stays checkable.
 //!
 //! Results go to stdout and `results/BENCH_round_engine.json`. The
 //! recorded numbers are whatever the current host produces — on a
@@ -25,11 +29,12 @@ use detrand::Rng;
 use fl_sim::frequency::MaxFrequency;
 use fl_sim::history::TrainingHistory;
 use fl_sim::parallel::worker_threads;
-use fl_sim::runner::run_federated;
+use fl_sim::runner::run_federated_traced;
 use fl_sim::seeds::{derive, SeedDomain};
 use fl_baselines::classic::RandomSelector;
 use helcfl_bench::json::JsonObject;
 use helcfl_bench::{CommonArgs, PaperScenario, Setting};
+use helcfl_telemetry::Telemetry;
 use tinynn::tensor::Matrix;
 
 /// Measures one square matmul size: returns (seconds/iter, GFLOP/s).
@@ -55,19 +60,27 @@ fn random_matrix(rows: usize, cols: usize, rng: &mut Rng) -> Matrix {
     Matrix::from_vec(rows, cols, data).expect("from_vec")
 }
 
+/// What the OS reports, before the `HELCFL_THREADS` override that
+/// [`worker_threads`] applies (0 when the query itself fails).
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
+}
+
 /// Runs the scenario with a fixed thread count; returns the history
 /// and the wall-clock seconds of the training loop itself (setup
 /// excluded).
 fn timed_run(
     scenario: &PaperScenario,
     threads: usize,
+    tele: &Telemetry,
 ) -> Result<(TrainingHistory, f64), Box<dyn std::error::Error>> {
     let mut config = scenario.training_config();
     config.threads = threads;
     let mut setup = scenario.setup(Setting::Iid)?;
     let mut selector = RandomSelector::new(derive(config.seed, SeedDomain::Selection));
     let started = Instant::now();
-    let history = run_federated(&mut setup, &config, &mut selector, &MaxFrequency)?;
+    let history =
+        run_federated_traced(&mut setup, &config, &mut selector, &MaxFrequency, tele)?;
     Ok((history, started.elapsed().as_secs_f64()))
 }
 
@@ -96,11 +109,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- 2 & 3. Serial vs parallel round engine ------------------
-    let (serial_history, serial_secs) = timed_run(&scenario, 1)?;
+    let disabled = Telemetry::disabled();
+    let (serial_history, serial_secs) = timed_run(&scenario, 1, &disabled)?;
     let serial_rps = scenario.max_rounds as f64 / serial_secs;
     println!("  serial   (1 thread ): {serial_secs:.2}s, {serial_rps:.2} rounds/sec");
 
-    let (parallel_history, parallel_secs) = timed_run(&scenario, detected)?;
+    let (parallel_history, parallel_secs) = timed_run(&scenario, detected, &disabled)?;
     let parallel_rps = scenario.max_rounds as f64 / parallel_secs;
     let speedup = serial_secs / parallel_secs;
     println!(
@@ -115,9 +129,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("  histories bit-identical: {bit_identical}");
 
+    // --- 4. Telemetry overhead (metrics on, events off) ----------
+    let metered = Telemetry::metrics_only();
+    let (metered_history, metered_secs) = timed_run(&scenario, detected, &metered)?;
+    let overhead_pct = (metered_secs / parallel_secs - 1.0) * 100.0;
+    let telemetry_identical = metered_history == parallel_history;
+    assert!(
+        telemetry_identical,
+        "determinism violation: telemetry changed the history"
+    );
+    println!(
+        "  telemetry (metrics-only): {metered_secs:.2}s ({overhead_pct:+.2}% vs untraced, \
+         history bit-identical: {telemetry_identical})"
+    );
+
     // --- Report --------------------------------------------------
     let mut host = JsonObject::new();
-    host.field("detected_parallelism", detected)
+    host.field("available_parallelism", available_parallelism())
+        .field("detected_parallelism", detected)
+        .field("pool_workers", detected)
         .field("helcfl_threads_env", std::env::var("HELCFL_THREADS").ok());
 
     let mut scn = JsonObject::new();
@@ -138,10 +168,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         parallel_rps,
     );
 
+    let mut telemetry = JsonObject::new();
+    telemetry
+        .field("threads", detected)
+        .field("seconds", metered_secs)
+        .field("overhead_pct", overhead_pct)
+        .field("bit_identical", telemetry_identical);
+
     let mut engine = JsonObject::new();
     engine
         .object("serial", serial)
         .object("parallel", parallel)
+        .object("telemetry", telemetry)
         .field("speedup", speedup)
         .field("bit_identical", bit_identical);
 

@@ -6,7 +6,9 @@
 //! summary table (best accuracy, accuracy at J=300) plus sparkline
 //! curves, and writes full per-round CSVs to `results/`.
 //!
-//! Usage: `fig2_accuracy [--fast] [--seed N] [--setting iid|noniid]`
+//! Usage: `fig2_accuracy [--fast] [--seed N] [--setting iid|noniid]
+//! [--trace-out PATH]` — set `HELCFL_TRACE=jsonl|stderr` (or
+//! `--trace-out`) for per-round spans and a post-run metrics summary.
 
 use std::path::Path;
 use std::time::Instant;
@@ -17,6 +19,7 @@ use helcfl_bench::{CommonArgs, Scheme};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse(std::env::args().skip(1));
     let scenario = args.scenario();
+    let tele = args.telemetry("fig2_accuracy");
     println!(
         "Fig. 2 reproduction — {} devices, {} rounds, C = {}",
         scenario.num_devices, scenario.max_rounds, scenario.fraction
@@ -29,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for scheme in Scheme::lineup() {
             let started = Instant::now();
             let mut setup = scenario.setup(setting)?;
-            let history = scheme.run(&mut setup, &config)?;
+            let history = scheme.run_traced(&mut setup, &config, &tele)?;
             eprintln!(
                 "  ran {:<8} in {:.1}s (best accuracy {:.4})",
                 scheme.label(),
@@ -71,5 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         println!("  per-round CSVs written to results/fig2_{}_*.csv", setting.label());
     }
+    if tele.is_enabled() {
+        eprintln!("\n{}", tele.report());
+    }
+    tele.finish();
     Ok(())
 }

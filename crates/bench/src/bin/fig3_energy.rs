@@ -8,7 +8,9 @@
 //! same accuracy curve: the *only* difference is energy, exactly the
 //! comparison Fig. 3 makes.
 //!
-//! Usage: `fig3_energy [--fast] [--seed N] [--setting iid|noniid]`
+//! Usage: `fig3_energy [--fast] [--seed N] [--setting iid|noniid]
+//! [--trace-out PATH]` — set `HELCFL_TRACE=jsonl|stderr` (or
+//! `--trace-out`) for per-round spans and a post-run metrics summary.
 
 use std::path::Path;
 
@@ -27,6 +29,7 @@ fn targets(setting: Setting, fast: bool) -> Vec<f64> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse(std::env::args().skip(1));
     let scenario = args.scenario();
+    let tele = args.telemetry("fig3_energy");
     println!(
         "Fig. 3 reproduction — DVFS energy optimization, {} devices",
         scenario.num_devices
@@ -35,11 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for setting in args.settings() {
         let config = scenario.training_config();
         let mut with_setup = scenario.setup(setting)?;
-        let with_dvfs =
-            Scheme::Helcfl { eta: 0.5, dvfs: true }.run(&mut with_setup, &config)?;
+        let with_dvfs = Scheme::Helcfl { eta: 0.5, dvfs: true }
+            .run_traced(&mut with_setup, &config, &tele)?;
         let mut without_setup = scenario.setup(setting)?;
-        let without_dvfs =
-            Scheme::Helcfl { eta: 0.5, dvfs: false }.run(&mut without_setup, &config)?;
+        let without_dvfs = Scheme::Helcfl { eta: 0.5, dvfs: false }
+            .run_traced(&mut without_setup, &config, &tele)?;
 
         println!("\n=== {} setting ===", setting.label().to_uppercase());
         let mut rows = Vec::new();
@@ -91,5 +94,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &[with_dvfs, without_dvfs],
         )?;
     }
+    if tele.is_enabled() {
+        eprintln!("\n{}", tele.report());
+    }
+    tele.finish();
     Ok(())
 }

@@ -6,7 +6,14 @@
 //! the paper's ✗ for schemes that never get there, plus the speedup
 //! of HELCFL over each baseline at the hardest target.
 //!
-//! Usage: `table1_delay [--fast] [--seed N] [--setting iid|noniid]`
+//! Usage: `table1_delay [--fast] [--seed N] [--setting iid|noniid]
+//! [--trace-out PATH]`
+//!
+//! Tracing: `HELCFL_TRACE=jsonl table1_delay` streams per-round spans
+//! to `results/trace_table1_delay.jsonl` (or pass `--trace-out PATH`);
+//! `HELCFL_TRACE=stderr` prints them live. Either way a metrics
+//! summary ([`helcfl_telemetry::TelemetryReport`]) lands on stderr
+//! after the runs.
 
 use std::path::Path;
 
@@ -27,6 +34,7 @@ fn targets(setting: Setting, fast: bool) -> Vec<f64> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CommonArgs::parse(std::env::args().skip(1));
     let scenario = args.scenario();
+    let tele = args.telemetry("table1_delay");
     println!(
         "Table I reproduction — {} devices, {} rounds",
         scenario.num_devices, scenario.max_rounds
@@ -38,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut histories = Vec::new();
         for scheme in Scheme::lineup() {
             let mut setup = scenario.setup(setting)?;
-            let history = scheme.run(&mut setup, &config)?;
+            let history = scheme.run_traced(&mut setup, &config, &tele)?;
             eprintln!(
                 "  ran {:<8} (best accuracy {:.4})",
                 history.scheme(),
@@ -87,5 +95,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &histories,
         )?;
     }
+    if tele.is_enabled() {
+        eprintln!("\n{}", tele.report());
+    }
+    tele.finish();
     Ok(())
 }

@@ -1,222 +1,9 @@
-//! Minimal hand-rolled JSON emission.
+//! Hand-rolled JSON, re-exported from [`helcfl_telemetry::json`].
 //!
-//! The workspace's zero-dependency policy leaves no serde; this module
-//! is the single place where JSON leaves the process (bench reports
-//! under `results/`). It only *writes* JSON — nothing in the workspace
-//! parses it — so a small emitter trait plus an object/array builder
-//! with correct string escaping covers every need.
+//! This module was the workspace's original zero-dependency JSON
+//! emitter; the telemetry layer generalized it (same [`ToJson`] /
+//! [`JsonObject`] builder API, plus a strict parser used to validate
+//! emitted trace files). The `helcfl_bench::json` path is kept so the
+//! bench binaries and any downstream scripts keep working unchanged.
 
-use std::fmt::Write as _;
-
-/// A value that can render itself as a JSON fragment.
-pub trait ToJson {
-    /// Appends this value's JSON representation to `out`.
-    fn write_json(&self, out: &mut String);
-
-    /// Renders this value as a standalone JSON string.
-    fn to_json(&self) -> String {
-        let mut out = String::new();
-        self.write_json(&mut out);
-        out
-    }
-}
-
-impl ToJson for bool {
-    fn write_json(&self, out: &mut String) {
-        out.push_str(if *self { "true" } else { "false" });
-    }
-}
-
-impl ToJson for u64 {
-    fn write_json(&self, out: &mut String) {
-        let _ = write!(out, "{self}");
-    }
-}
-
-impl ToJson for usize {
-    fn write_json(&self, out: &mut String) {
-        let _ = write!(out, "{self}");
-    }
-}
-
-impl ToJson for i64 {
-    fn write_json(&self, out: &mut String) {
-        let _ = write!(out, "{self}");
-    }
-}
-
-impl ToJson for f64 {
-    /// Rust's shortest-roundtrip `Display` output is valid JSON for
-    /// every finite value; non-finite values (which JSON cannot
-    /// express) become `null`.
-    fn write_json(&self, out: &mut String) {
-        if self.is_finite() {
-            let _ = write!(out, "{self}");
-        } else {
-            out.push_str("null");
-        }
-    }
-}
-
-impl ToJson for str {
-    fn write_json(&self, out: &mut String) {
-        write_escaped(self, out);
-    }
-}
-
-impl ToJson for String {
-    fn write_json(&self, out: &mut String) {
-        write_escaped(self, out);
-    }
-}
-
-impl<T: ToJson + ?Sized> ToJson for &T {
-    fn write_json(&self, out: &mut String) {
-        (**self).write_json(out);
-    }
-}
-
-impl<T: ToJson> ToJson for Option<T> {
-    fn write_json(&self, out: &mut String) {
-        match self {
-            Some(v) => v.write_json(out),
-            None => out.push_str("null"),
-        }
-    }
-}
-
-impl<T: ToJson> ToJson for Vec<T> {
-    fn write_json(&self, out: &mut String) {
-        out.push('[');
-        for (i, v) in self.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            v.write_json(out);
-        }
-        out.push(']');
-    }
-}
-
-fn write_escaped(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Incremental JSON object builder.
-///
-/// # Examples
-///
-/// ```
-/// use helcfl_bench::json::{JsonObject, ToJson};
-///
-/// let mut o = JsonObject::new();
-/// o.field("scheme", "helcfl");
-/// o.field("accuracy", 0.85);
-/// assert_eq!(o.finish(), r#"{"scheme":"helcfl","accuracy":0.85}"#);
-/// ```
-#[derive(Debug, Default)]
-pub struct JsonObject {
-    buf: String,
-}
-
-impl JsonObject {
-    /// Starts an empty object.
-    pub fn new() -> Self {
-        Self { buf: String::new() }
-    }
-
-    /// Appends one `"key": value` member.
-    pub fn field<V: ToJson>(&mut self, key: &str, value: V) -> &mut Self {
-        if !self.buf.is_empty() {
-            self.buf.push(',');
-        }
-        write_escaped(key, &mut self.buf);
-        self.buf.push(':');
-        value.write_json(&mut self.buf);
-        self
-    }
-
-    /// Appends a member whose value is a nested object.
-    pub fn object(&mut self, key: &str, nested: JsonObject) -> &mut Self {
-        if !self.buf.is_empty() {
-            self.buf.push(',');
-        }
-        write_escaped(key, &mut self.buf);
-        self.buf.push(':');
-        self.buf.push_str(&nested.finish());
-        self
-    }
-
-    /// Closes the object and returns the JSON text.
-    pub fn finish(self) -> String {
-        format!("{{{}}}", self.buf)
-    }
-}
-
-impl ToJson for JsonObject {
-    fn write_json(&self, out: &mut String) {
-        let _ = write!(out, "{{{}}}", self.buf);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scalars_render_as_json() {
-        assert_eq!(true.to_json(), "true");
-        assert_eq!(42u64.to_json(), "42");
-        assert_eq!((-3i64).to_json(), "-3");
-        assert_eq!(0.5f64.to_json(), "0.5");
-        assert_eq!(2.0f64.to_json(), "2");
-        assert_eq!(f64::NAN.to_json(), "null");
-        assert_eq!(f64::INFINITY.to_json(), "null");
-        assert_eq!(Option::<u64>::None.to_json(), "null");
-        assert_eq!(Some(7u64).to_json(), "7");
-    }
-
-    #[test]
-    fn strings_are_escaped() {
-        assert_eq!("plain".to_json(), r#""plain""#);
-        assert_eq!("say \"hi\"\n".to_json(), r#""say \"hi\"\n""#);
-        assert_eq!("back\\slash\ttab".to_json(), r#""back\\slash\ttab""#);
-        assert_eq!("\u{1}".to_json(), r#""\u0001""#);
-        // Non-ASCII passes through unescaped (JSON strings are UTF-8).
-        assert_eq!("η = 0.3".to_json(), r#""η = 0.3""#);
-    }
-
-    #[test]
-    fn vectors_render_as_arrays() {
-        assert_eq!(vec![1u64, 2, 3].to_json(), "[1,2,3]");
-        assert_eq!(Vec::<u64>::new().to_json(), "[]");
-        assert_eq!(vec![0.25f64, 0.5].to_json(), "[0.25,0.5]");
-    }
-
-    #[test]
-    fn objects_nest_and_preserve_field_order() {
-        let mut inner = JsonObject::new();
-        inner.field("gflops", 1.5);
-        let mut o = JsonObject::new();
-        o.field("name", "matmul").field("runs", 3usize).object("kernel", inner);
-        assert_eq!(
-            o.finish(),
-            r#"{"name":"matmul","runs":3,"kernel":{"gflops":1.5}}"#
-        );
-        assert_eq!(JsonObject::new().finish(), "{}");
-    }
-}
+pub use helcfl_telemetry::json::*;

@@ -32,8 +32,10 @@ pub mod schemes;
 pub use scenario::{PaperScenario, Setting};
 pub use schemes::Scheme;
 
-/// Parses the shared `--fast` / `--seed N` / `--setting X` CLI flags
-/// used by every experiment binary.
+use helcfl_telemetry::Telemetry;
+
+/// Parses the shared `--fast` / `--seed N` / `--setting X` /
+/// `--trace-out PATH` CLI flags used by every experiment binary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CommonArgs {
     /// Run the reduced-scale scenario.
@@ -42,6 +44,8 @@ pub struct CommonArgs {
     pub seed: Option<u64>,
     /// Restrict to one data setting.
     pub setting: Option<Setting>,
+    /// Stream span/event JSONL to this path (overrides `HELCFL_TRACE`).
+    pub trace_out: Option<String>,
 }
 
 impl CommonArgs {
@@ -50,11 +54,17 @@ impl CommonArgs {
     /// their own.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
         let args: Vec<String> = args.into_iter().collect();
-        let mut out = Self { fast: false, seed: None, setting: None };
+        let mut out = Self { fast: false, seed: None, setting: None, trace_out: None };
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--fast" => out.fast = true,
+                "--trace-out" => {
+                    if let Some(v) = args.get(i + 1) {
+                        out.trace_out = Some(v.clone());
+                        i += 1;
+                    }
+                }
                 "--seed" => {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         out.seed = Some(v);
@@ -94,6 +104,22 @@ impl CommonArgs {
             None => vec![Setting::Iid, Setting::NonIid],
         }
     }
+
+    /// The telemetry handle implied by the flags: `--trace-out PATH`
+    /// streams JSONL to `PATH`; otherwise the `HELCFL_TRACE`
+    /// environment variable decides (see [`Telemetry::from_env`]),
+    /// with `name` picking the default `results/trace_{name}.jsonl`
+    /// file. An unwritable path degrades to metrics-only with a
+    /// warning rather than aborting the experiment.
+    pub fn telemetry(&self, name: &str) -> Telemetry {
+        match &self.trace_out {
+            Some(path) => Telemetry::to_file(path).unwrap_or_else(|err| {
+                eprintln!("warning: cannot open trace file {path}: {err}; tracing disabled");
+                Telemetry::metrics_only()
+            }),
+            None => Telemetry::from_env(name),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +136,7 @@ mod tests {
         assert!(a.fast);
         assert_eq!(a.seed, Some(7));
         assert_eq!(a.setting, Some(Setting::NonIid));
+        assert_eq!(a.trace_out, None);
         assert_eq!(a.settings(), vec![Setting::NonIid]);
         assert_eq!(a.scenario().seed, 7);
         assert_eq!(a.scenario().num_devices, PaperScenario::fast().num_devices);
@@ -128,5 +155,22 @@ mod tests {
         let a = parse(&["--whatever", "--seed", "notanumber", "--setting", "weird"]);
         assert_eq!(a.seed, None);
         assert_eq!(a.setting, None);
+        assert_eq!(a.trace_out, None);
+    }
+
+    #[test]
+    fn trace_out_flag_builds_a_streaming_telemetry_handle() {
+        let dir = std::env::temp_dir().join("helcfl_bench_trace_out_test");
+        let path = dir.join("trace.jsonl");
+        let a = parse(&["--trace-out", path.to_str().unwrap()]);
+        assert_eq!(a.trace_out.as_deref(), path.to_str());
+        let tele = a.telemetry("test");
+        assert!(tele.is_enabled());
+        assert!(tele.events_enabled());
+        tele.span("probe").end();
+        tele.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(r#""name":"probe""#), "got: {text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -62,8 +62,10 @@ pub fn table1_cell(value: Option<Seconds>) -> String {
     }
 }
 
-/// Writes every history's per-round CSV into `dir`, one file per
-/// scheme: `<prefix>_<scheme>.csv`.
+/// Writes every history's per-round records into `dir`, two files per
+/// scheme: `<prefix>_<scheme>.csv` (spreadsheets) and
+/// `<prefix>_<scheme>.jsonl` (one machine-readable JSON object per
+/// round, concatenation-friendly with the telemetry trace files).
 ///
 /// # Errors
 ///
@@ -75,8 +77,8 @@ pub fn write_histories(
 ) -> io::Result<()> {
     fs::create_dir_all(dir)?;
     for h in histories {
-        let path = dir.join(format!("{prefix}_{}.csv", h.scheme()));
-        fs::write(path, h.to_csv())?;
+        fs::write(dir.join(format!("{prefix}_{}.csv", h.scheme())), h.to_csv())?;
+        fs::write(dir.join(format!("{prefix}_{}.jsonl", h.scheme())), h.to_jsonl())?;
     }
     Ok(())
 }
@@ -157,6 +159,8 @@ mod tests {
         write_histories(&dir, "fig2_iid", &[h1, h2]).unwrap();
         assert!(dir.join("fig2_iid_alpha.csv").exists());
         assert!(dir.join("fig2_iid_beta.csv").exists());
+        assert!(dir.join("fig2_iid_alpha.jsonl").exists());
+        assert!(dir.join("fig2_iid_beta.jsonl").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

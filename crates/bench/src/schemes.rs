@@ -3,10 +3,11 @@
 use fl_sim::error::Result;
 use fl_sim::frequency::MaxFrequency;
 use fl_sim::history::TrainingHistory;
-use fl_sim::runner::{run_federated, FederatedSetup, TrainingConfig};
+use fl_sim::runner::{run_federated_traced, FederatedSetup, TrainingConfig};
 use fl_sim::seeds::{derive, SeedDomain};
 use fl_sim::separated::{run_separated, SeparatedConfig};
 use helcfl::{DecayCoefficient, Helcfl};
+use helcfl_telemetry::Telemetry;
 use mec_sim::units::Seconds;
 
 use fl_baselines::classic::RandomSelector;
@@ -75,6 +76,25 @@ impl Scheme {
         setup: &mut FederatedSetup,
         config: &TrainingConfig,
     ) -> Result<TrainingHistory> {
+        self.run_traced(setup, config, &Telemetry::disabled())
+    }
+
+    /// [`Scheme::run`] with per-round spans and scheme metrics
+    /// recorded into `tele`. The produced [`TrainingHistory`] is
+    /// bit-identical to [`Scheme::run`]'s regardless of the sink.
+    ///
+    /// Separated learning has no federated round loop, so `Sl` runs
+    /// untraced (its history is still returned as usual).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and simulation errors.
+    pub fn run_traced(
+        &self,
+        setup: &mut FederatedSetup,
+        config: &TrainingConfig,
+        tele: &Telemetry,
+    ) -> Result<TrainingHistory> {
         let selection_seed = derive(config.seed, SeedDomain::Selection);
         match self {
             Scheme::Helcfl { eta, dvfs } => {
@@ -82,20 +102,20 @@ impl Scheme {
                 if !dvfs {
                     framework = framework.without_dvfs();
                 }
-                framework.run(setup, config)
+                framework.run_traced(setup, config, tele)
             }
             Scheme::Classic => {
                 let mut selector = RandomSelector::new(selection_seed);
-                run_federated(setup, config, &mut selector, &MaxFrequency)
+                run_federated_traced(setup, config, &mut selector, &MaxFrequency, tele)
             }
             Scheme::FedCs { round_deadline_s } => {
                 let mut selector = FedCsSelector::new(Seconds::new(*round_deadline_s))?;
-                run_federated(setup, config, &mut selector, &MaxFrequency)
+                run_federated_traced(setup, config, &mut selector, &MaxFrequency, tele)
             }
             Scheme::Fedl { kappa } => {
                 let mut selector = RandomSelector::with_name(selection_seed, "fedl");
                 let policy = FedlFrequencyPolicy::new(*kappa)?;
-                run_federated(setup, config, &mut selector, &policy)
+                run_federated_traced(setup, config, &mut selector, &policy, tele)
             }
             Scheme::Sl => run_separated(setup, config, &SeparatedConfig::default()),
         }
@@ -124,6 +144,24 @@ mod tests {
             let history = scheme.run(&mut setup, &config).unwrap();
             assert_eq!(history.len(), 3, "{} stopped early", scheme.label());
             assert_eq!(history.scheme(), scheme.label());
+        }
+    }
+
+    #[test]
+    fn traced_runs_are_bit_identical_for_every_scheme() {
+        let mut scenario = PaperScenario::fast();
+        scenario.max_rounds = 2;
+        let config = scenario.training_config();
+        for scheme in Scheme::lineup() {
+            let mut plain_setup = scenario.setup(Setting::Iid).unwrap();
+            let plain = scheme.run(&mut plain_setup, &config).unwrap();
+            let tele = Telemetry::metrics_only();
+            let mut traced_setup = scenario.setup(Setting::Iid).unwrap();
+            let traced = scheme.run_traced(&mut traced_setup, &config, &tele).unwrap();
+            assert_eq!(plain, traced, "{}: telemetry changed the history", scheme.label());
+            if !matches!(scheme, Scheme::Sl) {
+                assert_eq!(tele.snapshot().counter("round.completed"), 2, "{}", scheme.label());
+            }
         }
     }
 

@@ -19,6 +19,7 @@
 
 use fl_sim::error::Result;
 use fl_sim::frequency::FrequencyPolicy;
+use helcfl_telemetry::{Class, Telemetry};
 use mec_sim::device::Device;
 use mec_sim::units::{Bits, Hertz, Seconds};
 
@@ -40,6 +41,29 @@ impl SlackFrequencyPolicy {
         selected: &[Device],
         payload: Bits,
     ) -> Result<Vec<(usize, Hertz)>> {
+        self.determine_traced(selected, payload, &Telemetry::disabled())
+    }
+
+    /// [`SlackFrequencyPolicy::determine`] with Alg.-3 internals
+    /// recorded into telemetry (all [`Class::Sim`]):
+    ///
+    /// * `dvfs.downscale` (histogram) — per-device `f / f_max`
+    ///   downscale factor (1.0 for the first user, lower when slack
+    ///   was harvested);
+    /// * `dvfs.clamped_min` / `dvfs.clamped_max` (counters) — how
+    ///   often the ideal frequency fell outside the DVFS range
+    ///   (DESIGN.md §7's deviation from the unclamped paper);
+    /// * `dvfs.assignments` (counter) — devices assigned in total.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SlackFrequencyPolicy::determine`].
+    pub fn determine_traced(
+        &self,
+        selected: &[Device],
+        payload: Bits,
+        tele: &Telemetry,
+    ) -> Result<Vec<(usize, Hertz)>> {
         // Line 1: ascending by model-update delay at f_max.
         let mut order: Vec<usize> = (0..selected.len()).collect();
         order.sort_by(|&a, &b| {
@@ -52,6 +76,8 @@ impl SlackFrequencyPolicy {
 
         let mut assignment = Vec::with_capacity(selected.len());
         let mut channel_free = Seconds::ZERO;
+        let mut clamped_min = 0u64;
+        let mut clamped_max = 0u64;
         for (pos, &idx) in order.iter().enumerate() {
             let device = &selected[idx];
             let range = device.cpu().range();
@@ -61,14 +87,29 @@ impl SlackFrequencyPolicy {
             } else {
                 // Line 9: finish computing when the predecessor's
                 // upload ends (channel_free), clamped to the range.
-                let (clamped, _ideal) =
+                let (clamped, ideal) =
                     device.cpu().frequency_for_deadline(device.work(), channel_free);
+                if ideal < range.min() {
+                    clamped_min += 1;
+                } else if ideal > range.max() {
+                    clamped_max += 1;
+                }
                 clamped
             };
+            if tele.is_enabled() {
+                tele.record(Class::Sim, "dvfs.downscale", f / range.max());
+            }
             let compute_finish = device.work() / f;
             let upload_start = compute_finish.max(channel_free);
             channel_free = upload_start + device.upload_delay(payload);
             assignment.push((idx, f));
+        }
+        if tele.is_enabled() {
+            tele.with_metrics(|m| {
+                m.counter_add(Class::Sim, "dvfs.assignments", assignment.len() as u64);
+                m.counter_add(Class::Sim, "dvfs.clamped_min", clamped_min);
+                m.counter_add(Class::Sim, "dvfs.clamped_max", clamped_max);
+            });
         }
         Ok(assignment)
     }
@@ -80,7 +121,16 @@ impl FrequencyPolicy for SlackFrequencyPolicy {
     }
 
     fn frequencies(&self, selected: &[Device], payload: Bits) -> Result<Vec<Hertz>> {
-        let assignment = self.determine(selected, payload)?;
+        self.frequencies_traced(selected, payload, &Telemetry::disabled())
+    }
+
+    fn frequencies_traced(
+        &self,
+        selected: &[Device],
+        payload: Bits,
+        tele: &Telemetry,
+    ) -> Result<Vec<Hertz>> {
+        let assignment = self.determine_traced(selected, payload, tele)?;
         let mut freqs = vec![Hertz::ZERO; selected.len()];
         for (idx, f) in assignment {
             freqs[idx] = f;
@@ -172,6 +222,31 @@ mod tests {
             tuned.total_energy(),
             baseline.total_energy()
         );
+    }
+
+    #[test]
+    fn traced_frequencies_match_untraced_and_record_downscale() {
+        let devs = [
+            device(0, 2.0, 500, 8.0),
+            device(1, 1.8, 520, 6.0),
+            device(2, 1.5, 480, 4.0),
+            device(3, 0.9, 510, 7.0),
+        ];
+        let tele = Telemetry::metrics_only();
+        let plain = SlackFrequencyPolicy.frequencies(&devs, payload()).unwrap();
+        let traced =
+            SlackFrequencyPolicy.frequencies_traced(&devs, payload(), &tele).unwrap();
+        assert_eq!(plain, traced, "tracing changed the assignment");
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("dvfs.assignments"), 4);
+        let downscale = snap.histogram("dvfs.downscale").unwrap();
+        assert_eq!(downscale.count, 4);
+        // The first (fastest) device always runs at f_max …
+        assert_eq!(downscale.max, 1.0);
+        // … and this workload leaves harvestable slack for the rest.
+        assert!(downscale.min < 1.0, "no slack was harvested");
+        // All DVFS metrics are deterministic (Sim-class).
+        assert_eq!(snap.deterministic().len(), snap.len());
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use fl_sim::error::Result;
 use fl_sim::frequency::MaxFrequency;
 use fl_sim::history::TrainingHistory;
-use fl_sim::runner::{run_federated, FederatedSetup, TrainingConfig};
+use fl_sim::runner::{run_federated_traced, FederatedSetup, TrainingConfig};
+use helcfl_telemetry::Telemetry;
 
 use crate::dvfs::SlackFrequencyPolicy;
 use crate::selection::GreedyDecaySelector;
@@ -98,11 +99,28 @@ impl Helcfl {
         setup: &mut FederatedSetup,
         config: &TrainingConfig,
     ) -> Result<TrainingHistory> {
+        self.run_traced(setup, config, &Telemetry::disabled())
+    }
+
+    /// [`Helcfl::run`] with per-round spans and Alg.-2/Alg.-3 metrics
+    /// recorded into `tele`. With [`Telemetry::disabled`] this is
+    /// exactly `run` (zero overhead); the produced [`TrainingHistory`]
+    /// is bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Helcfl::run`].
+    pub fn run_traced(
+        &self,
+        setup: &mut FederatedSetup,
+        config: &TrainingConfig,
+        tele: &Telemetry,
+    ) -> Result<TrainingHistory> {
         let mut selector = GreedyDecaySelector::new(self.eta);
         if self.dvfs {
-            run_federated(setup, config, &mut selector, &SlackFrequencyPolicy)
+            run_federated_traced(setup, config, &mut selector, &SlackFrequencyPolicy, tele)
         } else {
-            run_federated(setup, config, &mut selector, &MaxFrequency)
+            run_federated_traced(setup, config, &mut selector, &MaxFrequency, tele)
         }
     }
 }
@@ -173,6 +191,21 @@ mod tests {
             with_dvfs.total_energy(),
             without.total_energy()
         );
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_fills_the_registry() {
+        let (mut setup_a, config) = world();
+        let plain = Helcfl::default().run(&mut setup_a, &config).unwrap();
+        let (mut setup_b, config_b) = world();
+        let tele = Telemetry::metrics_only();
+        let traced = Helcfl::default().run_traced(&mut setup_b, &config_b, &tele).unwrap();
+        assert_eq!(plain, traced, "telemetry changed the training history");
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("round.completed"), 12);
+        assert_eq!(snap.counter("selection.rounds"), 12);
+        assert!(snap.histogram("dvfs.downscale").is_some());
+        assert!(snap.histogram("round.makespan_s").is_some());
     }
 
     #[test]

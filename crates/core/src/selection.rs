@@ -15,6 +15,7 @@
 
 use fl_sim::error::{FlError, Result};
 use fl_sim::selection::{ClientSelector, SelectionContext};
+use helcfl_telemetry::{Class, Telemetry};
 use mec_sim::device::DeviceId;
 use mec_sim::units::Seconds;
 
@@ -60,12 +61,12 @@ impl Default for GreedyDecaySelector {
     }
 }
 
-impl ClientSelector for GreedyDecaySelector {
-    fn name(&self) -> &'static str {
-        "helcfl"
-    }
-
-    fn select(&mut self, ctx: &SelectionContext<'_>) -> Result<Vec<DeviceId>> {
+impl GreedyDecaySelector {
+    fn select_inner(
+        &mut self,
+        ctx: &SelectionContext<'_>,
+        tele: &Telemetry,
+    ) -> Result<Vec<DeviceId>> {
         if ctx.devices.is_empty() {
             return Err(FlError::InvalidSelection { reason: "no devices to select".into() });
         }
@@ -92,11 +93,44 @@ impl ClientSelector for GreedyDecaySelector {
                 .then_with(|| a.0.cmp(&b.0))
         });
         let mut selected = Vec::with_capacity(n);
+        let eta = self.eta.get();
         for &(id, _) in scored.iter().take(n) {
+            if tele.is_enabled() {
+                // The Eq.-20 decay factor α_q = η^{A_q} this pick was
+                // made under (before the increment below) — its
+                // distribution shows the greedy-decay rotation at work.
+                let alpha = eta.powi(self.counters.get(id.0) as i32);
+                tele.record(Class::Sim, "selection.alpha", alpha);
+            }
             self.counters.increment(id.0); // line 18: utility decay
             selected.push(id);
         }
+        if tele.is_enabled() {
+            tele.with_metrics(|m| {
+                m.counter_add(Class::Sim, "selection.rounds", 1);
+                m.counter_add(Class::Sim, "selection.selected", selected.len() as u64);
+                m.gauge_set(Class::Sim, "selection.coverage", self.counters.coverage() as f64);
+            });
+        }
         Ok(selected)
+    }
+}
+
+impl ClientSelector for GreedyDecaySelector {
+    fn name(&self) -> &'static str {
+        "helcfl"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>) -> Result<Vec<DeviceId>> {
+        self.select_inner(ctx, &Telemetry::disabled())
+    }
+
+    fn select_traced(
+        &mut self,
+        ctx: &SelectionContext<'_>,
+        tele: &Telemetry,
+    ) -> Result<Vec<DeviceId>> {
+        self.select_inner(ctx, tele)
     }
 }
 
@@ -189,6 +223,37 @@ mod tests {
             out
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn traced_selection_matches_untraced_and_records_alpha() {
+        let pop = PopulationBuilder::paper_default().num_devices(10).seed(12).build().unwrap();
+        let eta = DecayCoefficient::new(0.5).unwrap();
+        let mut plain = GreedyDecaySelector::new(eta);
+        let mut traced = GreedyDecaySelector::new(eta);
+        let tele = Telemetry::metrics_only();
+        for round in 1..=6 {
+            let c = SelectionContext {
+                round,
+                devices: pop.devices(),
+                payload: mec_sim::units::Bits::from_megabits(40.0),
+                target: 3,
+            };
+            let a = plain.select(&c).unwrap();
+            let b = traced.select_traced(&c, &tele).unwrap();
+            assert_eq!(a, b, "round {round}: tracing changed the selection");
+        }
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("selection.rounds"), 6);
+        assert_eq!(snap.counter("selection.selected"), 18);
+        let alpha = snap.histogram("selection.alpha").unwrap();
+        assert_eq!(alpha.count, 18);
+        // Round 1 picks all-unseen users: α = η^0 = 1; later rounds see
+        // decayed α = 0.5, 0.25, … — never above 1.
+        assert_eq!(alpha.max, 1.0);
+        assert!(alpha.min < 1.0, "decay never engaged");
+        // All selection metrics are deterministic (Sim-class).
+        assert_eq!(snap.deterministic().len(), snap.len());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! frequency decision; Alg. 3 is one implementation, living in the
 //! `helcfl` crate).
 
+use helcfl_telemetry::Telemetry;
 use mec_sim::device::Device;
 use mec_sim::units::{Bits, Hertz};
 
@@ -20,6 +21,25 @@ pub trait FrequencyPolicy {
     /// Implementations return an error if a device cannot satisfy its
     /// assignment.
     fn frequencies(&self, selected: &[Device], payload: Bits) -> Result<Vec<Hertz>>;
+
+    /// Like [`FrequencyPolicy::frequencies`], with a telemetry handle
+    /// for recording policy metrics (downscale factors, clamp counts —
+    /// `Class::Sim` only). The default ignores telemetry; policies
+    /// with interesting internals (HELCFL's slack-based DVFS)
+    /// override it. The traced runner always calls this method.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FrequencyPolicy::frequencies`].
+    fn frequencies_traced(
+        &self,
+        selected: &[Device],
+        payload: Bits,
+        tele: &Telemetry,
+    ) -> Result<Vec<Hertz>> {
+        let _ = tele;
+        self.frequencies(selected, payload)
+    }
 }
 
 /// The traditional policy (§VI-A): every device computes at `f_max`.

@@ -2,6 +2,7 @@
 //! and figure of the evaluation.
 
 
+use helcfl_telemetry::json::JsonObject;
 use mec_sim::device::DeviceId;
 use mec_sim::units::{Joules, Seconds};
 
@@ -152,6 +153,35 @@ impl TrainingHistory {
         }
         out
     }
+
+    /// Serializes the history as JSON Lines: one
+    /// `{"type":"round",...}` object per record, carrying the same
+    /// fields as [`TrainingHistory::to_csv`] plus the selected device
+    /// ids. Figure CSVs and raw traces can then come from the same
+    /// run: bench binaries append this to their `--trace-out` stream.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let mut o = JsonObject::new();
+            o.field("type", "round")
+                .field("scheme", self.scheme.as_str())
+                .field("round", r.round)
+                .field("selected", r.selected.iter().map(|id| id.0).collect::<Vec<_>>())
+                .field("alive_devices", r.alive_devices)
+                .field("round_time_s", r.round_time.get())
+                .field("eq10_time_s", r.eq10_time.get())
+                .field("round_energy_j", r.round_energy.get())
+                .field("compute_energy_j", r.compute_energy.get())
+                .field("slack_s", r.slack.get())
+                .field("train_loss", f64::from(r.train_loss))
+                .field("test_accuracy", r.test_accuracy)
+                .field("cumulative_time_s", r.cumulative_time.get())
+                .field("cumulative_energy_j", r.cumulative_energy.get());
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +242,28 @@ mod tests {
         assert_eq!(empty.total_time(), Seconds::ZERO);
         assert!(empty.is_empty());
         assert_eq!(empty.final_accuracy(), None);
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_parser() {
+        let h = history();
+        let jsonl = h.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for (line, r) in lines.iter().zip(h.records()) {
+            let v = helcfl_telemetry::json::parse(line).unwrap();
+            assert_eq!(v.get("type").and_then(|x| x.as_str()), Some("round"));
+            assert_eq!(v.get("scheme").and_then(|x| x.as_str()), Some("test"));
+            assert_eq!(
+                v.get("round").and_then(|x| x.as_f64()),
+                Some(r.round as f64)
+            );
+            assert_eq!(
+                v.get("test_accuracy").and_then(|x| x.as_f64()),
+                r.test_accuracy
+            );
+        }
+        assert!(TrainingHistory::new("empty").to_jsonl().is_empty());
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! [`std::thread::available_parallelism`].
 
 use std::sync::mpsc;
+use std::time::Instant;
 
+use helcfl_telemetry::{Class, MetricsRegistry, Telemetry};
 use tinynn::model::Mlp;
 
 use crate::client::{ClientTrainer, EVAL_CHUNK_ROWS};
@@ -99,6 +101,144 @@ where
         results.push(slot.expect("every index is assigned to exactly one worker")?);
     }
     Ok(results)
+}
+
+/// [`parallel_map_pooled`] with per-worker utilization telemetry.
+///
+/// With a disabled handle this delegates straight to the untraced
+/// fan-out (zero overhead). Otherwise each worker accumulates its own
+/// [`MetricsRegistry`] — no shared lock on the hot path — and the
+/// calling thread merges them **in worker-index order** after the
+/// scope closes, so the merged registry is a pure function of the item
+/// partition. All pool metrics are [`Class::Runtime`] (they measure
+/// wall clocks), so they never enter determinism comparisons. Names,
+/// under the given `label`:
+///
+/// * `{label}.worker{w}.items` / `.busy_ns` / `.idle_ns` (counters) —
+///   per-worker load split; idle is wall time minus busy time;
+/// * `{label}.item_us` (histogram) — per-item latency across all
+///   workers;
+/// * `{label}.workers` (gauge) — resolved fan-out width this call.
+///
+/// # Errors
+///
+/// Same conditions as [`parallel_map_pooled`].
+///
+/// # Panics
+///
+/// Panics if `pool` is empty.
+pub fn parallel_map_pooled_traced<S, R, F>(
+    pool: &mut [S],
+    num_items: usize,
+    f: F,
+    tele: &Telemetry,
+    label: &str,
+) -> Result<Vec<R>>
+where
+    S: Send,
+    R: Send,
+    F: Fn(&mut S, usize) -> Result<R> + Sync,
+{
+    if !tele.is_enabled() {
+        return parallel_map_pooled(pool, num_items, f);
+    }
+    assert!(!pool.is_empty(), "worker pool must have at least one scratch slot");
+    if num_items == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = pool.len().min(num_items);
+    tele.gauge_set(Class::Runtime, &format!("{label}.workers"), workers as f64);
+    let wall_start = Instant::now();
+    if workers == 1 {
+        let mut local = MetricsRegistry::new();
+        let state = &mut pool[0];
+        let results: Result<Vec<R>> = (0..num_items)
+            .map(|i| {
+                let t0 = Instant::now();
+                let out = f(state, i);
+                record_item(&mut local, label, 0, t0.elapsed());
+                out
+            })
+            .collect();
+        record_idle(&mut local, label, 1, wall_start.elapsed());
+        tele.merge_registry(&local);
+        return results;
+    }
+    let mut slots: Vec<Option<Result<R>>> = Vec::with_capacity(num_items);
+    slots.resize_with(num_items, || None);
+    let mut worker_metrics: Vec<MetricsRegistry> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        let mut handles = Vec::with_capacity(workers);
+        for (wid, state) in pool.iter_mut().take(workers).enumerate() {
+            let tx = tx.clone();
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut local = MetricsRegistry::new();
+                for i in (wid..num_items).step_by(workers) {
+                    let t0 = Instant::now();
+                    let out = f(state, i);
+                    record_item(&mut local, label, wid, t0.elapsed());
+                    if tx.send((i, out)).is_err() {
+                        break;
+                    }
+                }
+                local
+            }));
+        }
+        drop(tx);
+        for (i, out) in rx {
+            slots[i] = Some(out);
+        }
+        // Join in spawn (worker-index) order: the merge sequence —
+        // and therefore the merged registry — is fixed.
+        for handle in handles {
+            worker_metrics.push(handle.join().expect("worker panicked"));
+        }
+    });
+    let wall = wall_start.elapsed();
+    let mut merged = MetricsRegistry::new();
+    for local in &worker_metrics {
+        merged.merge_from(local);
+    }
+    record_idle(&mut merged, label, workers, wall);
+    tele.merge_registry(&merged);
+    let mut results = Vec::with_capacity(num_items);
+    for slot in slots {
+        results.push(slot.expect("every index is assigned to exactly one worker")?);
+    }
+    Ok(results)
+}
+
+fn record_item(
+    local: &mut MetricsRegistry,
+    label: &str,
+    wid: usize,
+    took: std::time::Duration,
+) {
+    let ns = took.as_nanos() as u64;
+    local.counter_add(Class::Runtime, &format!("{label}.worker{wid}.items"), 1);
+    local.counter_add(Class::Runtime, &format!("{label}.worker{wid}.busy_ns"), ns);
+    local.record(Class::Runtime, &format!("{label}.item_us"), took.as_secs_f64() * 1e6);
+}
+
+/// Derives per-worker idle time (scope wall-clock minus busy time) —
+/// runnable only after every worker's busy counter is merged.
+fn record_idle(
+    merged: &mut MetricsRegistry,
+    label: &str,
+    workers: usize,
+    wall: std::time::Duration,
+) {
+    let wall_ns = wall.as_nanos() as u64;
+    for wid in 0..workers {
+        let busy = merged.counter(&format!("{label}.worker{wid}.busy_ns"));
+        merged.counter_add(
+            Class::Runtime,
+            &format!("{label}.worker{wid}.idle_ns"),
+            wall_ns.saturating_sub(busy),
+        );
+    }
 }
 
 /// Evaluates `model` on `set` — `(mean loss, accuracy)` — by scoring
@@ -188,6 +328,46 @@ mod tests {
             FlError::InvalidConfig { reason, .. } => assert_eq!(reason, "7"),
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_map_matches_untraced_and_records_worker_metrics() {
+        let f = |_: &mut (), i: usize| Ok(i * 3);
+        let mut plain_pool = vec![(); 3];
+        let plain = parallel_map_pooled(&mut plain_pool, 17, f).unwrap();
+
+        // Disabled handle: pure pass-through.
+        let mut pool = vec![(); 3];
+        let disabled = Telemetry::disabled();
+        let out =
+            parallel_map_pooled_traced(&mut pool, 17, f, &disabled, "pool").unwrap();
+        assert_eq!(out, plain);
+        assert!(disabled.snapshot().is_empty());
+
+        // Enabled handle: same results, plus per-worker accounting.
+        let tele = Telemetry::metrics_only();
+        let out = parallel_map_pooled_traced(&mut pool, 17, f, &tele, "pool").unwrap();
+        assert_eq!(out, plain);
+        let snap = tele.snapshot();
+        let items: u64 =
+            (0..3).map(|w| snap.counter(&format!("pool.worker{w}.items"))).sum();
+        assert_eq!(items, 17);
+        assert_eq!(snap.histogram("pool.item_us").unwrap().count, 17);
+        assert!(snap.counter("pool.worker0.idle_ns") < u64::MAX);
+        // Pool metrics are runtime-class: the deterministic view is empty.
+        assert!(snap.deterministic().is_empty());
+    }
+
+    #[test]
+    fn traced_map_single_worker_records_one_lane() {
+        let tele = Telemetry::metrics_only();
+        let mut pool = vec![(); 1];
+        let out =
+            parallel_map_pooled_traced(&mut pool, 5, |_, i| Ok(i), &tele, "p").unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("p.worker0.items"), 5);
+        assert_eq!(snap.histogram("p.item_us").unwrap().count, 5);
     }
 
     #[test]

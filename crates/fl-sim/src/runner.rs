@@ -9,6 +9,7 @@
 //! for every thread count.
 
 use detrand::Rng;
+use helcfl_telemetry::{span, Class, Telemetry};
 use mec_sim::battery::Battery;
 use mec_sim::device::Device;
 use mec_sim::population::Population;
@@ -20,7 +21,7 @@ use crate::dataset::{LabeledSet, SyntheticTask};
 use crate::error::{FlError, Result};
 use crate::frequency::FrequencyPolicy;
 use crate::history::{RoundRecord, TrainingHistory};
-use crate::parallel::{evaluate_chunked, parallel_map_pooled, worker_threads};
+use crate::parallel::{evaluate_chunked, parallel_map_pooled_traced, worker_threads};
 use crate::partition::Partition;
 use crate::seeds::{derive, SeedDomain};
 use crate::selection::{
@@ -299,6 +300,38 @@ pub fn run_federated(
     selector: &mut dyn ClientSelector,
     frequency_policy: &dyn FrequencyPolicy,
 ) -> Result<TrainingHistory> {
+    run_federated_traced(setup, config, selector, frequency_policy, &Telemetry::disabled())
+}
+
+/// [`run_federated`] with full telemetry instrumentation.
+///
+/// Per round, when events are enabled, emits a `round` span with
+/// children covering every phase — `availability`, `selection`,
+/// `frequency`, `timeline`, `local_update`, `aggregate`, `evaluate`
+/// (on evaluation rounds), and `bookkeeping` — plus a one-shot
+/// `pool_resolved` point event describing the worker fan-out. The
+/// round span carries the per-round RNG-stream fingerprint
+/// (`rng_probe`), so two diverging runs can be bisected to the first
+/// round where random state disagrees.
+///
+/// Metrics recorded through `tele` split by determinism class:
+/// simulation-derived values (TDMA waits, device energy, selection
+/// counts, train loss, accuracy) are `Class::Sim` and bit-identical
+/// across thread counts and sink choices; worker busy/idle accounting
+/// from the traced pool is `Class::Runtime`. With a
+/// [`Telemetry::disabled`] handle this is exactly [`run_federated`]:
+/// every telemetry call short-circuits on one `Option` check.
+///
+/// # Errors
+///
+/// Same conditions as [`run_federated`].
+pub fn run_federated_traced(
+    setup: &mut FederatedSetup,
+    config: &TrainingConfig,
+    selector: &mut dyn ClientSelector,
+    frequency_policy: &dyn FrequencyPolicy,
+    tele: &Telemetry,
+) -> Result<TrainingHistory> {
     config.validate()?;
     let target = selection_target(setup.population.len(), config.fraction)?;
     let mut server = Flcc::new(&config.model_dims, derive(config.seed, SeedDomain::Model))?;
@@ -325,10 +358,25 @@ pub fn run_federated(
         None => None,
     };
     let mut evaluated_accuracies: Vec<f64> = Vec::new();
+    tele.event("pool_resolved")
+        .with("workers", pool.len())
+        .with("requested", config.threads)
+        .with("scheme", selector.name())
+        .emit();
 
     for round in 1..=config.max_rounds {
+        let mut round_span = span!(tele, "round", index = round);
+        if tele.events_enabled() {
+            // Fingerprint of this round's base RNG stream: two runs
+            // that diverge can be bisected to the first round whose
+            // probe disagrees.
+            let probe = Rng::stream(train_seed, (round as u64) << 32).fingerprint();
+            round_span.set("rng_probe", format!("{probe:016x}"));
+        }
+
         // 0. Battery-driven availability (paper §I: depleted devices
         //    shut down and leave the selectable set V).
+        let span_phase = round_span.child("availability");
         let alive: Vec<Device> = match &batteries {
             Some(batteries) => setup
                 .population
@@ -339,53 +387,71 @@ pub fn run_federated(
                 .collect(),
             None => setup.population.devices().to_vec(),
         };
+        span_phase.end();
         if alive.is_empty() {
             break; // every device has shut down
         }
 
         // 1. Selection (Alg. 1 line 4).
+        let span_phase = round_span.child("selection");
         let ctx = SelectionContext {
             round,
             devices: &alive,
             payload: config.payload,
             target: target.min(alive.len()),
         };
-        let selected_ids = selector.select(&ctx)?;
+        let selected_ids = selector.select_traced(&ctx, tele)?;
         validate_selection(&ctx, &selected_ids)?;
+        span_phase.end();
 
         // 2. Frequency determination + MEC round simulation.
+        let span_phase = round_span.child("frequency");
         let selected: Vec<_> = selected_ids
             .iter()
             .map(|id| *setup.population.get(*id).expect("validated above"))
             .collect();
-        let freqs = frequency_policy.frequencies(&selected, config.payload)?;
+        let freqs = frequency_policy.frequencies_traced(&selected, config.payload, tele)?;
+        span_phase.end();
+        let span_phase = round_span.child("timeline");
         let timeline = RoundTimeline::simulate(&selected, &freqs, config.payload)?;
+        span_phase.end();
 
         // 3. Local updates (Alg. 1 lines 6–9), fanned out over the
         //    worker pool. Each selected client's update is a pure
         //    function of (global params, its shard, its RNG stream),
         //    and the results come back in `selected_ids` order, so the
         //    fan-out is invisible to the aggregation below.
+        let span_phase = round_span.child("local_update");
         let global = server.broadcast();
         let clients = &setup.clients;
-        let round_results = parallel_map_pooled(&mut pool, selected_ids.len(), |trainer, i| {
-            let client = &clients[selected_ids[i].0];
-            let mut rng =
-                Rng::stream(train_seed, ((round as u64) << 32) | client.id().0 as u64);
-            let (params, loss) = trainer.local_update(client, &global, &spec, &mut rng)?;
-            Ok((params, client.num_samples() as f64, loss))
-        })?;
+        let round_results = parallel_map_pooled_traced(
+            &mut pool,
+            selected_ids.len(),
+            |trainer, i| {
+                let client = &clients[selected_ids[i].0];
+                let mut rng =
+                    Rng::stream(train_seed, ((round as u64) << 32) | client.id().0 as u64);
+                let (params, loss) = trainer.local_update(client, &global, &spec, &mut rng)?;
+                Ok((params, client.num_samples() as f64, loss))
+            },
+            tele,
+            "local_update",
+        )?;
         let mut updates = Vec::with_capacity(round_results.len());
         let mut loss_sum = 0.0f64;
         for (params, weight, loss) in round_results {
             loss_sum += f64::from(loss);
             updates.push((params, weight));
         }
+        span_phase.end();
 
         // 4. FedAvg integration (Alg. 1 line 10, Eq. 18).
+        let span_phase = round_span.child("aggregate");
         server.aggregate(&updates)?;
+        span_phase.end();
 
         // 5. Bookkeeping + evaluation.
+        let span_phase = round_span.child("bookkeeping");
         cumulative_time += timeline.makespan();
         cumulative_energy += timeline.total_energy();
         if let Some(batteries) = batteries.as_mut() {
@@ -393,15 +459,31 @@ pub fn run_federated(
                 batteries[activity.device.0].try_drain(activity.total_energy());
             }
         }
+        span_phase.end();
         let evaluate_now = round % config.eval_every == 0 || round == config.max_rounds;
         let test_accuracy = if evaluate_now {
+            let span_phase = round_span.child("evaluate");
             let accuracy =
                 evaluate_chunked(server.global_model(), &setup.eval_set, &mut pool)?.1;
+            span_phase.end();
             evaluated_accuracies.push(accuracy);
             Some(accuracy)
         } else {
             None
         };
+        let train_loss = (loss_sum / updates.len() as f64) as f32;
+        let span_phase = round_span.child("bookkeeping");
+        tele.with_metrics(|m| {
+            m.counter_add(Class::Sim, "round.completed", 1);
+            m.counter_add(Class::Sim, "round.selected", selected_ids.len() as u64);
+            m.gauge_set(Class::Sim, "round.alive_devices", alive.len() as f64);
+            m.record(Class::Sim, "round.train_loss", f64::from(train_loss));
+            if let Some(accuracy) = test_accuracy {
+                m.counter_add(Class::Sim, "eval.runs", 1);
+                m.gauge_set(Class::Sim, "eval.accuracy", accuracy);
+            }
+            timeline.record_metrics(m);
+        });
         history.push(RoundRecord {
             round,
             selected: selected_ids,
@@ -411,11 +493,12 @@ pub fn run_federated(
             round_energy: timeline.total_energy(),
             compute_energy: timeline.compute_energy(),
             slack: timeline.total_slack(),
-            train_loss: (loss_sum / updates.len() as f64) as f32,
+            train_loss,
             test_accuracy,
             cumulative_time,
             cumulative_energy,
         });
+        span_phase.end();
 
         // 6. Exit checks: deadline (Eq. 14) and the Alg. 1
         //    convergence test.

@@ -1,6 +1,7 @@
 //! Client-selection strategy interface (Alg. 1, line 4 delegates
 //! here) and shared helpers.
 
+use helcfl_telemetry::Telemetry;
 use mec_sim::device::{Device, DeviceId};
 use mec_sim::units::{Bits, Seconds};
 
@@ -42,6 +43,28 @@ pub trait ClientSelector {
     /// Implementations return [`FlError::InvalidSelection`] when the
     /// context admits no valid selection.
     fn select(&mut self, ctx: &SelectionContext<'_>) -> Result<Vec<DeviceId>>;
+
+    /// Picks the users for this round, with a telemetry handle for
+    /// recording selection metrics (`Class::Sim` only, so instrumented
+    /// runs stay bit-identical to uninstrumented ones).
+    ///
+    /// The default implementation ignores telemetry and delegates to
+    /// [`ClientSelector::select`]; stateful selectors override this to
+    /// expose internals such as HELCFL's utility-decay evolution. The
+    /// traced runner always calls this method, so an override is the
+    /// only change a selector needs to become observable.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClientSelector::select`].
+    fn select_traced(
+        &mut self,
+        ctx: &SelectionContext<'_>,
+        tele: &Telemetry,
+    ) -> Result<Vec<DeviceId>> {
+        let _ = tele;
+        self.select(ctx)
+    }
 }
 
 /// Validates a selector's output: non-empty, no duplicates, and every

@@ -8,6 +8,8 @@
 //! Fig. 1 schedule.
 
 
+use helcfl_telemetry::{Class, MetricsRegistry};
+
 use crate::device::{Device, DeviceId};
 use crate::error::{MecError, Result};
 use crate::tdma::{TdmaSchedule, UploadRequest};
@@ -168,6 +170,36 @@ impl RoundTimeline {
         self.activities.iter().find(|a| a.device == device)
     }
 
+    /// Records this round's TDMA and energy profile into a metrics
+    /// registry.
+    ///
+    /// All values are derived from the resolved timeline — pure
+    /// simulation state — so they carry [`Class::Sim`] and stay
+    /// bit-identical across thread counts. Names:
+    ///
+    /// * `tdma.uploads` (counter) — uploads serialized this round;
+    /// * `tdma.queue_wait_s` (histogram) — per-device wait between
+    ///   compute finish and channel acquisition (the slack Alg. 3
+    ///   harvests);
+    /// * `device.energy_j` / `device.compute_energy_j` (histograms) —
+    ///   per-device round energy split;
+    /// * `round.makespan_s` / `round.slack_total_s` (histograms) —
+    ///   one sample per round, distribution across the run.
+    pub fn record_metrics(&self, registry: &mut MetricsRegistry) {
+        registry.counter_add(Class::Sim, "tdma.uploads", self.activities.len() as u64);
+        for a in &self.activities {
+            registry.record(Class::Sim, "tdma.queue_wait_s", a.slack().get());
+            registry.record(Class::Sim, "device.energy_j", a.total_energy().get());
+            registry.record(
+                Class::Sim,
+                "device.compute_energy_j",
+                a.compute_energy.get(),
+            );
+        }
+        registry.record(Class::Sim, "round.makespan_s", self.makespan().get());
+        registry.record(Class::Sim, "round.slack_total_s", self.total_slack().get());
+    }
+
     /// Renders the round as an ASCII Gantt chart (one row per device;
     /// `=` compute, `.` slack wait, `#` upload), reproducing the
     /// paper's Fig. 1 visually.
@@ -309,6 +341,27 @@ mod tests {
         assert!(g.contains("v0"));
         assert!(g.contains("v1"));
         assert!(g.contains('#'));
+    }
+
+    #[test]
+    fn record_metrics_tallies_uploads_waits_and_energy() {
+        let devs = [device(0, 2.0, 500, 8.0), device(1, 2.0, 600, 8.0)];
+        let tl = RoundTimeline::simulate_at_max(&devs, payload()).unwrap();
+        let mut registry = MetricsRegistry::new();
+        tl.record_metrics(&mut registry);
+        assert_eq!(registry.counter("tdma.uploads"), 2);
+        let waits = registry.histogram("tdma.queue_wait_s").unwrap();
+        assert_eq!(waits.count, 2);
+        // Device 0 uploads immediately (zero wait → underflow tally);
+        // device 1 waits 4.5 s.
+        assert_eq!(waits.underflow, 1);
+        assert_eq!(waits.max, 4.5);
+        let energy = registry.histogram("device.energy_j").unwrap();
+        assert_eq!(energy.count, 2);
+        assert_eq!(
+            registry.histogram("round.makespan_s").unwrap().max,
+            tl.makespan().get()
+        );
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! Zero-dependency telemetry for the HELCFL workspace.
+//!
+//! Three pieces, matching the three questions a perf investigation
+//! asks:
+//!
+//! * **Spans** ([`Span`], [`span!`]) — *where does the wall-clock go?*
+//!   Hierarchical, monotonic-clock timed regions streamed to a sink as
+//!   they complete.
+//! * **Metrics** ([`MetricsRegistry`]) — *what did the run do?*
+//!   Counters, gauges, and log-bucketed histograms, split into
+//!   deterministic ([`Class::Sim`]) and wall-clock ([`Class::Runtime`])
+//!   halves so the engine's bit-identical guarantee survives
+//!   instrumentation.
+//! * **Sinks** ([`Sink`]) — *where does the trace land?* [`NullSink`]
+//!   (nothing), [`JsonlSink`] (streaming `results/trace_*.jsonl`),
+//!   [`StderrSink`] (human-readable), selected at runtime via the
+//!   `HELCFL_TRACE` environment variable.
+//!
+//! The [`Telemetry`] handle ties them together and is designed to be
+//! passed by value everywhere: it is a clone-cheap
+//! `Option<Arc<...>>`, and every operation on a
+//! [`Telemetry::disabled`] handle is a single `Option` check — no
+//! locks, no clocks, no allocation.
+//!
+//! # Example
+//!
+//! ```
+//! use helcfl_telemetry::{span, Class, MemorySink, Telemetry};
+//!
+//! let sink = MemorySink::new();
+//! let tele = Telemetry::with_sink(sink.clone());
+//! {
+//!     let round = span!(tele, "round", index = 0usize);
+//!     let _work = round.child("local_update");
+//!     tele.counter_add(Class::Sim, "selection.selected", 5);
+//! }
+//! tele.finish();
+//! assert_eq!(sink.lines().len(), 3); // child span, round span, metrics
+//! assert_eq!(tele.snapshot().counter("selection.selected"), 5);
+//! ```
+
+pub mod json;
+mod metrics;
+mod report;
+mod sink;
+mod span;
+
+pub use metrics::{Class, Histogram, Metric, MetricsRegistry};
+pub use report::TelemetryReport;
+pub use sink::{Event, EventKind, JsonlSink, MemorySink, NullSink, Sink, StderrSink};
+pub use span::{Span, Value};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Environment variable selecting the trace sink for
+/// [`Telemetry::from_env`]: `off`/empty → metrics only, `stderr`,
+/// `jsonl`, or a file path.
+pub const TRACE_ENV: &str = "HELCFL_TRACE";
+
+pub(crate) struct Shared {
+    pub(crate) sink: Box<dyn Sink>,
+    pub(crate) epoch: Instant,
+    /// When false, spans and events are inert (metrics-only mode);
+    /// the sink is never handed an [`Event`].
+    events: bool,
+    metrics: Mutex<MetricsRegistry>,
+    next_id: AtomicU64,
+}
+
+impl Shared {
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Handle to a telemetry context; cheap to clone and pass by value.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    shared: Option<Arc<Shared>>,
+}
+
+impl Telemetry {
+    /// A fully disabled handle: every operation is a no-op.
+    ///
+    /// This is what the untraced entry points (`run_federated` etc.)
+    /// use, so existing callers pay one branch per call site and
+    /// nothing else.
+    pub fn disabled() -> Self {
+        Self { shared: None }
+    }
+
+    /// Collects metrics but emits no span/event stream.
+    ///
+    /// The default when `HELCFL_TRACE` is unset: the post-run
+    /// [`TelemetryReport`] still works, but the hot path never touches
+    /// a clock for span timing.
+    pub fn metrics_only() -> Self {
+        Self::build(Box::new(NullSink), false)
+    }
+
+    /// Collects metrics and streams spans/events to `sink`.
+    pub fn with_sink(sink: impl Sink + 'static) -> Self {
+        Self::build(Box::new(sink), true)
+    }
+
+    /// Streams JSONL trace events to the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the trace file cannot be created.
+    pub fn to_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(Self::with_sink(JsonlSink::create(path)?))
+    }
+
+    /// Builds a handle from the `HELCFL_TRACE` environment variable.
+    ///
+    /// | value            | behaviour                                   |
+    /// |------------------|---------------------------------------------|
+    /// | unset, ``, `off` | metrics only, no trace stream               |
+    /// | `stderr`         | human-readable lines on stderr              |
+    /// | `jsonl`          | JSONL stream at `results/trace_<name>.jsonl`|
+    /// | anything else    | JSONL stream at that path                   |
+    ///
+    /// If the trace file cannot be created the handle degrades to
+    /// metrics-only with a warning on stderr rather than failing the
+    /// run.
+    pub fn from_env(name: &str) -> Self {
+        let value = std::env::var(TRACE_ENV).unwrap_or_default();
+        match value.as_str() {
+            "" | "off" => Self::metrics_only(),
+            "stderr" => Self::with_sink(StderrSink),
+            "jsonl" => Self::trace_file(&format!("results/trace_{name}.jsonl")),
+            path => Self::trace_file(path),
+        }
+    }
+
+    fn trace_file(path: &str) -> Self {
+        match Self::to_file(path) {
+            Ok(tele) => tele,
+            Err(err) => {
+                eprintln!(
+                    "warning: cannot create trace file '{path}': {err}; \
+                     continuing with metrics only"
+                );
+                Self::metrics_only()
+            }
+        }
+    }
+
+    fn build(sink: Box<dyn Sink>, events: bool) -> Self {
+        Self {
+            shared: Some(Arc::new(Shared {
+                sink,
+                epoch: Instant::now(),
+                events,
+                metrics: Mutex::new(MetricsRegistry::new()),
+                next_id: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    /// True unless this is a [`Telemetry::disabled`] handle.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// True when spans and events reach a sink (not metrics-only).
+    pub fn events_enabled(&self) -> bool {
+        self.shared.as_ref().is_some_and(|s| s.events)
+    }
+
+    /// Starts a root span. Inert when events are off.
+    pub fn span(&self, name: &'static str) -> Span {
+        match &self.shared {
+            Some(shared) if shared.events => {
+                Span::start(Arc::clone(shared), name, None)
+            }
+            _ => Span::noop(),
+        }
+    }
+
+    /// Emits an instantaneous point event (e.g. pool resolution).
+    ///
+    /// Returns a builder; attributes are attached with
+    /// [`EventBuilder::with`] and the event fires when the builder
+    /// drops, so `tele.event("x").with("k", 1u64);` is a complete
+    /// statement.
+    pub fn event(&self, name: &'static str) -> EventBuilder {
+        match &self.shared {
+            Some(shared) if shared.events => EventBuilder {
+                inner: Some(EventInner {
+                    shared: Arc::clone(shared),
+                    name,
+                    attrs: Vec::new(),
+                }),
+            },
+            _ => EventBuilder { inner: None },
+        }
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn counter_add(&self, class: Class, name: &str, delta: u64) {
+        if let Some(shared) = &self.shared {
+            shared.metrics.lock().expect("metrics lock poisoned").counter_add(
+                class, name, delta,
+            );
+        }
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&self, class: Class, name: &str, value: f64) {
+        if let Some(shared) = &self.shared {
+            shared
+                .metrics
+                .lock()
+                .expect("metrics lock poisoned")
+                .gauge_set(class, name, value);
+        }
+    }
+
+    /// Records a histogram sample.
+    pub fn record(&self, class: Class, name: &str, sample: f64) {
+        if let Some(shared) = &self.shared {
+            shared.metrics.lock().expect("metrics lock poisoned").record(
+                class, name, sample,
+            );
+        }
+    }
+
+    /// Runs `f` against the registry under a single lock acquisition —
+    /// use for batches of related updates instead of N separate calls.
+    pub fn with_metrics(&self, f: impl FnOnce(&mut MetricsRegistry)) {
+        if let Some(shared) = &self.shared {
+            f(&mut shared.metrics.lock().expect("metrics lock poisoned"));
+        }
+    }
+
+    /// Folds a detached registry (e.g. a worker-local one) into the
+    /// shared registry. Callers merge per-worker registries in
+    /// worker-index order so the result is reproducible.
+    pub fn merge_registry(&self, other: &MetricsRegistry) {
+        if other.is_empty() {
+            return;
+        }
+        self.with_metrics(|m| m.merge_from(other));
+    }
+
+    /// Clones the current registry contents.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        match &self.shared {
+            Some(shared) => {
+                shared.metrics.lock().expect("metrics lock poisoned").clone()
+            }
+            None => MetricsRegistry::new(),
+        }
+    }
+
+    /// A renderable report over the current registry contents.
+    pub fn report(&self) -> TelemetryReport {
+        TelemetryReport::new(self.snapshot())
+    }
+
+    /// Emits the final metrics record to the sink and flushes it.
+    ///
+    /// Call once at the end of a run; safe to call on a disabled
+    /// handle.
+    pub fn finish(&self) {
+        if let Some(shared) = &self.shared {
+            if shared.events {
+                let registry =
+                    shared.metrics.lock().expect("metrics lock poisoned").clone();
+                shared.sink.emit_metrics(&registry);
+            }
+            shared.sink.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.shared {
+            Some(shared) => f
+                .debug_struct("Telemetry")
+                .field("events", &shared.events)
+                .finish_non_exhaustive(),
+            None => f.write_str("Telemetry(disabled)"),
+        }
+    }
+}
+
+struct EventInner {
+    shared: Arc<Shared>,
+    name: &'static str,
+    attrs: Vec<(&'static str, Value)>,
+}
+
+/// Builder for a point event; fires when dropped.
+pub struct EventBuilder {
+    inner: Option<EventInner>,
+}
+
+impl EventBuilder {
+    /// Attaches an attribute; returns `self` for chaining.
+    #[must_use = "the event fires when the builder drops"]
+    pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        if let Some(inner) = &mut self.inner {
+            inner.attrs.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Fires the event now (equivalent to dropping the builder).
+    pub fn emit(self) {}
+}
+
+impl Drop for EventBuilder {
+    fn drop(&mut self) {
+        let Some(EventInner { shared, name, attrs }) = self.inner.take() else {
+            return;
+        };
+        let t_us =
+            Instant::now().saturating_duration_since(shared.epoch).as_micros() as u64;
+        shared.sink.emit(&Event {
+            kind: EventKind::Point,
+            name,
+            id: shared.next_id(),
+            parent: None,
+            t_us,
+            dur_us: None,
+            attrs: &attrs,
+        });
+    }
+}
+
+/// Starts a span with inline attributes:
+/// `span!(tele, "round", index = j, scheme = "helcfl")`.
+///
+/// Expands to `tele.span("round").with("index", j).with(...)`; with a
+/// disabled handle the whole chain is inert.
+#[macro_export]
+macro_rules! span {
+    ($tele:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $tele.span($name)$(.with(stringify!($key), $value))*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tele = Telemetry::disabled();
+        assert!(!tele.is_enabled());
+        assert!(!tele.events_enabled());
+        let span = span!(tele, "round", index = 1usize);
+        drop(span.child("inner"));
+        drop(span);
+        tele.counter_add(Class::Sim, "x", 1);
+        tele.event("nothing").with("k", 1u64).emit();
+        tele.finish();
+        assert!(tele.snapshot().is_empty());
+    }
+
+    #[test]
+    fn metrics_only_collects_without_emitting() {
+        let tele = Telemetry::metrics_only();
+        assert!(tele.is_enabled());
+        assert!(!tele.events_enabled());
+        tele.counter_add(Class::Sim, "x", 2);
+        drop(tele.span("quiet"));
+        assert_eq!(tele.snapshot().counter("x"), 2);
+    }
+
+    #[test]
+    fn spans_record_parent_child_structure() {
+        let sink = MemorySink::new();
+        let tele = Telemetry::with_sink(sink.clone());
+        {
+            let round = span!(tele, "round", index = 3usize);
+            round.child("selection").end();
+            round.child("local_update").end();
+        }
+        tele.finish();
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 4); // 2 children + round + metrics
+        let parsed: Vec<_> =
+            lines.iter().map(|l| json::parse(l).unwrap()).collect();
+        // Children complete first; the round span is third.
+        let round = &parsed[2];
+        assert_eq!(round.get("name").and_then(|v| v.as_str()), Some("round"));
+        let round_id = round.get("id").and_then(|v| v.as_f64()).unwrap();
+        for child in &parsed[..2] {
+            assert_eq!(
+                child.get("parent").and_then(|v| v.as_f64()),
+                Some(round_id)
+            );
+        }
+        assert_eq!(
+            parsed[3].get("type").and_then(|v| v.as_str()),
+            Some("metrics")
+        );
+    }
+
+    #[test]
+    fn from_env_defaults_to_metrics_only() {
+        // The test runner may set HELCFL_TRACE; only assert the
+        // unset/off behaviour when the variable is absent.
+        if std::env::var(TRACE_ENV).unwrap_or_default().is_empty() {
+            let tele = Telemetry::from_env("unit_test");
+            assert!(tele.is_enabled());
+            assert!(!tele.events_enabled());
+        }
+    }
+}

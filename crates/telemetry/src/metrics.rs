@@ -1,0 +1,476 @@
+//! Mergeable counters, gauges, and log-bucketed histograms.
+//!
+//! The registry is designed around one hard requirement: the round
+//! engine produces bit-identical results for any worker-pool size, and
+//! telemetry must not weaken that guarantee. Two ingredients deliver
+//! it:
+//!
+//! * **Class separation.** Every metric carries a [`Class`]:
+//!   [`Class::Sim`] values are derived purely from simulation state
+//!   (deterministic by construction), while [`Class::Runtime`] values
+//!   come from wall clocks and thread scheduling (never reproducible).
+//!   [`MetricsRegistry::deterministic`] strips the registry down to
+//!   the `Sim` view, which the determinism tests compare across thread
+//!   counts and sink choices.
+//!
+//! * **Integer-only accumulation.** [`Histogram`] stores `u64` bucket
+//!   counts keyed by the sample's binary exponent, never a running
+//!   `f64` sum, so [`Histogram::merge_from`] is exactly associative:
+//!   merging per-worker histograms in fixed worker order yields the
+//!   same bits regardless of how samples were partitioned. The only
+//!   `f64` state is `min`/`max`, whose merge is also associative.
+
+use std::collections::BTreeMap;
+
+use crate::json::JsonObject;
+
+/// Determinism class of a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Derived from simulation state only; identical across runs with
+    /// the same seed, regardless of thread count or sink choice.
+    Sim,
+    /// Derived from wall clocks or scheduling (worker busy/idle time,
+    /// span durations); excluded from determinism comparisons.
+    Runtime,
+}
+
+/// A single named metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotone event count.
+    Counter(u64),
+    /// Last-written value.
+    Gauge(f64),
+    /// Log-bucketed sample distribution.
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Distribution of `f64` samples bucketed by binary exponent.
+///
+/// Bucket `e` counts finite positive normal samples in `[2^e, 2^(e+1))`
+/// — roughly one bucket per factor of two, enough resolution for
+/// latency and energy tails. Samples that have no exponent bucket are
+/// tallied separately so nothing is silently dropped:
+///
+/// * `underflow` — `+0.0`, `-0.0`, and subnormals (magnitude below
+///   `f64::MIN_POSITIVE`);
+/// * `negative` — finite strictly-negative normals;
+/// * `infinite` — `±inf`;
+/// * `nan` — NaN payloads.
+///
+/// `min`/`max` cover all *finite* samples (including negatives and
+/// zeros); NaN never touches them, so their merge stays associative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Total samples recorded, across every category below.
+    pub count: u64,
+    /// Zero and subnormal samples.
+    pub underflow: u64,
+    /// Finite negative normal samples.
+    pub negative: u64,
+    /// `+inf` / `-inf` samples.
+    pub infinite: u64,
+    /// NaN samples.
+    pub nan: u64,
+    /// Smallest finite sample seen (`+inf` when none yet).
+    pub min: f64,
+    /// Largest finite sample seen (`-inf` when none yet).
+    pub max: f64,
+    /// Bucket counts keyed by binary exponent of positive normals.
+    pub buckets: BTreeMap<i16, u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            underflow: 0,
+            negative: 0,
+            infinite: 0,
+            nan: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: f64) {
+        self.count += 1;
+        if sample.is_nan() {
+            self.nan += 1;
+            return;
+        }
+        if sample.is_infinite() {
+            self.infinite += 1;
+            return;
+        }
+        // Finite from here on: min/max cover every finite sample.
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+        let bits = sample.to_bits();
+        let exp_bits = (bits >> 52) & 0x7ff;
+        if exp_bits == 0 {
+            // ±0.0 and subnormals share the zero exponent field.
+            self.underflow += 1;
+        } else if bits >> 63 == 1 {
+            self.negative += 1;
+        } else {
+            let exponent = exp_bits as i16 - 1023;
+            *self.buckets.entry(exponent).or_insert(0) += 1;
+        }
+    }
+
+    /// Folds another histogram into this one.
+    ///
+    /// All state is either a `u64` sum or an associative `f64`
+    /// min/max, so `(a ⊕ b) ⊕ c` and `a ⊕ (b ⊕ c)` produce identical
+    /// bits — the property the fixed-worker-order merge tests pin.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.underflow += other.underflow;
+        self.negative += other.negative;
+        self.infinite += other.infinite;
+        self.nan += other.nan;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (&exponent, &n) in &other.buckets {
+            *self.buckets.entry(exponent).or_insert(0) += n;
+        }
+    }
+
+    /// Count of finite samples (the ones `min`/`max` describe).
+    pub fn finite_count(&self) -> u64 {
+        self.count - self.infinite - self.nan
+    }
+
+    /// Approximate quantile over the positive-normal buckets.
+    ///
+    /// Returns the geometric midpoint `1.5 · 2^e` of the bucket that
+    /// contains the `q`-th positive sample, or `None` when no positive
+    /// normal sample has been recorded. Accurate to within a factor of
+    /// two — enough for a post-run summary, not for assertions.
+    pub fn approx_quantile(&self, q: f64) -> Option<f64> {
+        let positive: u64 = self.buckets.values().sum();
+        if positive == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * positive as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (&exponent, &n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return Some(1.5 * (exponent as f64).exp2());
+            }
+        }
+        None
+    }
+
+    fn to_json(&self) -> JsonObject {
+        let mut o = JsonObject::new();
+        o.field("count", self.count)
+            .field("underflow", self.underflow)
+            .field("negative", self.negative)
+            .field("infinite", self.infinite)
+            .field("nan", self.nan);
+        if self.finite_count() > 0 {
+            o.field("min", self.min).field("max", self.max);
+        } else {
+            o.field("min", Option::<f64>::None).field("max", Option::<f64>::None);
+        }
+        let mut buckets = JsonObject::new();
+        for (&exponent, &n) in &self.buckets {
+            buckets.field(&exponent.to_string(), n);
+        }
+        o.object("buckets", buckets);
+        o
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    class: Class,
+    metric: Metric,
+}
+
+/// A named collection of metrics with deterministic iteration order.
+///
+/// Keys are sorted (`BTreeMap`), so serialization, merging, and
+/// equality checks never depend on insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<String, Entry>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no metric has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of distinct metric names.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Adds `delta` to a counter, creating it at zero first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already exists as a different metric kind or
+    /// class — that is a programming error, not a runtime condition.
+    pub fn counter_add(&mut self, class: Class, name: &str, delta: u64) {
+        match self.entry(class, name, || Metric::Counter(0)) {
+            Metric::Counter(v) => *v += delta,
+            other => panic!("metric '{name}' is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Sets a gauge to `value` (last write wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics on kind or class mismatch, as for [`Self::counter_add`].
+    pub fn gauge_set(&mut self, class: Class, name: &str, value: f64) {
+        match self.entry(class, name, || Metric::Gauge(0.0)) {
+            Metric::Gauge(v) => *v = value,
+            other => panic!("metric '{name}' is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Records a histogram sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on kind or class mismatch, as for [`Self::counter_add`].
+    pub fn record(&mut self, class: Class, name: &str, sample: f64) {
+        match self.entry(class, name, || Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h.record(sample),
+            other => panic!("metric '{name}' is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    fn entry(
+        &mut self,
+        class: Class,
+        name: &str,
+        default: impl FnOnce() -> Metric,
+    ) -> &mut Metric {
+        if !self.entries.contains_key(name) {
+            self.entries
+                .insert(name.to_string(), Entry { class, metric: default() });
+        }
+        let entry = self.entries.get_mut(name).expect("just inserted");
+        assert!(
+            entry.class == class,
+            "metric '{name}' re-registered with a different determinism class"
+        );
+        &mut entry.metric
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.entries.get(name).map(|e| &e.metric)
+    }
+
+    /// Convenience accessor for a counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Convenience accessor for a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.get(name) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Iterates metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Class, &Metric)> {
+        self.entries.iter().map(|(k, e)| (k.as_str(), e.class, &e.metric))
+    }
+
+    /// Folds `other` into this registry.
+    ///
+    /// Counters and histogram buckets add; gauges take `other`'s value
+    /// (last write wins, so merge order matters for gauges — callers
+    /// merge per-worker registries in worker-index order to keep the
+    /// result a pure function of the partitioned data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name holds different metric kinds or classes
+    /// in the two registries.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (name, entry) in &other.entries {
+            match &entry.metric {
+                Metric::Counter(v) => self.counter_add(entry.class, name, *v),
+                Metric::Gauge(v) => self.gauge_set(entry.class, name, *v),
+                Metric::Histogram(h) => {
+                    match self.entry(entry.class, name, || {
+                        Metric::Histogram(Histogram::new())
+                    }) {
+                        Metric::Histogram(mine) => mine.merge_from(h),
+                        other => panic!(
+                            "metric '{name}' is a {}, not a histogram",
+                            other.kind()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The deterministic ([`Class::Sim`]) subset of this registry.
+    ///
+    /// Two runs with the same seed must produce equal snapshots here
+    /// regardless of thread count, sink choice, or host speed.
+    pub fn deterministic(&self) -> MetricsRegistry {
+        MetricsRegistry {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.class == Class::Sim)
+                .map(|(k, e)| (k.clone(), e.clone()))
+                .collect(),
+        }
+    }
+
+    /// Renders the registry as a JSON object keyed by metric name.
+    pub fn to_json(&self) -> JsonObject {
+        let mut o = JsonObject::new();
+        for (name, entry) in &self.entries {
+            let mut m = JsonObject::new();
+            m.field("kind", entry.metric.kind()).field(
+                "class",
+                match entry.class {
+                    Class::Sim => "sim",
+                    Class::Runtime => "runtime",
+                },
+            );
+            match &entry.metric {
+                Metric::Counter(v) => m.field("value", *v),
+                Metric::Gauge(v) => m.field("value", *v),
+                Metric::Histogram(h) => m.object("value", h.to_json()),
+            };
+            o.object(name, m);
+        }
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add(Class::Sim, "rounds", 1);
+        r.counter_add(Class::Sim, "rounds", 2);
+        r.gauge_set(Class::Runtime, "threads", 4.0);
+        r.gauge_set(Class::Runtime, "threads", 8.0);
+        assert_eq!(r.counter("rounds"), 3);
+        assert_eq!(r.get("threads"), Some(&Metric::Gauge(8.0)));
+    }
+
+    #[test]
+    fn histogram_buckets_by_binary_exponent() {
+        let mut h = Histogram::new();
+        h.record(1.0); // [1, 2) → e = 0
+        h.record(1.9);
+        h.record(2.0); // [2, 4) → e = 1
+        h.record(0.75); // [0.5, 1) → e = -1
+        assert_eq!(h.count, 4);
+        assert_eq!(h.buckets.get(&0), Some(&2));
+        assert_eq!(h.buckets.get(&1), Some(&1));
+        assert_eq!(h.buckets.get(&-1), Some(&1));
+        assert_eq!(h.min, 0.75);
+        assert_eq!(h.max, 2.0);
+    }
+
+    #[test]
+    fn deterministic_filters_runtime_metrics() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add(Class::Sim, "selection.selected", 10);
+        r.record(Class::Runtime, "worker.busy_ns", 1234.0);
+        let det = r.deterministic();
+        assert_eq!(det.len(), 1);
+        assert!(det.get("selection.selected").is_some());
+        assert!(det.get("worker.busy_ns").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_set(Class::Sim, "x", 1.0);
+        r.counter_add(Class::Sim, "x", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different determinism class")]
+    fn class_mismatch_panics() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add(Class::Sim, "x", 1);
+        r.counter_add(Class::Runtime, "x", 1);
+    }
+
+    #[test]
+    fn registry_merge_adds_counters_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add(Class::Sim, "n", 2);
+        a.record(Class::Sim, "h", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.counter_add(Class::Sim, "n", 3);
+        b.record(Class::Sim, "h", 4.0);
+        b.record(Class::Sim, "h", f64::INFINITY);
+        a.merge_from(&b);
+        assert_eq!(a.counter("n"), 5);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.infinite, 1);
+        assert_eq!(h.max, 4.0);
+    }
+
+    #[test]
+    fn approx_quantile_lands_in_the_right_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1.0); // e = 0
+        }
+        for _ in 0..10 {
+            h.record(100.0); // e = 6 ([64, 128))
+        }
+        assert_eq!(h.approx_quantile(0.5), Some(1.5));
+        assert_eq!(h.approx_quantile(0.99), Some(1.5 * 64.0));
+        assert_eq!(Histogram::new().approx_quantile(0.5), None);
+    }
+}

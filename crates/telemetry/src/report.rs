@@ -1,0 +1,128 @@
+//! Post-run summary rendering.
+//!
+//! [`TelemetryReport`] turns a merged [`MetricsRegistry`] into a
+//! compact, human-readable block that bench binaries print after a
+//! run — counters and gauges one per line, histograms with count,
+//! range, and approximate p50/p99.
+
+use std::fmt;
+
+use crate::metrics::{Class, Metric, MetricsRegistry};
+
+/// A renderable snapshot of a metrics registry.
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    registry: MetricsRegistry,
+}
+
+impl TelemetryReport {
+    /// Captures a snapshot of `registry`.
+    pub fn new(registry: MetricsRegistry) -> Self {
+        Self { registry }
+    }
+
+    /// True when there is nothing to report.
+    pub fn is_empty(&self) -> bool {
+        self.registry.is_empty()
+    }
+
+    /// The underlying registry snapshot.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+}
+
+/// Formats a value with engineering-style precision: integers plain,
+/// small magnitudes with enough decimals to be meaningful.
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        return format!("{v:.0}");
+    }
+    let magnitude = v.abs();
+    if magnitude >= 100.0 {
+        format!("{v:.1}")
+    } else if magnitude >= 0.01 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+impl fmt::Display for TelemetryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.registry.is_empty() {
+            return writeln!(f, "telemetry: no metrics recorded");
+        }
+        writeln!(f, "telemetry report ({} metrics)", self.registry.len())?;
+        for (name, class, metric) in self.registry.iter() {
+            let tag = match class {
+                Class::Sim => "sim",
+                Class::Runtime => "rt ",
+            };
+            match metric {
+                Metric::Counter(v) => {
+                    writeln!(f, "  [{tag}] {name:<36} = {v}")?;
+                }
+                Metric::Gauge(v) => {
+                    writeln!(f, "  [{tag}] {name:<36} = {}", fmt_f64(*v))?;
+                }
+                Metric::Histogram(h) => {
+                    write!(f, "  [{tag}] {name:<36} n={}", h.count)?;
+                    if h.finite_count() > 0 {
+                        write!(
+                            f,
+                            " min={} max={}",
+                            fmt_f64(h.min),
+                            fmt_f64(h.max)
+                        )?;
+                    }
+                    if let Some(p50) = h.approx_quantile(0.5) {
+                        write!(f, " ~p50={}", fmt_f64(p50))?;
+                    }
+                    if let Some(p99) = h.approx_quantile(0.99) {
+                        write!(f, " ~p99={}", fmt_f64(p99))?;
+                    }
+                    let odd = h.underflow + h.negative + h.infinite + h.nan;
+                    if odd > 0 {
+                        write!(
+                            f,
+                            " (zero/sub={} neg={} inf={} nan={})",
+                            h.underflow, h.negative, h.infinite, h.nan
+                        )?;
+                    }
+                    writeln!(f)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_lists_every_metric_kind() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add(Class::Sim, "selection.selected", 42);
+        r.gauge_set(Class::Runtime, "pool.workers", 4.0);
+        r.record(Class::Sim, "round.slack_s", 0.5);
+        r.record(Class::Sim, "round.slack_s", f64::INFINITY);
+        let text = TelemetryReport::new(r).to_string();
+        assert!(text.contains("selection.selected"), "{text}");
+        assert!(text.contains("= 42"), "{text}");
+        assert!(text.contains("pool.workers"), "{text}");
+        assert!(text.contains("round.slack_s"), "{text}");
+        assert!(text.contains("inf=1"), "{text}");
+    }
+
+    #[test]
+    fn empty_report_says_so() {
+        let text = TelemetryReport::new(MetricsRegistry::new()).to_string();
+        assert!(text.contains("no metrics"), "{text}");
+    }
+}

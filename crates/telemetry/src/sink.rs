@@ -1,0 +1,291 @@
+//! Pluggable trace destinations.
+//!
+//! A [`Sink`] receives completed [`Event`]s — span ends and point
+//! events — and serializes them however it likes. The simulator never
+//! blocks on a sink beyond the sink's own lock; sinks that do I/O
+//! buffer internally and flush on [`Sink::flush`].
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::json::JsonObject;
+use crate::metrics::MetricsRegistry;
+use crate::span::Value;
+
+/// What an [`Event`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span that has finished; `dur_us` is set.
+    Span,
+    /// An instantaneous point event; `dur_us` is `None`.
+    Point,
+}
+
+/// One completed trace record handed to a sink.
+#[derive(Debug)]
+pub struct Event<'a> {
+    /// Span end or point event.
+    pub kind: EventKind,
+    /// Static name, e.g. `"round"` or `"local_update"`.
+    pub name: &'a str,
+    /// Unique id within the run (monotonically assigned).
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Start time in microseconds since the telemetry epoch.
+    pub t_us: u64,
+    /// Duration in microseconds (spans only).
+    pub dur_us: Option<u64>,
+    /// Attached key/value attributes.
+    pub attrs: &'a [(&'static str, Value)],
+}
+
+impl Event<'_> {
+    /// Renders the event as one JSONL object.
+    pub fn to_json_line(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field(
+            "type",
+            match self.kind {
+                EventKind::Span => "span",
+                EventKind::Point => "event",
+            },
+        )
+        .field("name", self.name)
+        .field("id", self.id)
+        .field("parent", self.parent)
+        .field("t_us", self.t_us)
+        .field("dur_us", self.dur_us);
+        if !self.attrs.is_empty() {
+            let mut attrs = JsonObject::new();
+            for (key, value) in self.attrs {
+                value.write_field(&mut attrs, key);
+            }
+            o.object("attrs", attrs);
+        }
+        o.finish()
+    }
+
+    /// Renders the event as a one-line human-readable string.
+    pub fn to_human_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut line = String::new();
+        let _ = write!(line, "[{:>10.3}ms]", self.t_us as f64 / 1000.0);
+        match self.dur_us {
+            Some(d) => {
+                let _ = write!(line, " {} took {:.3}ms", self.name, d as f64 / 1000.0);
+            }
+            None => {
+                let _ = write!(line, " {}", self.name);
+            }
+        }
+        for (key, value) in self.attrs {
+            let _ = write!(line, " {key}={value}");
+        }
+        line
+    }
+}
+
+/// A destination for trace events and the final metrics summary.
+pub trait Sink: Send + Sync {
+    /// Consumes one completed event.
+    fn emit(&self, event: &Event<'_>);
+
+    /// Consumes the merged end-of-run metrics registry.
+    fn emit_metrics(&self, registry: &MetricsRegistry) {
+        let _ = registry;
+    }
+
+    /// Flushes any buffered output.
+    fn flush(&self) {}
+}
+
+/// Discards everything. Used when metrics are wanted without a trace
+/// stream; the [`crate::Telemetry`] handle skips event construction
+/// entirely in that mode, so this sink's methods are rarely even
+/// reached.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&self, _event: &Event<'_>) {}
+}
+
+/// Streams events as JSON Lines to a file.
+///
+/// Each event becomes one `{"type":"span"|"event",...}` object; the
+/// end-of-run metrics registry is appended as a final
+/// `{"type":"metrics",...}` line. Lines are buffered and flushed on
+/// [`Sink::flush`] and on drop.
+pub struct JsonlSink {
+    path: PathBuf,
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created
+    /// (parent directories are created first).
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(&path)?;
+        Ok(Self { path, out: Mutex::new(BufWriter::new(file)) })
+    }
+
+    /// The file this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = self.out.lock().expect("trace file lock poisoned");
+        // A full disk should not kill a simulation; drop the line.
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event<'_>) {
+        self.write_line(&event.to_json_line());
+    }
+
+    fn emit_metrics(&self, registry: &MetricsRegistry) {
+        let mut o = JsonObject::new();
+        o.field("type", "metrics").object("metrics", registry.to_json());
+        self.write_line(&o.finish());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("trace file lock poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Writes human-readable one-line events to stderr.
+///
+/// Selected with `HELCFL_TRACE=stderr`; useful for watching a run
+/// live without post-processing a JSONL file.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&self, event: &Event<'_>) {
+        eprintln!("trace: {}", event.to_human_line());
+    }
+
+    fn emit_metrics(&self, registry: &MetricsRegistry) {
+        eprintln!("trace: metrics {}", registry.to_json().finish());
+    }
+}
+
+/// Captures rendered JSONL lines in memory; test-only convenience.
+///
+/// Clone the sink before handing it to [`crate::Telemetry::with_sink`]
+/// — both clones share the same buffer, so the test keeps access to
+/// what the run emitted.
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all lines emitted so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("memory sink lock poisoned").clone()
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &Event<'_>) {
+        self.lines
+            .lock()
+            .expect("memory sink lock poisoned")
+            .push(event.to_json_line());
+    }
+
+    fn emit_metrics(&self, registry: &MetricsRegistry) {
+        let mut o = JsonObject::new();
+        o.field("type", "metrics").object("metrics", registry.to_json());
+        self.lines.lock().expect("memory sink lock poisoned").push(o.finish());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_parseable_json_lines() {
+        let attrs = [("round", Value::U64(3)), ("scheme", Value::Str("helcfl".into()))];
+        let event = Event {
+            kind: EventKind::Span,
+            name: "round",
+            id: 7,
+            parent: Some(1),
+            t_us: 1500,
+            dur_us: Some(250),
+            attrs: &attrs,
+        };
+        let line = event.to_json_line();
+        let parsed = crate::json::parse(&line).unwrap();
+        assert_eq!(parsed.get("type").and_then(|v| v.as_str()), Some("span"));
+        assert_eq!(parsed.get("dur_us").and_then(|v| v.as_f64()), Some(250.0));
+        assert_eq!(
+            parsed.get("attrs").and_then(|a| a.get("scheme")).and_then(|v| v.as_str()),
+            Some("helcfl")
+        );
+    }
+
+    #[test]
+    fn human_line_includes_attrs() {
+        let attrs = [("workers", Value::U64(4))];
+        let event = Event {
+            kind: EventKind::Point,
+            name: "pool_resolved",
+            id: 1,
+            parent: None,
+            t_us: 42,
+            dur_us: None,
+            attrs: &attrs,
+        };
+        let line = event.to_human_line();
+        assert!(line.contains("pool_resolved"), "{line}");
+        assert!(line.contains("workers=4"), "{line}");
+    }
+
+    #[test]
+    fn memory_sink_shares_buffer_across_clones() {
+        let sink = MemorySink::new();
+        let clone = sink.clone();
+        clone.emit(&Event {
+            kind: EventKind::Point,
+            name: "x",
+            id: 1,
+            parent: None,
+            t_us: 0,
+            dur_us: None,
+            attrs: &[],
+        });
+        assert_eq!(sink.lines().len(), 1);
+    }
+}

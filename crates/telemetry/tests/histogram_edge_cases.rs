@@ -1,0 +1,177 @@
+//! Histogram bucketing edge cases and merge associativity.
+//!
+//! Pins the properties the round engine's determinism guarantee leans
+//! on: odd floating-point inputs (zero, subnormal, ±inf, NaN) land in
+//! dedicated tallies instead of corrupting buckets, and merging
+//! per-worker histograms is exactly associative so a fixed worker
+//! order yields bit-identical registries for any sample partition.
+
+use helcfl_telemetry::{Class, Histogram, MetricsRegistry};
+
+#[test]
+fn zero_and_subnormal_samples_count_as_underflow() {
+    let mut h = Histogram::new();
+    h.record(0.0);
+    h.record(-0.0);
+    h.record(f64::MIN_POSITIVE / 2.0); // subnormal
+    h.record(5e-324); // smallest positive subnormal
+    assert_eq!(h.count, 4);
+    assert_eq!(h.underflow, 4);
+    assert!(h.buckets.is_empty(), "no exponent bucket for underflow");
+    // Zeros and subnormals are finite, so min/max still track them.
+    assert_eq!(h.min, -0.0);
+    assert_eq!(h.max, f64::MIN_POSITIVE / 2.0);
+}
+
+#[test]
+fn infinite_and_nan_samples_are_tallied_separately() {
+    let mut h = Histogram::new();
+    h.record(f64::INFINITY);
+    h.record(f64::NEG_INFINITY);
+    h.record(f64::NAN);
+    assert_eq!(h.count, 3);
+    assert_eq!(h.infinite, 2);
+    assert_eq!(h.nan, 1);
+    assert_eq!(h.finite_count(), 0);
+    assert!(h.buckets.is_empty());
+    // No finite sample yet: min/max stay at their identities, so a
+    // later merge cannot be perturbed.
+    assert_eq!(h.min, f64::INFINITY);
+    assert_eq!(h.max, f64::NEG_INFINITY);
+}
+
+#[test]
+fn negative_normals_do_not_share_buckets_with_positives() {
+    let mut h = Histogram::new();
+    h.record(-2.0);
+    h.record(2.0);
+    assert_eq!(h.negative, 1);
+    assert_eq!(h.buckets.get(&1), Some(&1), "only +2.0 buckets");
+    assert_eq!(h.min, -2.0);
+    assert_eq!(h.max, 2.0);
+}
+
+#[test]
+fn extreme_exponents_bucket_without_overflow() {
+    let mut h = Histogram::new();
+    h.record(f64::MAX); // e = 1023
+    h.record(f64::MIN_POSITIVE); // e = -1022 (smallest normal)
+    assert_eq!(h.buckets.get(&1023), Some(&1));
+    assert_eq!(h.buckets.get(&-1022), Some(&1));
+}
+
+#[test]
+fn bucket_boundaries_are_half_open() {
+    let mut h = Histogram::new();
+    h.record(1.0); // exactly 2^0 → bucket 0
+    h.record(2.0); // exactly 2^1 → bucket 1
+    h.record(1.9999999999999998); // largest f64 below 2.0 → bucket 0
+    assert_eq!(h.buckets.get(&0), Some(&2));
+    assert_eq!(h.buckets.get(&1), Some(&1));
+}
+
+/// Deterministically scattered sample set covering every category.
+fn samples() -> Vec<f64> {
+    let mut out = Vec::new();
+    for i in 0..200u32 {
+        // A spread of magnitudes across many binary exponents.
+        out.push(f64::from(i) * 0.37 + 0.001);
+        out.push(f64::from(i + 1).recip());
+    }
+    out.extend([
+        0.0,
+        -0.0,
+        5e-324,
+        f64::MIN_POSITIVE / 4.0,
+        -1.5,
+        -1e300,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NAN,
+        f64::MAX,
+        f64::MIN_POSITIVE,
+    ]);
+    out
+}
+
+fn hist_of(samples: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+#[test]
+fn merge_is_associative_for_any_partition() {
+    let all = samples();
+    let reference = hist_of(&all);
+
+    // Partition into three "workers" by stride, the same assignment
+    // scheme the worker pool uses for clients.
+    let parts: Vec<Vec<f64>> = (0..3)
+        .map(|w| all.iter().copied().skip(w).step_by(3).collect())
+        .collect();
+    let hs: Vec<Histogram> = parts.iter().map(|p| hist_of(p)).collect();
+
+    // (h0 ⊕ h1) ⊕ h2
+    let mut left = hs[0].clone();
+    left.merge_from(&hs[1]);
+    left.merge_from(&hs[2]);
+
+    // h0 ⊕ (h1 ⊕ h2)
+    let mut right_tail = hs[1].clone();
+    right_tail.merge_from(&hs[2]);
+    let mut right = hs[0].clone();
+    right.merge_from(&right_tail);
+
+    assert_eq!(left, right, "merge associativity");
+    // And both equal the unpartitioned histogram: merging is a pure
+    // function of the multiset of samples.
+    assert_eq!(left, reference, "partition independence");
+}
+
+#[test]
+fn merge_in_fixed_worker_order_is_bit_identical_across_partitions() {
+    let all = samples();
+
+    // Same multiset, two different worker counts. Merging each
+    // partition's histograms in worker-index order must agree exactly
+    // with the serial (1-worker) registry.
+    let serial = {
+        let mut r = MetricsRegistry::new();
+        for &s in &all {
+            r.record(Class::Sim, "pool.item", s);
+        }
+        r
+    };
+
+    for workers in [2usize, 4, 7] {
+        let mut merged = MetricsRegistry::new();
+        for w in 0..workers {
+            let mut local = MetricsRegistry::new();
+            for &s in all.iter().skip(w).step_by(workers) {
+                local.record(Class::Sim, "pool.item", s);
+            }
+            merged.merge_from(&local); // fixed worker-index order
+        }
+        assert_eq!(merged, serial, "registry equality at {workers} workers");
+        // Bit-level check on the f64 extrema, beyond PartialEq.
+        let a = merged.histogram("pool.item").unwrap();
+        let b = serial.histogram("pool.item").unwrap();
+        assert_eq!(a.min.to_bits(), b.min.to_bits());
+        assert_eq!(a.max.to_bits(), b.max.to_bits());
+    }
+}
+
+#[test]
+fn empty_histogram_is_the_merge_identity() {
+    let all = samples();
+    let h = hist_of(&all);
+    let mut left = Histogram::new();
+    left.merge_from(&h);
+    assert_eq!(left, h, "empty ⊕ h = h");
+    let mut right = h.clone();
+    right.merge_from(&Histogram::new());
+    assert_eq!(right, h, "h ⊕ empty = h");
+}

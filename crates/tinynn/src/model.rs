@@ -164,6 +164,18 @@ impl Mlp {
         self.num_parameters() as u64 * 32
     }
 
+    /// Estimated floating-point operations for one sample's forward
+    /// pass: 2·in·out multiply-accumulates plus the bias add and ReLU
+    /// per layer. A backward pass costs roughly 2× this. Used by the
+    /// telemetry report to contextualize throughput numbers; it is an
+    /// estimate, not a measured count.
+    pub fn flops_per_sample(&self) -> u64 {
+        self.dims
+            .windows(2)
+            .map(|w| 2 * (w[0] as u64) * (w[1] as u64) + 2 * w[1] as u64)
+            .sum()
+    }
+
     /// Forward pass producing logits (`n × classes`).
     ///
     /// # Errors
@@ -446,6 +458,8 @@ mod tests {
         let expected = 64 * 96 + 96 + 96 * 48 + 48 + 48 * 10 + 10;
         assert_eq!(m.num_parameters(), expected);
         assert_eq!(m.size_bits(), expected as u64 * 32);
+        let flops = 2 * 64 * 96 + 2 * 96 + 2 * 96 * 48 + 2 * 48 + 2 * 48 * 10 + 2 * 10;
+        assert_eq!(m.flops_per_sample(), flops);
     }
 
     #[test]

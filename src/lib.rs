@@ -2,5 +2,6 @@
 pub use fl_baselines as baselines;
 pub use fl_sim;
 pub use helcfl;
+pub use helcfl_telemetry as telemetry;
 pub use mec_sim;
 pub use tinynn;
