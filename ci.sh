@@ -16,7 +16,7 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> telemetry smoke: traced table1_delay + trace validation"
+echo "==> telemetry smoke: traced table1_delay + trace validation + audit"
 # Run from a scratch directory: the smoke run's reduced-scale CSVs and
 # trace must not clobber the full-scale artifacts tracked in results/.
 repo_root="$PWD"
@@ -25,7 +25,28 @@ trap 'rm -rf "$smoke_dir"' EXIT
 (
   cd "$smoke_dir"
   HELCFL_TRACE=jsonl "$repo_root/target/release/table1_delay" --fast --setting iid
+  # check_trace is the legacy shim; exercise it and the absorbing CLI.
   "$repo_root/target/release/check_trace" results/trace_table1_delay.jsonl
+  "$repo_root/target/release/helcfl-trace" check results/trace_table1_delay.jsonl
+  # Replay the trace against the analytic model: slack ≥ 0, TDMA
+  # serialization, E ∝ f², and delay-neutrality where claimed.
+  "$repo_root/target/release/helcfl-trace" audit results/trace_table1_delay.jsonl
+)
+
+echo "==> perf gate: fresh --fast bench vs committed baseline"
+# The committed baseline is full-scale and this smoke bench is --fast
+# on whatever hardware CI lands on, so the gate runs with very loose
+# tolerances — it catches catastrophic regressions (an order of
+# magnitude, a broken metric path), not single-digit drift. The
+# self-gate against the identical file is the exit-0 criterion.
+(
+  cd "$smoke_dir"
+  "$repo_root/target/release/bench_round_engine" --fast > /dev/null
+  "$repo_root/target/release/helcfl-trace" gate \
+    "$repo_root/results/BENCH_round_engine.json" results/BENCH_round_engine.json \
+    --max-rps-drop-pct 95 --max-latency-growth-pct 2000 --max-overhead-pp 50
+  "$repo_root/target/release/helcfl-trace" gate \
+    "$repo_root/results/BENCH_round_engine.json" "$repo_root/results/BENCH_round_engine.json"
 )
 
 echo "==> ci.sh: all gates passed"

@@ -63,6 +63,11 @@ impl FrequencyPolicy for FedlFrequencyPolicy {
         "fedl-closed-form"
     }
 
+    // Deliberately inherits `delay_neutral() == false`: `f*` can land
+    // below a fast device's `f_max`, slowing the critical device and
+    // extending the round — that is FEDL's energy/delay tradeoff, not
+    // a bug, so the trace auditor must not hold it to HELCFL's bound.
+
     fn frequencies(&self, selected: &[Device], _payload: Bits) -> Result<Vec<Hertz>> {
         Ok(selected
             .iter()

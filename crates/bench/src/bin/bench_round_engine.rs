@@ -14,6 +14,11 @@
 //!    metrics-collecting (null-sink) telemetry handle; the report
 //!    records the relative slowdown so the <2 % overhead budget in
 //!    DESIGN.md stays checkable.
+//! 5. **Per-round latency** — the run repeated once more with full
+//!    event tracing into a memory sink; the `round` span durations
+//!    give exact (nearest-rank, not histogram-approximated) p50/p99
+//!    per-round wall-clock, so `helcfl-trace gate` can catch latency
+//!    regressions, not just throughput drops.
 //!
 //! Results go to stdout and `results/BENCH_round_engine.json`. The
 //! recorded numbers are whatever the current host produces — on a
@@ -32,9 +37,11 @@ use fl_sim::parallel::worker_threads;
 use fl_sim::runner::run_federated_traced;
 use fl_sim::seeds::{derive, SeedDomain};
 use fl_baselines::classic::RandomSelector;
+use helcfl_bench::gate::percentile_nearest_rank;
 use helcfl_bench::json::JsonObject;
 use helcfl_bench::{CommonArgs, PaperScenario, Setting};
-use helcfl_telemetry::Telemetry;
+use helcfl_telemetry::analyze::Trace;
+use helcfl_telemetry::{MemorySink, Telemetry};
 use tinynn::tensor::Matrix;
 
 /// Measures one square matmul size: returns (seconds/iter, GFLOP/s).
@@ -143,6 +150,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          history bit-identical: {telemetry_identical})"
     );
 
+    // --- 5. Per-round latency percentiles (events on) ------------
+    let sink = MemorySink::new();
+    let traced = Telemetry::with_sink(sink.clone());
+    let (traced_history, traced_secs) = timed_run(&scenario, detected, &traced)?;
+    traced.finish();
+    let traced_identical = traced_history == parallel_history;
+    assert!(
+        traced_identical,
+        "determinism violation: event tracing changed the history"
+    );
+    let trace = Trace::parse(&sink.lines().join("\n"))
+        .map_err(|e| format!("traced run emitted an invalid trace: {e}"))?;
+    let mut round_durs: Vec<u64> = trace
+        .spans
+        .iter()
+        .filter(|s| s.name == "round")
+        .map(|s| s.dur_us)
+        .collect();
+    assert!(!round_durs.is_empty(), "traced run emitted no round spans");
+    round_durs.sort_unstable();
+    let p50_us = percentile_nearest_rank(&round_durs, 0.5);
+    let p99_us = percentile_nearest_rank(&round_durs, 0.99);
+    let max_us = *round_durs.last().expect("non-empty");
+    let mean_us = round_durs.iter().sum::<u64>() as f64 / round_durs.len() as f64;
+    let events_overhead_pct = (traced_secs / parallel_secs - 1.0) * 100.0;
+    println!(
+        "  traced   (events on ): {traced_secs:.2}s ({events_overhead_pct:+.2}% vs untraced), \
+         per-round p50 {p50_us} µs, p99 {p99_us} µs, max {max_us} µs"
+    );
+
     // --- Report --------------------------------------------------
     let mut host = JsonObject::new();
     host.field("available_parallelism", available_parallelism())
@@ -175,11 +212,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .field("overhead_pct", overhead_pct)
         .field("bit_identical", telemetry_identical);
 
+    let mut latency = JsonObject::new();
+    latency
+        .field("rounds", round_durs.len())
+        .field("p50_us", p50_us)
+        .field("p99_us", p99_us)
+        .field("mean_us", mean_us)
+        .field("max_us", max_us)
+        .field("seconds", traced_secs)
+        .field("events_overhead_pct", events_overhead_pct)
+        .field("bit_identical", traced_identical);
+
     let mut engine = JsonObject::new();
     engine
         .object("serial", serial)
         .object("parallel", parallel)
         .object("telemetry", telemetry)
+        .object("latency", latency)
         .field("speedup", speedup)
         .field("bit_identical", bit_identical);
 

@@ -1,170 +1,24 @@
-//! Validates a telemetry trace file emitted by `HELCFL_TRACE=jsonl`
-//! (or `--trace-out`) — the CI smoke check for the tracing pipeline.
+//! Thin compatibility shim: `check_trace [PATH]` is now
+//! `helcfl-trace check [PATH]`.
 //!
-//! Three properties are checked, line by line:
-//!
-//! 1. **Syntax** — every line is a standalone JSON object (parsed by
-//!    the same strict hand-rolled parser the workspace emits with).
-//! 2. **Schema** — every object carries a known `type` (`span`,
-//!    `event`, `metrics`) with the fields that type requires.
-//! 3. **Coverage** — for every `round` span, the durations of its
-//!    direct children (selection, frequency, training fan-out,
-//!    aggregation, evaluation, …) must account for most of the round
-//!    wall-clock: a round below 80 % coverage fails the check, below
-//!    95 % warns. Rounds shorter than 2 ms are skipped — µs-resolution
-//!    child timings cannot be judged against them.
-//!
-//! Usage: `check_trace [PATH]` (default
-//! `results/trace_table1_delay.jsonl`). Exits non-zero on any failure.
+//! The validation itself lives in `helcfl_telemetry::analyze` —
+//! strict line-by-line schema parsing ([`Trace::parse`]), resolvable
+//! parent links, and the ≥ 80 % per-round child-span coverage rule
+//! ([`check_coverage`]) — exactly the semantics this binary enforced
+//! before it was absorbed. Kept so existing `ci.sh`-style callers and
+//! muscle memory don't break; new tooling should call `helcfl-trace`.
 
-use std::collections::HashMap;
 use std::process::ExitCode;
 
-use helcfl_telemetry::json::{parse, JsonValue};
-
-/// Coverage below this fails the check.
-const FAIL_BELOW: f64 = 0.80;
-/// Coverage below this warns.
-const WARN_BELOW: f64 = 0.95;
-/// Rounds shorter than this (µs) are not judged for coverage.
-const MIN_JUDGEABLE_US: f64 = 2000.0;
-
-fn get_u64(v: &JsonValue, key: &str) -> Option<u64> {
-    let f = v.get(key)?.as_f64()?;
-    (f >= 0.0 && f.fract() == 0.0).then_some(f as u64)
-}
-
-struct SpanRow {
-    name: String,
-    parent: Option<u64>,
-    dur_us: u64,
-}
+use helcfl_telemetry::analyze::{check_coverage, Trace};
 
 fn check(path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
-    let mut spans: HashMap<u64, SpanRow> = HashMap::new();
-    let mut events = 0usize;
-    let mut metrics_lines = 0usize;
-    for (lineno, line) in text.lines().enumerate() {
-        let lineno = lineno + 1;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let value =
-            parse(line).map_err(|e| format!("{path}:{lineno}: invalid JSON: {e}"))?;
-        let kind = value
-            .get("type")
-            .and_then(JsonValue::as_str)
-            .ok_or_else(|| format!("{path}:{lineno}: missing \"type\""))?
-            .to_string();
-        match kind.as_str() {
-            "span" => {
-                let name = value
-                    .get("name")
-                    .and_then(JsonValue::as_str)
-                    .ok_or_else(|| format!("{path}:{lineno}: span without name"))?
-                    .to_string();
-                let id = get_u64(&value, "id")
-                    .ok_or_else(|| format!("{path}:{lineno}: span without id"))?;
-                get_u64(&value, "t_us")
-                    .ok_or_else(|| format!("{path}:{lineno}: span without t_us"))?;
-                let dur_us = get_u64(&value, "dur_us")
-                    .ok_or_else(|| format!("{path}:{lineno}: span without dur_us"))?;
-                let parent = get_u64(&value, "parent");
-                if spans.insert(id, SpanRow { name, parent, dur_us }).is_some() {
-                    return Err(format!("{path}:{lineno}: duplicate span id {id}"));
-                }
-            }
-            "event" => {
-                value
-                    .get("name")
-                    .and_then(JsonValue::as_str)
-                    .ok_or_else(|| format!("{path}:{lineno}: event without name"))?;
-                get_u64(&value, "t_us")
-                    .ok_or_else(|| format!("{path}:{lineno}: event without t_us"))?;
-                events += 1;
-            }
-            "metrics" | "round" => {
-                // "round" lines come from TrainingHistory::to_jsonl()
-                // when a history is appended to a trace stream.
-                metrics_lines += 1;
-            }
-            other => {
-                return Err(format!("{path}:{lineno}: unknown type {other:?}"));
-            }
-        }
+    let trace = Trace::load(path)?;
+    let report = check_coverage(&trace)?;
+    for warning in &report.warnings {
+        eprintln!("warning: {warning}");
     }
-    if spans.is_empty() {
-        return Err(format!("{path}: no spans at all — was tracing enabled?"));
-    }
-
-    // Parent links must resolve to spans we saw.
-    for (id, row) in &spans {
-        if let Some(parent) = row.parent {
-            if !spans.contains_key(&parent) {
-                return Err(format!(
-                    "span {id} ({}) references unknown parent {parent}",
-                    row.name
-                ));
-            }
-        }
-    }
-
-    // Per-round child coverage.
-    let mut child_sum: HashMap<u64, u64> = HashMap::new();
-    for row in spans.values() {
-        if let Some(parent) = row.parent {
-            *child_sum.entry(parent).or_insert(0) += row.dur_us;
-        }
-    }
-    let mut rounds = 0usize;
-    let mut judged = 0usize;
-    let mut warns = 0usize;
-    let mut worst = f64::INFINITY;
-    for (id, row) in &spans {
-        if row.name != "round" {
-            continue;
-        }
-        rounds += 1;
-        if (row.dur_us as f64) < MIN_JUDGEABLE_US {
-            continue;
-        }
-        judged += 1;
-        let sum = child_sum.get(id).copied().unwrap_or(0);
-        let coverage = sum as f64 / row.dur_us as f64;
-        worst = worst.min(coverage);
-        if coverage < FAIL_BELOW {
-            return Err(format!(
-                "round span {id}: children cover only {:.1}% of {} µs (< {:.0}%)",
-                coverage * 100.0,
-                row.dur_us,
-                FAIL_BELOW * 100.0
-            ));
-        }
-        if coverage < WARN_BELOW {
-            warns += 1;
-            eprintln!(
-                "warning: round span {id}: child coverage {:.1}% (< {:.0}%)",
-                coverage * 100.0,
-                WARN_BELOW * 100.0
-            );
-        }
-    }
-    if rounds == 0 {
-        return Err(format!("{path}: no round spans — was a federated run traced?"));
-    }
-
-    println!(
-        "{path}: OK — {} spans, {events} events, {metrics_lines} metrics/round lines, \
-         {rounds} rounds ({judged} coverage-judged, {warns} warnings{})",
-        spans.len(),
-        if judged > 0 {
-            format!(", worst coverage {:.1}%", worst * 100.0)
-        } else {
-            String::new()
-        }
-    );
+    println!("{path}: OK — {}", report.summary());
     Ok(())
 }
 

@@ -1,0 +1,216 @@
+//! `helcfl-trace` — inspect, audit, and gate telemetry artifacts.
+//!
+//! The read-side companion to `HELCFL_TRACE=jsonl`: everything the
+//! workspace emits (span trees, per-device schedules, metrics lines,
+//! bench reports) can be interpreted and verified from here.
+//!
+//! ```text
+//! helcfl-trace tree   [PATH] [--round N] [--max-depth D] [--limit N]
+//! helcfl-trace phases [PATH]
+//! helcfl-trace check  [PATH]
+//! helcfl-trace audit  [PATH]
+//! helcfl-trace gate   BASELINE CANDIDATE [--max-rps-drop-pct X]
+//!                     [--max-latency-growth-pct X] [--max-overhead-pp X]
+//! ```
+//!
+//! `PATH` defaults to `results/trace_table1_delay.jsonl`. Every
+//! subcommand exits non-zero on failure, so all of them can gate CI:
+//! `check` enforces the ≥ 80 % per-round span-coverage rule (the old
+//! `check_trace` binary now delegates here), `audit` replays the trace
+//! against the paper's analytic model (slack ≥ 0, TDMA serialization,
+//! Alg. 3 delay-neutrality, `E ∝ f²` consistency, metrics/span
+//! agreement), and `gate` diffs two `BENCH_round_engine.json` reports
+//! against regression tolerances.
+
+use std::process::ExitCode;
+
+use helcfl_bench::gate::{gate, GateConfig};
+use helcfl_telemetry::analyze::{
+    check_coverage, phase_breakdown, SpanTree, Trace,
+};
+use helcfl_telemetry::audit::{audit, AuditConfig};
+
+const DEFAULT_TRACE: &str = "results/trace_table1_delay.jsonl";
+
+const USAGE: &str = "usage: helcfl-trace <tree|phases|check|audit|gate> [args]
+  tree   [PATH] [--round N] [--max-depth D] [--limit N]   render span trees
+  phases [PATH]                                           per-round phase table
+  check  [PATH]                                           schema + coverage check
+  audit  [PATH]                                           model-invariant audit
+  gate   BASELINE CANDIDATE [--max-rps-drop-pct X]
+         [--max-latency-growth-pct X] [--max-overhead-pp X]
+                                                          bench regression gate
+PATH defaults to results/trace_table1_delay.jsonl";
+
+/// Positional arguments and `--flag value` pairs, untangled.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut out = Self { positional: Vec::new(), flags: Vec::new() };
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(name) = raw[i].strip_prefix("--") {
+                let value = raw
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                out.flags.push((name.to_string(), value.clone()));
+                i += 2;
+            } else {
+                out.positional.push(raw[i].clone());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    fn flag_f64(&self, name: &str) -> Result<Option<f64>, String> {
+        match self.flags.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name} wants a number, got {v:?}")),
+            None => Ok(None),
+        }
+    }
+
+    fn flag_usize(&self, name: &str) -> Result<Option<usize>, String> {
+        match self.flags.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name} wants an integer, got {v:?}")),
+            None => Ok(None),
+        }
+    }
+
+    fn trace_path(&self) -> &str {
+        self.positional.first().map_or(DEFAULT_TRACE, String::as_str)
+    }
+}
+
+fn cmd_tree(args: &Args) -> Result<(), String> {
+    let trace = Trace::load(args.trace_path())?;
+    let tree = SpanTree::build(&trace)?;
+    let max_depth = args.flag_usize("max-depth")?.unwrap_or(8);
+    let limit = args.flag_usize("limit")?.unwrap_or(5);
+    let round_filter = args.flag_usize("round")?;
+
+    let roots: Vec<_> = tree
+        .roots()
+        .filter(|s| match round_filter {
+            Some(n) => s.name == "round" && s.attr_u64("index") == Some(n as u64),
+            None => true,
+        })
+        .collect();
+    if roots.is_empty() {
+        return Err(match round_filter {
+            Some(n) => format!("no round span with index {n}"),
+            None => "no root spans".to_string(),
+        });
+    }
+    for root in roots.iter().take(limit) {
+        print!("{}", tree.render(root.id, max_depth));
+        let path = tree.critical_path(root.id);
+        if path.len() > 1 {
+            let names: Vec<&str> = path.iter().map(|s| s.name.as_str()).collect();
+            println!("  critical path: {}", names.join(" → "));
+        }
+    }
+    if roots.len() > limit {
+        println!(
+            "({} more root spans not shown; raise --limit to see them)",
+            roots.len() - limit
+        );
+    }
+    Ok(())
+}
+
+fn cmd_phases(args: &Args) -> Result<(), String> {
+    let trace = Trace::load(args.trace_path())?;
+    let tree = SpanTree::build(&trace)?;
+    let breakdown = phase_breakdown(&trace, &tree);
+    if breakdown.rounds == 0 {
+        return Err("no round spans — was a federated run traced?".to_string());
+    }
+    print!("{}", breakdown.render());
+    Ok(())
+}
+
+fn cmd_check(args: &Args) -> Result<(), String> {
+    let path = args.trace_path();
+    let trace = Trace::load(path)?;
+    let report = check_coverage(&trace)?;
+    for warning in &report.warnings {
+        eprintln!("warning: {warning}");
+    }
+    println!("{path}: OK — {}", report.summary());
+    Ok(())
+}
+
+fn cmd_audit(args: &Args) -> Result<(), String> {
+    let path = args.trace_path();
+    let trace = Trace::load(path)?;
+    let report = audit(&trace, &AuditConfig::default())?;
+    print!("{path}: {}", report.render());
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!("{} invariant violation(s)", report.violations.len()))
+    }
+}
+
+fn cmd_gate(args: &Args) -> Result<(), String> {
+    let [baseline, candidate] = args.positional.as_slice() else {
+        return Err("gate wants exactly two paths: BASELINE CANDIDATE".to_string());
+    };
+    let mut cfg = GateConfig::default();
+    if let Some(v) = args.flag_f64("max-rps-drop-pct")? {
+        cfg.max_rps_drop_pct = v;
+    }
+    if let Some(v) = args.flag_f64("max-latency-growth-pct")? {
+        cfg.max_latency_growth_pct = v;
+    }
+    if let Some(v) = args.flag_f64("max-overhead-pp")? {
+        cfg.max_overhead_pp = v;
+    }
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let report = gate(&read(baseline)?, &read(candidate)?, &cfg)?;
+    print!("{}", report.render());
+    if report.passed() {
+        Ok(())
+    } else {
+        Err("performance regression beyond tolerance".to_string())
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let run = || -> Result<(), String> {
+        let args = Args::parse(rest)?;
+        match cmd.as_str() {
+            "tree" => cmd_tree(&args),
+            "phases" => cmd_phases(&args),
+            "check" => cmd_check(&args),
+            "audit" => cmd_audit(&args),
+            "gate" => cmd_gate(&args),
+            other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+        }
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("helcfl-trace {cmd}: FAIL — {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

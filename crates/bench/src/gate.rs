@@ -1,0 +1,290 @@
+//! Perf-regression gating over `BENCH_round_engine.json` reports.
+//!
+//! [`gate`] diffs a candidate bench report against a committed
+//! baseline and fails when throughput, telemetry overhead, or
+//! per-round latency regress beyond the configured tolerances. The
+//! comparison is deliberately coarse — bench numbers move with host
+//! load — so the defaults only catch *gross* regressions; CI pins even
+//! looser ones (the committed baseline was produced on different
+//! hardware at full scale).
+//!
+//! Also home to [`percentile_nearest_rank`], the exact (not
+//! histogram-approximated) percentile the bench harness uses to derive
+//! per-round p50/p99 from a traced run.
+
+use helcfl_telemetry::json::{parse, JsonValue};
+
+/// Tolerances for [`gate`]. All are "how much worse may the candidate
+/// be" — improvements always pass.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Max allowed drop in rounds/sec, percent of baseline.
+    pub max_rps_drop_pct: f64,
+    /// Max allowed growth in per-round p50/p99 latency, percent.
+    pub max_latency_growth_pct: f64,
+    /// Max allowed growth in telemetry overhead, percentage points.
+    pub max_overhead_pp: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self { max_rps_drop_pct: 30.0, max_latency_growth_pct: 50.0, max_overhead_pp: 5.0 }
+    }
+}
+
+/// One compared quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateCheck {
+    /// Dotted path of the value (`"round_engine.serial.rounds_per_sec"`).
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// The worst candidate value that still passes.
+    pub limit: f64,
+    /// Whether the candidate is within the limit.
+    pub passed: bool,
+}
+
+/// Outcome of a [`gate`] comparison.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Every quantity compared.
+    pub checks: Vec<GateCheck>,
+    /// Non-fatal observations (skipped sections, scenario mismatch).
+    pub notes: Vec<String>,
+}
+
+impl GateReport {
+    /// True when every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Multi-line human summary: verdict, per-check lines, notes.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let failed = self.checks.iter().filter(|c| !c.passed).count();
+        let _ = writeln!(
+            out,
+            "gate: {} — {} checks, {} failed",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.checks.len(),
+            failed
+        );
+        for c in &self.checks {
+            let _ = writeln!(
+                out,
+                "  [{}] {:<44} baseline {:>12.4} candidate {:>12.4} (limit {:>12.4})",
+                if c.passed { "ok " } else { "BAD" },
+                c.name,
+                c.baseline,
+                c.candidate,
+                c.limit
+            );
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+}
+
+fn lookup<'a>(root: &'a JsonValue, path: &str) -> Option<&'a JsonValue> {
+    let mut cur = root;
+    for key in path.split('.') {
+        cur = cur.get(key)?;
+    }
+    Some(cur)
+}
+
+fn lookup_f64(root: &JsonValue, path: &str) -> Option<f64> {
+    lookup(root, path).and_then(JsonValue::as_f64)
+}
+
+/// Compares a candidate bench report against a baseline.
+///
+/// Checked quantities (each skipped with a note when absent from
+/// either report, so gating old baselines without a `latency` section
+/// still works):
+///
+/// * `round_engine.serial.rounds_per_sec` and
+///   `round_engine.parallel.rounds_per_sec` — may drop at most
+///   [`GateConfig::max_rps_drop_pct`] percent;
+/// * `round_engine.telemetry.overhead_pct` — may grow at most
+///   [`GateConfig::max_overhead_pp`] percentage points;
+/// * `round_engine.latency.p50_us` and `…p99_us` — may grow at most
+///   [`GateConfig::max_latency_growth_pct`] percent.
+///
+/// A scenario mismatch (`num_devices` / `max_rounds` / `seed` differ)
+/// is reported as a note, not a failure: CI compares a `--fast`
+/// candidate against the committed full-scale baseline on purpose,
+/// relying on the generous tolerances it passes in.
+///
+/// # Errors
+///
+/// Returns `Err` when either input is not valid JSON or is not a
+/// `round_engine` bench report.
+pub fn gate(
+    baseline_text: &str,
+    candidate_text: &str,
+    cfg: &GateConfig,
+) -> Result<GateReport, String> {
+    let baseline = parse(baseline_text).map_err(|e| format!("baseline: invalid JSON: {e}"))?;
+    let candidate =
+        parse(candidate_text).map_err(|e| format!("candidate: invalid JSON: {e}"))?;
+    for (side, report) in [("baseline", &baseline), ("candidate", &candidate)] {
+        if lookup(report, "bench").and_then(JsonValue::as_str) != Some("round_engine") {
+            return Err(format!("{side}: not a round_engine bench report"));
+        }
+    }
+
+    let mut report = GateReport::default();
+    for key in ["num_devices", "max_rounds", "seed"] {
+        let path = format!("scenario.{key}");
+        let (b, c) = (lookup_f64(&baseline, &path), lookup_f64(&candidate, &path));
+        if b != c {
+            report.notes.push(format!(
+                "scenario mismatch: {key} baseline={b:?} candidate={c:?} — \
+                 comparing different workloads"
+            ));
+        }
+    }
+
+    let mut check = |path: &str, limit_of: &dyn Fn(f64) -> f64, higher_is_worse: bool| {
+        match (lookup_f64(&baseline, path), lookup_f64(&candidate, path)) {
+            (Some(b), Some(c)) => {
+                let limit = limit_of(b);
+                let passed = if higher_is_worse { c <= limit } else { c >= limit };
+                report.checks.push(GateCheck {
+                    name: path.to_string(),
+                    baseline: b,
+                    candidate: c,
+                    limit,
+                    passed,
+                });
+            }
+            _ => report.notes.push(format!("skipped {path}: absent from one report")),
+        }
+    };
+
+    let rps_floor = 1.0 - cfg.max_rps_drop_pct / 100.0;
+    check("round_engine.serial.rounds_per_sec", &|b| b * rps_floor, false);
+    check("round_engine.parallel.rounds_per_sec", &|b| b * rps_floor, false);
+    check(
+        "round_engine.telemetry.overhead_pct",
+        &|b| b + cfg.max_overhead_pp,
+        true,
+    );
+    let lat_ceil = 1.0 + cfg.max_latency_growth_pct / 100.0;
+    check("round_engine.latency.p50_us", &|b| b * lat_ceil, true);
+    check("round_engine.latency.p99_us", &|b| b * lat_ceil, true);
+
+    Ok(report)
+}
+
+/// Exact nearest-rank percentile of an ascending-sorted slice: the
+/// smallest element such that at least `q·n` samples are ≤ it.
+///
+/// Unlike `Histogram::approx_quantile` this operates on the raw
+/// samples, so the bench report records true percentiles, not
+/// bucket midpoints.
+///
+/// # Panics
+///
+/// Panics on an empty slice — percentiles of nothing are a caller bug.
+pub fn percentile_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    let n = sorted.len();
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(serial_rps: f64, parallel_rps: f64, overhead: f64, latency: Option<(f64, f64)>) -> String {
+        let latency = match latency {
+            Some((p50, p99)) => {
+                format!(r#","latency":{{"rounds":300,"p50_us":{p50},"p99_us":{p99}}}"#)
+            }
+            None => String::new(),
+        };
+        format!(
+            r#"{{"bench":"round_engine","scenario":{{"num_devices":100,"max_rounds":300,"seed":2022}},"round_engine":{{"serial":{{"rounds_per_sec":{serial_rps}}},"parallel":{{"rounds_per_sec":{parallel_rps}}},"telemetry":{{"overhead_pct":{overhead}}}{latency}}}}}"#
+        )
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(80.0, 81.0, 0.5, Some((12000.0, 15000.0)));
+        let g = gate(&r, &r, &GateConfig::default()).unwrap();
+        assert!(g.passed(), "{}", g.render());
+        assert_eq!(g.checks.len(), 5);
+        assert!(g.notes.is_empty(), "{:?}", g.notes);
+    }
+
+    #[test]
+    fn rps_drop_beyond_tolerance_fails() {
+        let base = report(80.0, 81.0, 0.5, None);
+        let cand = report(40.0, 81.0, 0.5, None);
+        let g = gate(&base, &cand, &GateConfig::default()).unwrap();
+        assert!(!g.passed());
+        let bad: Vec<_> = g.checks.iter().filter(|c| !c.passed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].name, "round_engine.serial.rounds_per_sec");
+        assert!(g.render().contains("FAIL"), "{}", g.render());
+        // A 30% drop limit on an 80 rps baseline means 56 rps floor.
+        assert!((bad[0].limit - 56.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_growth_and_overhead_growth_fail() {
+        let base = report(80.0, 81.0, 0.5, Some((10000.0, 12000.0)));
+        let slow = report(80.0, 81.0, 0.5, Some((16000.0, 12000.0)));
+        let g = gate(&base, &slow, &GateConfig::default()).unwrap();
+        assert!(!g.passed());
+        assert!(g.checks.iter().any(|c| !c.passed && c.name.ends_with("p50_us")));
+
+        let heavy = report(80.0, 81.0, 7.0, Some((10000.0, 12000.0)));
+        let g = gate(&base, &heavy, &GateConfig::default()).unwrap();
+        assert!(g.checks.iter().any(|c| !c.passed && c.name.ends_with("overhead_pct")));
+    }
+
+    #[test]
+    fn missing_latency_section_is_a_note_not_a_failure() {
+        let base = report(80.0, 81.0, 0.5, None);
+        let cand = report(80.0, 81.0, 0.5, Some((10000.0, 12000.0)));
+        let g = gate(&base, &cand, &GateConfig::default()).unwrap();
+        assert!(g.passed(), "{}", g.render());
+        assert_eq!(g.checks.len(), 3);
+        assert!(g.notes.iter().any(|n| n.contains("p50_us")), "{:?}", g.notes);
+    }
+
+    #[test]
+    fn scenario_mismatch_is_noted() {
+        let base = report(80.0, 81.0, 0.5, None);
+        let cand = base.replace(r#""num_devices":100"#, r#""num_devices":20"#);
+        let g = gate(&base, &cand, &GateConfig::default()).unwrap();
+        assert!(g.notes.iter().any(|n| n.contains("num_devices")), "{:?}", g.notes);
+    }
+
+    #[test]
+    fn non_bench_reports_are_rejected() {
+        assert!(gate("{}", "{}", &GateConfig::default()).is_err());
+        assert!(gate("not json", "{}", &GateConfig::default()).is_err());
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_are_exact() {
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_nearest_rank(&samples, 0.5), 50);
+        assert_eq!(percentile_nearest_rank(&samples, 0.99), 99);
+        assert_eq!(percentile_nearest_rank(&samples, 0.0), 1);
+        assert_eq!(percentile_nearest_rank(&samples, 1.0), 100);
+        assert_eq!(percentile_nearest_rank(&[7], 0.5), 7);
+    }
+}

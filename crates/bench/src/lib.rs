@@ -19,11 +19,20 @@
 //! `bench_round_engine` binary times the round engine and the matmul
 //! kernels with [`std::time::Instant`] and writes
 //! `results/BENCH_round_engine.json` through the hand-rolled [`json`]
-//! emitter (rounds/sec serial vs parallel, speedup, matmul GFLOP/s).
+//! emitter (rounds/sec serial vs parallel, speedup, matmul GFLOP/s,
+//! per-round latency percentiles from a traced run).
+//!
+//! The `helcfl-trace` binary is the read side: `tree`/`phases` render
+//! a trace, `check` enforces span coverage (the old `check_trace`
+//! binary delegates to the same code), `audit` replays the trace
+//! against the paper's model invariants, and `gate` (backed by the
+//! [`gate`] module) diffs two bench reports against regression
+//! tolerances.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod json;
 pub mod report;
 pub mod scenario;

@@ -1,0 +1,64 @@
+//! End-to-end: a real traced HELCFL run must survive its own audit.
+//!
+//! This is the closed loop the observability layer exists for — the
+//! simulator emits `device_activity` spans, the analyzer parses them
+//! back, and the auditor replays Alg. 3's guarantees from nothing but
+//! the trace. A failure here means emission and model drifted apart.
+
+use fl_baselines::classic::RandomSelector;
+use fl_sim::frequency::MaxFrequency;
+use fl_sim::runner::run_federated_traced;
+use fl_sim::seeds::{derive, SeedDomain};
+use helcfl::dvfs::SlackFrequencyPolicy;
+use helcfl_bench::{PaperScenario, Setting};
+use helcfl_telemetry::analyze::{check_coverage, Trace};
+use helcfl_telemetry::audit::{audit, AuditConfig};
+use helcfl_telemetry::{MemorySink, Telemetry};
+
+fn tiny_scenario() -> PaperScenario {
+    let mut s = PaperScenario::fast();
+    s.max_rounds = 4;
+    s.train_samples = 400;
+    s.test_samples = 100;
+    s
+}
+
+fn traced_trace(
+    policy_is_slack: bool,
+) -> Result<Trace, Box<dyn std::error::Error>> {
+    let scenario = tiny_scenario();
+    let config = scenario.training_config();
+    let mut setup = scenario.setup(Setting::Iid)?;
+    let mut selector = RandomSelector::new(derive(config.seed, SeedDomain::Selection));
+    let sink = MemorySink::new();
+    let tele = Telemetry::with_sink(sink.clone());
+    if policy_is_slack {
+        run_federated_traced(&mut setup, &config, &mut selector, &SlackFrequencyPolicy, &tele)?;
+    } else {
+        run_federated_traced(&mut setup, &config, &mut selector, &MaxFrequency, &tele)?;
+    }
+    tele.finish();
+    Ok(Trace::parse(&sink.lines().join("\n"))?)
+}
+
+#[test]
+fn traced_helcfl_run_passes_audit_and_coverage() {
+    let trace = traced_trace(true).expect("traced run");
+    let report = audit(&trace, &AuditConfig::default()).expect("auditable trace");
+    assert!(report.passed(), "violations in a fresh run:\n{}", report.render());
+    assert_eq!(report.rounds, 4);
+    assert_eq!(report.rounds_audited, 4);
+    // The slack policy claims delay-neutrality on every round.
+    assert_eq!(report.rounds_delay_neutral, 4);
+    assert!(report.devices_audited >= 4, "selection should pick devices each round");
+    // The same trace satisfies the span-coverage rule.
+    check_coverage(&trace).expect("coverage check");
+}
+
+#[test]
+fn traced_max_frequency_run_passes_audit() {
+    let trace = traced_trace(false).expect("traced run");
+    let report = audit(&trace, &AuditConfig::default()).expect("auditable trace");
+    assert!(report.passed(), "violations in a fresh run:\n{}", report.render());
+    assert_eq!(report.rounds_delay_neutral, report.rounds_audited);
+}

@@ -120,6 +120,13 @@ impl FrequencyPolicy for SlackFrequencyPolicy {
         "dvfs-slack"
     }
 
+    /// Alg. 3 only *harvests* slack — every device still finishes no
+    /// later than the moment the channel would reach it at `f_max` —
+    /// so the makespan bound holds and the trace auditor enforces it.
+    fn delay_neutral(&self) -> bool {
+        true
+    }
+
     fn frequencies(&self, selected: &[Device], payload: Bits) -> Result<Vec<Hertz>> {
         self.frequencies_traced(selected, payload, &Telemetry::disabled())
     }

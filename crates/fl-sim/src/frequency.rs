@@ -14,6 +14,19 @@ pub trait FrequencyPolicy {
     /// Short policy name used in reports (e.g. `"dvfs-slack"`).
     fn name(&self) -> &'static str;
 
+    /// Whether this policy promises *delay-neutrality*: the round
+    /// makespan under its assignment never exceeds the all-at-`f_max`
+    /// makespan. HELCFL's slack-based DVFS guarantees this by
+    /// construction (and `f_max` itself trivially does); policies that
+    /// deliberately trade delay for energy — FEDL's closed-form
+    /// optimum can slow the critical device — must keep the default
+    /// `false`. The traced runner records the claim on each round's
+    /// `timeline` span so the trace auditor knows which rounds to hold
+    /// to the bound.
+    fn delay_neutral(&self) -> bool {
+        false
+    }
+
     /// Returns one frequency per device in `selected`, index-aligned.
     ///
     /// # Errors
@@ -49,6 +62,11 @@ pub struct MaxFrequency;
 impl FrequencyPolicy for MaxFrequency {
     fn name(&self) -> &'static str {
         "max-frequency"
+    }
+
+    /// Running everything at `f_max` *is* the delay baseline.
+    fn delay_neutral(&self) -> bool {
+        true
     }
 
     fn frequencies(&self, selected: &[Device], _payload: Bits) -> Result<Vec<Hertz>> {

@@ -310,6 +310,10 @@ pub fn run_federated(
 /// `frequency`, `timeline`, `local_update`, `aggregate`, `evaluate`
 /// (on evaluation rounds), and `bookkeeping` — plus a one-shot
 /// `pool_resolved` point event describing the worker fan-out. The
+/// `timeline` phase additionally carries the resolved schedule — one
+/// `device_activity` child per selected device with frequency, TDMA
+/// window, and energy attributes (see `RoundTimeline::trace_into`) —
+/// which `helcfl-trace audit` replays against the paper's model. The
 /// round span carries the per-round RNG-stream fingerprint
 /// (`rng_probe`), so two diverging runs can be bisected to the first
 /// round where random state disagrees.
@@ -412,8 +416,18 @@ pub fn run_federated_traced(
             .collect();
         let freqs = frequency_policy.frequencies_traced(&selected, config.payload, tele)?;
         span_phase.end();
-        let span_phase = round_span.child("timeline");
+        let mut span_phase = round_span.child("timeline");
         let timeline = RoundTimeline::simulate(&selected, &freqs, config.payload)?;
+        if tele.events_enabled() {
+            // Per-device schedule attributes feed the trace auditor;
+            // skip the string formatting entirely when no sink listens.
+            // The policy name and its delay-neutrality claim ride
+            // along so the auditor knows which rounds must respect the
+            // all-at-f_max makespan bound (FEDL legitimately doesn't).
+            span_phase.set("policy", frequency_policy.name());
+            span_phase.set("delay_neutral", frequency_policy.delay_neutral());
+            timeline.trace_into(&mut span_phase);
+        }
         span_phase.end();
 
         // 3. Local updates (Alg. 1 lines 6–9), fanned out over the

@@ -8,7 +8,7 @@
 //! Fig. 1 schedule.
 
 
-use helcfl_telemetry::{Class, MetricsRegistry};
+use helcfl_telemetry::{Class, MetricsRegistry, Span};
 
 use crate::device::{Device, DeviceId};
 use crate::error::{MecError, Result};
@@ -22,6 +22,9 @@ pub struct DeviceActivity {
     pub device: DeviceId,
     /// The operating frequency it computed at.
     pub frequency: Hertz,
+    /// The device's maximum frequency — the baseline the
+    /// delay-neutrality and `E ∝ f²` audits compare against.
+    pub f_max: Hertz,
     /// Local model-update delay `T^cal` (compute starts at t = 0).
     pub compute_finish: Seconds,
     /// When its upload obtained the channel.
@@ -30,6 +33,10 @@ pub struct DeviceActivity {
     pub upload_end: Seconds,
     /// Compute energy `E^cal` at `frequency` (Eq. 5).
     pub compute_energy: Joules,
+    /// Compute energy the same workload would have cost at `f_max` —
+    /// the `E ∝ f²` reference the audit checks `compute_energy`
+    /// against (`E_f = E_max · (f / f_max)²`, and `E_f ≤ E_max`).
+    pub compute_energy_at_max: Joules,
     /// Upload energy `E^com` (Eq. 8).
     pub upload_energy: Joules,
 }
@@ -103,10 +110,12 @@ impl RoundTimeline {
             activities.push(DeviceActivity {
                 device: slot.device,
                 frequency: f,
+                f_max: dev.cpu().range().max(),
                 compute_finish: slot.compute_finish,
                 upload_start: slot.upload_start,
                 upload_end: slot.upload_end,
                 compute_energy: dev.compute_energy(f)?,
+                compute_energy_at_max: dev.compute_energy(dev.cpu().range().max())?,
                 upload_energy: dev.upload_energy(payload),
             });
         }
@@ -198,6 +207,39 @@ impl RoundTimeline {
         }
         registry.record(Class::Sim, "round.makespan_s", self.makespan().get());
         registry.record(Class::Sim, "round.slack_total_s", self.total_slack().get());
+    }
+
+    /// Attaches this round's resolved schedule to an open `timeline`
+    /// span: summary totals as attributes on `span` itself, plus one
+    /// `device_activity` child span per device carrying everything the
+    /// trace auditor needs to replay the round against the analytic
+    /// model (frequency and `f_max`, compute/upload window, energy
+    /// split). The children are zero-duration markers ended
+    /// immediately, so they never distort the parent's wall-clock
+    /// share.
+    ///
+    /// All attribute values are pure simulation state; the emission is
+    /// a read-only projection and cannot perturb determinism.
+    pub fn trace_into(&self, span: &mut Span) {
+        span.set("uploads", self.activities.len());
+        span.set("makespan_s", self.makespan().get());
+        span.set("slack_total_s", self.total_slack().get());
+        span.set("energy_j", self.total_energy().get());
+        span.set("compute_energy_j", self.compute_energy().get());
+        for a in &self.activities {
+            span.child("device_activity")
+                .with("device", a.device.to_string())
+                .with("device_id", a.device.0)
+                .with("f_hz", a.frequency.get())
+                .with("f_max_hz", a.f_max.get())
+                .with("compute_finish_s", a.compute_finish.get())
+                .with("upload_start_s", a.upload_start.get())
+                .with("upload_end_s", a.upload_end.get())
+                .with("compute_energy_j", a.compute_energy.get())
+                .with("compute_energy_at_max_j", a.compute_energy_at_max.get())
+                .with("upload_energy_j", a.upload_energy.get())
+                .end();
+        }
     }
 
     /// Renders the round as an ASCII Gantt chart (one row per device;
@@ -362,6 +404,45 @@ mod tests {
             registry.histogram("round.makespan_s").unwrap().max,
             tl.makespan().get()
         );
+    }
+
+    #[test]
+    fn trace_into_emits_auditable_device_activity_spans() {
+        use helcfl_telemetry::{analyze::Trace, MemorySink, Telemetry};
+        let devs = [device(0, 2.0, 500, 8.0), device(1, 2.0, 600, 8.0)];
+        let tl = RoundTimeline::simulate_at_max(&devs, payload()).unwrap();
+        let sink = MemorySink::new();
+        let tele = Telemetry::with_sink(sink.clone());
+        {
+            let mut span = tele.span("timeline");
+            tl.trace_into(&mut span);
+        }
+        let text = sink.lines().join("\n");
+        let trace = Trace::parse(&text).unwrap();
+        let activities: Vec<_> =
+            trace.spans.iter().filter(|s| s.name == "device_activity").collect();
+        assert_eq!(activities.len(), 2);
+        let a0 = activities
+            .iter()
+            .find(|s| s.attr_str("device") == Some("v0"))
+            .expect("device 0 present");
+        assert_eq!(a0.attr_u64("device_id"), Some(0));
+        assert_eq!(a0.attr_f64("f_hz"), Some(2.0e9));
+        assert_eq!(a0.attr_f64("f_max_hz"), Some(2.0e9));
+        assert_eq!(a0.attr_f64("compute_finish_s"), Some(2.5));
+        assert_eq!(a0.attr_f64("upload_start_s"), Some(2.5));
+        assert_eq!(a0.attr_f64("upload_end_s"), Some(7.5));
+        assert!(a0.attr_f64("compute_energy_j").unwrap() > 0.0);
+        // At f_max the scaled and reference energies coincide.
+        assert_eq!(
+            a0.attr_f64("compute_energy_at_max_j"),
+            a0.attr_f64("compute_energy_j")
+        );
+        let parent = trace.span(a0.parent.unwrap()).unwrap();
+        assert_eq!(parent.name, "timeline");
+        assert_eq!(parent.attr_u64("uploads"), Some(2));
+        assert_eq!(parent.attr_f64("makespan_s"), Some(tl.makespan().get()));
+        assert_eq!(parent.attr_f64("energy_j"), Some(tl.total_energy().get()));
     }
 
     #[test]

@@ -1,0 +1,758 @@
+//! Trace interpretation: parsing, span-tree reconstruction, per-round
+//! phase breakdowns, critical-path extraction, and the coverage check.
+//!
+//! The [`crate::JsonlSink`] stream is completion-ordered — children
+//! appear *before* their parents, because a child span drops first —
+//! so nothing in the file can be read top-down as a tree. [`Trace`]
+//! ingests the whole file through the strict parser in [`crate::json`]
+//! and [`SpanTree`] rebuilds the hierarchy from the recorded parent
+//! ids, tolerating any interleaving of lines.
+//!
+//! Everything here is a *read-only consumer*: analysis never touches a
+//! live [`crate::Telemetry`] handle, so it cannot perturb the
+//! determinism guarantees of a traced run.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{parse, JsonValue};
+
+/// One completed span read back from a JSONL trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Unique id within the run.
+    pub id: u64,
+    /// Span name (`"round"`, `"local_update"`, …).
+    pub name: String,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Start time in µs since the telemetry epoch.
+    pub t_us: u64,
+    /// Duration in µs.
+    pub dur_us: u64,
+    /// Attached attributes, in emission order.
+    pub attrs: Vec<(String, JsonValue)>,
+}
+
+impl TraceSpan {
+    /// End time in µs since the telemetry epoch.
+    #[inline]
+    pub fn end_us(&self) -> u64 {
+        self.t_us + self.dur_us
+    }
+
+    /// Looks up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&JsonValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Numeric attribute, if present and a number.
+    pub fn attr_f64(&self, key: &str) -> Option<f64> {
+        self.attr(key).and_then(JsonValue::as_f64)
+    }
+
+    /// Integer attribute (non-negative whole number).
+    pub fn attr_u64(&self, key: &str) -> Option<u64> {
+        let v = self.attr_f64(key)?;
+        (v >= 0.0 && v.fract() == 0.0).then_some(v as u64)
+    }
+
+    /// String attribute, if present and a string.
+    pub fn attr_str(&self, key: &str) -> Option<&str> {
+        self.attr(key).and_then(JsonValue::as_str)
+    }
+
+    /// Boolean attribute, if present and a boolean.
+    pub fn attr_bool(&self, key: &str) -> Option<bool> {
+        self.attr(key).and_then(JsonValue::as_bool)
+    }
+}
+
+/// One point event read back from a JSONL trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePoint {
+    /// Event name.
+    pub name: String,
+    /// Time in µs since the telemetry epoch.
+    pub t_us: u64,
+    /// Attached attributes.
+    pub attrs: Vec<(String, JsonValue)>,
+}
+
+/// A fully parsed trace file.
+///
+/// Produced by [`Trace::parse`], which enforces the same strictness as
+/// the old `check_trace` binary: every line must be a standalone JSON
+/// object of a known `type` with the fields that type requires, and
+/// span ids must be unique.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// All spans, in file (completion) order.
+    pub spans: Vec<TraceSpan>,
+    /// All point events, in file order.
+    pub events: Vec<TracePoint>,
+    /// The end-of-run metrics object (`{"type":"metrics",...}`), when
+    /// present. When a file holds several (one per `finish()` call),
+    /// the last one wins — it is the most complete snapshot.
+    pub metrics: Option<JsonValue>,
+    /// Lines of other tolerated types (e.g. `"round"` records appended
+    /// by `TrainingHistory::to_jsonl`).
+    pub other_lines: usize,
+}
+
+fn field_u64(v: &JsonValue, key: &str) -> Option<u64> {
+    let f = v.get(key)?.as_f64()?;
+    (f >= 0.0 && f.fract() == 0.0).then_some(f as u64)
+}
+
+fn attrs_of(v: &JsonValue) -> Vec<(String, JsonValue)> {
+    match v.get("attrs") {
+        Some(JsonValue::Object(members)) => members.clone(),
+        _ => Vec::new(),
+    }
+}
+
+impl Trace {
+    /// Parses a whole JSONL trace from its text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed JSON,
+    /// an unknown `type`, a missing required field, or a duplicate
+    /// span id.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut trace = Trace::default();
+        let mut seen_ids = std::collections::HashSet::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let lineno = lineno + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value =
+                parse(line).map_err(|e| format!("line {lineno}: invalid JSON: {e}"))?;
+            let kind = value
+                .get("type")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("line {lineno}: missing \"type\""))?;
+            match kind {
+                "span" => {
+                    let name = value
+                        .get("name")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| format!("line {lineno}: span without name"))?
+                        .to_string();
+                    let id = field_u64(&value, "id")
+                        .ok_or_else(|| format!("line {lineno}: span without id"))?;
+                    let t_us = field_u64(&value, "t_us")
+                        .ok_or_else(|| format!("line {lineno}: span without t_us"))?;
+                    let dur_us = field_u64(&value, "dur_us")
+                        .ok_or_else(|| format!("line {lineno}: span without dur_us"))?;
+                    if !seen_ids.insert(id) {
+                        return Err(format!("line {lineno}: duplicate span id {id}"));
+                    }
+                    trace.spans.push(TraceSpan {
+                        id,
+                        name,
+                        parent: field_u64(&value, "parent"),
+                        t_us,
+                        dur_us,
+                        attrs: attrs_of(&value),
+                    });
+                }
+                "event" => {
+                    let name = value
+                        .get("name")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| format!("line {lineno}: event without name"))?
+                        .to_string();
+                    let t_us = field_u64(&value, "t_us")
+                        .ok_or_else(|| format!("line {lineno}: event without t_us"))?;
+                    trace.events.push(TracePoint { name, t_us, attrs: attrs_of(&value) });
+                }
+                "metrics" => {
+                    trace.metrics = value.get("metrics").cloned();
+                }
+                // "round" lines come from TrainingHistory::to_jsonl()
+                // when a history is appended to a trace stream.
+                "round" => trace.other_lines += 1,
+                other => {
+                    return Err(format!("line {lineno}: unknown type {other:?}"));
+                }
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Reads and parses a trace file from disk.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and every [`Trace::parse`] condition.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Looks up a span by id.
+    pub fn span(&self, id: u64) -> Option<&TraceSpan> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// A named metric entry from the metrics line, if present:
+    /// returns the `{"kind":..,"class":..,"value":..}` object.
+    pub fn metric(&self, name: &str) -> Option<&JsonValue> {
+        self.metrics.as_ref()?.get(name)
+    }
+
+    /// Counter value from the metrics line (None when absent or not a
+    /// counter).
+    pub fn metric_counter(&self, name: &str) -> Option<u64> {
+        let m = self.metric(name)?;
+        (m.get("kind")?.as_str()? == "counter")
+            .then(|| field_u64(m, "value"))
+            .flatten()
+    }
+}
+
+/// The rebuilt span hierarchy of a [`Trace`].
+///
+/// Children are ordered by start time (`t_us`, ties by id), so walking
+/// the tree reads chronologically even though the file is
+/// completion-ordered.
+#[derive(Debug)]
+pub struct SpanTree<'a> {
+    trace: &'a Trace,
+    /// span id → indices into `trace.spans`, start-time sorted.
+    children: BTreeMap<u64, Vec<usize>>,
+    /// Indices of parentless spans, start-time sorted.
+    roots: Vec<usize>,
+}
+
+impl<'a> SpanTree<'a> {
+    /// Rebuilds the tree from the flat span list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any span references a parent id that does
+    /// not occur in the trace.
+    pub fn build(trace: &'a Trace) -> Result<Self, String> {
+        let ids: std::collections::HashSet<u64> =
+            trace.spans.iter().map(|s| s.id).collect();
+        let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        let mut roots = Vec::new();
+        for (i, span) in trace.spans.iter().enumerate() {
+            match span.parent {
+                Some(p) => {
+                    if !ids.contains(&p) {
+                        return Err(format!(
+                            "span {} ({}) references unknown parent {p}",
+                            span.id, span.name
+                        ));
+                    }
+                    children.entry(p).or_default().push(i);
+                }
+                None => roots.push(i),
+            }
+        }
+        let by_start = |a: &usize, b: &usize| {
+            let (sa, sb) = (&trace.spans[*a], &trace.spans[*b]);
+            sa.t_us.cmp(&sb.t_us).then(sa.id.cmp(&sb.id))
+        };
+        for list in children.values_mut() {
+            list.sort_by(by_start);
+        }
+        roots.sort_by(by_start);
+        Ok(Self { trace, children, roots })
+    }
+
+    /// Root spans in start order.
+    pub fn roots(&self) -> impl Iterator<Item = &TraceSpan> {
+        self.roots.iter().map(|&i| &self.trace.spans[i])
+    }
+
+    /// Direct children of a span, in start order.
+    pub fn children(&self, id: u64) -> impl Iterator<Item = &TraceSpan> {
+        self.children
+            .get(&id)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(|&i| &self.trace.spans[i])
+    }
+
+    /// The chain of spans from `id` downward that ends latest — the
+    /// critical path: at every level the child whose end time is
+    /// maximal (ties broken toward the later start, then higher id).
+    pub fn critical_path(&self, id: u64) -> Vec<&TraceSpan> {
+        let mut path = Vec::new();
+        let Some(mut cur) = self.trace.span(id) else {
+            return path;
+        };
+        path.push(cur);
+        // Depth is bounded by the number of spans; the duplicate-id
+        // check in Trace::parse makes parent cycles impossible.
+        for _ in 0..self.trace.spans.len() {
+            let next = self.children(cur.id).max_by(|a, b| {
+                a.end_us()
+                    .cmp(&b.end_us())
+                    .then(a.t_us.cmp(&b.t_us))
+                    .then(a.id.cmp(&b.id))
+            });
+            match next {
+                Some(child) => {
+                    path.push(child);
+                    cur = child;
+                }
+                None => break,
+            }
+        }
+        path
+    }
+
+    fn render_node(&self, out: &mut String, idx: usize, prefix: &str, last: bool, depth: usize, max_depth: usize) {
+        let span = &self.trace.spans[idx];
+        let branch = if prefix.is_empty() {
+            String::new()
+        } else if last {
+            format!("{prefix}└─ ")
+        } else {
+            format!("{prefix}├─ ")
+        };
+        let _ = write!(out, "{branch}{} {:.3}ms", span.name, span.dur_us as f64 / 1000.0);
+        for (key, value) in &span.attrs {
+            match value {
+                JsonValue::String(s) => {
+                    let _ = write!(out, " {key}={s}");
+                }
+                JsonValue::Number(n) => {
+                    let _ = write!(out, " {key}={n}");
+                }
+                JsonValue::Bool(b) => {
+                    let _ = write!(out, " {key}={b}");
+                }
+                _ => {}
+            }
+        }
+        out.push('\n');
+        if depth >= max_depth {
+            return;
+        }
+        let kids = self.children.get(&span.id).map(Vec::as_slice).unwrap_or(&[]);
+        let child_prefix = if prefix.is_empty() {
+            String::new()
+        } else if last {
+            format!("{prefix}   ")
+        } else {
+            format!("{prefix}│  ")
+        };
+        let deeper = if prefix.is_empty() { "  ".to_string() } else { child_prefix };
+        for (n, &kid) in kids.iter().enumerate() {
+            self.render_node(out, kid, &deeper, n + 1 == kids.len(), depth + 1, max_depth);
+        }
+    }
+
+    /// Renders the subtree under the span `id` as ASCII, to at most
+    /// `max_depth` levels below it.
+    pub fn render(&self, id: u64, max_depth: usize) -> String {
+        let mut out = String::new();
+        if let Some(idx) = self.trace.spans.iter().position(|s| s.id == id) {
+            self.render_node(&mut out, idx, "", true, 0, max_depth);
+        }
+        out
+    }
+}
+
+/// Aggregated per-phase timing across every `round` span of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Child-span name (`"selection"`, `"local_update"`, …).
+    pub name: String,
+    /// Occurrences across all rounds.
+    pub count: usize,
+    /// Summed duration in µs.
+    pub total_us: u64,
+    /// Largest single duration in µs.
+    pub max_us: u64,
+}
+
+/// The per-round phase breakdown of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Number of `round` spans seen.
+    pub rounds: usize,
+    /// Summed duration of all `round` spans, µs.
+    pub rounds_total_us: u64,
+    /// Duration of the longest round and its span id.
+    pub longest_round: Option<(u64, u64)>,
+    /// Stats per phase name, ordered by descending total time.
+    pub phases: Vec<PhaseStat>,
+    /// Worst (lowest) per-round direct-child coverage among judgeable
+    /// rounds, with the round span id.
+    pub worst_coverage: Option<(f64, u64)>,
+}
+
+/// Computes the phase breakdown over every `round` span.
+pub fn phase_breakdown(trace: &Trace, tree: &SpanTree<'_>) -> PhaseBreakdown {
+    let mut stats: BTreeMap<String, PhaseStat> = BTreeMap::new();
+    let mut rounds = 0usize;
+    let mut rounds_total_us = 0u64;
+    let mut longest: Option<(u64, u64)> = None;
+    let mut worst: Option<(f64, u64)> = None;
+    for span in &trace.spans {
+        if span.name != "round" {
+            continue;
+        }
+        rounds += 1;
+        rounds_total_us += span.dur_us;
+        if longest.is_none_or(|(d, _)| span.dur_us > d) {
+            longest = Some((span.dur_us, span.id));
+        }
+        let mut child_sum = 0u64;
+        for child in tree.children(span.id) {
+            child_sum += child.dur_us;
+            let entry = stats.entry(child.name.clone()).or_insert_with(|| PhaseStat {
+                name: child.name.clone(),
+                count: 0,
+                total_us: 0,
+                max_us: 0,
+            });
+            entry.count += 1;
+            entry.total_us += child.dur_us;
+            entry.max_us = entry.max_us.max(child.dur_us);
+        }
+        if span.dur_us as f64 >= MIN_JUDGEABLE_US {
+            let coverage = child_sum as f64 / span.dur_us as f64;
+            if worst.is_none_or(|(w, _)| coverage < w) {
+                worst = Some((coverage, span.id));
+            }
+        }
+    }
+    let mut phases: Vec<PhaseStat> = stats.into_values().collect();
+    phases.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+    PhaseBreakdown {
+        rounds,
+        rounds_total_us,
+        longest_round: longest,
+        phases,
+        worst_coverage: worst,
+    }
+}
+
+impl PhaseBreakdown {
+    /// Renders the breakdown as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} rounds, {:.3}ms total round time",
+            self.rounds,
+            self.rounds_total_us as f64 / 1000.0
+        );
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>12} {:>12} {:>12} {:>7}",
+            "phase", "count", "total ms", "mean µs", "max µs", "share"
+        );
+        for p in &self.phases {
+            let mean = p.total_us as f64 / p.count.max(1) as f64;
+            let share = if self.rounds_total_us > 0 {
+                p.total_us as f64 / self.rounds_total_us as f64 * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<16} {:>8} {:>12.3} {:>12.1} {:>12} {:>6.1}%",
+                p.name,
+                p.count,
+                p.total_us as f64 / 1000.0,
+                mean,
+                p.max_us,
+                share
+            );
+        }
+        if let Some((dur, id)) = self.longest_round {
+            let _ = writeln!(
+                out,
+                "longest round: span {id} at {:.3}ms",
+                dur as f64 / 1000.0
+            );
+        }
+        if let Some((coverage, id)) = self.worst_coverage {
+            let _ = writeln!(
+                out,
+                "worst child coverage: {:.1}% (round span {id})",
+                coverage * 100.0
+            );
+        }
+        out
+    }
+}
+
+/// Coverage below this fails [`check_coverage`].
+pub const FAIL_BELOW: f64 = 0.80;
+/// Coverage below this warns.
+pub const WARN_BELOW: f64 = 0.95;
+/// Rounds shorter than this (µs) are not judged for coverage —
+/// µs-resolution child timings cannot be compared against them.
+pub const MIN_JUDGEABLE_US: f64 = 2000.0;
+
+/// Result of a passing [`check_coverage`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    /// Spans in the trace.
+    pub spans: usize,
+    /// Point events in the trace.
+    pub events: usize,
+    /// Metrics / history lines.
+    pub metrics_lines: usize,
+    /// `round` spans seen.
+    pub rounds: usize,
+    /// Rounds long enough to judge.
+    pub judged: usize,
+    /// Warnings issued (coverage in the warn band), as printable text.
+    pub warnings: Vec<String>,
+    /// Worst coverage among judged rounds.
+    pub worst: Option<f64>,
+}
+
+impl CoverageReport {
+    /// One-line human summary matching the historical `check_trace`
+    /// output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} spans, {} events, {} metrics/round lines, {} rounds \
+             ({} coverage-judged, {} warnings{})",
+            self.spans,
+            self.events,
+            self.metrics_lines,
+            self.rounds,
+            self.judged,
+            self.warnings.len(),
+            match self.worst {
+                Some(w) => format!(", worst coverage {:.1}%", w * 100.0),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+/// The historical `check_trace` validation: schema strictness is
+/// enforced by [`Trace::parse`]; this adds the structural checks —
+/// parent links resolve, at least one `round` span exists, and the
+/// direct children of every judgeable round cover ≥ 80 % of its
+/// wall-clock.
+///
+/// # Errors
+///
+/// Returns a failure message naming the first violated property.
+pub fn check_coverage(trace: &Trace) -> Result<CoverageReport, String> {
+    if trace.spans.is_empty() {
+        return Err("no spans at all — was tracing enabled?".to_string());
+    }
+    let tree = SpanTree::build(trace)?;
+    let mut report = CoverageReport {
+        spans: trace.spans.len(),
+        events: trace.events.len(),
+        metrics_lines: trace.other_lines + usize::from(trace.metrics.is_some()),
+        rounds: 0,
+        judged: 0,
+        warnings: Vec::new(),
+        worst: None,
+    };
+    for span in &trace.spans {
+        if span.name != "round" {
+            continue;
+        }
+        report.rounds += 1;
+        if (span.dur_us as f64) < MIN_JUDGEABLE_US {
+            continue;
+        }
+        report.judged += 1;
+        let sum: u64 = tree.children(span.id).map(|c| c.dur_us).sum();
+        let coverage = sum as f64 / span.dur_us as f64;
+        report.worst = Some(report.worst.map_or(coverage, |w: f64| w.min(coverage)));
+        if coverage < FAIL_BELOW {
+            return Err(format!(
+                "round span {}: children cover only {:.1}% of {} µs (< {:.0}%)",
+                span.id,
+                coverage * 100.0,
+                span.dur_us,
+                FAIL_BELOW * 100.0
+            ));
+        }
+        if coverage < WARN_BELOW {
+            report.warnings.push(format!(
+                "round span {}: child coverage {:.1}% (< {:.0}%)",
+                span.id,
+                coverage * 100.0,
+                WARN_BELOW * 100.0
+            ));
+        }
+    }
+    if report.rounds == 0 {
+        return Err("no round spans — was a federated run traced?".to_string());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_line(id: u64, name: &str, parent: Option<u64>, t: u64, dur: u64) -> String {
+        let parent = parent.map_or("null".to_string(), |p| p.to_string());
+        format!(
+            r#"{{"type":"span","name":"{name}","id":{id},"parent":{parent},"t_us":{t},"dur_us":{dur}}}"#
+        )
+    }
+
+    #[test]
+    fn parse_collects_spans_events_and_metrics() {
+        let text = [
+            r#"{"type":"event","name":"pool_resolved","id":1,"parent":null,"t_us":5,"dur_us":null,"attrs":{"workers":4}}"#.to_string(),
+            span_line(3, "selection", Some(2), 10, 7),
+            span_line(2, "round", None, 9, 100),
+            r#"{"type":"round","round":1}"#.to_string(),
+            r#"{"type":"metrics","metrics":{"round.completed":{"kind":"counter","class":"sim","value":1}}}"#.to_string(),
+        ]
+        .join("\n");
+        let trace = Trace::parse(&text).unwrap();
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(trace.other_lines, 1);
+        assert_eq!(trace.metric_counter("round.completed"), Some(1));
+        assert_eq!(trace.span(2).unwrap().name, "round");
+    }
+
+    #[test]
+    fn parse_rejects_duplicates_and_unknown_types() {
+        let dup = [span_line(2, "a", None, 0, 1), span_line(2, "b", None, 0, 1)].join("\n");
+        assert!(Trace::parse(&dup).unwrap_err().contains("duplicate span id 2"));
+        let unknown = r#"{"type":"mystery"}"#;
+        assert!(Trace::parse(unknown).unwrap_err().contains("unknown type"));
+        let nofield = r#"{"type":"span","name":"x","id":1,"t_us":0}"#;
+        assert!(Trace::parse(nofield).unwrap_err().contains("dur_us"));
+    }
+
+    #[test]
+    fn tree_reconstructs_completion_ordered_children() {
+        // Children appear before parents, and not in start order.
+        let text = [
+            span_line(5, "late_child", Some(2), 50, 10),
+            span_line(3, "early_child", Some(2), 10, 5),
+            span_line(4, "grandchild", Some(3), 11, 2),
+            span_line(2, "round", None, 9, 100),
+        ]
+        .join("\n");
+        let trace = Trace::parse(&text).unwrap();
+        let tree = SpanTree::build(&trace).unwrap();
+        let roots: Vec<_> = tree.roots().map(|s| s.id).collect();
+        assert_eq!(roots, vec![2]);
+        let kids: Vec<_> = tree.children(2).map(|s| s.id).collect();
+        assert_eq!(kids, vec![3, 5], "children must come back start-ordered");
+        let grand: Vec<_> = tree.children(3).map(|s| s.id).collect();
+        assert_eq!(grand, vec![4]);
+    }
+
+    #[test]
+    fn tree_rejects_unknown_parents() {
+        let text = span_line(3, "orphan", Some(99), 0, 1);
+        let trace = Trace::parse(&text).unwrap();
+        assert!(SpanTree::build(&trace).unwrap_err().contains("unknown parent 99"));
+    }
+
+    #[test]
+    fn critical_path_follows_latest_end() {
+        let text = [
+            span_line(3, "short", Some(2), 0, 10),
+            span_line(4, "long", Some(2), 5, 90),
+            span_line(5, "inner", Some(4), 6, 80),
+            span_line(2, "round", None, 0, 100),
+        ]
+        .join("\n");
+        let trace = Trace::parse(&text).unwrap();
+        let tree = SpanTree::build(&trace).unwrap();
+        let path: Vec<_> = tree.critical_path(2).iter().map(|s| s.id).collect();
+        assert_eq!(path, vec![2, 4, 5]);
+    }
+
+    #[test]
+    fn render_shows_names_durations_and_attrs() {
+        let text = [
+            r#"{"type":"span","name":"selection","id":3,"parent":2,"t_us":1,"dur_us":500,"attrs":{"alpha":0.25}}"#
+                .to_string(),
+            span_line(2, "round", None, 0, 2000),
+        ]
+        .join("\n");
+        let trace = Trace::parse(&text).unwrap();
+        let tree = SpanTree::build(&trace).unwrap();
+        let text = tree.render(2, 8);
+        assert!(text.contains("round 2.000ms"), "{text}");
+        assert!(text.contains("selection 0.500ms"), "{text}");
+        assert!(text.contains("alpha=0.25"), "{text}");
+    }
+
+    #[test]
+    fn phase_breakdown_aggregates_by_child_name() {
+        let text = [
+            span_line(3, "selection", Some(2), 0, 100),
+            span_line(4, "local_update", Some(2), 100, 900),
+            span_line(2, "round", None, 0, 1000),
+            span_line(6, "selection", Some(5), 1000, 300),
+            span_line(7, "local_update", Some(5), 1300, 2700),
+            span_line(5, "round", None, 1000, 3000),
+        ]
+        .join("\n");
+        let trace = Trace::parse(&text).unwrap();
+        let tree = SpanTree::build(&trace).unwrap();
+        let b = phase_breakdown(&trace, &tree);
+        assert_eq!(b.rounds, 2);
+        assert_eq!(b.rounds_total_us, 4000);
+        assert_eq!(b.longest_round, Some((3000, 5)));
+        assert_eq!(b.phases[0].name, "local_update");
+        assert_eq!(b.phases[0].total_us, 3600);
+        assert_eq!(b.phases[0].count, 2);
+        assert_eq!(b.phases[1].name, "selection");
+        let rendered = b.render();
+        assert!(rendered.contains("local_update"), "{rendered}");
+    }
+
+    #[test]
+    fn coverage_check_matches_historical_semantics() {
+        // Judgeable round at 100% coverage: passes.
+        let ok = [
+            span_line(3, "work", Some(2), 0, 2500),
+            span_line(2, "round", None, 0, 2500),
+        ]
+        .join("\n");
+        let trace = Trace::parse(&ok).unwrap();
+        let report = check_coverage(&trace).unwrap();
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.judged, 1);
+        assert!(report.warnings.is_empty());
+        assert!(report.summary().contains("1 rounds"));
+
+        // 50% coverage on a judgeable round: fails naming the span.
+        let bad = [
+            span_line(3, "work", Some(2), 0, 5000),
+            span_line(2, "round", None, 0, 10000),
+        ]
+        .join("\n");
+        let trace = Trace::parse(&bad).unwrap();
+        let err = check_coverage(&trace).unwrap_err();
+        assert!(err.contains("round span 2"), "{err}");
+        assert!(err.contains("50.0%"), "{err}");
+
+        // Short rounds are skipped, but a trace without rounds fails.
+        let short =
+            [span_line(2, "round", None, 0, 100)].join("\n");
+        let trace = Trace::parse(&short).unwrap();
+        assert_eq!(check_coverage(&trace).unwrap().judged, 0);
+        let no_rounds = span_line(2, "other", None, 0, 100);
+        let trace = Trace::parse(&no_rounds).unwrap();
+        assert!(check_coverage(&trace).unwrap_err().contains("no round spans"));
+    }
+}

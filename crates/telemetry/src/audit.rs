@@ -1,0 +1,619 @@
+//! Theory-invariant audit: replay a trace against the analytic model.
+//!
+//! The HELCFL schedule comes with guarantees that hold by construction
+//! *inside* the simulator — Alg. 3's DVFS never extends the round
+//! (delay-neutrality), slack is non-negative by definition, TDMA
+//! serializes uploads, and `E^cal ∝ f²` means down-scaling only saves
+//! energy. Delay-neutrality is a *per-policy* contract: the traced
+//! runner stamps each round's `timeline` span with the frequency
+//! policy's `delay_neutral` claim, and only claiming rounds are held
+//! to the bound (FEDL's closed-form optimum deliberately trades round
+//! delay for energy). This module re-derives each guarantee from
+//! nothing but the emitted trace: the per-device attributes on `device_activity` spans
+//! (see `RoundTimeline::trace_into` in `mec-sim`) are replayed through
+//! an independent reimplementation of the TDMA queue, and the final
+//! metrics line is cross-checked against the span stream. A violation
+//! therefore means either the simulator or its telemetry broke — the
+//! closed loop the observability layer exists for.
+//!
+//! Like [`crate::analyze`], everything here is a read-only consumer of
+//! a finished trace; auditing cannot perturb a run.
+
+use std::fmt;
+
+use crate::analyze::{SpanTree, Trace, TraceSpan};
+use crate::json::JsonValue;
+
+/// Tolerances for the floating-point comparisons.
+///
+/// The replayed quantities (`compute_finish · f / f_max`, TDMA queue
+/// arithmetic) repeat the simulator's own `f64` operations in a
+/// different association order, so exact equality is not available;
+/// the defaults absorb a few ulps of drift while staying far below
+/// any physically meaningful difference.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditConfig {
+    /// Relative tolerance for approximate comparisons.
+    pub rel_tol: f64,
+    /// Absolute tolerance floor (guards comparisons near zero).
+    pub abs_tol: f64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self { rel_tol: 1e-6, abs_tol: 1e-9 }
+    }
+}
+
+impl AuditConfig {
+    /// `a ≈ b` under this config.
+    fn close(&self, a: f64, b: f64) -> bool {
+        (a - b).abs() <= self.abs_tol + self.rel_tol * a.abs().max(b.abs())
+    }
+
+    /// `a ≤ b` up to tolerance.
+    fn le(&self, a: f64, b: f64) -> bool {
+        a <= b + self.abs_tol + self.rel_tol * a.abs().max(b.abs())
+    }
+}
+
+/// One broken invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Stable invariant name (`"slack-nonnegative"`, …).
+    pub invariant: &'static str,
+    /// The `index` attribute of the offending round span, when the
+    /// violation is round-scoped.
+    pub round: Option<u64>,
+    /// The offending span id, when one exists.
+    pub span: Option<u64>,
+    /// Human-readable specifics (device, values, bounds).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.invariant)?;
+        if let Some(round) = self.round {
+            write!(f, " round {round}")?;
+        }
+        if let Some(span) = self.span {
+            write!(f, " (span {span})")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Outcome of an audit run.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// `round` spans seen in the trace.
+    pub rounds: usize,
+    /// Rounds that carried auditable device activity.
+    pub rounds_audited: usize,
+    /// Audited rounds whose `timeline` span claimed delay-neutrality
+    /// (`delay_neutral:true`) and were therefore held to the
+    /// all-at-`f_max` makespan bound.
+    pub rounds_delay_neutral: usize,
+    /// Total `device_activity` spans replayed.
+    pub devices_audited: usize,
+    /// Metrics-line cross-checks performed.
+    pub metrics_checked: usize,
+    /// Every invariant violation found.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// True when no invariant was violated.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Multi-line human summary (verdict first, then each violation).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "audit: {} — {} rounds ({} audited, {} delay-neutral), \
+             {} device activities, {} metrics checks, {} violations",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.rounds,
+            self.rounds_audited,
+            self.rounds_delay_neutral,
+            self.devices_audited,
+            self.metrics_checked,
+            self.violations.len()
+        );
+        for v in &self.violations {
+            let _ = writeln!(out, "  {v}");
+        }
+        out
+    }
+}
+
+/// One device's activity, decoded from a `device_activity` span.
+struct Activity {
+    device: String,
+    device_id: u64,
+    f: f64,
+    f_max: f64,
+    compute_finish: f64,
+    upload_start: f64,
+    upload_end: f64,
+    compute_energy: f64,
+    compute_energy_at_max: f64,
+    upload_energy: f64,
+}
+
+impl Activity {
+    fn decode(span: &TraceSpan) -> Result<Self, String> {
+        let need = |key: &str| {
+            span.attr_f64(key).ok_or_else(|| {
+                format!(
+                    "device_activity span {} lacks numeric attr {key:?}",
+                    span.id
+                )
+            })
+        };
+        Ok(Self {
+            device: span.attr_str("device").unwrap_or("?").to_string(),
+            device_id: span.attr_u64("device_id").ok_or_else(|| {
+                format!("device_activity span {} lacks attr \"device_id\"", span.id)
+            })?,
+            f: need("f_hz")?,
+            f_max: need("f_max_hz")?,
+            compute_finish: need("compute_finish_s")?,
+            upload_start: need("upload_start_s")?,
+            upload_end: need("upload_end_s")?,
+            compute_energy: need("compute_energy_j")?,
+            compute_energy_at_max: need("compute_energy_at_max_j")?,
+            upload_energy: need("upload_energy_j")?,
+        })
+    }
+}
+
+/// Replays the TDMA queue over `(compute_finish, upload_duration)`
+/// pairs, FIFO by compute finish with device-id tie-break — the same
+/// discipline as `mec_sim::tdma::TdmaSchedule` — and returns the
+/// resulting makespan.
+fn replay_tdma(mut jobs: Vec<(f64, f64, u64)>) -> f64 {
+    jobs.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.2.cmp(&b.2))
+    });
+    let mut channel_free = 0.0f64;
+    for (finish, duration, _) in jobs {
+        channel_free = channel_free.max(finish) + duration;
+    }
+    channel_free
+}
+
+/// Audits every round of `trace` against the model invariants.
+///
+/// Checks, per round with `device_activity` spans under its `timeline`
+/// phase:
+///
+/// * **slack-nonnegative** — `upload_start ≥ compute_finish` for every
+///   device (a negative wait would mean the channel ran backwards);
+/// * **frequency-bound** — the operating frequency never exceeds the
+///   device's `f_max`;
+/// * **tdma-serialization** — upload windows, sorted by start, never
+///   overlap, and the recorded makespan is the last upload's end;
+/// * **delay-neutrality** — for rounds whose `timeline` span carries
+///   `delay_neutral:true` (recorded from
+///   `FrequencyPolicy::delay_neutral`; HELCFL's slack DVFS and the
+///   `f_max` baseline claim it, FEDL's energy/delay tradeoff does
+///   not): replaying the round with every device at `f_max` (compute
+///   finish rescales by `f / f_max`; upload duration is
+///   frequency-independent) through an independent TDMA queue bounds
+///   the traced makespan from above — DVFS slow-down must not extend
+///   the round (HELCFL Alg. 3's defining guarantee);
+/// * **energy-consistency** — per-device compute energy at the scaled
+///   frequency equals the `E ∝ f²` projection
+///   `E_max · (f / f_max)²` of the recorded at-`f_max` energy and
+///   never exceeds that reference (down-scaling only saves energy),
+///   and the timeline span's energy/slack totals equal the per-device
+///   sums.
+///
+/// Plus, once per trace when a final metrics line exists
+/// (**metrics-consistency**): every histogram's category counts sum to
+/// its total, `tdma.uploads` equals the number of device activities,
+/// `round.completed` equals the number of round spans, and the
+/// `round.makespan_s` histogram agrees with the spans on sample count
+/// and maximum.
+///
+/// # Errors
+///
+/// Returns `Err` when the trace is structurally unauditable — no
+/// spans, unresolvable parents, no `device_activity` spans (trace
+/// predates per-device emission), or activity spans with missing
+/// attributes. Violations are *not* errors; they land in the report.
+pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
+    if trace.spans.is_empty() {
+        return Err("no spans at all — was tracing enabled?".to_string());
+    }
+    let tree = SpanTree::build(trace)?;
+    let mut report = AuditReport::default();
+    let mut max_makespan = f64::NEG_INFINITY;
+
+    for round in trace.spans.iter().filter(|s| s.name == "round") {
+        report.rounds += 1;
+        let round_no = round.attr_u64("index");
+        let mut activities = Vec::new();
+        let mut timeline_span: Option<&TraceSpan> = None;
+        for phase in tree.children(round.id) {
+            if phase.name != "timeline" {
+                continue;
+            }
+            timeline_span = Some(phase);
+            for act in tree.children(phase.id) {
+                if act.name == "device_activity" {
+                    activities.push((act.id, Activity::decode(act)?));
+                }
+            }
+        }
+        if activities.is_empty() {
+            continue;
+        }
+        report.rounds_audited += 1;
+        report.devices_audited += activities.len();
+        let claims_neutrality = timeline_span
+            .and_then(|tl| tl.attr_bool("delay_neutral"))
+            .unwrap_or(false);
+        if claims_neutrality {
+            report.rounds_delay_neutral += 1;
+        }
+        let mut violation = |invariant, span, detail| {
+            report.violations.push(Violation {
+                invariant,
+                round: round_no.or(Some(round.id)),
+                span,
+                detail,
+            });
+        };
+
+        for (span_id, a) in &activities {
+            if !cfg.le(a.compute_finish, a.upload_start) {
+                violation(
+                    "slack-nonnegative",
+                    Some(*span_id),
+                    format!(
+                        "device {}: upload starts at {:.6}s before compute \
+                         finishes at {:.6}s (slack {:.3e}s)",
+                        a.device,
+                        a.upload_start,
+                        a.compute_finish,
+                        a.upload_start - a.compute_finish
+                    ),
+                );
+            }
+            if !cfg.le(a.f, a.f_max) {
+                violation(
+                    "frequency-bound",
+                    Some(*span_id),
+                    format!(
+                        "device {}: operating frequency {:.3e}Hz exceeds \
+                         f_max {:.3e}Hz",
+                        a.device, a.f, a.f_max
+                    ),
+                );
+            }
+            // E^cal ∝ f² (Eq. 5): both energies come from the same
+            // α·W, so the scaled energy must equal the at-f_max
+            // reference times (f/f_max)² — and never exceed it
+            // (down-scaling only saves energy).
+            if a.f_max > 0.0 {
+                let projected = a.compute_energy_at_max * (a.f / a.f_max).powi(2);
+                if !cfg.close(a.compute_energy, projected) {
+                    violation(
+                        "energy-consistency",
+                        Some(*span_id),
+                        format!(
+                            "device {}: compute energy {:.6}J at {:.3e}Hz is \
+                             not the E∝f² projection {:.6}J of the at-f_max \
+                             energy {:.6}J",
+                            a.device,
+                            a.compute_energy,
+                            a.f,
+                            projected,
+                            a.compute_energy_at_max
+                        ),
+                    );
+                }
+                if !cfg.le(a.compute_energy, a.compute_energy_at_max) {
+                    violation(
+                        "energy-consistency",
+                        Some(*span_id),
+                        format!(
+                            "device {}: compute energy {:.6}J at the scaled \
+                             frequency exceeds the at-f_max energy {:.6}J — \
+                             DVFS must only save energy",
+                            a.device, a.compute_energy, a.compute_energy_at_max
+                        ),
+                    );
+                }
+            }
+        }
+
+        // TDMA serialization: windows sorted by start must not overlap.
+        let mut windows: Vec<&Activity> = activities.iter().map(|(_, a)| a).collect();
+        windows.sort_by(|a, b| {
+            a.upload_start
+                .partial_cmp(&b.upload_start)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.device_id.cmp(&b.device_id))
+        });
+        for pair in windows.windows(2) {
+            let (prev, next) = (pair[0], pair[1]);
+            if !cfg.le(prev.upload_end, next.upload_start) {
+                violation(
+                    "tdma-serialization",
+                    None,
+                    format!(
+                        "uploads overlap: device {} holds the channel until \
+                         {:.6}s but device {} starts at {:.6}s",
+                        prev.device, prev.upload_end, next.device, next.upload_start
+                    ),
+                );
+            }
+        }
+
+        let actual_makespan = activities
+            .iter()
+            .map(|(_, a)| a.upload_end)
+            .fold(f64::NEG_INFINITY, f64::max);
+        max_makespan = max_makespan.max(actual_makespan);
+
+        // Delay-neutrality: rescale each compute finish to f_max
+        // (cycles c = T·f are frequency-invariant, so T_max = T·f/f_max)
+        // and replay the TDMA queue. Only rounds whose frequency
+        // policy *claimed* the bound (timeline attr `delay_neutral`,
+        // from `FrequencyPolicy::delay_neutral`) are held to it —
+        // FEDL's closed-form optimum legitimately slows the critical
+        // device and extends the round.
+        if claims_neutrality {
+            let baseline = replay_tdma(
+                activities
+                    .iter()
+                    .map(|(_, a)| {
+                        let finish_at_max = if a.f_max > 0.0 {
+                            a.compute_finish * a.f / a.f_max
+                        } else {
+                            a.compute_finish
+                        };
+                        (finish_at_max, a.upload_end - a.upload_start, a.device_id)
+                    })
+                    .collect(),
+            );
+            if !cfg.le(actual_makespan, baseline) {
+                violation(
+                    "delay-neutrality",
+                    None,
+                    format!(
+                        "DVFS-scaled makespan {actual_makespan:.6}s exceeds \
+                         the all-at-f_max replay {baseline:.6}s — slow-down \
+                         extended the round"
+                    ),
+                );
+            }
+        }
+
+        // Timeline span totals must match the per-device sums.
+        if let Some(tl) = timeline_span {
+            let sum_energy: f64 =
+                activities.iter().map(|(_, a)| a.compute_energy + a.upload_energy).sum();
+            let sum_compute: f64 =
+                activities.iter().map(|(_, a)| a.compute_energy).sum();
+            let sum_slack: f64 = activities
+                .iter()
+                .map(|(_, a)| a.upload_start - a.compute_finish)
+                .sum();
+            for (key, sum) in [
+                ("energy_j", sum_energy),
+                ("compute_energy_j", sum_compute),
+                ("slack_total_s", sum_slack),
+            ] {
+                if let Some(total) = tl.attr_f64(key) {
+                    if !cfg.close(total, sum) {
+                        violation(
+                            "energy-consistency",
+                            Some(tl.id),
+                            format!(
+                                "timeline attr {key}={total:.9} does not match \
+                                 the per-device sum {sum:.9}"
+                            ),
+                        );
+                    }
+                }
+            }
+            if let Some(makespan) = tl.attr_f64("makespan_s") {
+                if !cfg.close(makespan, actual_makespan) {
+                    violation(
+                        "tdma-serialization",
+                        Some(tl.id),
+                        format!(
+                            "timeline attr makespan_s={makespan:.9} is not the \
+                             last upload end {actual_makespan:.9}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    if report.rounds_audited == 0 {
+        return Err(
+            "no device_activity spans found — the trace predates per-device \
+             emission; regenerate it with a current build"
+                .to_string(),
+        );
+    }
+
+    audit_metrics(trace, cfg, &mut report);
+    Ok(report)
+}
+
+/// Cross-checks the final metrics line against the span stream.
+fn audit_metrics(trace: &Trace, cfg: &AuditConfig, report: &mut AuditReport) {
+    let Some(JsonValue::Object(metrics)) = trace.metrics.as_ref() else {
+        return;
+    };
+    let mut violation = |invariant, detail| {
+        report.violations.push(Violation { invariant, round: None, span: None, detail });
+    };
+
+    // Histogram self-consistency: the category tallies partition the
+    // total count (see Histogram::record).
+    for (name, entry) in metrics {
+        if entry.get("kind").and_then(JsonValue::as_str) != Some("histogram") {
+            continue;
+        }
+        let Some(value) = entry.get("value") else { continue };
+        report.metrics_checked += 1;
+        let field = |key: &str| value.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+        let bucket_sum = match value.get("buckets") {
+            Some(JsonValue::Object(buckets)) => {
+                buckets.iter().filter_map(|(_, v)| v.as_f64()).sum::<f64>()
+            }
+            _ => 0.0,
+        };
+        let partition = field("underflow")
+            + field("negative")
+            + field("infinite")
+            + field("nan")
+            + bucket_sum;
+        if partition != field("count") {
+            violation(
+                "metrics-consistency",
+                format!(
+                    "histogram {name:?}: categories sum to {partition} but \
+                     count is {}",
+                    field("count")
+                ),
+            );
+        }
+    }
+
+    let hist_count = |name: &str| {
+        trace
+            .metric(name)
+            .filter(|m| m.get("kind").and_then(JsonValue::as_str) == Some("histogram"))
+            .and_then(|m| m.get("value"))
+            .and_then(|v| v.get("count"))
+            .and_then(JsonValue::as_f64)
+    };
+
+    let rounds = trace.spans.iter().filter(|s| s.name == "round").count() as u64;
+    let uploads: usize = trace
+        .spans
+        .iter()
+        .filter(|s| s.name == "device_activity")
+        .count();
+    for (counter, expect, what) in [
+        ("round.completed", rounds, "round spans"),
+        ("tdma.uploads", uploads as u64, "device_activity spans"),
+    ] {
+        if let Some(value) = trace.metric_counter(counter) {
+            report.metrics_checked += 1;
+            if value != expect {
+                violation(
+                    "metrics-consistency",
+                    format!("counter {counter}={value} but the trace has {expect} {what}"),
+                );
+            }
+        }
+    }
+    for (hist, expect) in
+        [("round.makespan_s", rounds as f64), ("device.energy_j", uploads as f64)]
+    {
+        if let Some(count) = hist_count(hist) {
+            report.metrics_checked += 1;
+            if count != expect {
+                violation(
+                    "metrics-consistency",
+                    format!(
+                        "histogram {hist} holds {count} samples but the trace \
+                         implies {expect}"
+                    ),
+                );
+            }
+        }
+    }
+    // The makespan histogram's max must agree with the spans.
+    let span_max = trace
+        .spans
+        .iter()
+        .filter(|s| s.name == "device_activity")
+        .filter_map(|s| s.attr_f64("upload_end_s"))
+        .fold(f64::NEG_INFINITY, f64::max);
+    if span_max.is_finite() {
+        if let Some(hist_max) = trace
+            .metric("round.makespan_s")
+            .and_then(|m| m.get("value"))
+            .and_then(|v| v.get("max"))
+            .and_then(JsonValue::as_f64)
+        {
+            report.metrics_checked += 1;
+            if !cfg.close(hist_max, span_max) {
+                violation(
+                    "metrics-consistency",
+                    format!(
+                        "round.makespan_s max={hist_max} but the latest upload \
+                         in any round ends at {span_max}"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_tdma_serializes_fifo_with_tiebreak() {
+        // Two devices finishing together: id order decides; the queue
+        // then serializes back-to-back.
+        assert_eq!(replay_tdma(vec![(2.0, 5.0, 1), (2.0, 5.0, 0)]), 12.0);
+        // A late finisher waits for the channel.
+        assert_eq!(replay_tdma(vec![(2.5, 5.0, 0), (10.0, 5.0, 1)]), 15.0);
+        assert_eq!(replay_tdma(Vec::new()), 0.0);
+    }
+
+    #[test]
+    fn close_and_le_respect_tolerances() {
+        let cfg = AuditConfig::default();
+        assert!(cfg.close(1.0, 1.0 + 1e-9));
+        assert!(!cfg.close(1.0, 1.001));
+        assert!(cfg.le(1.0, 1.0));
+        assert!(cfg.le(1.0 + 1e-9, 1.0));
+        assert!(!cfg.le(1.1, 1.0));
+    }
+
+    #[test]
+    fn audit_rejects_traces_without_device_activity() {
+        let text = concat!(
+            r#"{"type":"span","name":"timeline","id":3,"parent":2,"t_us":0,"dur_us":1}"#,
+            "\n",
+            r#"{"type":"span","name":"round","id":2,"parent":null,"t_us":0,"dur_us":2}"#,
+        );
+        let trace = Trace::parse(text).unwrap();
+        let err = audit(&trace, &AuditConfig::default()).unwrap_err();
+        assert!(err.contains("no device_activity"), "{err}");
+    }
+
+    #[test]
+    fn violation_display_names_invariant_and_round() {
+        let v = Violation {
+            invariant: "slack-nonnegative",
+            round: Some(7),
+            span: Some(42),
+            detail: "oops".to_string(),
+        };
+        let text = v.to_string();
+        assert!(text.contains("[slack-nonnegative]"), "{text}");
+        assert!(text.contains("round 7"), "{text}");
+        assert!(text.contains("span 42"), "{text}");
+    }
+}

@@ -233,6 +233,14 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// Maximum nesting depth accepted by [`parse`]; prevents stack

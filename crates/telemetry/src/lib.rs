@@ -39,6 +39,8 @@
 //! assert_eq!(tele.snapshot().counter("selection.selected"), 5);
 //! ```
 
+pub mod analyze;
+pub mod audit;
 pub mod json;
 mod metrics;
 mod report;

@@ -1,0 +1,204 @@
+//! Golden synthetic-trace tests for the analysis and audit layer.
+//!
+//! Every fixture is a hand-written JSONL trace with worked-example
+//! numbers (the Alg.-3 two-device schedule from the `dvfs` docs:
+//! 40 Mbit payload over 8 Mbps → 5 s uploads, device 0 at
+//! f_max = 2 GHz finishing at 2.5 s, device 1 slowed to 0.8 GHz to
+//! finish exactly when the channel frees at 7.5 s). One fixture
+//! passes; one fixture per violation class trips exactly that
+//! invariant, so a regression in any single check is pinned to a
+//! failing test with its name in it.
+
+use helcfl_telemetry::analyze::{SpanTree, Trace};
+use helcfl_telemetry::audit::{audit, AuditConfig};
+
+/// One `device_activity` span line under `parent`.
+#[allow(clippy::too_many_arguments)]
+fn activity_line(
+    id: u64,
+    parent: u64,
+    device_id: u64,
+    f_hz: f64,
+    f_max_hz: f64,
+    finish: f64,
+    up_start: f64,
+    up_end: f64,
+    e_compute: f64,
+    e_at_max: f64,
+) -> String {
+    format!(
+        r#"{{"type":"span","name":"device_activity","id":{id},"parent":{parent},"t_us":0,"dur_us":0,"attrs":{{"device":"v{device_id}","device_id":{device_id},"f_hz":{f_hz},"f_max_hz":{f_max_hz},"compute_finish_s":{finish},"upload_start_s":{up_start},"upload_end_s":{up_end},"compute_energy_j":{e_compute},"compute_energy_at_max_j":{e_at_max},"upload_energy_j":1.0}}}}"#
+    )
+}
+
+/// A `timeline` span line claiming (or disclaiming) delay-neutrality.
+fn timeline_line(id: u64, parent: u64, neutral: bool) -> String {
+    format!(
+        r#"{{"type":"span","name":"timeline","id":{id},"parent":{parent},"t_us":0,"dur_us":10,"attrs":{{"policy":"test","delay_neutral":{neutral}}}}}"#
+    )
+}
+
+/// A root `round` span line with the given `index` attribute.
+fn round_line(id: u64, index: u64) -> String {
+    format!(
+        r#"{{"type":"span","name":"round","id":{id},"parent":null,"t_us":0,"dur_us":20,"attrs":{{"index":{index}}}}}"#
+    )
+}
+
+/// Assembles lines in *completion order* (children before parents),
+/// exactly as the streaming sink emits them.
+fn fixture(lines: &[String]) -> Trace {
+    Trace::parse(&lines.join("\n")).expect("fixture must parse")
+}
+
+#[test]
+fn tree_reconstructs_completion_ordered_stream() {
+    // Leaves complete (and are emitted) before their parents; ids are
+    // allocation-ordered but arrival is bottom-up and interleaved.
+    let text = concat!(
+        r#"{"type":"span","name":"selection","id":3,"parent":2,"t_us":0,"dur_us":5}"#,
+        "\n",
+        r#"{"type":"span","name":"timeline","id":4,"parent":2,"t_us":5,"dur_us":7}"#,
+        "\n",
+        r#"{"type":"span","name":"round","id":2,"parent":1,"t_us":0,"dur_us":20,"attrs":{"index":0}}"#,
+        "\n",
+        r#"{"type":"span","name":"run","id":1,"parent":null,"t_us":0,"dur_us":25}"#,
+    );
+    let trace = Trace::parse(text).unwrap();
+    let tree = SpanTree::build(&trace).unwrap();
+    let roots: Vec<_> = tree.roots().map(|s| s.name.as_str()).collect();
+    assert_eq!(roots, ["run"]);
+    let round: Vec<_> = tree.children(1).collect();
+    assert_eq!(round.len(), 1);
+    assert_eq!(round[0].name, "round");
+    let phases: Vec<_> = tree.children(2).map(|s| s.name.as_str()).collect();
+    // Children come back in start-time order, not arrival order.
+    assert_eq!(phases, ["selection", "timeline"]);
+    let path: Vec<_> = tree.critical_path(1).iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(path, ["run", "round", "timeline"]);
+}
+
+/// The worked example: device 1's slow-down lands its compute finish
+/// exactly on the channel-free instant, energies follow E ∝ f², and
+/// the makespan matches the all-at-f_max replay. Nothing to report.
+#[test]
+fn audit_passes_on_consistent_slack_schedule() {
+    let trace = fixture(&[
+        activity_line(4, 3, 0, 2.0e9, 2.0e9, 2.5, 2.5, 7.5, 2.0, 2.0),
+        activity_line(5, 3, 1, 0.8e9, 2.0e9, 7.5, 7.5, 12.5, 0.384, 2.4),
+        timeline_line(3, 2, true),
+        round_line(2, 0),
+    ]);
+    let report = audit(&trace, &AuditConfig::default()).unwrap();
+    assert!(report.passed(), "unexpected violations:\n{}", report.render());
+    assert_eq!(report.rounds_audited, 1);
+    assert_eq!(report.rounds_delay_neutral, 1);
+    assert_eq!(report.devices_audited, 2);
+}
+
+#[test]
+fn audit_flags_negative_slack() {
+    // Upload starts 0.5 s before compute finishes.
+    let trace = fixture(&[
+        activity_line(4, 3, 0, 2.0e9, 2.0e9, 3.0, 2.5, 7.5, 2.0, 2.0),
+        timeline_line(3, 2, true),
+        round_line(2, 7),
+    ]);
+    let report = audit(&trace, &AuditConfig::default()).unwrap();
+    assert!(!report.passed());
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+    assert_eq!(report.violations[0].invariant, "slack-nonnegative");
+    assert_eq!(report.violations[0].round, Some(7));
+}
+
+#[test]
+fn audit_flags_delay_extending_dvfs() {
+    // A lone device halved to 1 GHz finishes at 5 s and uploads until
+    // 10 s; at f_max it would have finished at 2.5 s and been done by
+    // 7.5 s. A policy claiming delay-neutrality may not do this.
+    let trace = fixture(&[
+        activity_line(4, 3, 0, 1.0e9, 2.0e9, 5.0, 5.0, 10.0, 0.5, 2.0),
+        timeline_line(3, 2, true),
+        round_line(2, 3),
+    ]);
+    let report = audit(&trace, &AuditConfig::default()).unwrap();
+    assert!(!report.passed());
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+    assert_eq!(report.violations[0].invariant, "delay-neutrality");
+    assert_eq!(report.violations[0].round, Some(3));
+    assert!(
+        report.violations[0].detail.contains("exceeds"),
+        "{}",
+        report.violations[0].detail
+    );
+}
+
+#[test]
+fn audit_exempts_rounds_that_disclaim_delay_neutrality() {
+    // The identical schedule is legitimate for a policy (FEDL) that
+    // trades delay for energy and never claimed the bound.
+    let trace = fixture(&[
+        activity_line(4, 3, 0, 1.0e9, 2.0e9, 5.0, 5.0, 10.0, 0.5, 2.0),
+        timeline_line(3, 2, false),
+        round_line(2, 3),
+    ]);
+    let report = audit(&trace, &AuditConfig::default()).unwrap();
+    assert!(report.passed(), "{}", report.render());
+    assert_eq!(report.rounds_audited, 1);
+    assert_eq!(report.rounds_delay_neutral, 0);
+}
+
+#[test]
+fn audit_flags_overlapping_tdma_uploads() {
+    // Device 1 starts uploading at 6 s while device 0 holds the
+    // channel until 7.5 s.
+    let trace = fixture(&[
+        activity_line(4, 3, 0, 2.0e9, 2.0e9, 2.5, 2.5, 7.5, 2.0, 2.0),
+        activity_line(5, 3, 1, 2.0e9, 2.0e9, 6.0, 6.0, 11.0, 2.0, 2.0),
+        timeline_line(3, 2, true),
+        round_line(2, 11),
+    ]);
+    let report = audit(&trace, &AuditConfig::default()).unwrap();
+    assert!(!report.passed());
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+    assert_eq!(report.violations[0].invariant, "tdma-serialization");
+    assert_eq!(report.violations[0].round, Some(11));
+}
+
+#[test]
+fn audit_flags_energy_inconsistent_with_f_squared() {
+    // At 0.8 GHz the E ∝ f² projection of the 2.4 J at-f_max energy
+    // is 0.384 J; recording 3.0 J breaks both the projection equality
+    // and the E_f ≤ E_max saving bound. (Neutrality is disclaimed —
+    // a lone slowed device extends its round by construction and
+    // would drown the energy signal in a delay violation.)
+    let trace = fixture(&[
+        activity_line(4, 3, 0, 0.8e9, 2.0e9, 7.5, 7.5, 12.5, 3.0, 2.4),
+        timeline_line(3, 2, false),
+        round_line(2, 5),
+    ]);
+    let report = audit(&trace, &AuditConfig::default()).unwrap();
+    assert!(!report.passed());
+    assert_eq!(report.violations.len(), 2, "{}", report.render());
+    for v in &report.violations {
+        assert_eq!(v.invariant, "energy-consistency");
+        assert_eq!(v.round, Some(5));
+    }
+}
+
+#[test]
+fn audit_flags_timeline_totals_that_disagree_with_devices() {
+    // The timeline span over-reports total energy by 1 J.
+    let lines = [
+        activity_line(4, 3, 0, 2.0e9, 2.0e9, 2.5, 2.5, 7.5, 2.0, 2.0),
+        r#"{"type":"span","name":"timeline","id":3,"parent":2,"t_us":0,"dur_us":10,"attrs":{"delay_neutral":true,"energy_j":4.0,"compute_energy_j":2.0,"slack_total_s":0.0,"makespan_s":7.5}}"#
+            .to_string(),
+        round_line(2, 9),
+    ];
+    let report = audit(&fixture(&lines), &AuditConfig::default()).unwrap();
+    assert!(!report.passed());
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+    assert_eq!(report.violations[0].invariant, "energy-consistency");
+    assert_eq!(report.violations[0].round, Some(9));
+    assert_eq!(report.violations[0].span, Some(3));
+}
