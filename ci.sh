@@ -33,6 +33,24 @@ trap 'rm -rf "$smoke_dir"' EXIT
   "$repo_root/target/release/helcfl-trace" audit results/trace_table1_delay.jsonl
 )
 
+echo "==> fault smoke: seeded injection run + trace validation + audit"
+# A nonzero-rate fault plan must produce a trace that still satisfies
+# the (fault-aware) theory audit: wasted energy reconciled, fault spans
+# matching the metrics, delay-neutrality exempted only where a fault
+# actually fired.
+(
+  cd "$smoke_dir"
+  HELCFL_TRACE=jsonl "$repo_root/target/release/fault_sweep" --smoke
+  "$repo_root/target/release/helcfl-trace" check results/trace_fault_sweep.jsonl
+  "$repo_root/target/release/helcfl-trace" audit results/trace_fault_sweep.jsonl
+)
+
+echo "==> fault golden check: zero-fault engine equivalence"
+# The fault-aware engine with an inert fault plan must reproduce the
+# committed fault-free HELCFL history byte-for-byte.
+"$repo_root/target/release/fault_sweep" --golden-check \
+  "$repo_root/results/golden/history_fast_iid_helcfl.csv"
+
 echo "==> perf gate: fresh --fast bench vs committed baseline"
 # The committed baseline is full-scale and this smoke bench is --fast
 # on whatever hardware CI lands on, so the gate runs with very loose

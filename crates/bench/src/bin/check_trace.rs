@@ -23,6 +23,10 @@ fn check(path: &str) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    eprintln!(
+        "note: check_trace is deprecated; use `helcfl-trace check [PATH]` \
+         (same validation, plus tree/phases/audit/gate subcommands)"
+    );
     let path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "results/trace_table1_delay.jsonl".to_string());

@@ -26,8 +26,16 @@ fn tiny_scenario() -> PaperScenario {
 fn traced_trace(
     policy_is_slack: bool,
 ) -> Result<Trace, Box<dyn std::error::Error>> {
+    traced_trace_with(policy_is_slack, |_| {})
+}
+
+fn traced_trace_with(
+    policy_is_slack: bool,
+    tweak: impl FnOnce(&mut fl_sim::runner::TrainingConfig),
+) -> Result<Trace, Box<dyn std::error::Error>> {
     let scenario = tiny_scenario();
-    let config = scenario.training_config();
+    let mut config = scenario.training_config();
+    tweak(&mut config);
     let mut setup = scenario.setup(Setting::Iid)?;
     let mut selector = RandomSelector::new(derive(config.seed, SeedDomain::Selection));
     let sink = MemorySink::new();
@@ -61,4 +69,41 @@ fn traced_max_frequency_run_passes_audit() {
     let report = audit(&trace, &AuditConfig::default()).expect("auditable trace");
     assert!(report.passed(), "violations in a fresh run:\n{}", report.render());
     assert_eq!(report.rounds_delay_neutral, report.rounds_audited);
+}
+
+/// A run with every fault class enabled plus a binding deadline must
+/// still audit clean: wasted energy reconciles, fault spans match the
+/// metrics, and delay-neutrality is exempted exactly on the rounds
+/// where something actually went wrong.
+#[test]
+fn traced_faulted_run_passes_audit_and_coverage() {
+    use fl_sim::faults::{DegradationPolicy, FaultConfig};
+    use mec_sim::units::Seconds;
+
+    let trace = traced_trace_with(true, |config| {
+        config.faults = FaultConfig::uniform(0.25);
+        config.degradation = DegradationPolicy {
+            round_deadline: Some(Seconds::new(30.0)),
+            min_quorum: 1,
+            charge_failed_selections: false,
+        };
+    })
+    .expect("traced run");
+    let report = audit(&trace, &AuditConfig::default()).expect("auditable trace");
+    assert!(report.passed(), "violations in a faulted run:\n{}", report.render());
+    assert_eq!(report.rounds_audited, 4);
+    assert!(
+        report.rounds_faulted > 0,
+        "a 25% per-device fault rate should disturb at least one of 4 rounds"
+    );
+    // The slack policy claims neutrality everywhere, so every faulted
+    // round — and only those — must have moved to the plan-time check.
+    assert_eq!(report.rounds_fault_exempt, report.rounds_faulted);
+    assert_eq!(report.rounds_delay_neutral, report.rounds_audited);
+    // Fault/retry/abort markers actually landed in the stream.
+    assert!(
+        trace.spans.iter().any(|s| s.name == "fault"),
+        "no fault marker spans emitted"
+    );
+    check_coverage(&trace).expect("coverage check");
 }

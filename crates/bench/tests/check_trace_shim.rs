@@ -1,0 +1,54 @@
+//! The `check_trace` compatibility shim must keep validating traces
+//! with the `helcfl-trace check` semantics while steering callers to
+//! the new CLI.
+
+use std::fs;
+use std::process::Command;
+
+/// A minimal valid trace: one round whose only child covers 100% of
+/// its duration, emitted completion-ordered (child first).
+const TRACE: &str = concat!(
+    r#"{"type":"span","name":"timeline","id":3,"parent":2,"t_us":0,"dur_us":20000}"#,
+    "\n",
+    r#"{"type":"span","name":"round","id":2,"parent":null,"t_us":0,"dur_us":20000,"attrs":{"index":1}}"#,
+    "\n",
+);
+
+#[test]
+fn shim_validates_and_prints_deprecation_note() {
+    let dir = std::env::temp_dir().join(format!("check_trace_shim_{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    fs::write(&path, TRACE).unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_check_trace"))
+        .arg(&path)
+        .output()
+        .expect("run check_trace");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("OK"), "missing verdict: {stdout}");
+    assert!(
+        stderr.contains("deprecated") && stderr.contains("helcfl-trace check"),
+        "missing deprecation pointer: {stderr}"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shim_fails_on_malformed_trace() {
+    let dir = std::env::temp_dir().join(format!("check_trace_bad_{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.jsonl");
+    fs::write(&path, "not json at all\n").unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_check_trace"))
+        .arg(&path)
+        .output()
+        .expect("run check_trace");
+    assert!(!output.status.success(), "malformed trace must fail the shim");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("FAIL"), "missing failure banner: {stderr}");
+    fs::remove_dir_all(&dir).ok();
+}

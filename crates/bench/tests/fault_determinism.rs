@@ -1,0 +1,188 @@
+//! Pins the fault layer's central compatibility promise: with
+//! `FaultPlan::none()` (the default `TrainingConfig`), every scheme's
+//! round history and Sim-class metrics registry are bit-identical to
+//! the pre-fault-layer engine. The fingerprints below were captured
+//! from the engine *before* the fault subsystem existed; the faulted
+//! runner must keep reproducing them exactly.
+//!
+//! Beyond the pin, this suite checks the two determinism properties
+//! the fault layer itself must uphold: the fault-aware engine with
+//! zero faults reproduces the fault-free histories bit-for-bit (the
+//! engines are interchangeable, not merely similar), and
+//! fault-afflicted histories are bit-identical across worker-thread
+//! counts.
+
+use fl_sim::faults::{DegradationPolicy, FaultConfig};
+use helcfl_bench::scenario::{PaperScenario, Setting};
+use helcfl_bench::schemes::Scheme;
+use helcfl_telemetry::Telemetry;
+use mec_sim::units::Seconds;
+
+/// FNV-1a 64-bit over a byte stream.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+/// Bit-exact fingerprint of a training history over the fields that
+/// existed before the fault layer: every numeric value of every
+/// record, in order, via its IEEE-754 bit pattern. New fault-era
+/// fields (delivered, wasted energy, …) are deliberately excluded so
+/// the pinned pre-fault constants below stay comparable.
+fn history_fingerprint(history: &fl_sim::history::TrainingHistory) -> u64 {
+    let mut h = Fnv::new();
+    h.update(history.scheme().as_bytes());
+    for r in history.records() {
+        h.u64(r.round as u64);
+        for id in &r.selected {
+            h.u64(id.0 as u64);
+        }
+        h.u64(r.alive_devices as u64);
+        h.f64(r.round_time.get());
+        h.f64(r.eq10_time.get());
+        h.f64(r.round_energy.get());
+        h.f64(r.compute_energy.get());
+        h.f64(r.slack.get());
+        h.f64(f64::from(r.train_loss));
+        h.f64(r.test_accuracy.unwrap_or(-1.0));
+        h.f64(r.cumulative_time.get());
+        h.f64(r.cumulative_energy.get());
+    }
+    h.0
+}
+
+fn scenario() -> PaperScenario {
+    let mut s = PaperScenario::fast();
+    s.max_rounds = 8;
+    s
+}
+
+/// Runs `scheme` on the reference scenario (optionally customizing the
+/// training config) and returns
+/// `(history fingerprint, Sim-registry JSON fingerprint)`.
+fn fingerprints_with(
+    scheme: &Scheme,
+    tweak: impl FnOnce(&mut fl_sim::runner::TrainingConfig),
+) -> (u64, u64) {
+    let s = scenario();
+    let mut config = s.training_config();
+    tweak(&mut config);
+    let mut setup = s.setup(Setting::Iid).unwrap();
+    let tele = Telemetry::metrics_only();
+    let history = scheme.run_traced(&mut setup, &config, &tele).unwrap();
+    let registry_json = tele.snapshot().deterministic().to_json().finish();
+    let mut h = Fnv::new();
+    h.update(registry_json.as_bytes());
+    (history_fingerprint(&history), h.0)
+}
+
+fn fingerprints(scheme: &Scheme) -> (u64, u64) {
+    fingerprints_with(scheme, |_| {})
+}
+
+/// Reference fingerprints captured from the engine as of the commit
+/// that introduced the fault layer, *before* any fault code existed.
+/// (classic and fedl share a registry hash: both are random selectors
+/// emitting the identical Sim metric set.)
+const PINNED: [(Scheme, u64, u64); 4] = [
+    (Scheme::Helcfl { eta: 0.5, dvfs: true }, 0xaeee3c4467673763, 0x965635a4fefaa331),
+    (Scheme::Classic, 0xe571d97061271c86, 0x6effdd8f5bf2ac9d),
+    (Scheme::FedCs { round_deadline_s: 13.0 }, 0xd2d45a83da11f808, 0x4a5cf2e554a4f953),
+    (Scheme::Fedl { kappa: 1.0 }, 0xd3da3bc18b874121, 0x6effdd8f5bf2ac9d),
+];
+
+#[test]
+fn default_config_reproduces_pre_fault_fingerprints() {
+    for (scheme, hist, reg) in PINNED {
+        let (h, r) = fingerprints(&scheme);
+        assert_eq!(
+            h,
+            hist,
+            "{}: history diverged from the pre-fault engine (got {h:#018x})",
+            scheme.label()
+        );
+        assert_eq!(
+            r,
+            reg,
+            "{}: Sim-metrics registry diverged from the pre-fault engine (got {r:#018x})",
+            scheme.label()
+        );
+    }
+}
+
+#[test]
+fn faulted_engine_with_zero_faults_matches_the_fault_free_histories() {
+    // A never-binding round deadline forces the fault-aware engine
+    // while keeping the fault plan inert: every history value must
+    // still come out bit-identical to the pinned fault-free run. (The
+    // registry is excluded: the faulted engine legitimately adds its
+    // own fault-series metrics.)
+    for (scheme, hist, _) in PINNED {
+        let (h, _) = fingerprints_with(&scheme, |config| {
+            config.degradation = DegradationPolicy {
+                round_deadline: Some(Seconds::new(1.0e12)),
+                ..DegradationPolicy::default()
+            };
+        });
+        assert_eq!(
+            h,
+            hist,
+            "{}: zero-fault faulted engine diverged from the fault-free path (got {h:#018x})",
+            scheme.label()
+        );
+    }
+}
+
+#[test]
+fn faulted_histories_are_bit_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let s = scenario();
+        let mut config = s.training_config();
+        config.threads = threads;
+        config.faults = FaultConfig::uniform(0.15);
+        config.degradation = DegradationPolicy {
+            round_deadline: Some(Seconds::new(40.0)),
+            min_quorum: 1,
+            charge_failed_selections: false,
+        };
+        let mut setup = s.setup(Setting::Iid).unwrap();
+        let tele = Telemetry::metrics_only();
+        let scheme = Scheme::Helcfl { eta: 0.5, dvfs: true };
+        let history = scheme.run_traced(&mut setup, &config, &tele).unwrap();
+        let registry = tele.snapshot().deterministic().to_json().finish();
+        (history, registry)
+    };
+    let (h1, r1) = run(1);
+    let (h3, r3) = run(3);
+    let (h4, r4) = run(4);
+    // Sanity: the fault plan actually fired somewhere, or this test
+    // proves nothing.
+    assert!(
+        h1.records().iter().any(|r| r.faults > 0),
+        "no fault fired at rate 0.15 over {} rounds",
+        h1.len()
+    );
+    assert!(h1.delivered_fraction() < 1.0, "every faulted update still delivered");
+    assert_eq!(h1, h3, "1-thread vs 3-thread faulted histories diverge");
+    assert_eq!(h1, h4, "1-thread vs 4-thread faulted histories diverge");
+    assert_eq!(r1, r3, "1-thread vs 3-thread Sim registries diverge");
+    assert_eq!(r1, r4, "1-thread vs 4-thread Sim registries diverge");
+}

@@ -132,6 +132,18 @@ impl ClientSelector for GreedyDecaySelector {
     ) -> Result<Vec<DeviceId>> {
         self.select_inner(ctx, tele)
     }
+
+    fn on_delivery_failure(&mut self, failed: &[DeviceId]) {
+        // Refund semantics (see `DegradationPolicy`): a user that was
+        // selected but never delivered gets its Alg. 2 line-18 decay
+        // rolled back, so Eq. 20 keeps treating it as under-served
+        // rather than penalizing it for a failure it didn't choose.
+        for id in failed {
+            if id.0 < self.counters.len() {
+                self.counters.decrement(id.0);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -291,5 +303,26 @@ mod tests {
             assert_eq!(sel.counters().get(q), expected, "device {q}");
         }
         let _ = picked;
+    }
+
+    #[test]
+    fn delivery_failure_refunds_the_appearance_charge() {
+        let pop = PopulationBuilder::paper_default().num_devices(6).seed(11).build().unwrap();
+        let mut sel = GreedyDecaySelector::new(DecayCoefficient::new(0.5).unwrap());
+        let picked = sel.select(&ctx(pop.devices(), 3)).unwrap();
+        let victim = picked[0];
+        assert_eq!(sel.counters().get(victim.0), 1);
+        sel.on_delivery_failure(&[victim]);
+        assert_eq!(sel.counters().get(victim.0), 0, "charge not refunded");
+        // The other picks keep their charge.
+        for id in &picked[1..] {
+            assert_eq!(sel.counters().get(id.0), 1);
+        }
+        // A refund for an id the selector has never scored is ignored.
+        sel.on_delivery_failure(&[DeviceId(999)]);
+        // With the refund, the failed user is selected again next
+        // round exactly as if it had never appeared.
+        let repicked = sel.select(&ctx(pop.devices(), 3)).unwrap();
+        assert!(repicked.contains(&victim), "refunded user lost priority");
     }
 }

@@ -116,6 +116,19 @@ impl AppearanceCounters {
         self.counts[q] += 1;
     }
 
+    /// Rolls back one appearance of `α_q` — the refund the degradation
+    /// policy issues when a selected user failed to deliver its update
+    /// (`charge_failed_selections == false`). Saturates at zero, so a
+    /// refund for a user that was never charged is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[inline]
+    pub fn decrement(&mut self, q: usize) {
+        self.counts[q] = self.counts[q].saturating_sub(1);
+    }
+
     /// Extends the counter vector with zeros so ids `< len` are valid
     /// (no-op when already large enough). Lets selectors stay keyed by
     /// [`DeviceId`](mec_sim::device::DeviceId) as availability shifts.
@@ -204,5 +217,19 @@ mod tests {
         assert_eq!(c.get(0), 0);
         assert_eq!(c.total(), 3);
         assert_eq!(c.coverage(), 2);
+    }
+
+    #[test]
+    fn decrement_refunds_one_appearance_and_saturates_at_zero() {
+        let mut c = AppearanceCounters::new(2);
+        c.increment(0);
+        c.increment(0);
+        c.decrement(0);
+        assert_eq!(c.get(0), 1);
+        // Refunding a never-charged user is a no-op, not an underflow.
+        c.decrement(1);
+        c.decrement(1);
+        assert_eq!(c.get(1), 0);
+        assert_eq!(c.total(), 1);
     }
 }

@@ -13,6 +13,10 @@ pub struct RoundRecord {
     pub round: usize,
     /// Users selected this round.
     pub selected: Vec<DeviceId>,
+    /// Users whose update actually reached the aggregator. Equals
+    /// `selected` on fault-free rounds; under the fault layer it drops
+    /// crashed, retry-exhausted, and deadline-stranded devices.
+    pub delivered: Vec<DeviceId>,
     /// Devices still alive (battery not depleted) when the round
     /// started; equals the population size when batteries are
     /// unlimited.
@@ -27,7 +31,19 @@ pub struct RoundRecord {
     pub compute_energy: Joules,
     /// Total slack observed across selected devices.
     pub slack: Seconds,
-    /// Mean pre-update training loss reported by the selected clients.
+    /// Energy spent on work that never reached the aggregator
+    /// (crashed compute/uploads, failed retry attempts, deadline
+    /// casualties). Zero on fault-free rounds; always included in
+    /// [`RoundRecord::round_energy`].
+    pub wasted_energy: Joules,
+    /// Fault events that fired this round.
+    pub faults: usize,
+    /// Whether the round's updates were aggregated into the global
+    /// model. `false` only when the degradation policy's quorum was
+    /// missed (the round's time and energy still count).
+    pub aggregated: bool,
+    /// Mean pre-update training loss reported by the delivered
+    /// clients (zero when nothing was delivered).
     pub train_loss: f32,
     /// Global-model test accuracy, when evaluated this round.
     pub test_accuracy: Option<f64>,
@@ -126,29 +142,55 @@ impl TrainingHistory {
             .collect()
     }
 
+    /// Fraction of selected updates that were delivered across the
+    /// whole run (1.0 for an empty or fault-free history).
+    pub fn delivered_fraction(&self) -> f64 {
+        let selected: usize = self.records.iter().map(|r| r.selected.len()).sum();
+        if selected == 0 {
+            return 1.0;
+        }
+        let delivered: usize = self.records.iter().map(|r| r.delivered.len()).sum();
+        delivered as f64 / selected as f64
+    }
+
+    /// Total energy spent on failed work across the run.
+    pub fn total_wasted_energy(&self) -> Joules {
+        self.records.iter().map(|r| r.wasted_energy).sum()
+    }
+
+    /// Rounds whose updates actually reached the global model.
+    pub fn rounds_aggregated(&self) -> usize {
+        self.records.iter().filter(|r| r.aggregated).count()
+    }
+
     /// Serializes the history as CSV (header + one row per round).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "scheme,round,num_selected,alive_devices,round_time_s,eq10_time_s,\
-             round_energy_j,compute_energy_j,slack_s,train_loss,test_accuracy,\
-             cumulative_time_s,cumulative_energy_j\n",
+            "scheme,round,num_selected,num_delivered,alive_devices,round_time_s,\
+             eq10_time_s,round_energy_j,compute_energy_j,slack_s,wasted_energy_j,\
+             train_loss,test_accuracy,cumulative_time_s,cumulative_energy_j,\
+             faults,aggregated\n",
         );
         for r in &self.records {
             out.push_str(&format!(
-                "{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{:.6},{:.6}\n",
+                "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{:.6},{:.6},{},{}\n",
                 self.scheme,
                 r.round,
                 r.selected.len(),
+                r.delivered.len(),
                 r.alive_devices,
                 r.round_time.get(),
                 r.eq10_time.get(),
                 r.round_energy.get(),
                 r.compute_energy.get(),
                 r.slack.get(),
+                r.wasted_energy.get(),
                 r.train_loss,
                 r.test_accuracy.map_or(String::new(), |a| format!("{a:.6}")),
                 r.cumulative_time.get(),
                 r.cumulative_energy.get(),
+                r.faults,
+                r.aggregated,
             ));
         }
         out
@@ -167,12 +209,16 @@ impl TrainingHistory {
                 .field("scheme", self.scheme.as_str())
                 .field("round", r.round)
                 .field("selected", r.selected.iter().map(|id| id.0).collect::<Vec<_>>())
+                .field("delivered", r.delivered.iter().map(|id| id.0).collect::<Vec<_>>())
                 .field("alive_devices", r.alive_devices)
                 .field("round_time_s", r.round_time.get())
                 .field("eq10_time_s", r.eq10_time.get())
                 .field("round_energy_j", r.round_energy.get())
                 .field("compute_energy_j", r.compute_energy.get())
                 .field("slack_s", r.slack.get())
+                .field("wasted_energy_j", r.wasted_energy.get())
+                .field("faults", r.faults)
+                .field("aggregated", r.aggregated)
                 .field("train_loss", f64::from(r.train_loss))
                 .field("test_accuracy", r.test_accuracy)
                 .field("cumulative_time_s", r.cumulative_time.get())
@@ -192,12 +238,16 @@ mod tests {
         RoundRecord {
             round,
             selected: vec![DeviceId(0)],
+            delivered: vec![DeviceId(0)],
             alive_devices: 1,
             round_time: Seconds::new(10.0),
             eq10_time: Seconds::new(8.0),
             round_energy: Joules::new(5.0),
             compute_energy: Joules::new(3.0),
             slack: Seconds::new(1.0),
+            wasted_energy: Joules::ZERO,
+            faults: 0,
+            aggregated: true,
             train_loss: 1.0,
             test_accuracy: acc,
             cumulative_time: Seconds::new(cum_t),
@@ -273,8 +323,34 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 5);
         assert!(lines[0].starts_with("scheme,round"));
+        assert!(lines[0].contains("num_delivered"));
+        assert!(lines[0].contains("wasted_energy_j"));
+        assert!(lines[0].ends_with("faults,aggregated"));
         // Round 2 was not evaluated → empty accuracy cell.
         assert!(lines[2].contains(",,"));
-        assert!(lines[1].contains("test,1,1,1,"));
+        assert!(lines[1].contains("test,1,1,1,1,"));
+        assert!(lines[1].ends_with("0,true"));
+    }
+
+    #[test]
+    fn delivery_queries_summarize_fault_outcomes() {
+        let mut h = TrainingHistory::new("test");
+        let mut faulted = record(1, None, 10.0, 5.0);
+        faulted.selected = vec![DeviceId(0), DeviceId(1)];
+        faulted.delivered = vec![DeviceId(0)];
+        faulted.faults = 1;
+        faulted.wasted_energy = Joules::new(2.0);
+        h.push(faulted);
+        let mut skipped = record(2, None, 20.0, 10.0);
+        skipped.selected = vec![DeviceId(0), DeviceId(1)];
+        skipped.delivered = Vec::new();
+        skipped.aggregated = false;
+        h.push(skipped);
+        assert!((h.delivered_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(h.total_wasted_energy(), Joules::new(2.0));
+        assert_eq!(h.rounds_aggregated(), 1);
+        // Fault-free (and empty) histories deliver everything.
+        assert_eq!(history().delivered_fraction(), 1.0);
+        assert_eq!(TrainingHistory::new("empty").delivered_fraction(), 1.0);
     }
 }

@@ -66,6 +66,7 @@
 pub mod client;
 pub mod dataset;
 pub mod error;
+pub mod faults;
 pub mod frequency;
 pub mod history;
 pub mod parallel;

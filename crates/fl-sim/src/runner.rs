@@ -9,9 +9,9 @@
 //! for every thread count.
 
 use detrand::Rng;
-use helcfl_telemetry::{span, Class, Telemetry};
+use helcfl_telemetry::{span, Class, MetricsRegistry, Span, Telemetry};
 use mec_sim::battery::Battery;
-use mec_sim::device::Device;
+use mec_sim::device::{Device, DeviceId};
 use mec_sim::population::Population;
 use mec_sim::timeline::RoundTimeline;
 use mec_sim::units::{Bits, Joules, Seconds};
@@ -19,6 +19,7 @@ use mec_sim::units::{Bits, Joules, Seconds};
 use crate::client::{build_clients, Client, ClientTrainer, LocalUpdateSpec};
 use crate::dataset::{LabeledSet, SyntheticTask};
 use crate::error::{FlError, Result};
+use crate::faults::{DegradationPolicy, DeviceFault, FaultConfig, FaultPlan, FaultedRound};
 use crate::frequency::FrequencyPolicy;
 use crate::history::{RoundRecord, TrainingHistory};
 use crate::parallel::{evaluate_chunked, parallel_map_pooled_traced, worker_threads};
@@ -68,6 +69,15 @@ pub struct TrainingConfig {
     /// check: "the FLCC checks whether this newly created global ML
     /// model converges … if so, the training exits").
     pub convergence: Option<ConvergencePolicy>,
+    /// Per-round, per-device fault injection (see [`crate::faults`]).
+    /// The default all-zero config keeps the runner on its fault-free
+    /// engine, whose histories are pinned bit-for-bit by the
+    /// determinism suite.
+    pub faults: FaultConfig,
+    /// What to do when selected devices fail to deliver: round
+    /// deadline, minimum aggregation quorum, and the `α_q`
+    /// charge-or-refund rule.
+    pub degradation: DegradationPolicy,
     /// Model layer widths `[input, hidden…, classes]`.
     pub model_dims: Vec<usize>,
     /// Master seed (split per component; see [`crate::seeds`]).
@@ -89,6 +99,8 @@ impl Default for TrainingConfig {
             deadline: None,
             battery_capacity: None,
             convergence: None,
+            faults: FaultConfig::none(),
+            degradation: DegradationPolicy::default(),
             model_dims: vec![64, 64, 10],
             seed: 0,
         }
@@ -211,6 +223,8 @@ impl TrainingConfig {
                 });
             }
         }
+        self.faults.validate()?;
+        self.degradation.validate()?;
         Ok(())
     }
 }
@@ -281,6 +295,84 @@ impl FederatedSetup {
     }
 }
 
+/// The two round engines behind one interface.
+///
+/// `Plain` is the original fault-free timeline, kept as its own arm
+/// (rather than running a zero-fault [`FaultedRound`]) so that
+/// default-config runs execute the exact code path whose histories and
+/// Sim-metric registries the determinism suite pins bit-for-bit. The
+/// faulted engine takes over only when a fault class can fire or a
+/// round deadline is set.
+enum RoundSim {
+    Plain(RoundTimeline),
+    Faulted(FaultedRound),
+}
+
+impl RoundSim {
+    fn round_time(&self) -> Seconds {
+        match self {
+            Self::Plain(t) => t.makespan(),
+            Self::Faulted(f) => f.round_time(),
+        }
+    }
+
+    fn eq10_bound(&self) -> Seconds {
+        match self {
+            Self::Plain(t) => t.eq10_bound(),
+            Self::Faulted(f) => f.eq10_bound(),
+        }
+    }
+
+    fn total_energy(&self) -> Joules {
+        match self {
+            Self::Plain(t) => t.total_energy(),
+            Self::Faulted(f) => f.total_energy(),
+        }
+    }
+
+    fn compute_energy(&self) -> Joules {
+        match self {
+            Self::Plain(t) => t.compute_energy(),
+            Self::Faulted(f) => f.compute_energy(),
+        }
+    }
+
+    fn total_slack(&self) -> Seconds {
+        match self {
+            Self::Plain(t) => t.total_slack(),
+            Self::Faulted(f) => f.total_slack(),
+        }
+    }
+
+    fn wasted_energy(&self) -> Joules {
+        match self {
+            Self::Plain(_) => Joules::ZERO,
+            Self::Faulted(f) => f.wasted_energy(),
+        }
+    }
+
+    fn faults_fired(&self) -> usize {
+        match self {
+            Self::Plain(_) => 0,
+            Self::Faulted(f) => f.faults_fired(),
+        }
+    }
+
+    fn record_metrics(&self, registry: &mut MetricsRegistry) {
+        match self {
+            Self::Plain(t) => t.record_metrics(registry),
+            Self::Faulted(f) => f.record_metrics(registry),
+        }
+    }
+
+    fn trace_into(&self, span: &mut Span) {
+        match self {
+            Self::Plain(t) => t.trace_into(span),
+            Self::Faulted(f) => f.trace_into(span),
+        }
+    }
+}
+
 /// Runs the full synchronous FL loop (Alg. 1) and returns its history.
 ///
 /// Per round: select users (strategy), assign frequencies (policy),
@@ -338,6 +430,10 @@ pub fn run_federated_traced(
 ) -> Result<TrainingHistory> {
     config.validate()?;
     let target = selection_target(setup.population.len(), config.fraction)?;
+    let fault_plan = FaultPlan::new(config.faults, config.seed)?;
+    // Engine selection: an inert plan AND no deadline keep the original
+    // fault-free path (a deadline can strand devices all by itself).
+    let faulted_engine = fault_plan.is_active() || config.degradation.is_active();
     let mut server = Flcc::new(&config.model_dims, derive(config.seed, SeedDomain::Model))?;
     // One reusable trainer per worker: model + gradient scratch +
     // minibatch buffers, allocated once for the whole run.
@@ -417,7 +513,19 @@ pub fn run_federated_traced(
         let freqs = frequency_policy.frequencies_traced(&selected, config.payload, tele)?;
         span_phase.end();
         let mut span_phase = round_span.child("timeline");
-        let timeline = RoundTimeline::simulate(&selected, &freqs, config.payload)?;
+        let sim = if faulted_engine {
+            let faults: Vec<Option<DeviceFault>> =
+                selected.iter().map(|d| fault_plan.sample(round, d.id())).collect();
+            RoundSim::Faulted(FaultedRound::simulate(
+                &selected,
+                &freqs,
+                config.payload,
+                &faults,
+                config.degradation.round_deadline,
+            )?)
+        } else {
+            RoundSim::Plain(RoundTimeline::simulate(&selected, &freqs, config.payload)?)
+        };
         if tele.events_enabled() {
             // Per-device schedule attributes feed the trace auditor;
             // skip the string formatting entirely when no sink listens.
@@ -426,23 +534,46 @@ pub fn run_federated_traced(
             // all-at-f_max makespan bound (FEDL legitimately doesn't).
             span_phase.set("policy", frequency_policy.name());
             span_phase.set("delay_neutral", frequency_policy.delay_neutral());
-            timeline.trace_into(&mut span_phase);
+            sim.trace_into(&mut span_phase);
         }
         span_phase.end();
 
+        // 2b. Delivery resolution + quorum. Indices into
+        //     `selected_ids` whose update reached the aggregator; the
+        //     fault-free engine delivers everyone by construction.
+        let delivered_idx: Vec<usize> = match &sim {
+            RoundSim::Plain(_) => (0..selected_ids.len()).collect(),
+            RoundSim::Faulted(fr) => (0..selected_ids.len())
+                .filter(|&i| fr.outcome(selected_ids[i]).is_some_and(|o| o.delivered))
+                .collect(),
+        };
+        let quorum_met = delivered_idx.len() >= config.degradation.min_quorum;
+        if faulted_engine && tele.events_enabled() {
+            round_span
+                .child("quorum")
+                .with("delivered", delivered_idx.len())
+                .with("selected", selected_ids.len())
+                .with("required", config.degradation.min_quorum)
+                .with("met", quorum_met)
+                .end();
+        }
+
         // 3. Local updates (Alg. 1 lines 6–9), fanned out over the
-        //    worker pool. Each selected client's update is a pure
-        //    function of (global params, its shard, its RNG stream),
-        //    and the results come back in `selected_ids` order, so the
-        //    fan-out is invisible to the aggregation below.
+        //    worker pool — delivered clients only; a stranded device's
+        //    gradient never existed as far as the FLCC is concerned.
+        //    Each client's update is a pure function of (global
+        //    params, its shard, its RNG stream keyed by `(round, id)`),
+        //    and the results come back in `delivered_idx` order, so
+        //    both the fan-out and the skipped clients are invisible to
+        //    the aggregation below.
         let span_phase = round_span.child("local_update");
         let global = server.broadcast();
         let clients = &setup.clients;
         let round_results = parallel_map_pooled_traced(
             &mut pool,
-            selected_ids.len(),
-            |trainer, i| {
-                let client = &clients[selected_ids[i].0];
+            delivered_idx.len(),
+            |trainer, j| {
+                let client = &clients[selected_ids[delivered_idx[j]].0];
                 let mut rng =
                     Rng::stream(train_seed, ((round as u64) << 32) | client.id().0 as u64);
                 let (params, loss) = trainer.local_update(client, &global, &spec, &mut rng)?;
@@ -459,18 +590,48 @@ pub fn run_federated_traced(
         }
         span_phase.end();
 
-        // 4. FedAvg integration (Alg. 1 line 10, Eq. 18).
+        // 4. FedAvg integration (Alg. 1 line 10, Eq. 18) over the
+        //    delivered updates, re-weighted by their shard sizes. A
+        //    round below quorum leaves the global model untouched —
+        //    its time and energy still count.
         let span_phase = round_span.child("aggregate");
-        server.aggregate(&updates)?;
+        let aggregated = quorum_met && !updates.is_empty();
+        if aggregated {
+            server.aggregate(&updates)?;
+        }
         span_phase.end();
+        if faulted_engine && !config.degradation.charge_failed_selections {
+            // Refund semantics: a selected-but-failed user gets its
+            // Eq. 20 appearance charge α_q rolled back, restoring its
+            // long-run selection priority.
+            let failed: Vec<DeviceId> = (0..selected_ids.len())
+                .filter(|i| !delivered_idx.contains(i))
+                .map(|i| selected_ids[i])
+                .collect();
+            if !failed.is_empty() {
+                selector.on_delivery_failure(&failed);
+            }
+        }
 
         // 5. Bookkeeping + evaluation.
         let span_phase = round_span.child("bookkeeping");
-        cumulative_time += timeline.makespan();
-        cumulative_energy += timeline.total_energy();
+        cumulative_time += sim.round_time();
+        cumulative_energy += sim.total_energy();
         if let Some(batteries) = batteries.as_mut() {
-            for activity in timeline.activities() {
-                batteries[activity.device.0].try_drain(activity.total_energy());
+            match &sim {
+                RoundSim::Plain(timeline) => {
+                    for activity in timeline.activities() {
+                        batteries[activity.device.0].try_drain(activity.total_energy());
+                    }
+                }
+                RoundSim::Faulted(fr) => {
+                    // Each device drains exactly what it spent: a
+                    // crashed device is charged its partial joules
+                    // once, never the full-round cost.
+                    for outcome in fr.outcomes() {
+                        batteries[outcome.device.0].try_drain(outcome.total_energy());
+                    }
+                }
             }
         }
         span_phase.end();
@@ -485,7 +646,8 @@ pub fn run_federated_traced(
         } else {
             None
         };
-        let train_loss = (loss_sum / updates.len() as f64) as f32;
+        let train_loss =
+            if updates.is_empty() { 0.0 } else { (loss_sum / updates.len() as f64) as f32 };
         let span_phase = round_span.child("bookkeeping");
         tele.with_metrics(|m| {
             m.counter_add(Class::Sim, "round.completed", 1);
@@ -496,17 +658,26 @@ pub fn run_federated_traced(
                 m.counter_add(Class::Sim, "eval.runs", 1);
                 m.gauge_set(Class::Sim, "eval.accuracy", accuracy);
             }
-            timeline.record_metrics(m);
+            if faulted_engine && !aggregated {
+                m.counter_add(Class::Sim, "round.skipped", 1);
+            }
+            sim.record_metrics(m);
         });
+        let delivered_ids: Vec<DeviceId> =
+            delivered_idx.iter().map(|&i| selected_ids[i]).collect();
         history.push(RoundRecord {
             round,
             selected: selected_ids,
+            delivered: delivered_ids,
             alive_devices: alive.len(),
-            round_time: timeline.makespan(),
-            eq10_time: timeline.eq10_bound(),
-            round_energy: timeline.total_energy(),
-            compute_energy: timeline.compute_energy(),
-            slack: timeline.total_slack(),
+            round_time: sim.round_time(),
+            eq10_time: sim.eq10_bound(),
+            round_energy: sim.total_energy(),
+            compute_energy: sim.compute_energy(),
+            slack: sim.total_slack(),
+            wasted_energy: sim.wasted_energy(),
+            faults: sim.faults_fired(),
+            aggregated,
             train_loss,
             test_accuracy,
             cumulative_time,
@@ -594,6 +765,17 @@ mod tests {
             TrainingConfig { eval_every: 0, ..TrainingConfig::default() },
             TrainingConfig { model_dims: vec![8], ..TrainingConfig::default() },
             TrainingConfig { payload: Bits::ZERO, ..TrainingConfig::default() },
+            TrainingConfig {
+                faults: FaultConfig { crash_rate: 1.5, ..FaultConfig::none() },
+                ..TrainingConfig::default()
+            },
+            TrainingConfig {
+                degradation: DegradationPolicy {
+                    min_quorum: 0,
+                    ..DegradationPolicy::default()
+                },
+                ..TrainingConfig::default()
+            },
         ];
         for c in invalid {
             assert!(c.validate().is_err(), "accepted invalid config {c:?}");
@@ -699,6 +881,116 @@ mod tests {
         assert!(last < first, "no device ever depleted (last alive {last})");
         // Training stopped early: the fleet died before 60 rounds.
         assert!(history.len() < 60, "ran all {} rounds", history.len());
+    }
+
+    #[test]
+    fn crashed_rounds_charge_partial_energy_and_skip_aggregation() {
+        let (mut setup, mut config) = tiny_world();
+        config.max_rounds = 2;
+        config.eval_every = 1;
+        let mut selector = RandomSelector { rng: Rng::seed_from_u64(7) };
+        let healthy =
+            run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap();
+
+        let (mut setup, mut config) = tiny_world();
+        config.max_rounds = 2;
+        config.eval_every = 1;
+        config.faults = FaultConfig { crash_rate: 1.0, ..FaultConfig::none() };
+        let mut selector = RandomSelector { rng: Rng::seed_from_u64(7) };
+        let crashed =
+            run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap();
+
+        // No update ever reaches the FLCC, so the global model — and
+        // therefore the evaluated accuracy — never moves.
+        let acc: Vec<f64> =
+            crashed.records().iter().filter_map(|r| r.test_accuracy).collect();
+        assert!(acc.len() >= 2);
+        assert!(acc.windows(2).all(|w| w[0] == w[1]), "model moved without aggregation");
+        for (h, c) in healthy.records().iter().zip(crashed.records()) {
+            assert_eq!(h.selected, c.selected, "fault streams must not disturb selection");
+            assert_eq!(c.faults, c.selected.len());
+            assert!(c.delivered.is_empty());
+            assert!(!c.aggregated);
+            assert_eq!(c.train_loss, 0.0);
+            // Every joule of a fully crashed round is wasted...
+            assert!(
+                (c.wasted_energy.get() - c.round_energy.get()).abs() < 1e-9,
+                "wasted {:?} != spent {:?}",
+                c.wasted_energy,
+                c.round_energy
+            );
+            // ...and strictly less than the healthy round would have
+            // cost: a crashing device is charged its partial joules,
+            // never the full-round energy.
+            assert!(
+                c.round_energy < h.round_energy,
+                "crashed round energy {:?} not below healthy {:?}",
+                c.round_energy,
+                h.round_energy
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_quorum_skips_aggregation_but_still_charges_time_and_energy() {
+        let (mut setup, mut config) = tiny_world();
+        config.max_rounds = 4;
+        config.eval_every = 1;
+        // Target is 12 · 0.25 = 3 devices; demanding 4 delivered
+        // updates makes every round miss quorum even fault-free.
+        config.degradation =
+            DegradationPolicy { min_quorum: 4, ..DegradationPolicy::default() };
+        let mut selector = RandomSelector { rng: Rng::seed_from_u64(7) };
+        let history =
+            run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap();
+        assert_eq!(history.rounds_aggregated(), 0);
+        let acc: Vec<f64> =
+            history.records().iter().filter_map(|r| r.test_accuracy).collect();
+        assert!(acc.windows(2).all(|w| w[0] == w[1]), "model moved without aggregation");
+        for r in history.records() {
+            // All updates delivered — quorum, not faults, blocked them.
+            assert_eq!(r.delivered, r.selected);
+            assert_eq!(r.faults, 0);
+            // Time and energy are still spent on the failed round.
+            assert!(r.round_time.get() > 0.0);
+            assert!(r.round_energy.get() > 0.0);
+        }
+    }
+
+    #[test]
+    fn depletion_under_faults_terminates_training_cleanly() {
+        let battery = Joules::new(6.0);
+        let (mut setup, mut config) = tiny_world();
+        config.max_rounds = 60;
+        config.battery_capacity = Some(battery);
+        let mut selector = RandomSelector { rng: Rng::seed_from_u64(7) };
+        let healthy =
+            run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap();
+
+        let (mut setup, mut config) = tiny_world();
+        config.max_rounds = 60;
+        config.battery_capacity = Some(battery);
+        config.faults = FaultConfig { crash_rate: 1.0, ..FaultConfig::none() };
+        let mut selector = RandomSelector { rng: Rng::seed_from_u64(7) };
+        let crashed =
+            run_federated(&mut setup, &config, &mut selector, &MaxFrequency).unwrap();
+
+        // Availability still shrinks monotonically and the run ends
+        // without error once the fleet (or the round budget) is gone.
+        for w in crashed.records().windows(2) {
+            assert!(w[1].alive_devices <= w[0].alive_devices);
+        }
+        assert!(crashed.records().iter().all(|r| !r.aggregated));
+        // Crashing devices spend only partial rounds of energy, so the
+        // same battery budget sustains strictly more rounds than the
+        // healthy run — double-charging a crashed device would flip
+        // this inequality.
+        assert!(
+            crashed.len() > healthy.len(),
+            "crashed fleet died after {} rounds, healthy after {}",
+            crashed.len(),
+            healthy.len()
+        );
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub enum SeedDomain {
     /// [`detrand::Rng::stream`] per `(round, client)` pair, so a
     /// client's draws never depend on which worker thread trains it.
     ClientTraining,
+    /// Fault-event sampling. The fault plan splits this domain into
+    /// one [`detrand::Rng::stream`] per `(round, device)` pair, so the
+    /// fault drawn for a device never depends on thread count,
+    /// selection order, or which other devices were selected.
+    Faults,
     /// Anything experiment-specific.
     Experiment(u64),
 }
@@ -36,6 +41,7 @@ impl SeedDomain {
             Self::Model => 0x04,
             Self::Selection => 0x05,
             Self::ClientTraining => 0x06,
+            Self::Faults => 0x07,
             Self::Experiment(n) => 0x1000 + n,
         }
     }
@@ -79,6 +85,7 @@ mod tests {
             derive(master, SeedDomain::Model),
             derive(master, SeedDomain::Selection),
             derive(master, SeedDomain::ClientTraining),
+            derive(master, SeedDomain::Faults),
             derive(master, SeedDomain::Experiment(0)),
             derive(master, SeedDomain::Experiment(1)),
         ];

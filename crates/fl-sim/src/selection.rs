@@ -65,6 +65,20 @@ pub trait ClientSelector {
         let _ = tele;
         self.select(ctx)
     }
+
+    /// Notifies the selector that `failed` devices were selected this
+    /// round but never delivered their update (crash, exhausted
+    /// retries, or a missed round deadline).
+    ///
+    /// The runner calls this only when the degradation policy refunds
+    /// failed selections (`charge_failed_selections == false`).
+    /// Stateful selectors whose future choices depend on past
+    /// selections — HELCFL's appearance counters `α_q` — override this
+    /// to roll the charge back; the default is a no-op, which is the
+    /// correct "charge" semantics for stateless selectors.
+    fn on_delivery_failure(&mut self, failed: &[DeviceId]) {
+        let _ = failed;
+    }
 }
 
 /// Validates a selector's output: non-empty, no duplicates, and every

@@ -147,12 +147,16 @@ pub fn run_separated(
         history.push(RoundRecord {
             round,
             selected: devices.iter().map(|d| d.id()).collect(),
+            delivered: devices.iter().map(|d| d.id()).collect(),
             alive_devices: num_users,
             round_time: round_delay,
             eq10_time: round_delay,
             round_energy: round_compute_energy,
             compute_energy: round_compute_energy,
             slack: Seconds::ZERO,
+            wasted_energy: Joules::ZERO,
+            faults: 0,
+            aggregated: true,
             train_loss: (loss_sum / trained.len() as f64) as f32,
             test_accuracy,
             cumulative_time,

@@ -150,7 +150,17 @@ impl DvfsCpu {
     /// Returns [`MecError::FrequencyOutOfRange`] if `f` is unsupported.
     pub fn compute_energy(&self, work: Cycles, f: Hertz) -> Result<Joules> {
         self.check(f)?;
-        Ok(Joules::new(0.5 * self.alpha * work.get() * f.get() * f.get()))
+        Ok(self.compute_energy_unchecked(work, f))
+    }
+
+    /// Evaluates the Eq. 5 energy model at an arbitrary frequency,
+    /// without range validation. The fault layer needs this: a
+    /// straggler's *effective* frequency can fall below `f_min`, a
+    /// point the DVFS governor would never choose but physics still
+    /// prices.
+    #[inline]
+    pub fn compute_energy_unchecked(&self, work: Cycles, f: Hertz) -> Joules {
+        Joules::new(0.5 * self.alpha * work.get() * f.get() * f.get())
     }
 
     /// The frequency that finishes `work` cycles in exactly `deadline`,

@@ -37,6 +37,7 @@ pub mod comm;
 pub mod cpu;
 pub mod device;
 pub mod error;
+pub mod faults;
 pub mod population;
 pub mod tdma;
 pub mod timeline;

@@ -16,6 +16,24 @@
 //! therefore means either the simulator or its telemetry broke — the
 //! closed loop the observability layer exists for.
 //!
+//! # Fault-era traces
+//!
+//! Traces from the fault-injection engine (`FaultedRound`) extend the
+//! device spans with planned-vs-effective attributes (`f_planned_hz`,
+//! `planned_compute_finish_s`, `planned_upload_s`), delivery flags
+//! (`uploaded`, `delivered`, `retries`), `wasted_energy_j`, and a
+//! `fault` kind; the timeline span gains `fault_fired`,
+//! `deadline_s`/`deadline_fired`, and `selected`/`delivered` counts.
+//! Every new attribute is decoded with a backward-compatible default,
+//! so pre-fault traces audit exactly as before. On faulted rounds the
+//! contract shifts: slack and TDMA serialization apply only to devices
+//! that actually transmitted, the `E ∝ f²` equality applies only to
+//! undisturbed deliveries (faulted energies must merely stay under the
+//! at-`f_max` reference), wasted joules must reconcile with delivery
+//! outcomes, and delay-neutrality is checked **at plan time** — the
+//! DVFS assignment must have been sound before the fault hit; the
+//! degraded actual makespan is exempt.
+//!
 //! Like [`crate::analyze`], everything here is a read-only consumer of
 //! a finished trace; auditing cannot perturb a run.
 
@@ -95,6 +113,13 @@ pub struct AuditReport {
     /// (`delay_neutral:true`) and were therefore held to the
     /// all-at-`f_max` makespan bound.
     pub rounds_delay_neutral: usize,
+    /// Audited rounds where a fault fired (a device-level fault event,
+    /// a round deadline cut, or the timeline's `fault_fired` flag).
+    pub rounds_faulted: usize,
+    /// Faulted rounds that claimed delay-neutrality and were therefore
+    /// audited against the *plan-time* TDMA replay instead of the
+    /// degraded actual makespan.
+    pub rounds_fault_exempt: usize,
     /// Total `device_activity` spans replayed.
     pub devices_audited: usize,
     /// Metrics-line cross-checks performed.
@@ -115,12 +140,15 @@ impl AuditReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "audit: {} — {} rounds ({} audited, {} delay-neutral), \
-             {} device activities, {} metrics checks, {} violations",
+            "audit: {} — {} rounds ({} audited, {} delay-neutral, \
+             {} faulted, {} plan-time exempt), {} device activities, \
+             {} metrics checks, {} violations",
             if self.passed() { "PASS" } else { "FAIL" },
             self.rounds,
             self.rounds_audited,
             self.rounds_delay_neutral,
+            self.rounds_faulted,
+            self.rounds_fault_exempt,
             self.devices_audited,
             self.metrics_checked,
             self.violations.len()
@@ -133,17 +161,30 @@ impl AuditReport {
 }
 
 /// One device's activity, decoded from a `device_activity` span.
+///
+/// Fault-era attributes fall back to values that make a pre-fault span
+/// behave as an undisturbed delivery: planned quantities default to
+/// the actuals, `uploaded`/`delivered` default to `true`, wasted
+/// energy and retries to zero, and `fault` to `None`.
 struct Activity {
     device: String,
     device_id: u64,
     f: f64,
+    f_planned: f64,
     f_max: f64,
     compute_finish: f64,
+    planned_compute_finish: f64,
+    planned_upload: f64,
     upload_start: f64,
     upload_end: f64,
     compute_energy: f64,
     compute_energy_at_max: f64,
     upload_energy: f64,
+    wasted_energy: f64,
+    uploaded: bool,
+    delivered: bool,
+    retries: u64,
+    fault: Option<String>,
 }
 
 impl Activity {
@@ -156,20 +197,47 @@ impl Activity {
                 )
             })
         };
+        let f = need("f_hz")?;
+        let compute_finish = need("compute_finish_s")?;
+        let upload_start = need("upload_start_s")?;
+        let upload_end = need("upload_end_s")?;
         Ok(Self {
             device: span.attr_str("device").unwrap_or("?").to_string(),
             device_id: span.attr_u64("device_id").ok_or_else(|| {
                 format!("device_activity span {} lacks attr \"device_id\"", span.id)
             })?,
-            f: need("f_hz")?,
+            f,
+            f_planned: span.attr_f64("f_planned_hz").unwrap_or(f),
             f_max: need("f_max_hz")?,
-            compute_finish: need("compute_finish_s")?,
-            upload_start: need("upload_start_s")?,
-            upload_end: need("upload_end_s")?,
+            compute_finish,
+            planned_compute_finish: span
+                .attr_f64("planned_compute_finish_s")
+                .unwrap_or(compute_finish),
+            planned_upload: span
+                .attr_f64("planned_upload_s")
+                .unwrap_or(upload_end - upload_start),
+            upload_start,
+            upload_end,
             compute_energy: need("compute_energy_j")?,
             compute_energy_at_max: need("compute_energy_at_max_j")?,
             upload_energy: need("upload_energy_j")?,
+            wasted_energy: span.attr_f64("wasted_energy_j").unwrap_or(0.0),
+            uploaded: span.attr_bool("uploaded").unwrap_or(true),
+            delivered: span.attr_bool("delivered").unwrap_or(true),
+            retries: span.attr_u64("retries").unwrap_or(0),
+            fault: span.attr_str("fault").map(str::to_string),
         })
+    }
+
+    /// When the channel releases this device's round contribution: the
+    /// upload end when it transmitted, the (possibly truncated)
+    /// compute finish when it never reached the channel.
+    fn release(&self) -> f64 {
+        if self.uploaded {
+            self.upload_end
+        } else {
+            self.compute_finish
+        }
     }
 }
 
@@ -194,11 +262,21 @@ fn replay_tdma(mut jobs: Vec<(f64, f64, u64)>) -> f64 {
 /// phase:
 ///
 /// * **slack-nonnegative** — `upload_start ≥ compute_finish` for every
-///   device (a negative wait would mean the channel ran backwards);
-/// * **frequency-bound** — the operating frequency never exceeds the
-///   device's `f_max`;
-/// * **tdma-serialization** — upload windows, sorted by start, never
-///   overlap, and the recorded makespan is the last upload's end;
+///   device that transmitted (a negative wait would mean the channel
+///   ran backwards); devices that crashed before reaching the channel
+///   never queued and are exempt;
+/// * **frequency-bound** — the DVFS-assigned frequency never exceeds
+///   the device's `f_max`, and the *effective* frequency never exceeds
+///   the assignment (faults can only slow a device down, never speed
+///   it up);
+/// * **fault-consistency** — the timeline's `fault_fired` flag matches
+///   the device-level evidence (a `fault` attribute or a fired
+///   deadline), an unfaulted device's actuals equal its plan, and the
+///   timeline/quorum `selected`/`delivered` counts agree with the
+///   device spans;
+/// * **tdma-serialization** — upload windows of transmitting devices,
+///   sorted by start, never overlap, and the recorded makespan is the
+///   latest channel release clamped to the round deadline;
 /// * **delay-neutrality** — for rounds whose `timeline` span carries
 ///   `delay_neutral:true` (recorded from
 ///   `FrequencyPolicy::delay_neutral`; HELCFL's slack DVFS and the
@@ -207,20 +285,30 @@ fn replay_tdma(mut jobs: Vec<(f64, f64, u64)>) -> f64 {
 ///   finish rescales by `f / f_max`; upload duration is
 ///   frequency-independent) through an independent TDMA queue bounds
 ///   the traced makespan from above — DVFS slow-down must not extend
-///   the round (HELCFL Alg. 3's defining guarantee);
-/// * **energy-consistency** — per-device compute energy at the scaled
-///   frequency equals the `E ∝ f²` projection
-///   `E_max · (f / f_max)²` of the recorded at-`f_max` energy and
-///   never exceeds that reference (down-scaling only saves energy),
-///   and the timeline span's energy/slack totals equal the per-device
-///   sums.
+///   the round (HELCFL Alg. 3's defining guarantee). On rounds where a
+///   fault fired the *actual* makespan is legitimately degraded, so
+///   the check moves to plan time: the planned schedule at the
+///   assigned frequencies must not exceed the planned schedule at
+///   `f_max` ("slack ≥ 0 at plan time"); such rounds are tallied in
+///   [`AuditReport::rounds_fault_exempt`];
+/// * **energy-consistency** — for an undisturbed delivery the
+///   per-device compute energy equals the `E ∝ f²` projection
+///   `E_max · (f / f_max)²` of the recorded at-`f_max` energy; every
+///   device (faulted or not) stays at or below that at-`f_max`
+///   reference, and the timeline span's energy/slack totals equal the
+///   per-device sums;
+/// * **wasted-energy** — a device that failed to deliver wastes
+///   exactly its spent joules, a clean delivery wastes none, a
+///   delivery after retries wastes at most its upload energy, and the
+///   timeline's wasted total equals the per-device sum.
 ///
 /// Plus, once per trace when a final metrics line exists
 /// (**metrics-consistency**): every histogram's category counts sum to
-/// its total, `tdma.uploads` equals the number of device activities,
-/// `round.completed` equals the number of round spans, and the
-/// `round.makespan_s` histogram agrees with the spans on sample count
-/// and maximum.
+/// its total, `tdma.uploads` equals the number of transmitting device
+/// activities, `round.completed` equals the number of round spans,
+/// `round.delivered` and `faults.fired` (when present) agree with the
+/// span stream, and the `round.makespan_s` histogram agrees with the
+/// timeline spans on sample count and maximum.
 ///
 /// # Errors
 ///
@@ -234,14 +322,17 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
     }
     let tree = SpanTree::build(trace)?;
     let mut report = AuditReport::default();
-    let mut max_makespan = f64::NEG_INFINITY;
 
     for round in trace.spans.iter().filter(|s| s.name == "round") {
         report.rounds += 1;
         let round_no = round.attr_u64("index");
         let mut activities = Vec::new();
         let mut timeline_span: Option<&TraceSpan> = None;
+        let mut quorum_span: Option<&TraceSpan> = None;
         for phase in tree.children(round.id) {
+            if phase.name == "quorum" {
+                quorum_span = Some(phase);
+            }
             if phase.name != "timeline" {
                 continue;
             }
@@ -263,6 +354,20 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
         if claims_neutrality {
             report.rounds_delay_neutral += 1;
         }
+        let deadline = timeline_span.and_then(|tl| tl.attr_f64("deadline_s"));
+        let deadline_fired = timeline_span
+            .and_then(|tl| tl.attr_bool("deadline_fired"))
+            .unwrap_or(false);
+        let fault_flag = timeline_span.and_then(|tl| tl.attr_bool("fault_fired"));
+        let device_faults =
+            activities.iter().filter(|(_, a)| a.fault.is_some()).count();
+        let faulted = fault_flag.unwrap_or(false) || device_faults > 0 || deadline_fired;
+        if faulted {
+            report.rounds_faulted += 1;
+            if claims_neutrality {
+                report.rounds_fault_exempt += 1;
+            }
+        }
         let mut violation = |invariant, span, detail| {
             report.violations.push(Violation {
                 invariant,
@@ -272,8 +377,23 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
             });
         };
 
+        // The timeline's fault flag must match the device evidence.
+        if let Some(flag) = fault_flag {
+            let evidence = device_faults > 0 || deadline_fired;
+            if flag != evidence {
+                violation(
+                    "fault-consistency",
+                    timeline_span.map(|tl| tl.id),
+                    format!(
+                        "timeline claims fault_fired={flag} but the round shows \
+                         {device_faults} device fault(s) and deadline_fired={deadline_fired}"
+                    ),
+                );
+            }
+        }
+
         for (span_id, a) in &activities {
-            if !cfg.le(a.compute_finish, a.upload_start) {
+            if a.uploaded && !cfg.le(a.compute_finish, a.upload_start) {
                 violation(
                     "slack-nonnegative",
                     Some(*span_id),
@@ -287,38 +407,66 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
                     ),
                 );
             }
-            if !cfg.le(a.f, a.f_max) {
+            if !cfg.le(a.f_planned, a.f_max) {
                 violation(
                     "frequency-bound",
                     Some(*span_id),
                     format!(
-                        "device {}: operating frequency {:.3e}Hz exceeds \
+                        "device {}: assigned frequency {:.3e}Hz exceeds \
                          f_max {:.3e}Hz",
-                        a.device, a.f, a.f_max
+                        a.device, a.f_planned, a.f_max
+                    ),
+                );
+            }
+            if !cfg.le(a.f, a.f_planned) {
+                violation(
+                    "frequency-bound",
+                    Some(*span_id),
+                    format!(
+                        "device {}: effective frequency {:.3e}Hz exceeds the \
+                         DVFS assignment {:.3e}Hz — a fault can only slow a \
+                         device down",
+                        a.device, a.f, a.f_planned
+                    ),
+                );
+            }
+            if a.fault.is_none() && !cfg.close(a.compute_finish, a.planned_compute_finish)
+            {
+                violation(
+                    "fault-consistency",
+                    Some(*span_id),
+                    format!(
+                        "device {}: no fault recorded, yet compute finish \
+                         {:.6}s deviates from the plan {:.6}s",
+                        a.device, a.compute_finish, a.planned_compute_finish
                     ),
                 );
             }
             // E^cal ∝ f² (Eq. 5): both energies come from the same
-            // α·W, so the scaled energy must equal the at-f_max
-            // reference times (f/f_max)² — and never exceed it
-            // (down-scaling only saves energy).
+            // α·W, so an undisturbed delivery's scaled energy must
+            // equal the at-f_max reference times (f/f_max)². A faulted
+            // device spent *less* (partial compute, truncated upload),
+            // so for every device the reference is only an upper
+            // bound — down-scaling and dying both save energy.
             if a.f_max > 0.0 {
-                let projected = a.compute_energy_at_max * (a.f / a.f_max).powi(2);
-                if !cfg.close(a.compute_energy, projected) {
-                    violation(
-                        "energy-consistency",
-                        Some(*span_id),
-                        format!(
-                            "device {}: compute energy {:.6}J at {:.3e}Hz is \
-                             not the E∝f² projection {:.6}J of the at-f_max \
-                             energy {:.6}J",
-                            a.device,
-                            a.compute_energy,
-                            a.f,
-                            projected,
-                            a.compute_energy_at_max
-                        ),
-                    );
+                if a.fault.is_none() && a.delivered {
+                    let projected = a.compute_energy_at_max * (a.f / a.f_max).powi(2);
+                    if !cfg.close(a.compute_energy, projected) {
+                        violation(
+                            "energy-consistency",
+                            Some(*span_id),
+                            format!(
+                                "device {}: compute energy {:.6}J at {:.3e}Hz is \
+                                 not the E∝f² projection {:.6}J of the at-f_max \
+                                 energy {:.6}J",
+                                a.device,
+                                a.compute_energy,
+                                a.f,
+                                projected,
+                                a.compute_energy_at_max
+                            ),
+                        );
+                    }
                 }
                 if !cfg.le(a.compute_energy, a.compute_energy_at_max) {
                     violation(
@@ -333,10 +481,50 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
                     );
                 }
             }
+            // Wasted joules must reconcile with the delivery outcome.
+            let spent = a.compute_energy + a.upload_energy;
+            if !a.delivered {
+                if !cfg.close(a.wasted_energy, spent) {
+                    violation(
+                        "wasted-energy",
+                        Some(*span_id),
+                        format!(
+                            "device {}: failed delivery must waste its full \
+                             {spent:.6}J, recorded {:.6}J",
+                            a.device, a.wasted_energy
+                        ),
+                    );
+                }
+            } else if a.retries == 0 {
+                if !cfg.close(a.wasted_energy, 0.0) {
+                    violation(
+                        "wasted-energy",
+                        Some(*span_id),
+                        format!(
+                            "device {}: clean delivery wastes nothing, \
+                             recorded {:.6}J",
+                            a.device, a.wasted_energy
+                        ),
+                    );
+                }
+            } else if !cfg.le(a.wasted_energy, a.upload_energy) {
+                violation(
+                    "wasted-energy",
+                    Some(*span_id),
+                    format!(
+                        "device {}: delivery after {} retries can waste at \
+                         most its upload energy {:.6}J, recorded {:.6}J",
+                        a.device, a.retries, a.upload_energy, a.wasted_energy
+                    ),
+                );
+            }
         }
 
-        // TDMA serialization: windows sorted by start must not overlap.
-        let mut windows: Vec<&Activity> = activities.iter().map(|(_, a)| a).collect();
+        // TDMA serialization: transmit windows sorted by start must
+        // not overlap. Devices that crashed before reaching the
+        // channel never occupied it.
+        let mut windows: Vec<&Activity> =
+            activities.iter().map(|(_, a)| a).filter(|a| a.uploaded).collect();
         windows.sort_by(|a, b| {
             a.upload_start
                 .partial_cmp(&b.upload_start)
@@ -358,11 +546,17 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
             }
         }
 
+        // The round ends when the last contribution releases the
+        // channel — or at the deadline, whichever comes first.
+        let natural = activities
+            .iter()
+            .map(|(_, a)| a.release())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let expected_makespan = deadline.map_or(natural, |t| natural.min(t));
         let actual_makespan = activities
             .iter()
             .map(|(_, a)| a.upload_end)
             .fold(f64::NEG_INFINITY, f64::max);
-        max_makespan = max_makespan.max(actual_makespan);
 
         // Delay-neutrality: rescale each compute finish to f_max
         // (cycles c = T·f are frequency-invariant, so T_max = T·f/f_max)
@@ -370,47 +564,92 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
         // policy *claimed* the bound (timeline attr `delay_neutral`,
         // from `FrequencyPolicy::delay_neutral`) are held to it —
         // FEDL's closed-form optimum legitimately slows the critical
-        // device and extends the round.
+        // device and extends the round. On faulted rounds the actual
+        // makespan is degraded by events DVFS could not foresee, so
+        // the claim is audited at plan time instead: the planned
+        // schedule at the assigned frequencies must not exceed the
+        // planned schedule at f_max.
         if claims_neutrality {
-            let baseline = replay_tdma(
-                activities
-                    .iter()
-                    .map(|(_, a)| {
-                        let finish_at_max = if a.f_max > 0.0 {
-                            a.compute_finish * a.f / a.f_max
-                        } else {
-                            a.compute_finish
-                        };
-                        (finish_at_max, a.upload_end - a.upload_start, a.device_id)
-                    })
-                    .collect(),
-            );
-            if !cfg.le(actual_makespan, baseline) {
-                violation(
-                    "delay-neutrality",
-                    None,
-                    format!(
-                        "DVFS-scaled makespan {actual_makespan:.6}s exceeds \
-                         the all-at-f_max replay {baseline:.6}s — slow-down \
-                         extended the round"
-                    ),
+            if faulted {
+                let planned_actual = replay_tdma(
+                    activities
+                        .iter()
+                        .map(|(_, a)| {
+                            (a.planned_compute_finish, a.planned_upload, a.device_id)
+                        })
+                        .collect(),
                 );
+                let planned_at_max = replay_tdma(
+                    activities
+                        .iter()
+                        .map(|(_, a)| {
+                            let finish_at_max = if a.f_max > 0.0 {
+                                a.planned_compute_finish * a.f_planned / a.f_max
+                            } else {
+                                a.planned_compute_finish
+                            };
+                            (finish_at_max, a.planned_upload, a.device_id)
+                        })
+                        .collect(),
+                );
+                if !cfg.le(planned_actual, planned_at_max) {
+                    violation(
+                        "delay-neutrality",
+                        None,
+                        format!(
+                            "planned makespan {planned_actual:.6}s at the DVFS \
+                             assignment exceeds the all-at-f_max plan \
+                             {planned_at_max:.6}s — the schedule was unsound \
+                             before any fault fired"
+                        ),
+                    );
+                }
+            } else {
+                let baseline = replay_tdma(
+                    activities
+                        .iter()
+                        .map(|(_, a)| {
+                            let finish_at_max = if a.f_max > 0.0 {
+                                a.compute_finish * a.f / a.f_max
+                            } else {
+                                a.compute_finish
+                            };
+                            (finish_at_max, a.upload_end - a.upload_start, a.device_id)
+                        })
+                        .collect(),
+                );
+                if !cfg.le(actual_makespan, baseline) {
+                    violation(
+                        "delay-neutrality",
+                        None,
+                        format!(
+                            "DVFS-scaled makespan {actual_makespan:.6}s exceeds \
+                             the all-at-f_max replay {baseline:.6}s — slow-down \
+                             extended the round"
+                        ),
+                    );
+                }
             }
         }
 
-        // Timeline span totals must match the per-device sums.
+        // Timeline span totals must match the per-device sums; slack
+        // only accrues for devices that reached the channel.
         if let Some(tl) = timeline_span {
             let sum_energy: f64 =
                 activities.iter().map(|(_, a)| a.compute_energy + a.upload_energy).sum();
             let sum_compute: f64 =
                 activities.iter().map(|(_, a)| a.compute_energy).sum();
+            let sum_wasted: f64 =
+                activities.iter().map(|(_, a)| a.wasted_energy).sum();
             let sum_slack: f64 = activities
                 .iter()
+                .filter(|(_, a)| a.uploaded)
                 .map(|(_, a)| a.upload_start - a.compute_finish)
                 .sum();
             for (key, sum) in [
                 ("energy_j", sum_energy),
                 ("compute_energy_j", sum_compute),
+                ("wasted_energy_j", sum_wasted),
                 ("slack_total_s", sum_slack),
             ] {
                 if let Some(total) = tl.attr_f64(key) {
@@ -427,15 +666,38 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
                 }
             }
             if let Some(makespan) = tl.attr_f64("makespan_s") {
-                if !cfg.close(makespan, actual_makespan) {
+                if !cfg.close(makespan, expected_makespan) {
                     violation(
                         "tdma-serialization",
                         Some(tl.id),
                         format!(
                             "timeline attr makespan_s={makespan:.9} is not the \
-                             last upload end {actual_makespan:.9}"
+                             last channel release {expected_makespan:.9}",
                         ),
                     );
+                }
+            }
+            let delivered = activities.iter().filter(|(_, a)| a.delivered).count() as u64;
+            let selected = activities.len() as u64;
+            for (source, span_id) in [
+                (Some(tl), Some(tl.id)),
+                (quorum_span, quorum_span.map(|q| q.id)),
+            ] {
+                let Some(src) = source else { continue };
+                for (key, expect) in [("selected", selected), ("delivered", delivered)] {
+                    if let Some(value) = src.attr_u64(key) {
+                        if value != expect {
+                            violation(
+                                "fault-consistency",
+                                span_id,
+                                format!(
+                                    "{} span claims {key}={value} but the \
+                                     device spans show {expect}",
+                                    src.name
+                                ),
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -504,14 +766,23 @@ fn audit_metrics(trace: &Trace, cfg: &AuditConfig, report: &mut AuditReport) {
     };
 
     let rounds = trace.spans.iter().filter(|s| s.name == "round").count() as u64;
-    let uploads: usize = trace
-        .spans
+    let devices: Vec<&TraceSpan> =
+        trace.spans.iter().filter(|s| s.name == "device_activity").collect();
+    let uploads = devices
         .iter()
-        .filter(|s| s.name == "device_activity")
-        .count();
+        .filter(|s| s.attr_bool("uploaded").unwrap_or(true))
+        .count() as u64;
+    let delivered = devices
+        .iter()
+        .filter(|s| s.attr_bool("delivered").unwrap_or(true))
+        .count() as u64;
+    let fault_events =
+        trace.spans.iter().filter(|s| s.name == "fault").count() as u64;
     for (counter, expect, what) in [
         ("round.completed", rounds, "round spans"),
-        ("tdma.uploads", uploads as u64, "device_activity spans"),
+        ("tdma.uploads", uploads, "transmitting device_activity spans"),
+        ("round.delivered", delivered, "delivered device_activity spans"),
+        ("faults.fired", fault_events, "fault marker spans"),
     ] {
         if let Some(value) = trace.metric_counter(counter) {
             report.metrics_checked += 1;
@@ -523,9 +794,11 @@ fn audit_metrics(trace: &Trace, cfg: &AuditConfig, report: &mut AuditReport) {
             }
         }
     }
-    for (hist, expect) in
-        [("round.makespan_s", rounds as f64), ("device.energy_j", uploads as f64)]
-    {
+    for (hist, expect) in [
+        ("round.makespan_s", rounds as f64),
+        ("device.energy_j", devices.len() as f64),
+        ("tdma.queue_wait_s", uploads as f64),
+    ] {
         if let Some(count) = hist_count(hist) {
             report.metrics_checked += 1;
             if count != expect {
@@ -539,12 +812,14 @@ fn audit_metrics(trace: &Trace, cfg: &AuditConfig, report: &mut AuditReport) {
             }
         }
     }
-    // The makespan histogram's max must agree with the spans.
+    // The makespan histogram's max must agree with the timeline spans
+    // (which already account for deadline clamping and non-uploading
+    // crashers).
     let span_max = trace
         .spans
         .iter()
-        .filter(|s| s.name == "device_activity")
-        .filter_map(|s| s.attr_f64("upload_end_s"))
+        .filter(|s| s.name == "timeline")
+        .filter_map(|s| s.attr_f64("makespan_s"))
         .fold(f64::NEG_INFINITY, f64::max);
     if span_max.is_finite() {
         if let Some(hist_max) = trace
@@ -558,8 +833,8 @@ fn audit_metrics(trace: &Trace, cfg: &AuditConfig, report: &mut AuditReport) {
                 violation(
                     "metrics-consistency",
                     format!(
-                        "round.makespan_s max={hist_max} but the latest upload \
-                         in any round ends at {span_max}"
+                        "round.makespan_s max={hist_max} but the latest \
+                         timeline makespan is {span_max}"
                     ),
                 );
             }

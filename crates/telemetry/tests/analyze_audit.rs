@@ -186,6 +186,218 @@ fn audit_flags_energy_inconsistent_with_f_squared() {
     }
 }
 
+/// Parameters of a fault-era `device_activity` span.
+struct FaultActivity {
+    id: u64,
+    parent: u64,
+    device_id: u64,
+    f: f64,
+    f_planned: f64,
+    f_max: f64,
+    planned_finish: f64,
+    finish: f64,
+    planned_upload: f64,
+    up_start: f64,
+    up_end: f64,
+    e_compute: f64,
+    e_at_max: f64,
+    e_upload: f64,
+    wasted: f64,
+    uploaded: bool,
+    delivered: bool,
+    retries: u64,
+    /// Fault kind; empty string = no fault attribute.
+    fault: &'static str,
+}
+
+fn fault_activity_line(a: &FaultActivity) -> String {
+    let fault_attr = if a.fault.is_empty() {
+        String::new()
+    } else {
+        format!(r#","fault":"{}""#, a.fault)
+    };
+    format!(
+        r#"{{"type":"span","name":"device_activity","id":{},"parent":{},"t_us":0,"dur_us":0,"attrs":{{"device":"v{}","device_id":{},"f_hz":{},"f_planned_hz":{},"f_max_hz":{},"planned_compute_finish_s":{},"compute_finish_s":{},"planned_upload_s":{},"upload_start_s":{},"upload_end_s":{},"compute_energy_j":{},"compute_energy_at_max_j":{},"upload_energy_j":{},"wasted_energy_j":{},"uploaded":{},"delivered":{},"retries":{}{}}}}}"#,
+        a.id,
+        a.parent,
+        a.device_id,
+        a.device_id,
+        a.f,
+        a.f_planned,
+        a.f_max,
+        a.planned_finish,
+        a.finish,
+        a.planned_upload,
+        a.up_start,
+        a.up_end,
+        a.e_compute,
+        a.e_at_max,
+        a.e_upload,
+        a.wasted,
+        a.uploaded,
+        a.delivered,
+        a.retries,
+        fault_attr,
+    )
+}
+
+/// A fault-era `timeline` span line with the round-level fault attrs.
+#[allow(clippy::too_many_arguments)]
+fn fault_timeline_line(
+    id: u64,
+    parent: u64,
+    neutral: bool,
+    fault_fired: bool,
+    selected: u64,
+    delivered: u64,
+    makespan: f64,
+    energy: f64,
+    compute: f64,
+    wasted: f64,
+    slack: f64,
+) -> String {
+    format!(
+        r#"{{"type":"span","name":"timeline","id":{id},"parent":{parent},"t_us":0,"dur_us":10,"attrs":{{"policy":"test","delay_neutral":{neutral},"fault_fired":{fault_fired},"selected":{selected},"delivered":{delivered},"makespan_s":{makespan},"energy_j":{energy},"compute_energy_j":{compute},"wasted_energy_j":{wasted},"slack_total_s":{slack}}}}}"#
+    )
+}
+
+/// A straggler doubles its compute time mid-round: the actual makespan
+/// (20 s) blows past the all-at-f_max replay (12.5 s), but the DVFS
+/// *plan* (device 1 at 0.8 GHz finishing exactly at the channel-free
+/// instant) was sound. A neutrality-claiming faulted round is audited
+/// at plan time and passes; the degraded actual is exempt.
+#[test]
+fn audit_exempts_faulted_rounds_from_actual_delay_neutrality() {
+    let trace = fixture(&[
+        fault_activity_line(&FaultActivity {
+            id: 4,
+            parent: 3,
+            device_id: 0,
+            f: 2.0e9,
+            f_planned: 2.0e9,
+            f_max: 2.0e9,
+            planned_finish: 2.5,
+            finish: 2.5,
+            planned_upload: 5.0,
+            up_start: 2.5,
+            up_end: 7.5,
+            e_compute: 2.0,
+            e_at_max: 2.0,
+            e_upload: 1.0,
+            wasted: 0.0,
+            uploaded: true,
+            delivered: true,
+            retries: 0,
+            fault: "",
+        }),
+        fault_activity_line(&FaultActivity {
+            id: 5,
+            parent: 3,
+            device_id: 1,
+            f: 0.4e9,
+            f_planned: 0.8e9,
+            f_max: 2.0e9,
+            planned_finish: 7.5,
+            finish: 15.0,
+            planned_upload: 5.0,
+            up_start: 15.0,
+            up_end: 20.0,
+            e_compute: 0.096,
+            e_at_max: 2.4,
+            e_upload: 1.0,
+            wasted: 0.0,
+            uploaded: true,
+            delivered: true,
+            retries: 0,
+            fault: "straggler",
+        }),
+        fault_timeline_line(3, 2, true, true, 2, 2, 20.0, 4.096, 2.096, 0.0, 0.0),
+        round_line(2, 4),
+    ]);
+    let report = audit(&trace, &AuditConfig::default()).unwrap();
+    assert!(report.passed(), "unexpected violations:\n{}", report.render());
+    assert_eq!(report.rounds_faulted, 1);
+    assert_eq!(report.rounds_fault_exempt, 1);
+    assert_eq!(report.rounds_delay_neutral, 1);
+}
+
+/// `fault_fired:true` with neither a device-level fault nor a fired
+/// deadline is a telemetry lie, not an exemption ticket.
+#[test]
+fn audit_flags_claimed_fault_without_evidence() {
+    let trace = fixture(&[
+        fault_activity_line(&FaultActivity {
+            id: 4,
+            parent: 3,
+            device_id: 0,
+            f: 2.0e9,
+            f_planned: 2.0e9,
+            f_max: 2.0e9,
+            planned_finish: 2.5,
+            finish: 2.5,
+            planned_upload: 5.0,
+            up_start: 2.5,
+            up_end: 7.5,
+            e_compute: 2.0,
+            e_at_max: 2.0,
+            e_upload: 1.0,
+            wasted: 0.0,
+            uploaded: true,
+            delivered: true,
+            retries: 0,
+            fault: "",
+        }),
+        fault_timeline_line(3, 2, false, true, 1, 1, 7.5, 3.0, 2.0, 0.0, 0.0),
+        round_line(2, 6),
+    ]);
+    let report = audit(&trace, &AuditConfig::default()).unwrap();
+    assert!(!report.passed());
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+    assert_eq!(report.violations[0].invariant, "fault-consistency");
+    assert_eq!(report.violations[0].round, Some(6));
+}
+
+/// A device that crashed mid-compute (never reached the channel) must
+/// waste exactly the joules it spent; under-reporting is flagged.
+#[test]
+fn audit_flags_wasted_energy_that_ignores_a_failed_delivery() {
+    let trace = fixture(&[
+        fault_activity_line(&FaultActivity {
+            id: 4,
+            parent: 3,
+            device_id: 0,
+            f: 2.0e9,
+            f_planned: 2.0e9,
+            f_max: 2.0e9,
+            planned_finish: 2.5,
+            finish: 1.25,
+            planned_upload: 5.0,
+            up_start: 1.25,
+            up_end: 1.25,
+            e_compute: 1.0,
+            e_at_max: 2.0,
+            e_upload: 0.0,
+            wasted: 0.2,
+            uploaded: false,
+            delivered: false,
+            retries: 0,
+            fault: "crash-compute",
+        }),
+        fault_timeline_line(3, 2, false, true, 1, 0, 1.25, 1.0, 1.0, 0.2, 0.0),
+        round_line(2, 8),
+    ]);
+    let report = audit(&trace, &AuditConfig::default()).unwrap();
+    assert!(!report.passed());
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+    assert_eq!(report.violations[0].invariant, "wasted-energy");
+    assert_eq!(report.violations[0].round, Some(8));
+    assert!(
+        report.violations[0].detail.contains("failed delivery"),
+        "{}",
+        report.violations[0].detail
+    );
+}
+
 #[test]
 fn audit_flags_timeline_totals_that_disagree_with_devices() {
     // The timeline span over-reports total energy by 1 J.
