@@ -53,18 +53,34 @@ echo "==> fault golden check: zero-fault engine equivalence"
 
 echo "==> perf gate: fresh --fast bench vs committed baseline"
 # The committed baseline is full-scale and this smoke bench is --fast
-# on whatever hardware CI lands on, so the gate runs with very loose
-# tolerances — it catches catastrophic regressions (an order of
-# magnitude, a broken metric path), not single-digit drift. The
-# self-gate against the identical file is the exit-0 criterion.
+# on whatever hardware CI lands on, so the gate still runs with loose
+# tolerances — but markedly tighter than before the committed baseline
+# was recorded on the CI host itself: a --fast candidate now has to
+# stay within single-digit multiples of the full-scale numbers instead
+# of merely within two orders of magnitude. The self-gate against the
+# identical file is the exit-0 criterion.
 (
   cd "$smoke_dir"
   "$repo_root/target/release/bench_round_engine" --fast > /dev/null
   "$repo_root/target/release/helcfl-trace" gate \
     "$repo_root/results/BENCH_round_engine.json" results/BENCH_round_engine.json \
-    --max-rps-drop-pct 95 --max-latency-growth-pct 2000 --max-overhead-pp 50
+    --max-rps-drop-pct 80 --max-latency-growth-pct 500 --max-overhead-pp 30
   "$repo_root/target/release/helcfl-trace" gate \
     "$repo_root/results/BENCH_round_engine.json" "$repo_root/results/BENCH_round_engine.json"
+)
+
+echo "==> kernel gate: fresh --smoke bench vs committed baseline"
+# Same-host, same-shape comparison (only the measurement budget
+# differs), so the default ±50% GFLOP/s tolerance of the kernel gate
+# applies as-is; it catches a kernel falling off a cliff — a broken
+# blocking scheme, a lost vectorization — not benchmark noise.
+(
+  cd "$smoke_dir"
+  "$repo_root/target/release/bench_kernels" --smoke > /dev/null
+  "$repo_root/target/release/helcfl-trace" gate \
+    "$repo_root/results/BENCH_kernels.json" results/BENCH_kernels.json
+  "$repo_root/target/release/helcfl-trace" gate \
+    "$repo_root/results/BENCH_kernels.json" "$repo_root/results/BENCH_kernels.json"
 )
 
 echo "==> ci.sh: all gates passed"

@@ -11,6 +11,7 @@
 //! helcfl-trace audit  [PATH]
 //! helcfl-trace gate   BASELINE CANDIDATE [--max-rps-drop-pct X]
 //!                     [--max-latency-growth-pct X] [--max-overhead-pp X]
+//!                     [--max-gflops-drop-pct X]
 //! ```
 //!
 //! `PATH` defaults to `results/trace_table1_delay.jsonl`. Every
@@ -19,12 +20,13 @@
 //! `check_trace` binary now delegates here), `audit` replays the trace
 //! against the paper's analytic model (slack ≥ 0, TDMA serialization,
 //! Alg. 3 delay-neutrality, `E ∝ f²` consistency, metrics/span
-//! agreement), and `gate` diffs two `BENCH_round_engine.json` reports
-//! against regression tolerances.
+//! agreement), and `gate` diffs two bench reports — round-engine or
+//! kernel, told apart by their `"bench"` tag — against regression
+//! tolerances.
 
 use std::process::ExitCode;
 
-use helcfl_bench::gate::{gate, GateConfig};
+use helcfl_bench::gate::{gate, gate_kernels, GateConfig, KernelGateConfig};
 use helcfl_telemetry::analyze::{
     check_coverage, phase_breakdown, SpanTree, Trace,
 };
@@ -39,7 +41,9 @@ const USAGE: &str = "usage: helcfl-trace <tree|phases|check|audit|gate> [args]
   audit  [PATH]                                           model-invariant audit
   gate   BASELINE CANDIDATE [--max-rps-drop-pct X]
          [--max-latency-growth-pct X] [--max-overhead-pp X]
+         [--max-gflops-drop-pct X]
                                                           bench regression gate
+                                (round_engine or kernels reports, by \"bench\" tag)
 PATH defaults to results/trace_table1_delay.jsonl";
 
 /// Positional arguments and `--flag value` pairs, untangled.
@@ -167,20 +171,36 @@ fn cmd_gate(args: &Args) -> Result<(), String> {
     let [baseline, candidate] = args.positional.as_slice() else {
         return Err("gate wants exactly two paths: BASELINE CANDIDATE".to_string());
     };
-    let mut cfg = GateConfig::default();
-    if let Some(v) = args.flag_f64("max-rps-drop-pct")? {
-        cfg.max_rps_drop_pct = v;
-    }
-    if let Some(v) = args.flag_f64("max-latency-growth-pct")? {
-        cfg.max_latency_growth_pct = v;
-    }
-    if let Some(v) = args.flag_f64("max-overhead-pp")? {
-        cfg.max_overhead_pp = v;
-    }
     let read = |path: &str| {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
     };
-    let report = gate(&read(baseline)?, &read(candidate)?, &cfg)?;
+    let baseline_text = read(baseline)?;
+    let candidate_text = read(candidate)?;
+    // Dispatch on the report family: both `BENCH_round_engine.json`
+    // and `BENCH_kernels.json` carry a top-level `"bench"` tag.
+    let family = helcfl_telemetry::json::parse(&baseline_text)
+        .ok()
+        .and_then(|v| v.get("bench").and_then(|b| b.as_str().map(str::to_string)))
+        .unwrap_or_default();
+    let report = if family == "kernels" {
+        let mut cfg = KernelGateConfig::default();
+        if let Some(v) = args.flag_f64("max-gflops-drop-pct")? {
+            cfg.max_gflops_drop_pct = v;
+        }
+        gate_kernels(&baseline_text, &candidate_text, &cfg)?
+    } else {
+        let mut cfg = GateConfig::default();
+        if let Some(v) = args.flag_f64("max-rps-drop-pct")? {
+            cfg.max_rps_drop_pct = v;
+        }
+        if let Some(v) = args.flag_f64("max-latency-growth-pct")? {
+            cfg.max_latency_growth_pct = v;
+        }
+        if let Some(v) = args.flag_f64("max-overhead-pp")? {
+            cfg.max_overhead_pp = v;
+        }
+        gate(&baseline_text, &candidate_text, &cfg)?
+    };
     print!("{}", report.render());
     if report.passed() {
         Ok(())

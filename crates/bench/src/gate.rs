@@ -185,6 +185,104 @@ pub fn gate(
     Ok(report)
 }
 
+/// Tolerances for [`gate_kernels`]. Kernel throughput is far noisier
+/// than whole-engine throughput (individual timings are microseconds,
+/// and CI hosts are shared), so the default is deliberately loose —
+/// it catches a kernel falling off a cliff, not a few-percent drift.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelGateConfig {
+    /// Max allowed drop in per-kernel GFLOP/s, percent of baseline.
+    pub max_gflops_drop_pct: f64,
+}
+
+impl Default for KernelGateConfig {
+    fn default() -> Self {
+        Self { max_gflops_drop_pct: 50.0 }
+    }
+}
+
+/// Compares a candidate `BENCH_kernels.json` report (from the
+/// `bench_kernels` bin) against a baseline: every kernel present in
+/// both reports may lose at most
+/// [`KernelGateConfig::max_gflops_drop_pct`] percent of its baseline
+/// GFLOP/s. Kernels present on only one side are noted, not failed,
+/// so adding or retiring a bench shape never breaks the gate; a
+/// `smoke` flag mismatch is likewise a note (CI gates a `--smoke`
+/// candidate against the committed full-budget baseline on purpose).
+///
+/// # Errors
+///
+/// Returns `Err` when either input is not valid JSON or is not a
+/// `kernels` bench report.
+pub fn gate_kernels(
+    baseline_text: &str,
+    candidate_text: &str,
+    cfg: &KernelGateConfig,
+) -> Result<GateReport, String> {
+    let baseline = parse(baseline_text).map_err(|e| format!("baseline: invalid JSON: {e}"))?;
+    let candidate =
+        parse(candidate_text).map_err(|e| format!("candidate: invalid JSON: {e}"))?;
+    let kernels_of = |side: &str, report: &JsonValue| -> Result<Vec<(String, f64)>, String> {
+        if report.get("bench").and_then(JsonValue::as_str) != Some("kernels") {
+            return Err(format!("{side}: not a kernels bench report"));
+        }
+        let JsonValue::Array(items) = report
+            .get("kernels")
+            .ok_or_else(|| format!("{side}: missing kernels array"))?
+        else {
+            return Err(format!("{side}: kernels is not an array"));
+        };
+        items
+            .iter()
+            .map(|item| {
+                let name = item
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("{side}: kernel entry without a name"))?;
+                let gflops = item
+                    .get("gflops")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("{side}: kernel {name} has no gflops"))?;
+                Ok((name.to_string(), gflops))
+            })
+            .collect()
+    };
+    let base_kernels = kernels_of("baseline", &baseline)?;
+    let cand_kernels = kernels_of("candidate", &candidate)?;
+
+    let mut report = GateReport::default();
+    let smoke = |r: &JsonValue| r.get("smoke").and_then(JsonValue::as_bool);
+    if smoke(&baseline) != smoke(&candidate) {
+        report.notes.push(format!(
+            "smoke mismatch: baseline={:?} candidate={:?} — different measurement budgets",
+            smoke(&baseline),
+            smoke(&candidate)
+        ));
+    }
+    let floor = 1.0 - cfg.max_gflops_drop_pct / 100.0;
+    for (name, b) in &base_kernels {
+        match cand_kernels.iter().find(|(n, _)| n == name) {
+            Some((_, c)) => {
+                let limit = b * floor;
+                report.checks.push(GateCheck {
+                    name: format!("kernels.{name}.gflops"),
+                    baseline: *b,
+                    candidate: *c,
+                    limit,
+                    passed: *c >= limit,
+                });
+            }
+            None => report.notes.push(format!("kernel {name}: absent from candidate")),
+        }
+    }
+    for (name, _) in &cand_kernels {
+        if !base_kernels.iter().any(|(n, _)| n == name) {
+            report.notes.push(format!("kernel {name}: absent from baseline"));
+        }
+    }
+    Ok(report)
+}
+
 /// Exact nearest-rank percentile of an ascending-sorted slice: the
 /// smallest element such that at least `q·n` samples are ≤ it.
 ///
@@ -276,6 +374,68 @@ mod tests {
     fn non_bench_reports_are_rejected() {
         assert!(gate("{}", "{}", &GateConfig::default()).is_err());
         assert!(gate("not json", "{}", &GateConfig::default()).is_err());
+    }
+
+    fn kernel_report(smoke: bool, kernels: &[(&str, f64)]) -> String {
+        let entries: Vec<String> = kernels
+            .iter()
+            .map(|(name, gflops)| {
+                format!(
+                    r#"{{"name":"{name}","m":200,"k":64,"n":64,"iters":100,"secs_per_iter":0.0001,"gflops":{gflops}}}"#
+                )
+            })
+            .collect();
+        format!(
+            r#"{{"bench":"kernels","smoke":{smoke},"seed":2022,"kernels":[{}]}}"#,
+            entries.join(",")
+        )
+    }
+
+    #[test]
+    fn identical_kernel_reports_pass() {
+        let r = kernel_report(false, &[("matmul 200x64x64", 30.0), ("matmul_nt 200x10x64", 6.0)]);
+        let g = gate_kernels(&r, &r, &KernelGateConfig::default()).unwrap();
+        assert!(g.passed(), "{}", g.render());
+        assert_eq!(g.checks.len(), 2);
+        assert!(g.notes.is_empty(), "{:?}", g.notes);
+    }
+
+    #[test]
+    fn kernel_gflops_cliff_fails() {
+        let base = kernel_report(false, &[("matmul 200x64x64", 30.0), ("matmul_tn 64x200x64", 17.0)]);
+        let cand = kernel_report(false, &[("matmul 200x64x64", 10.0), ("matmul_tn 64x200x64", 17.0)]);
+        let g = gate_kernels(&base, &cand, &KernelGateConfig::default()).unwrap();
+        assert!(!g.passed());
+        let bad: Vec<_> = g.checks.iter().filter(|c| !c.passed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].name, "kernels.matmul 200x64x64.gflops");
+        // 50% drop tolerance on 30 GFLOP/s means a 15 GFLOP/s floor.
+        assert!((bad[0].limit - 15.0).abs() < 1e-12);
+        // A tighter tolerance flips the verdict on smaller drifts.
+        let g = gate_kernels(&base, &cand, &KernelGateConfig { max_gflops_drop_pct: 70.0 })
+            .unwrap();
+        assert!(g.passed(), "{}", g.render());
+    }
+
+    #[test]
+    fn kernel_set_and_smoke_mismatches_are_notes() {
+        let base = kernel_report(false, &[("matmul 200x64x64", 30.0), ("retired", 5.0)]);
+        let cand = kernel_report(true, &[("matmul 200x64x64", 29.0), ("brand_new", 9.0)]);
+        let g = gate_kernels(&base, &cand, &KernelGateConfig::default()).unwrap();
+        assert!(g.passed(), "{}", g.render());
+        assert_eq!(g.checks.len(), 1);
+        assert!(g.notes.iter().any(|n| n.contains("smoke mismatch")), "{:?}", g.notes);
+        assert!(g.notes.iter().any(|n| n.contains("retired")), "{:?}", g.notes);
+        assert!(g.notes.iter().any(|n| n.contains("brand_new")), "{:?}", g.notes);
+    }
+
+    #[test]
+    fn kernel_gate_rejects_wrong_reports() {
+        let kernels = kernel_report(false, &[("matmul 200x64x64", 30.0)]);
+        let engine = report(80.0, 81.0, 0.5, None);
+        assert!(gate_kernels(&engine, &kernels, &KernelGateConfig::default()).is_err());
+        assert!(gate_kernels(&kernels, &engine, &KernelGateConfig::default()).is_err());
+        assert!(gate_kernels("not json", &kernels, &KernelGateConfig::default()).is_err());
     }
 
     #[test]

@@ -152,6 +152,18 @@ fn faulted_engine_with_zero_faults_matches_the_fault_free_histories() {
 }
 
 #[test]
+fn consecutive_runs_reproduce_identical_fingerprints() {
+    // Each run builds (and tears down) its own persistent worker pool;
+    // two back-to-back runs in one process must reproduce the same
+    // pinned bits — no pool or telemetry state may bleed across runs.
+    let scheme = Scheme::Helcfl { eta: 0.5, dvfs: true };
+    let first = fingerprints_with(&scheme, |config| config.threads = 3);
+    let second = fingerprints_with(&scheme, |config| config.threads = 3);
+    assert_eq!(first, second, "back-to-back runs diverged");
+    assert_eq!(first.0, PINNED[0].1, "rerun drifted from the pinned history");
+}
+
+#[test]
 fn faulted_histories_are_bit_identical_across_thread_counts() {
     let run = |threads: usize| {
         let s = scenario();

@@ -205,6 +205,28 @@ impl ClientTrainer {
         eval_chunk_inner(model, scratch, input, set, start, len)
     }
 
+    /// [`ClientTrainer::eval_chunk`] for a flat parameter vector: loads
+    /// `params` into the trainer's own model, then scores the block.
+    /// The persistent pool ships parameters to workers as owned flat
+    /// vectors, and the ~`num_parameters()`-float copy is noise next
+    /// to the forward pass. Results are bit-identical to
+    /// [`ClientTrainer::eval_chunk`] on a model holding `params`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-shape errors (e.g. an out-of-range block).
+    pub fn eval_chunk_params(
+        &mut self,
+        params: &[f32],
+        set: &LabeledSet,
+        start: usize,
+        len: usize,
+    ) -> Result<(f64, usize)> {
+        self.model.set_parameters(params).map_err(FlError::from)?;
+        let Self { model, scratch, input, .. } = self;
+        eval_chunk_inner(model, scratch, input, set, start, len)
+    }
+
     /// Evaluates an arbitrary parameter vector on `set`, returning
     /// `(mean loss, accuracy)` — used by the separated-learning
     /// baseline and diagnostics. Streams the set through the trainer's

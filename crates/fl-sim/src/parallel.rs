@@ -1,7 +1,9 @@
-//! Deterministic scoped-thread fan-out for the round engine.
+//! Deterministic worker fan-out for the round engine: a persistent
+//! pool plus scoped-thread utilities.
 //!
-//! Built entirely on `std::thread::scope` — no external threadpool.
-//! Two properties make parallel training bit-identical to serial:
+//! Built entirely on `std` — threads, mutexes, and condvars; no
+//! external threadpool. Two properties make parallel training
+//! bit-identical to serial:
 //!
 //! 1. **Work items are thread-invariant.** Every item's result is a
 //!    pure function of the item and the broadcast inputs; the
@@ -12,36 +14,55 @@
 //!    index-addressed slots and reduced in item order on the calling
 //!    thread, never in completion order.
 //!
+//! The round engine's fan-out is the **persistent pool**
+//! ([`with_trainer_pool`]): worker threads are spawned once per run
+//! and parked on a condvar between jobs, so the thousands of
+//! train/eval dispatches of a full simulation cost two mutex hops
+//! each instead of an OS thread spawn. The scoped-thread one-shots
+//! ([`parallel_map_pooled`], [`evaluate_chunked`]) remain as
+//! general-purpose utilities and as the reference implementation the
+//! pool is tested against.
+//!
 //! The worker count comes from [`worker_threads`]: an explicit config
 //! value, else the `HELCFL_THREADS` environment variable, else
 //! [`std::thread::available_parallelism`].
 
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
+use detrand::Rng;
 use helcfl_telemetry::{Class, MetricsRegistry, Telemetry};
 use tinynn::model::Mlp;
 
-use crate::client::{ClientTrainer, EVAL_CHUNK_ROWS};
+use crate::client::{Client, ClientTrainer, LocalUpdateSpec, EVAL_CHUNK_ROWS};
 use crate::dataset::LabeledSet;
 use crate::error::{FlError, Result};
+
+/// Parses a `HELCFL_THREADS` value: a positive integer (surrounding
+/// whitespace tolerated) or nothing. `0`, non-numeric text, and
+/// blank/whitespace-only values all yield `None` — the engine falls
+/// back to detected parallelism instead of panicking or spawning a
+/// zero-worker pool.
+fn threads_from_env(value: &str) -> Option<usize> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => None,
+    }
+}
 
 /// Resolves the worker-thread count for a round engine.
 ///
 /// Precedence: a non-zero `requested` value (from
 /// [`crate::runner::TrainingConfig::threads`]) wins; otherwise a
-/// positive integer in the `HELCFL_THREADS` environment variable;
-/// otherwise the machine's available parallelism (1 if unknown).
+/// positive integer in the `HELCFL_THREADS` environment variable (see
+/// [`threads_from_env`] for the accepted forms); otherwise the
+/// machine's available parallelism (1 if unknown).
 pub fn worker_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
-    if let Ok(value) = std::env::var("HELCFL_THREADS") {
-        if let Ok(n) = value.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
+    if let Some(n) = std::env::var("HELCFL_THREADS").ok().as_deref().and_then(threads_from_env) {
+        return n;
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
@@ -277,6 +298,493 @@ pub fn evaluate_chunked(
     Ok(((loss_sum / n as f64) as f32, correct as f64 / n as f64))
 }
 
+/// Locks a pool mutex, ignoring poisoning: a panicked worker leaves
+/// consistent state behind (slot writes are all-or-nothing per job),
+/// and the dispatcher turns the missing slot into its own panic — on
+/// the calling thread, with a clear message — rather than dying on a
+/// `PoisonError`.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One broadcast unit of pool work. Jobs own their inputs (broadcast
+/// parameters, item lists) so the shared state carries no borrows; the
+/// per-item closure logic lives in [`run_item`], keyed by variant.
+enum Job {
+    /// One round's local updates: item `j` trains
+    /// `clients[client_indices[j]]` from `global` with the per-client
+    /// RNG stream keyed by `(round, client id)` — exactly the closure
+    /// the scoped-thread engine ran.
+    Train {
+        round: usize,
+        train_seed: u64,
+        spec: LocalUpdateSpec,
+        global: Vec<f32>,
+        client_indices: Vec<usize>,
+        label: String,
+        traced: bool,
+    },
+    /// Whole-eval-set scoring of a parameter vector: item `c` scores
+    /// the fixed [`EVAL_CHUNK_ROWS`]-row block `c` of the eval set.
+    Eval { params: Vec<f32>, set_len: usize },
+}
+
+impl Job {
+    fn num_items(&self) -> usize {
+        match self {
+            Job::Train { client_indices, .. } => client_indices.len(),
+            Job::Eval { set_len, .. } => set_len.div_ceil(EVAL_CHUNK_ROWS),
+        }
+    }
+}
+
+/// A completed item's payload, matching the [`Job`] variant.
+enum JobOut {
+    /// `(updated parameters, aggregation weight |D_q|, pre-step loss)`.
+    Train(Vec<f32>, f64, f32),
+    /// `(summed block loss, correct predictions in block)`.
+    Eval(f64, usize),
+}
+
+/// Runs one item of `job` on a worker's trainer — the single function
+/// both the inline path and the worker threads execute, so the two
+/// modes cannot drift.
+fn run_item(
+    job: &Job,
+    item: usize,
+    trainer: &mut ClientTrainer,
+    clients: &[Client],
+    eval_set: &LabeledSet,
+) -> Result<JobOut> {
+    match job {
+        Job::Train { round, train_seed, spec, global, client_indices, .. } => {
+            let client = &clients[client_indices[item]];
+            let mut rng =
+                Rng::stream(*train_seed, ((*round as u64) << 32) | client.id().0 as u64);
+            let (params, loss) = trainer.local_update(client, global, spec, &mut rng)?;
+            Ok(JobOut::Train(params, client.num_samples() as f64, loss))
+        }
+        Job::Eval { params, set_len } => {
+            let start = item * EVAL_CHUNK_ROWS;
+            let len = EVAL_CHUNK_ROWS.min(set_len - start);
+            let (loss, correct) = trainer.eval_chunk_params(params, eval_set, start, len)?;
+            Ok(JobOut::Eval(loss, correct))
+        }
+    }
+}
+
+/// Dispatcher ⇄ worker handshake state, guarded by one mutex.
+struct PoolState {
+    /// Bumped per dispatch; a worker acts once per epoch it observes.
+    epoch: u64,
+    /// The job of the current epoch (stale between dispatches).
+    job: Option<Arc<Job>>,
+    /// Participating workers that have not finished the current job.
+    remaining: usize,
+    /// Set once at scope exit; workers return when they observe it.
+    shutdown: bool,
+}
+
+/// Everything a pool's threads share. Created on the dispatcher's
+/// stack *before* the thread scope, so worker closures can borrow it
+/// for the scope's whole lifetime.
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here between jobs.
+    work_cv: Condvar,
+    /// The dispatcher parks here until `remaining` hits zero.
+    done_cv: Condvar,
+    /// Index-addressed results of the current job; workers batch-write
+    /// their stride's slots once per job.
+    slots: Mutex<Vec<Option<Result<JobOut>>>>,
+    /// Per-worker metric registries of the current traced job, merged
+    /// by the dispatcher in worker-index order.
+    metrics: Mutex<Vec<Option<MetricsRegistry>>>,
+}
+
+/// Decrements `remaining` and wakes the dispatcher — on a `Drop` so a
+/// panicking worker still signals completion (its slot stays `None`,
+/// which the dispatcher reports as a worker panic) instead of leaving
+/// the dispatcher parked forever.
+struct DoneGuard<'p> {
+    shared: &'p PoolShared,
+}
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = lock(&self.shared.state);
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            self.shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Sets `shutdown` and wakes every worker — on a `Drop` at the end of
+/// the [`with_trainer_pool`] scope closure, so the scope's implicit
+/// join completes even when the body panics or returns early.
+struct ShutdownGuard<'p> {
+    shared: &'p PoolShared,
+}
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = lock(&self.shared.state);
+        state.shutdown = true;
+        self.shared.work_cv.notify_all();
+    }
+}
+
+/// A pool worker: parks on `work_cv`, and for each observed epoch runs
+/// its `(wid..n).step_by(eff)` stride of the job — the identical item
+/// partition the scoped-thread fan-out used, so per-worker metric
+/// registries partition the same way. Workers beyond the job's
+/// effective width sit the epoch out.
+fn worker_loop(
+    wid: usize,
+    workers: usize,
+    mut trainer: ClientTrainer,
+    shared: &PoolShared,
+    clients: &[Client],
+    eval_set: &LabeledSet,
+) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job: Arc<Job> = {
+            let mut state = lock(&shared.state);
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != last_epoch {
+                    if let Some(job) = &state.job {
+                        last_epoch = state.epoch;
+                        break Arc::clone(job);
+                    }
+                }
+                state = shared.work_cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let num_items = job.num_items();
+        let eff = workers.min(num_items);
+        if wid >= eff {
+            continue; // `remaining` only counts participants
+        }
+        let _done = DoneGuard { shared };
+        let mut produced: Vec<(usize, Result<JobOut>)> = Vec::new();
+        let (label, traced) = match &*job {
+            Job::Train { label, traced, .. } => (label.as_str(), *traced),
+            Job::Eval { .. } => ("", false),
+        };
+        let mut local = if traced { Some(MetricsRegistry::new()) } else { None };
+        for item in (wid..num_items).step_by(eff) {
+            let started = Instant::now();
+            let out = run_item(&job, item, &mut trainer, clients, eval_set);
+            if let Some(metrics) = &mut local {
+                record_item(metrics, label, wid, started.elapsed());
+            }
+            produced.push((item, out));
+        }
+        {
+            let mut slots = lock(&shared.slots);
+            for (item, out) in produced {
+                slots[item] = Some(out);
+            }
+        }
+        if let Some(metrics) = local {
+            lock(&shared.metrics)[wid] = Some(metrics);
+        }
+    }
+}
+
+/// Publishes `job` to the workers, parks until all `eff` participants
+/// finish, and returns the filled slot vector.
+fn dispatch(shared: &PoolShared, job: Job, eff: usize) -> Vec<Option<Result<JobOut>>> {
+    let num_items = job.num_items();
+    {
+        let mut slots = lock(&shared.slots);
+        slots.clear();
+        slots.resize_with(num_items, || None);
+    }
+    {
+        let mut state = lock(&shared.state);
+        state.job = Some(Arc::new(job));
+        state.epoch += 1;
+        state.remaining = eff;
+        shared.work_cv.notify_all();
+    }
+    let mut state = lock(&shared.state);
+    while state.remaining > 0 {
+        state = shared.done_cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+    }
+    drop(state);
+    std::mem::take(&mut *lock(&shared.slots))
+}
+
+/// How a [`TrainerPool`] executes jobs.
+enum PoolMode<'p> {
+    /// Single worker: everything runs on the calling thread with one
+    /// trainer — no threads, no locks, exactly the old serial path.
+    Inline(Box<ClientTrainer>),
+    /// Persistent workers parked behind the shared state.
+    Pooled(&'p PoolShared),
+}
+
+/// A persistent, run-scoped training/evaluation pool.
+///
+/// Created by [`with_trainer_pool`]; lives for one `run_federated`
+/// call and serves every round's train fan-out **and** eval fan-out
+/// from the same parked worker threads. Dispatch preserves the scoped
+/// fan-out's contract exactly — strided item assignment, item-order
+/// reduction, lowest-indexed-error-wins — so histories, Sim-class
+/// metric registries, and the per-worker Runtime telemetry are
+/// unchanged; only the per-call thread spawns are gone (counted by the
+/// `pool.spawn_amortized` Runtime counter).
+pub struct TrainerPool<'p> {
+    clients: &'p [Client],
+    eval_set: &'p LabeledSet,
+    workers: usize,
+    mode: PoolMode<'p>,
+}
+
+impl TrainerPool<'_> {
+    /// Total worker threads backing this pool (1 for inline mode).
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs one round's local updates: item `j` trains
+    /// `clients[client_indices[j]]` from `global`, seeded by
+    /// `(train_seed, round, client id)`, returning
+    /// `(params, weight, loss)` triples in item order.
+    ///
+    /// Telemetry matches the scoped traced fan-out: under `label`,
+    /// per-worker `items`/`busy_ns`/`idle_ns` counters, an `item_us`
+    /// histogram, and a `workers` gauge (effective width), all
+    /// [`Class::Runtime`] — plus `pool.spawn_amortized`, counting the
+    /// thread spawns the persistent pool avoided.
+    ///
+    /// # Errors
+    ///
+    /// If items fail, returns the error of the lowest-indexed failing
+    /// item (deterministic regardless of completion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked while training.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train(
+        &mut self,
+        round: usize,
+        train_seed: u64,
+        spec: &LocalUpdateSpec,
+        global: &[f32],
+        client_indices: &[usize],
+        tele: &Telemetry,
+        label: &str,
+    ) -> Result<Vec<(Vec<f32>, f64, f32)>> {
+        let num_items = client_indices.len();
+        if num_items == 0 {
+            return Ok(Vec::new());
+        }
+        let Self { clients, eval_set: _, workers, mode } = self;
+        let clients: &[Client] = clients;
+        let traced = tele.is_enabled();
+        match mode {
+            PoolMode::Inline(trainer) => {
+                if traced {
+                    tele.gauge_set(Class::Runtime, &format!("{label}.workers"), 1.0);
+                }
+                let wall_start = Instant::now();
+                let mut local = if traced { Some(MetricsRegistry::new()) } else { None };
+                let mut results = Vec::with_capacity(num_items);
+                let mut first_err: Option<FlError> = None;
+                for &client_index in client_indices {
+                    let client = &clients[client_index];
+                    let mut rng = Rng::stream(
+                        train_seed,
+                        ((round as u64) << 32) | client.id().0 as u64,
+                    );
+                    let started = Instant::now();
+                    let out = trainer.local_update(client, global, spec, &mut rng);
+                    if let Some(metrics) = &mut local {
+                        record_item(metrics, label, 0, started.elapsed());
+                    }
+                    match out {
+                        Ok((params, loss)) => {
+                            results.push((params, client.num_samples() as f64, loss));
+                        }
+                        Err(err) => {
+                            first_err = Some(err);
+                            break;
+                        }
+                    }
+                }
+                if let Some(mut metrics) = local {
+                    record_idle(&mut metrics, label, 1, wall_start.elapsed());
+                    tele.merge_registry(&metrics);
+                }
+                match first_err {
+                    Some(err) => Err(err),
+                    None => Ok(results),
+                }
+            }
+            PoolMode::Pooled(shared) => {
+                let eff = (*workers).min(num_items);
+                if traced {
+                    tele.gauge_set(Class::Runtime, &format!("{label}.workers"), eff as f64);
+                    for slot in lock(&shared.metrics).iter_mut() {
+                        *slot = None;
+                    }
+                }
+                let wall_start = Instant::now();
+                let job = Job::Train {
+                    round,
+                    train_seed,
+                    spec: *spec,
+                    global: global.to_vec(),
+                    client_indices: client_indices.to_vec(),
+                    label: label.to_string(),
+                    traced,
+                };
+                let slots = dispatch(shared, job, eff);
+                tele.with_metrics(|m| {
+                    m.counter_add(Class::Runtime, "pool.spawn_amortized", eff as u64);
+                });
+                if traced {
+                    let mut merged = MetricsRegistry::new();
+                    for slot in lock(&shared.metrics).iter_mut().take(eff) {
+                        if let Some(metrics) = slot.take() {
+                            merged.merge_from(&metrics);
+                        }
+                    }
+                    record_idle(&mut merged, label, eff, wall_start.elapsed());
+                    tele.merge_registry(&merged);
+                }
+                let mut results = Vec::with_capacity(num_items);
+                for slot in slots {
+                    match slot.expect("pool worker panicked")? {
+                        JobOut::Train(params, weight, loss) => {
+                            results.push((params, weight, loss));
+                        }
+                        JobOut::Eval(..) => unreachable!("train job yielded eval output"),
+                    }
+                }
+                Ok(results)
+            }
+        }
+    }
+
+    /// Evaluates a parameter vector on the run's eval set —
+    /// `(mean loss, accuracy)` — by scoring fixed
+    /// [`EVAL_CHUNK_ROWS`]-row blocks across the pool and reducing
+    /// per-block sums in block order, bit-identical to
+    /// [`evaluate_chunked`] for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors and rejects an empty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked while evaluating.
+    pub fn evaluate(&mut self, params: &[f32], tele: &Telemetry) -> Result<(f32, f64)> {
+        let Self { clients: _, eval_set, workers, mode } = self;
+        let n = eval_set.len();
+        if n == 0 {
+            return Err(FlError::InvalidConfig {
+                field: "eval_set",
+                reason: "cannot evaluate on an empty set".into(),
+            });
+        }
+        let chunks = n.div_ceil(EVAL_CHUNK_ROWS);
+        let mut loss_sum = 0.0f64;
+        let mut correct = 0usize;
+        match mode {
+            PoolMode::Inline(trainer) => {
+                for chunk in 0..chunks {
+                    let start = chunk * EVAL_CHUNK_ROWS;
+                    let len = EVAL_CHUNK_ROWS.min(n - start);
+                    let (loss, hits) =
+                        trainer.eval_chunk_params(params, eval_set, start, len)?;
+                    loss_sum += loss;
+                    correct += hits;
+                }
+            }
+            PoolMode::Pooled(shared) => {
+                let eff = (*workers).min(chunks);
+                let job = Job::Eval { params: params.to_vec(), set_len: n };
+                let slots = dispatch(shared, job, eff);
+                tele.with_metrics(|m| {
+                    m.counter_add(Class::Runtime, "pool.spawn_amortized", eff as u64);
+                });
+                for slot in slots {
+                    match slot.expect("pool worker panicked")? {
+                        JobOut::Eval(loss, hits) => {
+                            loss_sum += loss;
+                            correct += hits;
+                        }
+                        JobOut::Train(..) => unreachable!("eval job yielded train output"),
+                    }
+                }
+            }
+        }
+        Ok(((loss_sum / n as f64) as f32, correct as f64 / n as f64))
+    }
+}
+
+/// Creates a persistent [`TrainerPool`] over `clients`/`eval_set` and
+/// runs `body` with it. With `workers <= 1` no threads are spawned and
+/// every job runs inline on the calling thread; otherwise `workers`
+/// threads (each owning one [`ClientTrainer`]) are spawned once, park
+/// between jobs, and are joined when `body` returns — the pool
+/// lifecycle is exactly the `body` call.
+///
+/// # Errors
+///
+/// Propagates trainer-construction errors and whatever `body` returns.
+pub fn with_trainer_pool<R>(
+    workers: usize,
+    model_dims: &[usize],
+    clients: &[Client],
+    eval_set: &LabeledSet,
+    body: impl FnOnce(&mut TrainerPool<'_>) -> Result<R>,
+) -> Result<R> {
+    let workers = workers.max(1);
+    if workers == 1 {
+        let mut pool = TrainerPool {
+            clients,
+            eval_set,
+            workers,
+            mode: PoolMode::Inline(Box::new(ClientTrainer::new(model_dims)?)),
+        };
+        return body(&mut pool);
+    }
+    let mut trainers = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        trainers.push(ClientTrainer::new(model_dims)?);
+    }
+    // Shared state lives on this frame — *outside* the thread scope —
+    // so the worker closures can borrow it for the scope's lifetime.
+    let shared = PoolShared {
+        state: Mutex::new(PoolState { epoch: 0, job: None, remaining: 0, shutdown: false }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        slots: Mutex::new(Vec::new()),
+        metrics: Mutex::new((0..workers).map(|_| None).collect()),
+    };
+    std::thread::scope(|scope| {
+        let shared = &shared;
+        for (wid, trainer) in trainers.into_iter().enumerate() {
+            scope.spawn(move || worker_loop(wid, workers, trainer, shared, clients, eval_set));
+        }
+        let _shutdown = ShutdownGuard { shared };
+        let mut pool = TrainerPool { clients, eval_set, workers, mode: PoolMode::Pooled(shared) };
+        body(&mut pool)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,5 +908,206 @@ mod tests {
         // And both agree with the model's own whole-set accuracy.
         let direct = model.accuracy(task.test().features(), task.test().labels()).unwrap();
         assert_eq!(serial.1, direct);
+    }
+
+    #[test]
+    fn env_value_parsing_is_strict() {
+        assert_eq!(threads_from_env("8"), Some(8));
+        assert_eq!(threads_from_env(" 4 "), Some(4));
+        assert_eq!(threads_from_env("0"), None);
+        assert_eq!(threads_from_env(" 0 "), None);
+        assert_eq!(threads_from_env("abc"), None);
+        assert_eq!(threads_from_env("3 threads"), None);
+        assert_eq!(threads_from_env("-2"), None);
+        assert_eq!(threads_from_env("2.5"), None);
+        assert_eq!(threads_from_env(""), None);
+        assert_eq!(threads_from_env("   "), None);
+    }
+
+    #[test]
+    fn env_variable_feeds_auto_detection() {
+        // One test owns all `HELCFL_THREADS` mutation: the environment
+        // is process-global, so splitting these cases across tests
+        // would race. A concurrently running `worker_threads(0)` in
+        // another test stays correct for every value set here (all
+        // resolutions are >= 1).
+        std::env::set_var("HELCFL_THREADS", "6");
+        assert_eq!(worker_threads(0), 6);
+        // Explicit request still wins over the environment.
+        assert_eq!(worker_threads(2), 2);
+        // Invalid values fall back to detected parallelism.
+        for bad in ["0", "abc", "   ", ""] {
+            std::env::set_var("HELCFL_THREADS", bad);
+            assert!(worker_threads(0) >= 1, "fallback failed for {bad:?}");
+        }
+        std::env::remove_var("HELCFL_THREADS");
+        assert!(worker_threads(0) >= 1);
+    }
+
+    /// Fixture for the persistent-pool tests: a small task, its
+    /// clients, a trained-from global parameter vector, and a spec.
+    fn pool_fixture() -> (SyntheticTask, Vec<Client>, Vec<f32>, LocalUpdateSpec) {
+        let task = SyntheticTask::generate(DatasetConfig {
+            num_classes: 4,
+            feature_dim: 6,
+            train_samples: 120,
+            test_samples: 700,
+            seed: 9,
+            ..DatasetConfig::default()
+        })
+        .unwrap();
+        let clients =
+            crate::client::build_clients(task.train(), crate::partition::Partition::iid(120, 10, 3).unwrap().assignments())
+                .unwrap();
+        let global = Mlp::new(&[6, 8, 4], 77).unwrap().parameters();
+        let spec = LocalUpdateSpec { learning_rate: 0.3, local_epochs: 2, batch_size: 8 };
+        (task, clients, global, spec)
+    }
+
+    fn pool_train(
+        workers: usize,
+        rounds: &[usize],
+        tele: &Telemetry,
+    ) -> Vec<Vec<(Vec<f32>, f64, f32)>> {
+        let (task, clients, global, spec) = pool_fixture();
+        let indices: Vec<usize> = (0..clients.len()).collect();
+        with_trainer_pool(workers, &[6, 8, 4], &clients, task.test(), |pool| {
+            rounds
+                .iter()
+                .map(|&round| {
+                    pool.train(round, 42, &spec, &global, &indices, tele, "local_update")
+                })
+                .collect()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn pooled_train_is_bit_identical_to_inline() {
+        let disabled = Telemetry::disabled();
+        let inline = pool_train(1, &[1, 2, 3], &disabled);
+        for workers in [2, 3, 8, 16] {
+            let pooled = pool_train(workers, &[1, 2, 3], &disabled);
+            assert_eq!(inline, pooled, "divergence at {workers} workers");
+        }
+        // Tracing must not perturb results either.
+        let tele = Telemetry::metrics_only();
+        assert_eq!(inline, pool_train(4, &[1, 2, 3], &tele));
+    }
+
+    #[test]
+    fn pooled_evaluate_matches_scoped_reference() {
+        let (task, clients, global, _spec) = pool_fixture();
+        let mut model = Mlp::new(&[6, 8, 4], 0).unwrap();
+        model.set_parameters(&global).unwrap();
+        let mut scratch = vec![ClientTrainer::new(&[6, 8, 4]).unwrap()];
+        let reference = evaluate_chunked(&model, task.test(), &mut scratch).unwrap();
+        let disabled = Telemetry::disabled();
+        for workers in [1, 2, 5] {
+            let got = with_trainer_pool(workers, &[6, 8, 4], &clients, task.test(), |pool| {
+                pool.evaluate(&global, &disabled)
+            })
+            .unwrap();
+            assert_eq!(got, reference, "divergence at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_mixed_jobs() {
+        // One pool serving train → eval → train must agree with fresh
+        // inline runs of each job — workers carry no state across jobs
+        // beyond their (fully overwritten) scratch.
+        let (task, clients, global, spec) = pool_fixture();
+        let indices: Vec<usize> = (0..clients.len()).collect();
+        let disabled = Telemetry::disabled();
+        let inline = pool_train(1, &[1, 2], &disabled);
+        let (first, evaled, second) =
+            with_trainer_pool(3, &[6, 8, 4], &clients, task.test(), |pool| {
+                let first =
+                    pool.train(1, 42, &spec, &global, &indices, &disabled, "local_update")?;
+                let evaled = pool.evaluate(&global, &disabled)?;
+                let second =
+                    pool.train(2, 42, &spec, &global, &indices, &disabled, "local_update")?;
+                Ok((first, evaled, second))
+            })
+            .unwrap();
+        assert_eq!(first, inline[0]);
+        assert_eq!(second, inline[1]);
+        let direct = with_trainer_pool(1, &[6, 8, 4], &clients, task.test(), |pool| {
+            pool.evaluate(&global, &disabled)
+        })
+        .unwrap();
+        assert_eq!(evaled, direct);
+    }
+
+    #[test]
+    fn pool_survives_failed_jobs() {
+        // A job-level error (bad parameter vector) must propagate as
+        // `Err` — not deadlock or panic — and leave the pool usable.
+        let (task, clients, global, spec) = pool_fixture();
+        let indices: Vec<usize> = (0..clients.len()).collect();
+        let disabled = Telemetry::disabled();
+        let bad = vec![0.0f32; 3];
+        for workers in [1, 3] {
+            with_trainer_pool(workers, &[6, 8, 4], &clients, task.test(), |pool| {
+                assert!(pool
+                    .train(1, 42, &spec, &bad, &indices, &disabled, "local_update")
+                    .is_err());
+                assert!(pool.evaluate(&bad, &disabled).is_err());
+                // Still healthy: a good job right after the failures.
+                let ok =
+                    pool.train(1, 42, &spec, &global, &indices, &disabled, "local_update")?;
+                assert_eq!(ok.len(), indices.len());
+                Ok(())
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn pool_handles_empty_and_narrow_jobs() {
+        let (task, clients, global, spec) = pool_fixture();
+        let disabled = Telemetry::disabled();
+        with_trainer_pool(4, &[6, 8, 4], &clients, task.test(), |pool| {
+            // Zero items: no dispatch at all.
+            let none = pool.train(1, 42, &spec, &global, &[], &disabled, "local_update")?;
+            assert!(none.is_empty());
+            // Fewer items than workers: the extras sit the job out.
+            let two = pool.train(1, 42, &spec, &global, &[3, 7], &disabled, "local_update")?;
+            assert_eq!(two.len(), 2);
+            Ok(())
+        })
+        .unwrap();
+        let inline = with_trainer_pool(1, &[6, 8, 4], &clients, task.test(), |pool| {
+            pool.train(1, 42, &spec, &global, &[3, 7], &disabled, "local_update")
+        })
+        .unwrap();
+        let pooled = with_trainer_pool(4, &[6, 8, 4], &clients, task.test(), |pool| {
+            pool.train(1, 42, &spec, &global, &[3, 7], &disabled, "local_update")
+        })
+        .unwrap();
+        assert_eq!(inline, pooled);
+    }
+
+    #[test]
+    fn pool_telemetry_accounts_for_amortized_spawns() {
+        let (task, clients, global, spec) = pool_fixture();
+        let indices: Vec<usize> = (0..clients.len()).collect();
+        let tele = Telemetry::metrics_only();
+        with_trainer_pool(3, &[6, 8, 4], &clients, task.test(), |pool| {
+            pool.train(1, 42, &spec, &global, &indices, &tele, "local_update")?;
+            pool.evaluate(&global, &tele)?;
+            Ok(())
+        })
+        .unwrap();
+        let snap = tele.snapshot();
+        // Train dispatched over 3 workers; eval over min(3, ceil(700/256)) = 3.
+        assert_eq!(snap.counter("pool.spawn_amortized"), 6);
+        let items: u64 =
+            (0..3).map(|w| snap.counter(&format!("local_update.worker{w}.items"))).sum();
+        assert_eq!(items, indices.len() as u64);
+        assert_eq!(snap.histogram("local_update.item_us").unwrap().count, indices.len() as u64);
+        // Pool metrics are runtime-class: the deterministic view is empty.
+        assert!(snap.deterministic().is_empty());
     }
 }

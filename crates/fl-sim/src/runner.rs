@@ -3,7 +3,8 @@
 //!
 //! Local updates and test-set evaluation fan out over a deterministic
 //! worker pool (see [`crate::parallel`]): per-worker
-//! [`ClientTrainer`]s are reused across rounds, per-client RNG streams
+//! [`crate::client::ClientTrainer`]s are reused across rounds and
+//! phases, per-client RNG streams
 //! are derived from the master seed, and all reductions happen in
 //! fixed index order — so a run's [`TrainingHistory`] is bit-identical
 //! for every thread count.
@@ -16,13 +17,13 @@ use mec_sim::population::Population;
 use mec_sim::timeline::RoundTimeline;
 use mec_sim::units::{Bits, Joules, Seconds};
 
-use crate::client::{build_clients, Client, ClientTrainer, LocalUpdateSpec};
+use crate::client::{build_clients, Client, LocalUpdateSpec};
 use crate::dataset::{LabeledSet, SyntheticTask};
 use crate::error::{FlError, Result};
 use crate::faults::{DegradationPolicy, DeviceFault, FaultConfig, FaultPlan, FaultedRound};
 use crate::frequency::FrequencyPolicy;
 use crate::history::{RoundRecord, TrainingHistory};
-use crate::parallel::{evaluate_chunked, parallel_map_pooled_traced, worker_threads};
+use crate::parallel::{with_trainer_pool, worker_threads};
 use crate::partition::Partition;
 use crate::seeds::{derive, SeedDomain};
 use crate::selection::{
@@ -282,7 +283,7 @@ impl FederatedSetup {
     }
 
     /// The per-user clients (pure data; learning state lives in the
-    /// engine's per-worker [`ClientTrainer`]s).
+    /// engine's per-worker [`crate::client::ClientTrainer`]s).
     #[inline]
     pub fn clients(&self) -> &[Client] {
         &self.clients
@@ -435,11 +436,7 @@ pub fn run_federated_traced(
     // fault-free path (a deadline can strand devices all by itself).
     let faulted_engine = fault_plan.is_active() || config.degradation.is_active();
     let mut server = Flcc::new(&config.model_dims, derive(config.seed, SeedDomain::Model))?;
-    // One reusable trainer per worker: model + gradient scratch +
-    // minibatch buffers, allocated once for the whole run.
-    let mut pool: Vec<ClientTrainer> = (0..worker_threads(config.threads))
-        .map(|_| ClientTrainer::new(&config.model_dims))
-        .collect::<Result<_>>()?;
+    let workers = worker_threads(config.threads);
     let spec = LocalUpdateSpec {
         learning_rate: config.learning_rate,
         local_epochs: config.local_epochs,
@@ -459,11 +456,20 @@ pub fn run_federated_traced(
     };
     let mut evaluated_accuracies: Vec<f64> = Vec::new();
     tele.event("pool_resolved")
-        .with("workers", pool.len())
+        .with("workers", workers)
         .with("requested", config.threads)
         .with("scheme", selector.name())
         .emit();
 
+    // The persistent pool spans the whole run: its worker threads are
+    // spawned here, reused by every round's train and eval fan-out,
+    // and joined when the round loop returns. Only shared borrows of
+    // the setup cross into the pool; the loop below keeps read access
+    // to the population alongside them.
+    let clients = &setup.clients;
+    let eval_set = &setup.eval_set;
+    let population = &setup.population;
+    with_trainer_pool(workers, &config.model_dims, clients, eval_set, move |pool| {
     for round in 1..=config.max_rounds {
         let mut round_span = span!(tele, "round", index = round);
         if tele.events_enabled() {
@@ -478,14 +484,13 @@ pub fn run_federated_traced(
         //    shut down and leave the selectable set V).
         let span_phase = round_span.child("availability");
         let alive: Vec<Device> = match &batteries {
-            Some(batteries) => setup
-                .population
+            Some(batteries) => population
                 .devices()
                 .iter()
                 .filter(|d| !batteries[d.id().0].is_depleted())
                 .copied()
                 .collect(),
-            None => setup.population.devices().to_vec(),
+            None => population.devices().to_vec(),
         };
         span_phase.end();
         if alive.is_empty() {
@@ -508,7 +513,7 @@ pub fn run_federated_traced(
         let span_phase = round_span.child("frequency");
         let selected: Vec<_> = selected_ids
             .iter()
-            .map(|id| *setup.population.get(*id).expect("validated above"))
+            .map(|id| *population.get(*id).expect("validated above"))
             .collect();
         let freqs = frequency_policy.frequencies_traced(&selected, config.payload, tele)?;
         span_phase.end();
@@ -558,30 +563,20 @@ pub fn run_federated_traced(
                 .end();
         }
 
-        // 3. Local updates (Alg. 1 lines 6–9), fanned out over the
-        //    worker pool — delivered clients only; a stranded device's
-        //    gradient never existed as far as the FLCC is concerned.
-        //    Each client's update is a pure function of (global
-        //    params, its shard, its RNG stream keyed by `(round, id)`),
-        //    and the results come back in `delivered_idx` order, so
-        //    both the fan-out and the skipped clients are invisible to
-        //    the aggregation below.
+        // 3. Local updates (Alg. 1 lines 6–9), dispatched to the
+        //    persistent pool — delivered clients only; a stranded
+        //    device's gradient never existed as far as the FLCC is
+        //    concerned. Each client's update is a pure function of
+        //    (global params, its shard, its RNG stream keyed by
+        //    `(round, id)`), and the results come back in
+        //    `delivered_idx` order, so both the fan-out and the
+        //    skipped clients are invisible to the aggregation below.
         let span_phase = round_span.child("local_update");
         let global = server.broadcast();
-        let clients = &setup.clients;
-        let round_results = parallel_map_pooled_traced(
-            &mut pool,
-            delivered_idx.len(),
-            |trainer, j| {
-                let client = &clients[selected_ids[delivered_idx[j]].0];
-                let mut rng =
-                    Rng::stream(train_seed, ((round as u64) << 32) | client.id().0 as u64);
-                let (params, loss) = trainer.local_update(client, &global, &spec, &mut rng)?;
-                Ok((params, client.num_samples() as f64, loss))
-            },
-            tele,
-            "local_update",
-        )?;
+        let client_indices: Vec<usize> =
+            delivered_idx.iter().map(|&j| selected_ids[j].0).collect();
+        let round_results =
+            pool.train(round, train_seed, &spec, &global, &client_indices, tele, "local_update")?;
         let mut updates = Vec::with_capacity(round_results.len());
         let mut loss_sum = 0.0f64;
         for (params, weight, loss) in round_results {
@@ -638,8 +633,7 @@ pub fn run_federated_traced(
         let evaluate_now = round % config.eval_every == 0 || round == config.max_rounds;
         let test_accuracy = if evaluate_now {
             let span_phase = round_span.child("evaluate");
-            let accuracy =
-                evaluate_chunked(server.global_model(), &setup.eval_set, &mut pool)?.1;
+            let accuracy = pool.evaluate(&server.broadcast(), tele)?.1;
             span_phase.end();
             evaluated_accuracies.push(accuracy);
             Some(accuracy)
@@ -699,6 +693,7 @@ pub fn run_federated_traced(
         }
     }
     Ok(history)
+    })
 }
 
 #[cfg(test)]

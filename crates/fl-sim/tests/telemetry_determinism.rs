@@ -122,3 +122,32 @@ fn deterministic_metrics_bit_identical_across_thread_counts() {
     // … and every Runtime-class lane (worker busy/idle) stayed out.
     assert!(sim1.iter().all(|(name, _, _)| !name.contains("worker")));
 }
+
+/// The persistent pool keeps histories bit-identical at worker counts
+/// beyond the original 1/3/4 pins — including widths (8) that exceed
+/// both the client fan-out of a round (4) and the machine's core
+/// count, so some workers sit every job out.
+#[test]
+fn histories_bit_identical_at_wide_and_narrow_pools() {
+    let (history1, sim1) = sim_registry(1);
+    for threads in [2usize, 8] {
+        let (history_n, sim_n) = sim_registry(threads);
+        assert_eq!(history1, history_n, "{threads} threads changed the history");
+        assert_eq!(sim1, sim_n, "{threads} threads changed Sim-class metrics");
+    }
+}
+
+/// Two consecutive `run_federated_traced` calls — each building its
+/// own pool, exercising the full spawn → train/eval → shutdown
+/// lifecycle twice in one process — produce bit-identical histories.
+/// Guards against pool state (parked threads, stale slots, epoch
+/// counters) leaking across runs.
+#[test]
+fn consecutive_runs_reuse_pools_bit_identically() {
+    for threads in [1usize, 3] {
+        let tele = Telemetry::metrics_only();
+        let first = run_with(threads, &tele);
+        let second = run_with(threads, &tele);
+        assert_eq!(first, second, "{threads} threads: reruns diverged");
+    }
+}

@@ -111,8 +111,20 @@ impl Dense {
     ///
     /// Returns [`NnError::ShapeMismatch`] if `x.cols() != fan_in`.
     pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) -> Result<()> {
-        x.matmul_into(&self.weights, out)?;
-        out.add_row_broadcast(&self.bias)
+        x.matmul_bias_into(&self.weights, &self.bias, out)
+    }
+
+    /// Fused forward + ReLU `relu(x·W + b)` into a caller-owned buffer
+    /// — the hidden-layer fast path: one sweep over the output instead
+    /// of a matmul, a bias broadcast, and a ReLU copy. Bit-identical
+    /// to [`Dense::forward_into`] followed by
+    /// [`crate::activation::relu_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `x.cols() != fan_in`.
+    pub fn forward_relu_into(&self, x: &Matrix, out: &mut Matrix) -> Result<()> {
+        x.matmul_bias_relu_into(&self.weights, &self.bias, out)
     }
 
     /// Backward pass: given the input `x` and the upstream gradient
@@ -146,6 +158,27 @@ impl Dense {
         x.matmul_tn_into(dz, &mut grad.weights)?;
         dz.col_sums_into(&mut grad.bias);
         dz.matmul_nt_into(&self.weights, dx)
+    }
+
+    /// [`Dense::backward_into`] without the input gradient `dz·Wᵀ` —
+    /// for the input-most layer, whose `dx` has nothing left to flow
+    /// into. Skipping it drops the largest backward matmul of the
+    /// paper's MLP (`batch × fan_in × fan_out`) and cannot affect any
+    /// result: the parameter gradients are computed by the identical
+    /// kernels, and `dx` was previously discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] on inconsistent shapes.
+    pub fn backward_grads_into(
+        &self,
+        x: &Matrix,
+        dz: &Matrix,
+        grad: &mut DenseGrad,
+    ) -> Result<()> {
+        x.matmul_tn_into(dz, &mut grad.weights)?;
+        dz.col_sums_into(&mut grad.bias);
+        Ok(())
     }
 
     /// In-place gradient-descent step `θ ← θ - lr·∇θ` (paper Eq. 3).

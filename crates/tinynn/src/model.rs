@@ -8,7 +8,7 @@
 
 use detrand::Rng;
 
-use crate::activation::{relu, relu_backward_inplace, relu_into};
+use crate::activation::{relu, relu_backward_inplace};
 use crate::error::{NnError, Result};
 use crate::init::Init;
 use crate::layer::{Dense, DenseGrad};
@@ -42,20 +42,26 @@ impl Gradients {
 
 /// Reusable forward/backward workspace for one [`Mlp`] shape.
 ///
-/// Holds every intermediate buffer a training step needs —
-/// pre-activations, hidden activations, the two alternating
-/// upstream-gradient buffers, and the parameter-gradient storage — so
+/// Holds every intermediate buffer a training step needs — hidden
+/// activations, the logits, the two alternating upstream-gradient
+/// buffers, and the parameter-gradient storage — so
 /// [`Mlp::train_step_with`] performs **zero heap allocation at steady
 /// state**: buffers grow to the largest batch seen, then are reused.
 /// In the parallel round engine each worker thread owns one scratch
 /// and reuses it across all clients it trains.
+///
+/// Pre-activations are not stored: the fused forward kernel produces
+/// `relu(x·W + b)` directly, and the backward ReLU mask reads the
+/// activation instead — `act <= 0.0` holds exactly where `pre <= 0.0`
+/// did (ReLU maps negatives to `+0.0` and preserves `0.0`, `-0.0`,
+/// and NaN), so the mask is bitwise identical.
 #[derive(Debug, Clone)]
 pub struct TrainScratch {
-    /// Pre-activation output of each layer (`z = x·W + b`); the last
-    /// entry holds the logits.
-    pre: Vec<Matrix>,
-    /// Post-ReLU activation of each hidden layer.
+    /// Post-ReLU activation of each hidden layer
+    /// (`relu(x·W + b)`, produced by the fused forward kernel).
     acts: Vec<Matrix>,
+    /// The last layer's affine output (`n × classes` logits).
+    logits: Matrix,
     /// Upstream gradient buffers, swapped while walking backward.
     dz: Matrix,
     dx: Matrix,
@@ -79,8 +85,8 @@ impl TrainScratch {
             grads.push(DenseGrad::zeros(layer.fan_in(), layer.fan_out())?);
         }
         Ok(Self {
-            pre: vec![placeholder.clone(); num_layers],
             acts: vec![placeholder.clone(); num_layers.saturating_sub(1)],
+            logits: placeholder.clone(),
             dz: placeholder.clone(),
             dx: placeholder,
             grads: Gradients { layers: grads },
@@ -261,11 +267,31 @@ impl Mlp {
         Ok((loss, Gradients { layers: grads }))
     }
 
+    /// Fused forward pass into `scratch`: each hidden activation via
+    /// [`Dense::forward_relu_into`], the logits via
+    /// [`Dense::forward_into`] — one output sweep per layer, no
+    /// pre-activation buffers.
+    fn forward_scratch(&self, x: &Matrix, scratch: &mut TrainScratch) -> Result<()> {
+        let n = self.layers.len();
+        for i in 0..n - 1 {
+            if i == 0 {
+                self.layers[0].forward_relu_into(x, &mut scratch.acts[0])?;
+            } else {
+                let (done, rest) = scratch.acts.split_at_mut(i);
+                self.layers[i].forward_relu_into(&done[i - 1], &mut rest[0])?;
+            }
+        }
+        let last_input = if n == 1 { x } else { &scratch.acts[n - 2] };
+        self.layers[n - 1].forward_into(last_input, &mut scratch.logits)
+    }
+
     /// [`Mlp::gradients`] without allocation: the loss is returned and
     /// the gradients land in `scratch` ([`TrainScratch::gradients`]).
     ///
-    /// Bit-identical to [`Mlp::gradients`] — both run the same blocked
-    /// kernels in the same order — which a unit test pins.
+    /// Bit-identical to [`Mlp::gradients`] — the fused forward kernels
+    /// preserve the per-element accumulation order, and the
+    /// activation-based ReLU mask matches the pre-activation mask bit
+    /// for bit (see [`TrainScratch`]) — which a unit test pins.
     ///
     /// # Errors
     ///
@@ -284,30 +310,29 @@ impl Mlp {
                 actual: scratch.grads.layers.len(),
             });
         }
-        // Forward, caching pre-activations and hidden activations in
-        // the reusable buffers.
-        for (i, layer) in self.layers.iter().enumerate() {
-            let input = if i == 0 { x } else { &scratch.acts[i - 1] };
-            layer.forward_into(input, &mut scratch.pre[i])?;
-            if i + 1 < self.layers.len() {
-                let (pre_i, act_i) = (&scratch.pre[i], &mut scratch.acts[i]);
-                relu_into(pre_i, act_i);
-            }
-        }
-        let logits = scratch.pre.last().expect("at least one layer");
-        let loss = softmax_cross_entropy_into(logits, labels, &mut scratch.dz)?;
+        self.forward_scratch(x, scratch)?;
+        let loss = softmax_cross_entropy_into(&scratch.logits, labels, &mut scratch.dz)?;
 
-        // Backward through layers, alternating the dz/dx buffers.
+        // Backward through layers, alternating the dz/dx buffers and
+        // masking with the saved activations. The input-most layer
+        // takes the grads-only path: its `dx` has no earlier layer to
+        // reach, so the `dz·Wᵀ` product is never formed.
         for i in (0..self.layers.len()).rev() {
             let input = if i == 0 { x } else { &scratch.acts[i - 1] };
-            self.layers[i].backward_into(
-                input,
-                &scratch.dz,
-                &mut scratch.grads.layers[i],
-                &mut scratch.dx,
-            )?;
-            if i > 0 {
-                relu_backward_inplace(&mut scratch.dx, &scratch.pre[i - 1]);
+            if i == 0 {
+                self.layers[0].backward_grads_into(
+                    input,
+                    &scratch.dz,
+                    &mut scratch.grads.layers[0],
+                )?;
+            } else {
+                self.layers[i].backward_into(
+                    input,
+                    &scratch.dz,
+                    &mut scratch.grads.layers[i],
+                    &mut scratch.dx,
+                )?;
+                relu_backward_inplace(&mut scratch.dx, &scratch.acts[i - 1]);
                 core::mem::swap(&mut scratch.dz, &mut scratch.dx);
             }
         }
@@ -359,21 +384,14 @@ impl Mlp {
         x: &Matrix,
         scratch: &'s mut TrainScratch,
     ) -> Result<&'s Matrix> {
-        if scratch.pre.len() != self.layers.len() {
+        if scratch.acts.len() + 1 != self.layers.len() {
             return Err(NnError::ParameterCountMismatch {
                 expected: self.layers.len(),
-                actual: scratch.pre.len(),
+                actual: scratch.acts.len() + 1,
             });
         }
-        for (i, layer) in self.layers.iter().enumerate() {
-            let input = if i == 0 { x } else { &scratch.acts[i - 1] };
-            layer.forward_into(input, &mut scratch.pre[i])?;
-            if i + 1 < self.layers.len() {
-                let (pre_i, act_i) = (&scratch.pre[i], &mut scratch.acts[i]);
-                relu_into(pre_i, act_i);
-            }
-        }
-        Ok(scratch.pre.last().expect("at least one layer"))
+        self.forward_scratch(x, scratch)?;
+        Ok(&scratch.logits)
     }
 
     /// Applies precomputed gradients with learning rate `lr`.

@@ -3,21 +3,157 @@
 //!
 //! The design goals are *determinism* and *allocation discipline*: the
 //! hot kernels (`matmul`, `matmul_tn`, `matmul_nt`) come in `_into`
-//! variants that write into caller-owned buffers, blocked over the
-//! reduction dimension for cache locality, so steady-state training
-//! performs zero heap allocation per step. Summation order per output
-//! element is fixed (ascending `k`) regardless of blocking, which
-//! keeps results bit-identical across buffer reuse and thread counts.
+//! variants that write into caller-owned buffers, register-blocked
+//! over the output columns, so steady-state training performs zero
+//! heap allocation per step. Summation order per output element is
+//! fixed (ascending reduction index, one accumulator per element)
+//! regardless of blocking, which keeps results bit-identical across
+//! buffer reuse, blocking width, and thread counts.
 
 use crate::error::{NnError, Result};
 
-/// Row-block size for the blocked kernels: output rows processed per
-/// tile so their accumulators stay resident in L1.
-const BLOCK_ROWS: usize = 64;
+/// Output columns per wide register block: each block keeps this many
+/// `f32` accumulators live in vector registers across the whole
+/// reduction, amortizing the per-`k` operand broadcast and zero test
+/// over many independent SIMD lanes. Remaining columns (`< WIDE`) are
+/// handled by a single runtime-width tail pass — never by repeated
+/// narrower blocks, which would re-run the reduction (and re-pay every
+/// data-dependent zero-test branch miss) once per block with too few
+/// lanes to amortize it.
+const WIDE: usize = 32;
 
-/// Reduction-block size: `k` values consumed per tile, sized so a
-/// `BLOCK_K × cols` panel of the right-hand side stays cache-warm.
-const BLOCK_K: usize = 256;
+/// Output elements per [`Matrix::matmul_nt_into`] block: that kernel
+/// has no zero skip, so its block width is chosen for dependency-chain
+/// parallelism (independent scalar accumulators), not branch
+/// amortization.
+const NT_BLOCK: usize = 8;
+
+/// Accumulates one register block of an output row.
+///
+/// Element `k` of the reduction operand lives at `lhs[k * stride]`
+/// (`stride == 1` for a contiguous row, `stride == cols` for a
+/// transposed-left walk). For each `k` with a nonzero operand —
+/// the zero test sits here, hoisted out of the unrolled column loop —
+/// the block adds `a * rhs[k][j..j + W]` into `W` register
+/// accumulators. Every accumulator sees the ascending-`k` addition
+/// sequence of the naive kernel starting from `0.0`, so the stored
+/// block is bit-identical to the unblocked result while the per-`k`
+/// read-modify-write of the output row is gone.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn gemm_block<const W: usize>(
+    lhs: &[f32],
+    stride: usize,
+    len: usize,
+    rhs: &[f32],
+    cols: usize,
+    j: usize,
+    out: &mut [f32],
+    bias: Option<&[f32]>,
+    relu: bool,
+) {
+    let mut acc = [0.0f32; W];
+    for k in 0..len {
+        let a = lhs[k * stride];
+        if a == 0.0 {
+            continue;
+        }
+        let row = &rhs[k * cols + j..k * cols + j + W];
+        for (s, &b) in acc.iter_mut().zip(row) {
+            *s += a * b;
+        }
+    }
+    match bias {
+        // The fused bias is one post-sum addition per element — the
+        // same arithmetic the separate broadcast pass performed — and
+        // the ReLU clamp (`v < 0.0`) passes NaN and `-0.0` through
+        // unchanged, matching `relu_into`.
+        Some(bias) => {
+            for ((o, &s), &b) in out.iter_mut().zip(&acc).zip(&bias[j..j + W]) {
+                let v = s + b;
+                *o = if relu && v < 0.0 { 0.0 } else { v };
+            }
+        }
+        None => {
+            for (o, &s) in out.iter_mut().zip(&acc) {
+                *o = if relu && s < 0.0 { 0.0 } else { s };
+            }
+        }
+    }
+}
+
+/// Remainder block of an output row: like [`gemm_block`] but for a
+/// runtime width `out.len() < WIDE`, so the final sub-`WIDE` columns of
+/// a row cost exactly one pass over the reduction operand. Same
+/// ascending-`k`, one-accumulator-per-element arithmetic; the `WIDE`
+/// accumulator array is simply used partially.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn gemm_tail(
+    lhs: &[f32],
+    stride: usize,
+    len: usize,
+    rhs: &[f32],
+    cols: usize,
+    j: usize,
+    out: &mut [f32],
+    bias: Option<&[f32]>,
+    relu: bool,
+) {
+    debug_assert!(out.len() < WIDE);
+    let width = out.len();
+    let mut acc = [0.0f32; WIDE];
+    let acc = &mut acc[..width];
+    for k in 0..len {
+        let a = lhs[k * stride];
+        if a == 0.0 {
+            continue;
+        }
+        let row = &rhs[k * cols + j..k * cols + j + width];
+        for (s, &b) in acc.iter_mut().zip(row) {
+            *s += a * b;
+        }
+    }
+    match bias {
+        Some(bias) => {
+            for ((o, &s), &b) in out.iter_mut().zip(acc.iter()).zip(&bias[j..j + width]) {
+                let v = s + b;
+                *o = if relu && v < 0.0 { 0.0 } else { v };
+            }
+        }
+        None => {
+            for (o, &s) in out.iter_mut().zip(acc.iter()) {
+                *o = if relu && s < 0.0 { 0.0 } else { s };
+            }
+        }
+    }
+}
+
+/// One full output row via [`gemm_block`]: wide blocks, then a single
+/// runtime-width [`gemm_tail`] for whatever is left, all sharing the
+/// one reduction operand described by `(lhs, stride, len)`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_row(
+    lhs: &[f32],
+    stride: usize,
+    len: usize,
+    rhs: &[f32],
+    cols: usize,
+    out_row: &mut [f32],
+    bias: Option<&[f32]>,
+    relu: bool,
+) {
+    let mut j = 0;
+    let mut wide = out_row.chunks_exact_mut(WIDE);
+    for chunk in wide.by_ref() {
+        gemm_block::<WIDE>(lhs, stride, len, rhs, cols, j, chunk, bias, relu);
+        j += WIDE;
+    }
+    let rem = wide.into_remainder();
+    if !rem.is_empty() {
+        gemm_tail(lhs, stride, len, rhs, cols, j, rem, bias, relu);
+    }
+}
 
 /// A dense row-major matrix of `f32`.
 ///
@@ -237,14 +373,16 @@ impl Matrix {
         Ok(out)
     }
 
-    /// Blocked matrix product `self · rhs` written into `out`
+    /// Register-blocked matrix product `self · rhs` written into `out`
     /// (resized as needed; zero allocation at steady state).
     ///
-    /// Tiles `BLOCK_ROWS × BLOCK_K` panels so the output rows and the
-    /// active slice of `rhs` stay cache-resident, while preserving the
-    /// ascending-`k` accumulation order of the naive `ikj` loop — the
-    /// result is bit-identical to the unblocked kernel. Zero entries of
-    /// `self` are skipped, which ReLU activations make frequent.
+    /// Each output row is produced in blocks of [`WIDE`] columns (plus
+    /// one runtime-width tail block) whose accumulators live in
+    /// registers for the whole reduction; the ascending-`k` accumulation
+    /// order of the naive `ikj` loop is preserved, so the result is
+    /// bit-identical to the unblocked kernel. Zero entries of `self`
+    /// are skipped — the test runs once per `k`, outside the unrolled
+    /// column loop — which ReLU activations make frequent.
     ///
     /// # Errors
     ///
@@ -259,24 +397,74 @@ impl Matrix {
             });
         }
         out.resize(self.rows, rhs.cols)?;
-        for i0 in (0..self.rows).step_by(BLOCK_ROWS) {
-            let i1 = (i0 + BLOCK_ROWS).min(self.rows);
-            for k0 in (0..self.cols).step_by(BLOCK_K) {
-                let k1 = (k0 + BLOCK_K).min(self.cols);
-                for i in i0..i1 {
-                    let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                    let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
-                    for (k, &a) in lhs_row.iter().enumerate().take(k1).skip(k0) {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                        for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                            *o += a * b;
-                        }
-                    }
-                }
-            }
+        for i in 0..self.rows {
+            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            gemm_row(lhs_row, 1, self.cols, &rhs.data, rhs.cols, out_row, None, false);
+        }
+        Ok(())
+    }
+
+    /// Fused `self · rhs + bias` (row broadcast) written into `out`.
+    ///
+    /// Exactly [`Matrix::matmul_into`] followed by
+    /// [`Matrix::add_row_broadcast`] — the bias lands on each finished
+    /// register accumulator as a single post-sum addition, the same
+    /// operation the separate pass performed per element — but in one
+    /// sweep over the output, eliminating a full read-modify-write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless `self.cols == rhs.rows`
+    /// and `bias.len() == rhs.cols`.
+    pub fn matmul_bias_into(&self, rhs: &Self, bias: &[f32], out: &mut Self) -> Result<()> {
+        self.matmul_bias_fused(rhs, bias, false, out)
+    }
+
+    /// [`Matrix::matmul_bias_into`] with a fused ReLU epilogue:
+    /// `relu(self · rhs + bias)` in one output sweep. Negative sums
+    /// clamp to zero before the store (`v < 0.0` — NaN and `-0.0` pass
+    /// through unchanged, exactly like `relu_into` applied afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless `self.cols == rhs.rows`
+    /// and `bias.len() == rhs.cols`.
+    pub fn matmul_bias_relu_into(
+        &self,
+        rhs: &Self,
+        bias: &[f32],
+        out: &mut Self,
+    ) -> Result<()> {
+        self.matmul_bias_fused(rhs, bias, true, out)
+    }
+
+    fn matmul_bias_fused(
+        &self,
+        rhs: &Self,
+        bias: &[f32],
+        relu: bool,
+        out: &mut Self,
+    ) -> Result<()> {
+        if self.cols != rhs.rows {
+            return Err(NnError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "matmul_bias",
+            });
+        }
+        if bias.len() != rhs.cols {
+            return Err(NnError::ShapeMismatch {
+                left: (1, bias.len()),
+                right: (1, rhs.cols),
+                op: "matmul_bias",
+            });
+        }
+        out.resize(self.rows, rhs.cols)?;
+        for i in 0..self.rows {
+            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            gemm_row(lhs_row, 1, self.cols, &rhs.data, rhs.cols, out_row, Some(bias), relu);
         }
         Ok(())
     }
@@ -294,12 +482,14 @@ impl Matrix {
         Ok(out)
     }
 
-    /// Blocked `selfᵀ · rhs` written into `out` (resized as needed).
+    /// Register-blocked `selfᵀ · rhs` written into `out` (resized as
+    /// needed).
     ///
-    /// The reduction runs over the shared row index `r`; blocking tiles
-    /// `r` so the active panels of both operands stay cache-resident.
-    /// `r` ascends within and across tiles, so accumulation order —
-    /// and therefore the float result — matches the naive loop.
+    /// The reduction runs over the shared row index `r`, walking the
+    /// left operand with a column stride; `r` ascends with one register
+    /// accumulator per output element, so accumulation order — and
+    /// therefore the float result — matches the naive loop, including
+    /// its skip of zero left entries (ReLU activations upstream).
     ///
     /// # Errors
     ///
@@ -314,21 +504,12 @@ impl Matrix {
             });
         }
         out.resize(self.cols, rhs.cols)?;
-        for r0 in (0..self.rows).step_by(BLOCK_K) {
-            let r1 = (r0 + BLOCK_K).min(self.rows);
-            for r in r0..r1 {
-                let left_row = &self.data[r * self.cols..(r + 1) * self.cols];
-                let right_row = &rhs.data[r * rhs.cols..(r + 1) * rhs.cols];
-                for (i, &a) in left_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                    for (o, &b) in out_row.iter_mut().zip(right_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+        for i in 0..self.cols {
+            // Element `r` of this output row's reduction operand is
+            // column `i` of left row `r`: `self.data[i + r * cols]`.
+            let lhs_col = &self.data[i..];
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            gemm_row(lhs_col, self.cols, self.rows, &rhs.data, rhs.cols, out_row, None, false);
         }
         Ok(())
     }
@@ -346,11 +527,18 @@ impl Matrix {
         Ok(out)
     }
 
-    /// Blocked `self · rhsᵀ` written into `out` (resized as needed).
+    /// Register-blocked `self · rhsᵀ` written into `out` (resized as
+    /// needed).
     ///
-    /// Each output element is an independent dot product over the
-    /// shared column index; blocking tiles the `rhs` rows (`j`) so a
-    /// panel of them is reused across every `self` row while resident.
+    /// Each output element is an independent ascending-`k` dot product
+    /// over the shared column index (no zero skip — this kernel's
+    /// documented contract, since its left operand is a gradient, not
+    /// a ReLU activation). Blocks of [`NT_BLOCK`] `rhs` rows share one
+    /// streamed pass over the left row, with one register accumulator
+    /// per output element — eight independent dependency chains keep
+    /// the FPU busy even when the reduction is as short as the
+    /// 10-class head gradient — so results match the naive loop bit
+    /// for bit.
     ///
     /// # Errors
     ///
@@ -365,18 +553,43 @@ impl Matrix {
             });
         }
         out.resize(self.rows, rhs.rows)?;
-        for j0 in (0..rhs.rows).step_by(BLOCK_ROWS) {
-            let j1 = (j0 + BLOCK_ROWS).min(rhs.rows);
-            for i in 0..self.rows {
-                let left_row = &self.data[i * self.cols..(i + 1) * self.cols];
-                for j in j0..j1 {
-                    let right_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                    let mut acc = 0.0;
-                    for (&a, &b) in left_row.iter().zip(right_row) {
-                        acc += a * b;
-                    }
-                    out.data[i * rhs.rows + j] = acc;
+        let cols = self.cols;
+        for i in 0..self.rows {
+            let left_row = &self.data[i * cols..(i + 1) * cols];
+            let out_row = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            let mut j = 0;
+            let mut blocks = out_row.chunks_exact_mut(NT_BLOCK);
+            for chunk in blocks.by_ref() {
+                let r0 = &rhs.data[j * cols..(j + 1) * cols];
+                let r1 = &rhs.data[(j + 1) * cols..(j + 2) * cols];
+                let r2 = &rhs.data[(j + 2) * cols..(j + 3) * cols];
+                let r3 = &rhs.data[(j + 3) * cols..(j + 4) * cols];
+                let r4 = &rhs.data[(j + 4) * cols..(j + 5) * cols];
+                let r5 = &rhs.data[(j + 5) * cols..(j + 6) * cols];
+                let r6 = &rhs.data[(j + 6) * cols..(j + 7) * cols];
+                let r7 = &rhs.data[(j + 7) * cols..(j + 8) * cols];
+                let mut acc = [0.0f32; NT_BLOCK];
+                for (k, &a) in left_row.iter().enumerate() {
+                    acc[0] += a * r0[k];
+                    acc[1] += a * r1[k];
+                    acc[2] += a * r2[k];
+                    acc[3] += a * r3[k];
+                    acc[4] += a * r4[k];
+                    acc[5] += a * r5[k];
+                    acc[6] += a * r6[k];
+                    acc[7] += a * r7[k];
                 }
+                chunk.copy_from_slice(&acc);
+                j += NT_BLOCK;
+            }
+            for o in blocks.into_remainder().iter_mut() {
+                let right_row = &rhs.data[j * cols..(j + 1) * cols];
+                let mut acc = 0.0;
+                for (&a, &b) in left_row.iter().zip(right_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+                j += 1;
             }
         }
         Ok(())
@@ -578,6 +791,29 @@ mod tests {
         // a·aᵀ for a = [[1,2,3],[4,5,6]]:
         let want = Matrix::from_rows(&[&[14.0, 32.0], &[32.0, 77.0]]).unwrap();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fused_bias_matches_separate_passes() {
+        let (a, b) = abc();
+        let bias = [0.5, -0.25];
+        let mut want = a.matmul(&b).unwrap();
+        want.add_row_broadcast(&bias).unwrap();
+        let mut got = Matrix::zeros(1, 1).unwrap();
+        a.matmul_bias_into(&b, &bias, &mut got).unwrap();
+        assert_eq!(got, want);
+        assert!(a.matmul_bias_into(&b, &[1.0], &mut got).is_err());
+        assert!(a.matmul_bias_into(&a, &bias, &mut got).is_err());
+    }
+
+    #[test]
+    fn fused_bias_relu_clamps_negatives_only() {
+        let a = Matrix::from_rows(&[&[1.0, -1.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, -2.0]]).unwrap();
+        // a·b = [-1, 3]; bias [0.5, -0.5] → [-0.5, 2.5] → relu [0, 2.5].
+        let mut out = Matrix::zeros(1, 1).unwrap();
+        a.matmul_bias_relu_into(&b, &[0.5, -0.5], &mut out).unwrap();
+        assert_eq!(out.as_slice(), &[0.0, 2.5]);
     }
 
     #[test]

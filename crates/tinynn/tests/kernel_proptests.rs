@@ -1,0 +1,244 @@
+//! Bit-exactness properties of the register-blocked matmul kernels.
+//!
+//! The blocked kernels ([`Matrix::matmul_into`] and friends) promise a
+//! specific accumulation contract: **one accumulator per output
+//! element, summed over `k` in ascending order** — column blocking and
+//! the `lhs == 0.0` skip change instruction scheduling, never the
+//! arithmetic. That makes the reference implementation trivial: a
+//! naive triple loop with a single `f32` accumulator must match the
+//! optimized kernels *bit for bit* on every finite input, not merely
+//! within a tolerance.
+//!
+//! Seeded deterministic case loops (no external property-test crate),
+//! with the case index in every assertion message. Shapes deliberately
+//! straddle the kernels' blocking boundaries (`WIDE = 32` column
+//! blocks, the runtime-width tail, `matmul_nt`'s 8-column unroll) and
+//! include degenerate 1×N / N×1 / k=1 forms; sparse inputs exercise
+//! the zero-skip path, which must be a pure no-op on the result.
+
+use detrand::Rng;
+use tinynn::tensor::Matrix;
+
+const CASES: usize = 200;
+
+fn gen_matrix(rng: &mut Rng, rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.uniform_f32(-4.0, 4.0)).collect();
+    Matrix::from_vec(rows, cols, data).unwrap()
+}
+
+/// A matrix with roughly `sparsity` of its entries exactly `0.0` —
+/// the shape of a post-ReLU activation, the input the zero-skip path
+/// is built for.
+fn gen_sparse(rng: &mut Rng, rows: usize, cols: usize, sparsity: f32) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| {
+            if rng.uniform_f32(0.0, 1.0) < sparsity {
+                0.0
+            } else {
+                rng.uniform_f32(-4.0, 4.0)
+            }
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data).unwrap()
+}
+
+/// Shape triple for one case: dimensions hug the blocking boundaries
+/// (1, WIDE−1=31, WIDE=32, WIDE+1=33, NT_BLOCK=8 multiples, …) as well
+/// as arbitrary sizes.
+fn gen_shape(rng: &mut Rng) -> (usize, usize, usize) {
+    const EDGES: [usize; 9] = [1, 2, 7, 8, 9, 31, 32, 33, 40];
+    let dim = |rng: &mut Rng| {
+        if rng.below(2) == 0 {
+            EDGES[rng.below(EDGES.len())]
+        } else {
+            rng.range_usize(1, 70)
+        }
+    };
+    (dim(rng), dim(rng), dim(rng))
+}
+
+/// `lhs · rhs` by the contract's definition: single accumulator,
+/// ascending `k`.
+fn naive_matmul(lhs: &Matrix, rhs: &Matrix) -> Matrix {
+    let (m, kk) = lhs.shape();
+    let n = rhs.cols();
+    let mut out = Matrix::zeros(m, n).unwrap();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..kk {
+                acc += lhs.at(i, k) * rhs.at(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// `lhsᵀ · rhs`, same contract (ascending `k` = lhs/rhs row index).
+fn naive_matmul_tn(lhs: &Matrix, rhs: &Matrix) -> Matrix {
+    let (kk, m) = lhs.shape();
+    let n = rhs.cols();
+    let mut out = Matrix::zeros(m, n).unwrap();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..kk {
+                acc += lhs.at(k, i) * rhs.at(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// `lhs · rhsᵀ`, same contract.
+fn naive_matmul_nt(lhs: &Matrix, rhs: &Matrix) -> Matrix {
+    let (m, kk) = lhs.shape();
+    let n = rhs.rows();
+    let mut out = Matrix::zeros(m, n).unwrap();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..kk {
+                acc += lhs.at(i, k) * rhs.at(j, k);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// The fused epilogue: add bias after the full reduction, then clamp
+/// negatives if `relu` — exactly one rounding step per operation.
+fn naive_bias_epilogue(out: &mut Matrix, bias: &[f32], relu: bool) {
+    for i in 0..out.rows() {
+        for (j, &b) in bias.iter().enumerate() {
+            let v = out.at(i, j) + b;
+            out.set(i, j, if relu && v < 0.0 { 0.0 } else { v });
+        }
+    }
+}
+
+/// Asserts exact IEEE-754 bit equality, element by element.
+fn assert_bits_eq(got: &Matrix, want: &Matrix, what: &str, case: usize) {
+    assert_eq!(got.shape(), want.shape(), "case {case}: {what} shape");
+    for (idx, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "case {case}: {what} differs at flat index {idx}: {g} vs {w}"
+        );
+    }
+}
+
+#[test]
+fn matmul_is_bit_identical_to_naive_triple_loop() {
+    let mut rng = Rng::seed_from_u64(0x4e4e_0011);
+    let mut out = Matrix::zeros(1, 1).unwrap();
+    for case in 0..CASES {
+        let (m, k, n) = gen_shape(&mut rng);
+        // Alternate dense and ReLU-sparse lhs: the zero-skip path must
+        // be invisible in the bits.
+        let a = if case % 2 == 0 {
+            gen_matrix(&mut rng, m, k)
+        } else {
+            gen_sparse(&mut rng, m, k, 0.5)
+        };
+        let b = gen_matrix(&mut rng, k, n);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_bits_eq(&out, &naive_matmul(&a, &b), "matmul", case);
+    }
+}
+
+#[test]
+fn matmul_tn_is_bit_identical_to_naive_triple_loop() {
+    let mut rng = Rng::seed_from_u64(0x4e4e_0012);
+    let mut out = Matrix::zeros(1, 1).unwrap();
+    for case in 0..CASES {
+        let (m, k, n) = gen_shape(&mut rng);
+        let a = if case % 2 == 0 {
+            gen_matrix(&mut rng, k, m)
+        } else {
+            gen_sparse(&mut rng, k, m, 0.5)
+        };
+        let b = gen_matrix(&mut rng, k, n);
+        a.matmul_tn_into(&b, &mut out).unwrap();
+        assert_bits_eq(&out, &naive_matmul_tn(&a, &b), "matmul_tn", case);
+    }
+}
+
+#[test]
+fn matmul_nt_is_bit_identical_to_naive_triple_loop() {
+    let mut rng = Rng::seed_from_u64(0x4e4e_0013);
+    let mut out = Matrix::zeros(1, 1).unwrap();
+    for case in 0..CASES {
+        let (m, k, n) = gen_shape(&mut rng);
+        let a = gen_matrix(&mut rng, m, k);
+        let b = gen_matrix(&mut rng, n, k);
+        a.matmul_nt_into(&b, &mut out).unwrap();
+        assert_bits_eq(&out, &naive_matmul_nt(&a, &b), "matmul_nt", case);
+    }
+}
+
+#[test]
+fn fused_bias_and_relu_are_bit_identical_to_naive() {
+    let mut rng = Rng::seed_from_u64(0x4e4e_0014);
+    let mut out = Matrix::zeros(1, 1).unwrap();
+    for case in 0..CASES {
+        let (m, k, n) = gen_shape(&mut rng);
+        let a = if case % 2 == 0 {
+            gen_matrix(&mut rng, m, k)
+        } else {
+            gen_sparse(&mut rng, m, k, 0.5)
+        };
+        let b = gen_matrix(&mut rng, k, n);
+        let bias: Vec<f32> = (0..n).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+
+        let mut want = naive_matmul(&a, &b);
+        naive_bias_epilogue(&mut want, &bias, false);
+        a.matmul_bias_into(&b, &bias, &mut out).unwrap();
+        assert_bits_eq(&out, &want, "matmul_bias", case);
+
+        let mut want_relu = naive_matmul(&a, &b);
+        naive_bias_epilogue(&mut want_relu, &bias, true);
+        a.matmul_bias_relu_into(&b, &bias, &mut out).unwrap();
+        assert_bits_eq(&out, &want_relu, "matmul_bias_relu", case);
+        // The ReLU epilogue never lets a negative through and agrees
+        // with clamping the non-fused result.
+        assert!(
+            out.as_slice().iter().all(|&v| v >= 0.0),
+            "case {case}: fused ReLU produced a negative"
+        );
+    }
+}
+
+#[test]
+fn degenerate_shapes_are_exact_too() {
+    // 1×N, N×1, and k=1 hit every remainder path with no full block.
+    let mut rng = Rng::seed_from_u64(0x4e4e_0015);
+    for (case, &(m, k, n)) in
+        [(1, 1, 1), (1, 64, 33), (5, 1, 32), (1, 1, 40), (3, 200, 1), (1, 7, 8)]
+            .iter()
+            .enumerate()
+    {
+        let a = gen_sparse(&mut rng, m, k, 0.5);
+        let b = gen_matrix(&mut rng, k, n);
+        let mut out = Matrix::zeros(1, 1).unwrap();
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_bits_eq(&out, &naive_matmul(&a, &b), "matmul (degenerate)", case);
+        let bt = gen_matrix(&mut rng, n, k);
+        a.matmul_nt_into(&bt, &mut out).unwrap();
+        assert_bits_eq(&out, &naive_matmul_nt(&a, &bt), "matmul_nt (degenerate)", case);
+    }
+}
+
+#[test]
+fn zero_dimension_constructors_are_rejected() {
+    // "Empty" matrices cannot exist: every constructor refuses a zero
+    // dimension, so the kernels never see a 0-extent loop.
+    assert!(Matrix::zeros(0, 3).is_err());
+    assert!(Matrix::zeros(3, 0).is_err());
+    assert!(Matrix::from_vec(0, 0, Vec::new()).is_err());
+    assert!(Matrix::from_rows(&[]).is_err());
+}
