@@ -83,4 +83,21 @@ echo "==> kernel gate: fresh --smoke bench vs committed baseline"
     "$repo_root/results/BENCH_kernels.json" "$repo_root/results/BENCH_kernels.json"
 )
 
+echo "==> population gate: fresh --smoke sweep vs committed baseline"
+# The committed baseline sweeps to Q = 10^7; the smoke candidate stops
+# at 10^5 (the extra sizes become notes, not failures). Latencies at
+# the shared sizes are single-digit to double-digit microseconds, so
+# the latency tolerance is loose — the gate exists to catch the
+# indexed selector losing its complexity class, not µs-level jitter.
+# Memory per device is deterministic and gets a tight budget.
+(
+  cd "$smoke_dir"
+  "$repo_root/target/release/bench_population" --smoke > /dev/null
+  "$repo_root/target/release/helcfl-trace" gate \
+    "$repo_root/results/BENCH_population.json" results/BENCH_population.json \
+    --max-latency-growth-pct 400 --max-bytes-growth-pct 50
+  "$repo_root/target/release/helcfl-trace" gate \
+    "$repo_root/results/BENCH_population.json" "$repo_root/results/BENCH_population.json"
+)
+
 echo "==> ci.sh: all gates passed"

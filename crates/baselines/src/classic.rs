@@ -37,9 +37,10 @@ impl ClientSelector for RandomSelector {
         if ctx.devices.is_empty() {
             return Err(FlError::InvalidSelection { reason: "no devices to select".into() });
         }
-        let n = ctx.target.min(ctx.devices.len()).max(1);
-        let picked = self.rng.sample_indices(ctx.devices.len(), n);
-        Ok(picked.into_iter().map(|i| ctx.devices[i].id()).collect())
+        let ids: Vec<DeviceId> = ctx.devices.ids().collect();
+        let n = ctx.target.min(ids.len()).max(1);
+        let picked = self.rng.sample_indices(ids.len(), n);
+        Ok(picked.into_iter().map(|i| ids[i]).collect())
     }
 }
 
@@ -51,7 +52,12 @@ mod tests {
     use mec_sim::units::Bits;
 
     fn ctx<'a>(devices: &'a [mec_sim::device::Device], target: usize) -> SelectionContext<'a> {
-        SelectionContext { round: 1, devices, payload: Bits::from_megabits(40.0), target }
+        SelectionContext {
+            round: 1,
+            devices: devices.into(),
+            payload: Bits::from_megabits(40.0),
+            target,
+        }
     }
 
     #[test]

@@ -56,7 +56,7 @@ impl FedCsSelector {
     /// delay) all participate at `f_max`: compute in parallel, uploads
     /// serialized in compute-finish order.
     fn estimated_round_time(
-        devices: &[&Device],
+        devices: &[Device],
         payload: mec_sim::units::Bits,
     ) -> Seconds {
         let mut channel_free = Seconds::ZERO;
@@ -80,7 +80,7 @@ impl FedCsSelector {
         }
         // Ascending by total delay (the greedy "short training delays"
         // ordering), ties by id for determinism.
-        let mut order: Vec<&Device> = ctx.devices.iter().collect();
+        let mut order: Vec<Device> = ctx.devices.iter().collect();
         order.sort_by(|a, b| {
             ctx.total_delay_at_max(a)
                 .partial_cmp(&ctx.total_delay_at_max(b))
@@ -88,7 +88,7 @@ impl FedCsSelector {
                 .then_with(|| a.id().cmp(&b.id()))
         });
         let cap = self.max_users.unwrap_or(usize::MAX).min(order.len());
-        let mut chosen: Vec<&Device> = Vec::new();
+        let mut chosen: Vec<Device> = Vec::new();
         for candidate in order {
             if chosen.len() >= cap {
                 break;
@@ -152,7 +152,12 @@ mod tests {
     use mec_sim::units::Bits;
 
     fn ctx<'a>(devices: &'a [Device], target: usize) -> SelectionContext<'a> {
-        SelectionContext { round: 1, devices, payload: Bits::from_megabits(40.0), target }
+        SelectionContext {
+            round: 1,
+            devices: devices.into(),
+            payload: Bits::from_megabits(40.0),
+            target,
+        }
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Population-scaling benchmark: selection + frequency determination
+//! at fleet sizes the paper never reaches.
+//!
+//! For each population size `Q` the harness builds a struct-of-arrays
+//! [`Fleet`](mec_sim::fleet::Fleet) (no `Vec<Device>` is ever
+//! materialized), runs the indexed HELCFL selector plus the Alg.-3
+//! slack DVFS policy over a fleet-backed context, and reports
+//! per-round latency percentiles and resident bytes per device. The
+//! first warmup round absorbs the one-time index build; measured
+//! rounds reflect the steady state a long training run lives in.
+//!
+//! The selection target scales as `min(max(Q/1000, 10), 10 000)` —
+//! the paper's `C = 0.1` would select 100 000 devices at `Q = 10^6`,
+//! which no real deployment does per round; a sub-percent cohort is
+//! the realistic regime the 50 ms latency budget applies to.
+//!
+//! Results go to stdout and `results/BENCH_population.json`
+//! (`helcfl-trace gate` diffs two such reports per population size).
+//!
+//! Usage: `bench_population [--smoke] [--seed N]`
+//!
+//! `--smoke` stops the size sweep at `Q = 10^5` and trims rounds for
+//! CI; the per-Q numbers stay comparable to the full report under the
+//! loose gate tolerances.
+
+use std::path::Path;
+use std::time::Instant;
+
+use fl_sim::frequency::FrequencyPolicy;
+use fl_sim::selection::{ClientSelector, SelectionContext};
+use helcfl::{IndexedDecaySelector, SlackFrequencyPolicy};
+use helcfl_bench::gate::percentile_nearest_rank;
+use helcfl_bench::json::JsonObject;
+use mec_sim::population::PopulationBuilder;
+use mec_sim::units::Bits;
+
+/// Population sizes of the full sweep (`--smoke` keeps the first 3).
+const SIZES: [usize; 5] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+const SMOKE_SIZES: usize = 3;
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { smoke: false, seed: 2022 };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--seed" => {
+                let v = it.next().expect("--seed requires a value");
+                args.seed = v.parse().expect("--seed must be an integer");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_population [--smoke] [--seed N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Realistic per-round cohort: sub-percent of the fleet, at least 10,
+/// capped at 10 000 (see module docs).
+fn target_for(q: usize) -> usize {
+    (q / 1000).clamp(10, 10_000)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    let sizes = if args.smoke { &SIZES[..SMOKE_SIZES] } else { &SIZES[..] };
+    let (warmup, rounds) = if args.smoke { (2, 10) } else { (3, 30) };
+    let payload = Bits::from_megabits(40.0);
+
+    println!(
+        "Population-scaling bench — {} rounds/size after {warmup} warmup{}",
+        rounds,
+        if args.smoke { " (smoke)" } else { "" }
+    );
+    let mut populations = Vec::new();
+    for &q in sizes {
+        let target = target_for(q);
+        let built = Instant::now();
+        let fleet = PopulationBuilder::paper_default()
+            .num_devices(q)
+            .seed(args.seed)
+            .build_fleet()?;
+        let mut selector = IndexedDecaySelector::default();
+        // Warmup: round 1 pays the one-time index build; later warmup
+        // rounds settle counters into their steady-state spread.
+        for round in 1..=warmup {
+            let ctx = SelectionContext {
+                round,
+                devices: (&fleet).into(),
+                payload,
+                target,
+            };
+            let selected = selector.select(&ctx)?;
+            let _ = SlackFrequencyPolicy.frequencies(&fleet.gather(&selected), payload)?;
+        }
+        let build_us = built.elapsed().as_micros() as u64;
+
+        let mut select_us: Vec<u64> = Vec::with_capacity(rounds);
+        let mut round_us: Vec<u64> = Vec::with_capacity(rounds);
+        for round in 1..=rounds {
+            let started = Instant::now();
+            let ctx = SelectionContext {
+                round: warmup + round,
+                devices: (&fleet).into(),
+                payload,
+                target,
+            };
+            let selected = selector.select(&ctx)?;
+            select_us.push(started.elapsed().as_micros() as u64);
+            let freqs =
+                SlackFrequencyPolicy.frequencies(&fleet.gather(&selected), payload)?;
+            round_us.push(started.elapsed().as_micros() as u64);
+            assert_eq!(freqs.len(), target, "policy must cover the whole cohort");
+        }
+        select_us.sort_unstable();
+        round_us.sort_unstable();
+        let bytes = fleet.memory_bytes() + selector.memory_bytes();
+        let bytes_per_device = bytes as f64 / q as f64;
+        let p50 = percentile_nearest_rank(&round_us, 0.5);
+        let p99 = percentile_nearest_rank(&round_us, 0.99);
+        println!(
+            "  Q={q:>9}  target {target:>6}  round p50 {p50:>8} µs  p99 {p99:>8} µs  \
+             {bytes_per_device:7.1} B/device  (setup+warmup {:.2} s)",
+            build_us as f64 / 1e6
+        );
+
+        let mut entry = JsonObject::new();
+        entry
+            .field("q", q)
+            .field("target", target)
+            .field("rounds", rounds)
+            .field("build_us", build_us)
+            .field("select_p50_us", percentile_nearest_rank(&select_us, 0.5))
+            .field("round_p50_us", p50)
+            .field("round_p99_us", p99)
+            .field("resident_bytes", bytes)
+            .field("bytes_per_device", bytes_per_device);
+        populations.push(entry);
+    }
+
+    let mut host = JsonObject::new();
+    host.field(
+        "available_parallelism",
+        std::thread::available_parallelism().map_or(0usize, std::num::NonZeroUsize::get),
+    );
+
+    let mut report = JsonObject::new();
+    report
+        .field("bench", "population")
+        .field("smoke", args.smoke)
+        .field("seed", args.seed)
+        .object("host", host)
+        .field("populations", populations);
+
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_population.json");
+    std::fs::write(&path, report.finish() + "\n")?;
+    println!("  report written to {}", path.display());
+    Ok(())
+}

@@ -11,7 +11,7 @@
 //! helcfl-trace audit  [PATH]
 //! helcfl-trace gate   BASELINE CANDIDATE [--max-rps-drop-pct X]
 //!                     [--max-latency-growth-pct X] [--max-overhead-pp X]
-//!                     [--max-gflops-drop-pct X]
+//!                     [--max-gflops-drop-pct X] [--max-bytes-growth-pct X]
 //! ```
 //!
 //! `PATH` defaults to `results/trace_table1_delay.jsonl`. Every
@@ -20,13 +20,15 @@
 //! `check_trace` binary now delegates here), `audit` replays the trace
 //! against the paper's analytic model (slack ≥ 0, TDMA serialization,
 //! Alg. 3 delay-neutrality, `E ∝ f²` consistency, metrics/span
-//! agreement), and `gate` diffs two bench reports — round-engine or
-//! kernel, told apart by their `"bench"` tag — against regression
-//! tolerances.
+//! agreement), and `gate` diffs two bench reports — round-engine,
+//! kernel, or population-scaling, told apart by their `"bench"` tag —
+//! against regression tolerances.
 
 use std::process::ExitCode;
 
-use helcfl_bench::gate::{gate, gate_kernels, GateConfig, KernelGateConfig};
+use helcfl_bench::gate::{
+    gate, gate_kernels, gate_population, GateConfig, KernelGateConfig, PopulationGateConfig,
+};
 use helcfl_telemetry::analyze::{
     check_coverage, phase_breakdown, SpanTree, Trace,
 };
@@ -41,9 +43,9 @@ const USAGE: &str = "usage: helcfl-trace <tree|phases|check|audit|gate> [args]
   audit  [PATH]                                           model-invariant audit
   gate   BASELINE CANDIDATE [--max-rps-drop-pct X]
          [--max-latency-growth-pct X] [--max-overhead-pp X]
-         [--max-gflops-drop-pct X]
+         [--max-gflops-drop-pct X] [--max-bytes-growth-pct X]
                                                           bench regression gate
-                                (round_engine or kernels reports, by \"bench\" tag)
+              (round_engine, kernels, or population reports, by \"bench\" tag)
 PATH defaults to results/trace_table1_delay.jsonl";
 
 /// Positional arguments and `--flag value` pairs, untangled.
@@ -188,6 +190,15 @@ fn cmd_gate(args: &Args) -> Result<(), String> {
             cfg.max_gflops_drop_pct = v;
         }
         gate_kernels(&baseline_text, &candidate_text, &cfg)?
+    } else if family == "population" {
+        let mut cfg = PopulationGateConfig::default();
+        if let Some(v) = args.flag_f64("max-latency-growth-pct")? {
+            cfg.max_latency_growth_pct = v;
+        }
+        if let Some(v) = args.flag_f64("max-bytes-growth-pct")? {
+            cfg.max_bytes_growth_pct = v;
+        }
+        gate_population(&baseline_text, &candidate_text, &cfg)?
     } else {
         let mut cfg = GateConfig::default();
         if let Some(v) = args.flag_f64("max-rps-drop-pct")? {

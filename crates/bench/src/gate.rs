@@ -283,6 +283,122 @@ pub fn gate_kernels(
     Ok(report)
 }
 
+/// Tolerances for [`gate_population`]. Latency percentiles at small
+/// populations are single-digit microseconds, so relative noise is
+/// large; the defaults catch a complexity-class regression (the
+/// indexed selector silently falling back to rescans), not scheduler
+/// jitter.
+#[derive(Debug, Clone, Copy)]
+pub struct PopulationGateConfig {
+    /// Max allowed growth in per-round p50/p99 latency, percent.
+    pub max_latency_growth_pct: f64,
+    /// Max allowed growth in resident bytes per device, percent.
+    pub max_bytes_growth_pct: f64,
+}
+
+impl Default for PopulationGateConfig {
+    fn default() -> Self {
+        Self { max_latency_growth_pct: 200.0, max_bytes_growth_pct: 25.0 }
+    }
+}
+
+/// Compares a candidate `BENCH_population.json` report (from the
+/// `bench_population` bin) against a baseline, matching per-size
+/// entries by `q`:
+///
+/// * `population.q{q}.round_p50_us` and `…round_p99_us` — may grow at
+///   most [`PopulationGateConfig::max_latency_growth_pct`] percent;
+/// * `population.q{q}.bytes_per_device` — may grow at most
+///   [`PopulationGateConfig::max_bytes_growth_pct`] percent.
+///
+/// Sizes present on only one side are noted, not failed (a `--smoke`
+/// candidate legitimately stops at `Q = 10^5` while the committed
+/// baseline sweeps to `10^7`); a `smoke` flag mismatch is likewise a
+/// note.
+///
+/// # Errors
+///
+/// Returns `Err` when either input is not valid JSON or is not a
+/// `population` bench report.
+pub fn gate_population(
+    baseline_text: &str,
+    candidate_text: &str,
+    cfg: &PopulationGateConfig,
+) -> Result<GateReport, String> {
+    let baseline = parse(baseline_text).map_err(|e| format!("baseline: invalid JSON: {e}"))?;
+    let candidate =
+        parse(candidate_text).map_err(|e| format!("candidate: invalid JSON: {e}"))?;
+    type Entry = (u64, f64, f64, f64); // (q, p50, p99, bytes/device)
+    let entries_of = |side: &str, report: &JsonValue| -> Result<Vec<Entry>, String> {
+        if report.get("bench").and_then(JsonValue::as_str) != Some("population") {
+            return Err(format!("{side}: not a population bench report"));
+        }
+        let JsonValue::Array(items) = report
+            .get("populations")
+            .ok_or_else(|| format!("{side}: missing populations array"))?
+        else {
+            return Err(format!("{side}: populations is not an array"));
+        };
+        items
+            .iter()
+            .map(|item| {
+                let get = |key: &str| {
+                    item.get(key).and_then(JsonValue::as_f64).ok_or_else(|| {
+                        format!("{side}: population entry without a numeric {key}")
+                    })
+                };
+                Ok((
+                    get("q")? as u64,
+                    get("round_p50_us")?,
+                    get("round_p99_us")?,
+                    get("bytes_per_device")?,
+                ))
+            })
+            .collect()
+    };
+    let base_entries = entries_of("baseline", &baseline)?;
+    let cand_entries = entries_of("candidate", &candidate)?;
+
+    let mut report = GateReport::default();
+    let smoke = |r: &JsonValue| r.get("smoke").and_then(JsonValue::as_bool);
+    if smoke(&baseline) != smoke(&candidate) {
+        report.notes.push(format!(
+            "smoke mismatch: baseline={:?} candidate={:?} — different sweep depths",
+            smoke(&baseline),
+            smoke(&candidate)
+        ));
+    }
+    let lat_ceil = 1.0 + cfg.max_latency_growth_pct / 100.0;
+    let bytes_ceil = 1.0 + cfg.max_bytes_growth_pct / 100.0;
+    for &(q, b_p50, b_p99, b_bytes) in &base_entries {
+        let Some(&(_, c_p50, c_p99, c_bytes)) =
+            cand_entries.iter().find(|(cq, ..)| *cq == q)
+        else {
+            report.notes.push(format!("population q={q}: absent from candidate"));
+            continue;
+        };
+        let mut check = |name: &str, b: f64, c: f64, ceil: f64| {
+            let limit = b * ceil;
+            report.checks.push(GateCheck {
+                name: format!("population.q{q}.{name}"),
+                baseline: b,
+                candidate: c,
+                limit,
+                passed: c <= limit,
+            });
+        };
+        check("round_p50_us", b_p50, c_p50, lat_ceil);
+        check("round_p99_us", b_p99, c_p99, lat_ceil);
+        check("bytes_per_device", b_bytes, c_bytes, bytes_ceil);
+    }
+    for &(q, ..) in &cand_entries {
+        if !base_entries.iter().any(|(bq, ..)| *bq == q) {
+            report.notes.push(format!("population q={q}: absent from baseline"));
+        }
+    }
+    Ok(report)
+}
+
 /// Exact nearest-rank percentile of an ascending-sorted slice: the
 /// smallest element such that at least `q·n` samples are ≤ it.
 ///
@@ -436,6 +552,87 @@ mod tests {
         assert!(gate_kernels(&engine, &kernels, &KernelGateConfig::default()).is_err());
         assert!(gate_kernels(&kernels, &engine, &KernelGateConfig::default()).is_err());
         assert!(gate_kernels("not json", &kernels, &KernelGateConfig::default()).is_err());
+    }
+
+    fn population_report(smoke: bool, entries: &[(u64, f64, f64, f64)]) -> String {
+        let items: Vec<String> = entries
+            .iter()
+            .map(|(q, p50, p99, bytes)| {
+                format!(
+                    r#"{{"q":{q},"target":10,"rounds":10,"build_us":100,"select_p50_us":1,"round_p50_us":{p50},"round_p99_us":{p99},"resident_bytes":1000,"bytes_per_device":{bytes}}}"#
+                )
+            })
+            .collect();
+        format!(
+            r#"{{"bench":"population","smoke":{smoke},"seed":2022,"populations":[{}]}}"#,
+            items.join(",")
+        )
+    }
+
+    #[test]
+    fn identical_population_reports_pass() {
+        let r = population_report(
+            false,
+            &[(1000, 2.0, 4.0, 58.0), (1_000_000, 900.0, 1500.0, 60.0)],
+        );
+        let g = gate_population(&r, &r, &PopulationGateConfig::default()).unwrap();
+        assert!(g.passed(), "{}", g.render());
+        assert_eq!(g.checks.len(), 6);
+        assert!(g.notes.is_empty(), "{:?}", g.notes);
+    }
+
+    #[test]
+    fn population_latency_cliff_fails() {
+        let base = population_report(false, &[(1_000_000, 900.0, 1500.0, 60.0)]);
+        // 10× p50: the complexity-class regression the gate exists for.
+        let cand = population_report(false, &[(1_000_000, 9000.0, 1500.0, 60.0)]);
+        let g = gate_population(&base, &cand, &PopulationGateConfig::default()).unwrap();
+        assert!(!g.passed());
+        let bad: Vec<_> = g.checks.iter().filter(|c| !c.passed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].name, "population.q1000000.round_p50_us");
+        // 200% growth tolerance on 900 µs means a 2700 µs ceiling.
+        assert!((bad[0].limit - 2700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn population_memory_growth_fails() {
+        let base = population_report(false, &[(1_000_000, 900.0, 1500.0, 60.0)]);
+        let cand = population_report(false, &[(1_000_000, 900.0, 1500.0, 90.0)]);
+        let g = gate_population(&base, &cand, &PopulationGateConfig::default()).unwrap();
+        assert!(!g.passed());
+        assert!(g
+            .checks
+            .iter()
+            .any(|c| !c.passed && c.name.ends_with("bytes_per_device")));
+        // A looser budget flips the verdict.
+        let loose = PopulationGateConfig { max_bytes_growth_pct: 60.0, ..Default::default() };
+        assert!(gate_population(&base, &cand, &loose).unwrap().passed());
+    }
+
+    #[test]
+    fn population_size_and_smoke_mismatches_are_notes() {
+        // Committed full sweep vs a smoke candidate that stops early.
+        let base = population_report(
+            false,
+            &[(1000, 2.0, 4.0, 58.0), (10_000_000, 8000.0, 12000.0, 62.0)],
+        );
+        let cand = population_report(true, &[(1000, 2.1, 4.2, 58.0), (500, 1.0, 2.0, 55.0)]);
+        let g = gate_population(&base, &cand, &PopulationGateConfig::default()).unwrap();
+        assert!(g.passed(), "{}", g.render());
+        assert_eq!(g.checks.len(), 3, "only the shared size is checked");
+        assert!(g.notes.iter().any(|n| n.contains("smoke mismatch")), "{:?}", g.notes);
+        assert!(g.notes.iter().any(|n| n.contains("q=10000000")), "{:?}", g.notes);
+        assert!(g.notes.iter().any(|n| n.contains("q=500")), "{:?}", g.notes);
+    }
+
+    #[test]
+    fn population_gate_rejects_wrong_reports() {
+        let pop = population_report(false, &[(1000, 2.0, 4.0, 58.0)]);
+        let engine = report(80.0, 81.0, 0.5, None);
+        assert!(gate_population(&engine, &pop, &PopulationGateConfig::default()).is_err());
+        assert!(gate_population(&pop, &engine, &PopulationGateConfig::default()).is_err());
+        assert!(gate_population("not json", &pop, &PopulationGateConfig::default()).is_err());
     }
 
     #[test]

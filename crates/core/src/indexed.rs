@@ -1,0 +1,588 @@
+//! Algorithm 2 at fleet scale — an incremental index over Eq.-20
+//! utilities.
+//!
+//! [`GreedyDecaySelector`](crate::selection::GreedyDecaySelector)
+//! re-scores and sorts the whole population every round: O(Q) utility
+//! evaluations plus an O(Q + N log N) partial sort. That is fine at
+//! the paper's Q = 100 and ruinous at Q = 10^7. This module keeps the
+//! scoring *factored* instead: Eq. 20 is `u_q = η^{A_q} / T_q` where
+//! `T_q` (the Eq.-9 delay at `f_max`) is static for the whole run, so
+//! devices can be bucketed by their appearance counter `A_q`, each
+//! bucket ordered once by delay. Within a bucket the η^{A_q} factor is
+//! a shared constant, so the bucket's *head* (minimum delay) is its
+//! maximum-utility member — a round's top-N is a k-way merge across
+//! bucket heads with the lazy α_q = η^{A_q} decay applied on pop.
+//! Counter increments and `on_delivery_failure` refunds are O(log B)
+//! bucket moves; nothing is ever rescanned.
+//!
+//! ## Exactness
+//!
+//! The index reproduces the reference selector *pick for pick, bit for
+//! bit*:
+//!
+//! - utilities are evaluated through the same [`utility`] function, so
+//!   float behavior is byte-identical;
+//! - IEEE division is monotone in the divisor, so for a fixed bucket
+//!   the minimum-delay entry really is an arg-max of `u`;
+//! - equal utilities break ties by ascending id, exactly like the
+//!   reference sort: equal-`u` entries within a bucket form a
+//!   contiguous run of delay groups walked via `BTreeSet::range`
+//!   jumps, cross-bucket ties compare the per-bucket run minima, and
+//!   fully-underflowed utilities (`η^{A_q} == 0.0`) live in a
+//!   dedicated id-ordered set;
+//! - a popped winner is *not* re-inserted until the round's merge
+//!   completes, mirroring the reference's frozen round-start
+//!   utilities.
+//!
+//! Like the reference (and Alg. 2's initialization phase), per-device
+//! delays are collected at first sight and assumed static thereafter.
+//!
+//! Devices that disappear from the selectable set (battery depletion)
+//! are parked when popped and re-inserted if they ever return; their
+//! counters are untouched, preserving the reference's id-keyed
+//! semantics under dropout and rejoin.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
+
+use fl_sim::error::{FlError, Result};
+use fl_sim::selection::{ClientSelector, SelectionContext};
+use helcfl_telemetry::{Class, Telemetry};
+use mec_sim::device::DeviceId;
+use mec_sim::units::{Bits, Seconds};
+
+use crate::utility::{utility, AppearanceCounters, DecayCoefficient};
+
+/// Where a known device currently lives in the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// Never seen; no delay cached.
+    Unknown,
+    /// In its appearance bucket (or the zero-utility set).
+    Placed,
+    /// Popped while unselectable; waiting to rejoin.
+    Parked,
+}
+
+/// The bucketed-utility index: buckets keyed by appearance counter,
+/// each an ordered set of `(delay_bits, id)` pairs. Positive-finite
+/// f64 delays compare identically to their bit patterns, so the
+/// `u64` keys give exact delay order without float keys in the tree.
+#[derive(Debug, Clone)]
+struct UtilityIndex {
+    payload: Bits,
+    /// Cached Eq.-9 delay (seconds) by id; meaningful iff not Unknown.
+    delay: Vec<f64>,
+    slot: Vec<Slot>,
+    /// Number of non-Unknown ids (= insertions so far).
+    known: usize,
+    buckets: BTreeMap<u32, BTreeSet<(u64, usize)>>,
+    /// Ids whose utility underflowed to exactly 0.0 — globally tied,
+    /// ordered by id like the reference's tie-break.
+    zero: BTreeSet<usize>,
+    /// Popped-but-unselectable ids awaiting rejoin.
+    parked: Vec<usize>,
+}
+
+impl UtilityIndex {
+    fn new(payload: Bits) -> Self {
+        Self {
+            payload,
+            delay: Vec::new(),
+            slot: Vec::new(),
+            known: 0,
+            buckets: BTreeMap::new(),
+            zero: BTreeSet::new(),
+            parked: Vec::new(),
+        }
+    }
+
+    fn ensure_id(&mut self, id: usize) {
+        if id >= self.slot.len() {
+            self.delay.resize(id + 1, f64::NAN);
+            self.slot.resize(id + 1, Slot::Unknown);
+        }
+    }
+
+    /// Inserts `id` into the structure for appearance count `a`,
+    /// recomputing Eq. 20 to decide between a bucket and the zero set
+    /// (`powi` is not guaranteed monotone in the exponent, so
+    /// membership is always decided fresh).
+    fn place(&mut self, id: usize, a: u32, eta: DecayCoefficient) {
+        let u = utility(eta, a, Seconds::new(self.delay[id]));
+        if u == 0.0 {
+            self.zero.insert(id);
+        } else {
+            self.buckets.entry(a).or_default().insert((self.delay[id].to_bits(), id));
+        }
+        self.slot[id] = Slot::Placed;
+    }
+
+    /// Removes a placed `id` known to sit at appearance count `a`.
+    fn remove_placed(&mut self, id: usize, a: u32) {
+        if !self.zero.remove(&id) {
+            let set = self.buckets.get_mut(&a).expect("placed id has a bucket");
+            let removed = set.remove(&(self.delay[id].to_bits(), id));
+            debug_assert!(removed, "placed id {id} missing from bucket {a}");
+            if set.is_empty() {
+                self.buckets.remove(&a);
+            }
+        }
+    }
+
+    /// Minimum id among this bucket's entries whose utility equals the
+    /// head's (`max_u`), plus that entry's delay bits. Equal-utility
+    /// entries are a contiguous run of delay groups from the head;
+    /// each group's first entry already has the group-minimal id, so
+    /// the walk jumps group to group via `range`.
+    fn run_min(
+        set: &BTreeSet<(u64, usize)>,
+        a: u32,
+        eta: DecayCoefficient,
+        max_u: f64,
+    ) -> (usize, u64) {
+        let &(d0, id0) = set.iter().next().expect("bucket is never empty");
+        let (mut best_id, mut best_d) = (id0, d0);
+        let mut cur = d0;
+        while let Some(&(d, id)) =
+            set.range((Bound::Excluded((cur, usize::MAX)), Bound::Unbounded)).next()
+        {
+            if utility(eta, a, Seconds::new(f64::from_bits(d))) != max_u {
+                break;
+            }
+            if id < best_id {
+                best_id = id;
+                best_d = d;
+            }
+            cur = d;
+        }
+        (best_id, best_d)
+    }
+}
+
+/// Drop-in replacement for
+/// [`GreedyDecaySelector`](crate::selection::GreedyDecaySelector)
+/// backed by the bucketed-utility index: same name (`"helcfl"`), same
+/// picks, same telemetry, O(N log B) per round instead of O(Q log Q).
+///
+/// # Examples
+///
+/// ```
+/// use fl_sim::selection::{ClientSelector, SelectionContext};
+/// use helcfl::indexed::IndexedDecaySelector;
+/// use helcfl::selection::GreedyDecaySelector;
+/// use mec_sim::population::PopulationBuilder;
+/// use mec_sim::units::Bits;
+///
+/// let pop = PopulationBuilder::paper_default().seed(7).build()?;
+/// let mut indexed = IndexedDecaySelector::default();
+/// let mut reference = GreedyDecaySelector::default();
+/// for round in 1..=20 {
+///     let ctx = SelectionContext {
+///         round,
+///         devices: pop.devices().into(),
+///         payload: Bits::from_megabits(40.0),
+///         target: 10,
+///     };
+///     assert_eq!(indexed.select(&ctx)?, reference.select(&ctx)?);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndexedDecaySelector {
+    eta: DecayCoefficient,
+    counters: AppearanceCounters,
+    /// Incremental mirror of `counters.coverage()` so the telemetry
+    /// gauge costs O(1), not an O(Q) scan.
+    coverage: usize,
+    index: Option<UtilityIndex>,
+}
+
+impl IndexedDecaySelector {
+    /// Creates a selector with decay coefficient `eta`.
+    pub fn new(eta: DecayCoefficient) -> Self {
+        Self { eta, counters: AppearanceCounters::default(), coverage: 0, index: None }
+    }
+
+    /// The configured decay coefficient.
+    #[inline]
+    pub fn eta(&self) -> DecayCoefficient {
+        self.eta
+    }
+
+    /// The appearance counters accumulated so far (indexed by
+    /// [`DeviceId`]).
+    #[inline]
+    pub fn counters(&self) -> &AppearanceCounters {
+        &self.counters
+    }
+
+    /// Approximate resident bytes of the selector: counters, cached
+    /// delays, slot map, and tree entries (tree nodes estimated at
+    /// 1.5× entry payload for allocator/branch overhead).
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = core::mem::size_of::<Self>() + self.counters.memory_bytes();
+        if let Some(ix) = &self.index {
+            total += ix.delay.capacity() * core::mem::size_of::<f64>();
+            total += ix.slot.capacity() * core::mem::size_of::<Slot>();
+            let entries =
+                ix.buckets.values().map(BTreeSet::len).sum::<usize>() + ix.zero.len();
+            total += entries * (core::mem::size_of::<(u64, usize)>() * 3 / 2);
+            total += ix.parked.capacity() * core::mem::size_of::<usize>();
+        }
+        total
+    }
+
+    fn select_inner(
+        &mut self,
+        ctx: &SelectionContext<'_>,
+        tele: &Telemetry,
+    ) -> Result<Vec<DeviceId>> {
+        if ctx.devices.is_empty() {
+            return Err(FlError::InvalidSelection { reason: "no devices to select".into() });
+        }
+        // A payload change invalidates every cached Eq.-9 delay.
+        if self.index.as_ref().is_none_or(|ix| ix.payload != ctx.payload) {
+            self.index = Some(UtilityIndex::new(ctx.payload));
+        }
+        let ix = self.index.as_mut().expect("just ensured");
+
+        // Universe sync: admit newly-seen ids. When ids are implicit
+        // backing positions (fleet- or mask-backed sets) and all of
+        // them are known, no new id can appear and the scan is skipped
+        // entirely — the steady-state rounds of a long run are O(N).
+        if !(ctx.devices.has_implicit_ids() && ix.known == ctx.devices.universe_len()) {
+            for d in ctx.devices.iter_universe() {
+                let id = d.id().0;
+                ix.ensure_id(id);
+                if ix.slot[id] == Slot::Unknown {
+                    self.counters.grow_to(id + 1);
+                    ix.delay[id] = d.total_delay_at_max(ctx.payload).get();
+                    ix.place(id, self.counters.get(id), self.eta);
+                    ix.known += 1;
+                }
+            }
+        }
+        // Rejoin: parked devices that are selectable again re-enter
+        // their bucket at their (unchanged) appearance count.
+        let parked = core::mem::take(&mut ix.parked);
+        for id in parked {
+            if ctx.devices.contains(DeviceId(id)) {
+                ix.place(id, self.counters.get(id), self.eta);
+            } else {
+                ix.parked.push(id);
+            }
+        }
+
+        let n = ctx.target.min(ctx.devices.len()).max(1);
+        let mut selected = Vec::with_capacity(n);
+        let eta_f = self.eta.get();
+        while selected.len() < n {
+            // Arg-max over bucket heads; the id-ordered zero set only
+            // matters once every positive-utility entry is gone.
+            let mut best: Option<(f64, u32, usize, u64)> = None; // (u, bucket, id, delay bits)
+            for (&a, set) in &ix.buckets {
+                let &(dbits, _) = set.iter().next().expect("bucket is never empty");
+                let u = utility(self.eta, a, Seconds::new(f64::from_bits(dbits)));
+                match best {
+                    Some((bu, ..)) if u < bu => {}
+                    Some((bu, _, bid, _)) if u == bu => {
+                        let (id, d) = UtilityIndex::run_min(set, a, self.eta, u);
+                        if id < bid {
+                            best = Some((u, a, id, d));
+                        }
+                    }
+                    _ => {
+                        let (id, d) = UtilityIndex::run_min(set, a, self.eta, u);
+                        best = Some((u, a, id, d));
+                    }
+                }
+            }
+            let id = match best {
+                Some((_, a, id, dbits)) => {
+                    let set = ix.buckets.get_mut(&a).expect("winning bucket exists");
+                    set.remove(&(dbits, id));
+                    if set.is_empty() {
+                        ix.buckets.remove(&a);
+                    }
+                    id
+                }
+                None => match ix.zero.iter().next().copied() {
+                    Some(id) => {
+                        ix.zero.remove(&id);
+                        id
+                    }
+                    None => {
+                        return Err(FlError::InvalidSelection {
+                            reason: "utility index exhausted before reaching the target"
+                                .into(),
+                        })
+                    }
+                },
+            };
+            if !ctx.devices.contains(DeviceId(id)) {
+                ix.slot[id] = Slot::Parked;
+                ix.parked.push(id);
+                continue;
+            }
+            if tele.is_enabled() {
+                // Same pre-increment α_q = η^{A_q} the reference logs.
+                let alpha = eta_f.powi(self.counters.get(id) as i32);
+                tele.record(Class::Sim, "selection.alpha", alpha);
+            }
+            if self.counters.get(id) == 0 {
+                self.coverage += 1;
+            }
+            self.counters.increment(id);
+            selected.push(DeviceId(id));
+        }
+        // Deferred re-placement: winners move to bucket A_q + 1 only
+        // after the merge, so this round's picks competed on utilities
+        // frozen at round start — exactly like the reference's single
+        // scored snapshot.
+        for d in &selected {
+            ix.place(d.0, self.counters.get(d.0), self.eta);
+        }
+        if tele.is_enabled() {
+            tele.with_metrics(|m| {
+                m.counter_add(Class::Sim, "selection.rounds", 1);
+                m.counter_add(Class::Sim, "selection.selected", selected.len() as u64);
+                m.gauge_set(Class::Sim, "selection.coverage", self.coverage as f64);
+            });
+        }
+        Ok(selected)
+    }
+}
+
+impl Default for IndexedDecaySelector {
+    fn default() -> Self {
+        Self::new(DecayCoefficient::default())
+    }
+}
+
+impl ClientSelector for IndexedDecaySelector {
+    /// Same scheme name as the reference selector: histories produced
+    /// by either implementation are byte-identical, CSV rows included.
+    fn name(&self) -> &'static str {
+        "helcfl"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>) -> Result<Vec<DeviceId>> {
+        self.select_inner(ctx, &Telemetry::disabled())
+    }
+
+    fn select_traced(
+        &mut self,
+        ctx: &SelectionContext<'_>,
+        tele: &Telemetry,
+    ) -> Result<Vec<DeviceId>> {
+        self.select_inner(ctx, tele)
+    }
+
+    fn on_delivery_failure(&mut self, failed: &[DeviceId]) {
+        // Same refund semantics and out-of-range guard as the
+        // reference; additionally an O(log B) bucket move keeps the
+        // index synchronized with the decremented counter.
+        for id in failed {
+            let q = id.0;
+            if q >= self.counters.len() {
+                continue;
+            }
+            let before = self.counters.get(q);
+            self.counters.decrement(q);
+            if before == 0 {
+                continue;
+            }
+            if before == 1 {
+                self.coverage -= 1;
+            }
+            if let Some(ix) = &mut self.index {
+                if q < ix.slot.len() && ix.slot[q] == Slot::Placed {
+                    ix.remove_placed(q, before);
+                    ix.place(q, before - 1, self.eta);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::GreedyDecaySelector;
+    use fl_sim::selection::validate_selection;
+    use mec_sim::population::PopulationBuilder;
+
+    fn ctx(devices: &[mec_sim::device::Device], round: usize, target: usize) -> SelectionContext<'_> {
+        SelectionContext {
+            round,
+            devices: devices.into(),
+            payload: Bits::from_megabits(40.0),
+            target,
+        }
+    }
+
+    #[test]
+    fn matches_reference_over_many_rounds() {
+        let pop = PopulationBuilder::paper_default().num_devices(40).seed(5).build().unwrap();
+        let mut indexed = IndexedDecaySelector::default();
+        let mut reference = GreedyDecaySelector::default();
+        for round in 1..=120 {
+            let c = ctx(pop.devices(), round, 4);
+            let a = indexed.select(&c).unwrap();
+            let b = reference.select(&c).unwrap();
+            assert_eq!(a, b, "round {round}");
+            validate_selection(&c, &a).unwrap();
+        }
+        for q in 0..40 {
+            assert_eq!(indexed.counters().get(q), reference.counters().get(q), "device {q}");
+        }
+    }
+
+    #[test]
+    fn fleet_backed_context_matches_slice_backed() {
+        let builder = PopulationBuilder::paper_default().num_devices(30).seed(9);
+        let pop = builder.build().unwrap();
+        let fleet = builder.build_fleet().unwrap();
+        let mut a = IndexedDecaySelector::default();
+        let mut b = IndexedDecaySelector::default();
+        for round in 1..=50 {
+            let slice_ctx = ctx(pop.devices(), round, 5);
+            let fleet_ctx = SelectionContext {
+                round,
+                devices: (&fleet).into(),
+                payload: Bits::from_megabits(40.0),
+                target: 5,
+            };
+            assert_eq!(a.select(&slice_ctx).unwrap(), b.select(&fleet_ctx).unwrap());
+        }
+    }
+
+    #[test]
+    fn empty_population_is_rejected() {
+        let mut sel = IndexedDecaySelector::default();
+        let c = ctx(&[], 1, 3);
+        assert!(sel.select(&c).is_err());
+    }
+
+    #[test]
+    fn payload_change_rebuilds_the_index() {
+        let pop = PopulationBuilder::paper_default().num_devices(20).seed(4).build().unwrap();
+        let mut indexed = IndexedDecaySelector::default();
+        let mut reference = GreedyDecaySelector::default();
+        for round in 1..=30 {
+            // Alternate payloads: delays (and hence utilities) differ
+            // per payload, and the index must follow.
+            let payload =
+                if round % 2 == 0 { Bits::from_megabits(40.0) } else { Bits::from_megabits(4.0) };
+            let c = SelectionContext {
+                round,
+                devices: pop.devices().into(),
+                payload,
+                target: 3,
+            };
+            assert_eq!(indexed.select(&c).unwrap(), reference.select(&c).unwrap(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn refunds_restore_selection_priority() {
+        let pop = PopulationBuilder::paper_default().num_devices(12).seed(6).build().unwrap();
+        let mut indexed = IndexedDecaySelector::default();
+        let mut reference = GreedyDecaySelector::default();
+        for round in 1..=40 {
+            let c = ctx(pop.devices(), round, 3);
+            let a = indexed.select(&c).unwrap();
+            let b = reference.select(&c).unwrap();
+            assert_eq!(a, b, "round {round}");
+            // Refund the slowest pick every third round.
+            if round % 3 == 0 {
+                let failed = [*a.last().unwrap()];
+                indexed.on_delivery_failure(&failed);
+                reference.on_delivery_failure(&failed);
+            }
+        }
+        for q in 0..12 {
+            assert_eq!(indexed.counters().get(q), reference.counters().get(q), "device {q}");
+        }
+        // An unknown id is ignored by both.
+        indexed.on_delivery_failure(&[DeviceId(999)]);
+    }
+
+    #[test]
+    fn dropout_and_rejoin_track_the_reference() {
+        let pop = PopulationBuilder::paper_default().num_devices(16).seed(8).build().unwrap();
+        let full = pop.devices().to_vec();
+        let evens: Vec<_> = full.iter().filter(|d| d.id().0 % 2 == 0).copied().collect();
+        let mut indexed = IndexedDecaySelector::default();
+        let mut reference = GreedyDecaySelector::default();
+        for round in 1..=60 {
+            // Every other block of 5 rounds, odd devices drop out.
+            let devices: &[mec_sim::device::Device] =
+                if (round / 5) % 2 == 0 { &full } else { &evens };
+            let c = ctx(devices, round, 3);
+            let a = indexed.select(&c).unwrap();
+            let b = reference.select(&c).unwrap();
+            assert_eq!(a, b, "round {round}");
+        }
+        for q in 0..16 {
+            assert_eq!(indexed.counters().get(q), reference.counters().get(q), "device {q}");
+        }
+    }
+
+    #[test]
+    fn telemetry_is_equivalent_to_the_reference() {
+        let pop = PopulationBuilder::paper_default().num_devices(25).seed(12).build().unwrap();
+        let tele_a = Telemetry::metrics_only();
+        let tele_b = Telemetry::metrics_only();
+        let mut indexed = IndexedDecaySelector::default();
+        let mut reference = GreedyDecaySelector::default();
+        for round in 1..=30 {
+            let c = ctx(pop.devices(), round, 5);
+            let a = indexed.select_traced(&c, &tele_a).unwrap();
+            let b = reference.select_traced(&c, &tele_b).unwrap();
+            assert_eq!(a, b, "round {round}");
+        }
+        let snap_a = tele_a.snapshot();
+        let snap_b = tele_b.snapshot();
+        assert_eq!(snap_a.counter("selection.rounds"), snap_b.counter("selection.rounds"));
+        assert_eq!(snap_a.counter("selection.selected"), snap_b.counter("selection.selected"));
+        // Gauge and full α-histogram (count, min/max, every bucket)
+        // must match the reference sample for sample.
+        assert_eq!(snap_a.get("selection.coverage"), snap_b.get("selection.coverage"));
+        assert!(snap_a.histogram("selection.alpha").is_some());
+        assert_eq!(snap_a.histogram("selection.alpha"), snap_b.histogram("selection.alpha"));
+    }
+
+    #[test]
+    fn eta_underflow_keeps_id_order_and_never_panics() {
+        // η = 1e-300 underflows to exactly 0.0 by the second
+        // appearance (1e-600 is subnormal-zero): every seen device
+        // lands in the zero set and selection degrades to pure id
+        // order — deterministically, with no partial_cmp panic.
+        let pop = PopulationBuilder::paper_default().num_devices(10).seed(3).build().unwrap();
+        let eta = DecayCoefficient::new(1.0e-300).unwrap();
+        let mut indexed = IndexedDecaySelector::new(eta);
+        let mut reference = GreedyDecaySelector::new(eta);
+        for round in 1..=25 {
+            let c = ctx(pop.devices(), round, 4);
+            let a = indexed.select(&c).unwrap();
+            let b = reference.select(&c).unwrap();
+            assert_eq!(a, b, "round {round}");
+        }
+        // After everyone decayed to zero utility, picks are the first
+        // N ids.
+        let c = ctx(pop.devices(), 99, 4);
+        let picks = indexed.select(&c).unwrap();
+        assert_eq!(picks, vec![DeviceId(0), DeviceId(1), DeviceId(2), DeviceId(3)]);
+    }
+
+    #[test]
+    fn memory_accessor_reports_nonzero_after_use() {
+        let pop = PopulationBuilder::paper_default().num_devices(50).seed(2).build().unwrap();
+        let mut sel = IndexedDecaySelector::default();
+        let baseline = sel.memory_bytes();
+        sel.select(&ctx(pop.devices(), 1, 5)).unwrap();
+        assert!(sel.memory_bytes() > baseline);
+    }
+}

@@ -80,18 +80,27 @@ impl GreedyDecaySelector {
             .devices
             .iter()
             .map(|d| {
-                let delay: Seconds = ctx.total_delay_at_max(d);
+                let delay: Seconds = ctx.total_delay_at_max(&d);
                 (d.id(), utility(self.eta, self.counters.get(d.id().0), delay))
             })
             .collect();
-        // Lines 14–19: greedily take the top-N by utility. A full sort
-        // (descending, ties by id for determinism) is equivalent to
-        // N arg-max passes over V'.
-        scored.sort_by(|a, b| {
+        // Lines 14–19: greedily take the top-N by utility (descending,
+        // ties by id for determinism) — equivalent to N arg-max passes
+        // over V'. (utility desc, id asc) is a strict total order over
+        // distinct ids, so partitioning the top N with select_nth and
+        // sorting only that prefix yields exactly the full sort's first
+        // N entries in the same order, at O(Q + N log N) instead of
+        // O(Q log Q).
+        let cmp = |a: &(DeviceId, f64), b: &(DeviceId, f64)| {
             b.1.partial_cmp(&a.1)
                 .expect("utilities are finite")
                 .then_with(|| a.0.cmp(&b.0))
-        });
+        };
+        if n < scored.len() {
+            scored.select_nth_unstable_by(n - 1, cmp);
+            scored.truncate(n);
+        }
+        scored.sort_by(cmp);
         let mut selected = Vec::with_capacity(n);
         let eta = self.eta.get();
         for &(id, _) in scored.iter().take(n) {
@@ -155,7 +164,7 @@ mod tests {
     use mec_sim::units::Bits;
 
     fn ctx<'a>(devices: &'a [Device], target: usize) -> SelectionContext<'a> {
-        SelectionContext { round: 1, devices, payload: Bits::from_megabits(40.0), target }
+        SelectionContext { round: 1, devices: devices.into(), payload: Bits::from_megabits(40.0), target }
     }
 
     #[test]
@@ -182,7 +191,7 @@ mod tests {
         for round in 1..=40 {
             let c = SelectionContext {
                 round,
-                devices: pop.devices(),
+                devices: pop.devices().into(),
                 payload: Bits::from_megabits(40.0),
                 target: 3,
             };
@@ -205,7 +214,7 @@ mod tests {
             for round in 1..=rounds {
                 let c = SelectionContext {
                     round,
-                    devices: pop.devices(),
+                    devices: pop.devices().into(),
                     payload: Bits::from_megabits(40.0),
                     target: 4,
                 };
@@ -226,7 +235,7 @@ mod tests {
             for round in 1..=10 {
                 let c = SelectionContext {
                     round,
-                    devices: pop.devices(),
+                    devices: pop.devices().into(),
                     payload: Bits::from_megabits(40.0),
                     target: 2,
                 };
@@ -247,7 +256,7 @@ mod tests {
         for round in 1..=6 {
             let c = SelectionContext {
                 round,
-                devices: pop.devices(),
+                devices: pop.devices().into(),
                 payload: mec_sim::units::Bits::from_megabits(40.0),
                 target: 3,
             };
@@ -303,6 +312,41 @@ mod tests {
             assert_eq!(sel.counters().get(q), expected, "device {q}");
         }
         let _ = picked;
+    }
+
+    #[test]
+    fn partial_sort_matches_full_sort_pick_for_pick() {
+        // Pin the select_nth_unstable_by fast path against the
+        // original full-sort oracle across many rounds and targets.
+        let pop = PopulationBuilder::paper_default().num_devices(50).seed(21).build().unwrap();
+        let eta = DecayCoefficient::new(0.5).unwrap();
+        let mut sel = GreedyDecaySelector::new(eta);
+        let mut oracle = AppearanceCounters::default();
+        for round in 1..=60 {
+            let target = 1 + round % 13;
+            let c = ctx(pop.devices(), target);
+            let picked = sel.select(&c).unwrap();
+
+            // Full-sort oracle over the same counter state.
+            oracle.grow_to(50);
+            let mut scored: Vec<(DeviceId, f64)> = pop
+                .devices()
+                .iter()
+                .map(|d| {
+                    let delay = c.total_delay_at_max(d);
+                    (d.id(), utility(eta, oracle.get(d.id().0), delay))
+                })
+                .collect();
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0))
+            });
+            let expected: Vec<DeviceId> =
+                scored.iter().take(target).map(|&(id, _)| id).collect();
+            for &id in &expected {
+                oracle.increment(id.0);
+            }
+            assert_eq!(picked, expected, "round {round} target {target}");
+        }
     }
 
     #[test]

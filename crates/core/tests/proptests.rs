@@ -93,7 +93,7 @@ fn selector_output_is_always_valid() {
         for round in 1..=rounds {
             let ctx = SelectionContext {
                 round,
-                devices: &devices,
+                devices: devices.as_slice().into(),
                 payload: Bits::from_megabits(40.0),
                 target,
             };
@@ -126,7 +126,7 @@ fn greedy_decay_eventually_covers_everyone() {
         for round in 1..=(60 * q) {
             let ctx = SelectionContext {
                 round,
-                devices: &devices,
+                devices: devices.as_slice().into(),
                 payload: Bits::from_megabits(40.0),
                 target: 1,
             };

@@ -12,7 +12,8 @@
 use detrand::Rng;
 use helcfl_telemetry::{span, Class, MetricsRegistry, Span, Telemetry};
 use mec_sim::battery::Battery;
-use mec_sim::device::{Device, DeviceId};
+use mec_sim::device::DeviceId;
+use mec_sim::fleet::AliveMask;
 use mec_sim::population::Population;
 use mec_sim::timeline::RoundTimeline;
 use mec_sim::units::{Bits, Joules, Seconds};
@@ -27,7 +28,7 @@ use crate::parallel::{with_trainer_pool, worker_threads};
 use crate::partition::Partition;
 use crate::seeds::{derive, SeedDomain};
 use crate::selection::{
-    selection_target, validate_selection, ClientSelector, SelectionContext,
+    selection_target, validate_selection, ClientSelector, DeviceSet, SelectionContext,
 };
 use crate::server::Flcc;
 
@@ -454,6 +455,11 @@ pub fn run_federated_traced(
         ),
         None => None,
     };
+    // Streaming availability: instead of materializing a filtered
+    // `Vec<Device>` every round (O(Q) per round), the mask is updated
+    // in place as batteries deplete during bookkeeping — the
+    // selectable set observed at each round start is identical.
+    let mut alive_mask = AliveMask::all_alive(setup.population.len());
     let mut evaluated_accuracies: Vec<f64> = Vec::new();
     tele.event("pool_resolved")
         .with("workers", workers)
@@ -481,32 +487,28 @@ pub fn run_federated_traced(
         }
 
         // 0. Battery-driven availability (paper §I: depleted devices
-        //    shut down and leave the selectable set V).
+        //    shut down and leave the selectable set V). The mask was
+        //    already updated when batteries drained last round.
         let span_phase = round_span.child("availability");
-        let alive: Vec<Device> = match &batteries {
-            Some(batteries) => population
-                .devices()
-                .iter()
-                .filter(|d| !batteries[d.id().0].is_depleted())
-                .copied()
-                .collect(),
-            None => population.devices().to_vec(),
-        };
+        let alive_count = alive_mask.alive_count();
         span_phase.end();
-        if alive.is_empty() {
+        if alive_count == 0 {
             break; // every device has shut down
         }
 
         // 1. Selection (Alg. 1 line 4).
         let span_phase = round_span.child("selection");
-        let ctx = SelectionContext {
-            round,
-            devices: &alive,
-            payload: config.payload,
-            target: target.min(alive.len()),
+        let selected_ids = {
+            let ctx = SelectionContext {
+                round,
+                devices: DeviceSet::from_slice(population.devices()).with_mask(&alive_mask),
+                payload: config.payload,
+                target: target.min(alive_count),
+            };
+            let selected_ids = selector.select_traced(&ctx, tele)?;
+            validate_selection(&ctx, &selected_ids)?;
+            selected_ids
         };
-        let selected_ids = selector.select_traced(&ctx, tele)?;
-        validate_selection(&ctx, &selected_ids)?;
         span_phase.end();
 
         // 2. Frequency determination + MEC round simulation.
@@ -617,6 +619,9 @@ pub fn run_federated_traced(
                 RoundSim::Plain(timeline) => {
                     for activity in timeline.activities() {
                         batteries[activity.device.0].try_drain(activity.total_energy());
+                        if batteries[activity.device.0].is_depleted() {
+                            alive_mask.kill(activity.device.0);
+                        }
                     }
                 }
                 RoundSim::Faulted(fr) => {
@@ -625,6 +630,9 @@ pub fn run_federated_traced(
                     // once, never the full-round cost.
                     for outcome in fr.outcomes() {
                         batteries[outcome.device.0].try_drain(outcome.total_energy());
+                        if batteries[outcome.device.0].is_depleted() {
+                            alive_mask.kill(outcome.device.0);
+                        }
                     }
                 }
             }
@@ -646,7 +654,7 @@ pub fn run_federated_traced(
         tele.with_metrics(|m| {
             m.counter_add(Class::Sim, "round.completed", 1);
             m.counter_add(Class::Sim, "round.selected", selected_ids.len() as u64);
-            m.gauge_set(Class::Sim, "round.alive_devices", alive.len() as f64);
+            m.gauge_set(Class::Sim, "round.alive_devices", alive_count as f64);
             m.record(Class::Sim, "round.train_loss", f64::from(train_loss));
             if let Some(accuracy) = test_accuracy {
                 m.counter_add(Class::Sim, "eval.runs", 1);
@@ -663,7 +671,7 @@ pub fn run_federated_traced(
             round,
             selected: selected_ids,
             delivered: delivered_ids,
-            alive_devices: alive.len(),
+            alive_devices: alive_count,
             round_time: sim.round_time(),
             eq10_time: sim.eq10_bound(),
             round_energy: sim.total_energy(),

@@ -3,17 +3,177 @@
 
 use helcfl_telemetry::Telemetry;
 use mec_sim::device::{Device, DeviceId};
+use mec_sim::fleet::{AliveMask, Fleet};
 use mec_sim::units::{Bits, Seconds};
 
 use crate::error::{FlError, Result};
+
+/// The round's selectable device set, abstracted over storage.
+///
+/// Selectors used to receive a freshly-filtered `&[Device]` every
+/// round — O(Q) time and memory before selection even started. A
+/// `DeviceSet` instead wraps either a plain slice (tests, small runs)
+/// or a struct-of-arrays [`Fleet`] (million-device runs), optionally
+/// restricted by an [`AliveMask`], and streams devices on demand.
+///
+/// **Mask contract:** when a mask is attached, the backing must be the
+/// *full* id-ordered population — position `q` holds `DeviceId(q)` —
+/// so liveness lookups are O(1) bit tests. Plain unmasked slices may
+/// hold arbitrary devices in arbitrary order.
+///
+/// Iteration always yields devices in backing order with dead devices
+/// skipped, which for the full-population contract means ascending id
+/// order — exactly the order the old filtered `Vec<Device>` had, so
+/// selector outputs are bit-identical.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceSet<'a> {
+    backing: Backing<'a>,
+    mask: Option<&'a AliveMask>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Backing<'a> {
+    Slice(&'a [Device]),
+    Fleet(&'a Fleet),
+}
+
+impl<'a> DeviceSet<'a> {
+    /// Wraps a plain device slice (every device selectable).
+    pub fn from_slice(devices: &'a [Device]) -> Self {
+        Self { backing: Backing::Slice(devices), mask: None }
+    }
+
+    /// Wraps a struct-of-arrays fleet (every device selectable).
+    pub fn from_fleet(fleet: &'a Fleet) -> Self {
+        Self { backing: Backing::Fleet(fleet), mask: None }
+    }
+
+    /// Restricts the set to mask-alive devices. The backing must obey
+    /// the full-population contract (position `q` ⇔ `DeviceId(q)`) and
+    /// the mask must cover it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length differs from the backing length.
+    pub fn with_mask(mut self, mask: &'a AliveMask) -> Self {
+        assert_eq!(
+            mask.len(),
+            self.universe_len(),
+            "alive mask must cover the full population"
+        );
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Number of selectable (alive) devices.
+    pub fn len(&self) -> usize {
+        match self.mask {
+            Some(mask) => mask.alive_count(),
+            None => self.universe_len(),
+        }
+    }
+
+    /// Whether no device is selectable.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of devices in the backing storage, dead ones included.
+    /// With the mask contract this equals `max_id + 1`.
+    pub fn universe_len(&self) -> usize {
+        match self.backing {
+            Backing::Slice(devices) => devices.len(),
+            Backing::Fleet(fleet) => fleet.len(),
+        }
+    }
+
+    /// Whether device ids are implicit backing positions (`DeviceId(q)`
+    /// at position `q`): true for fleets and for any masked set (the
+    /// mask contract requires it). Index-maintaining selectors use this
+    /// to skip per-round universe rescans.
+    pub fn has_implicit_ids(&self) -> bool {
+        matches!(self.backing, Backing::Fleet(_)) || self.mask.is_some()
+    }
+
+    /// Streams the selectable devices in backing order, skipping dead
+    /// ones. Fleet-backed sets reconstruct each `Device` on the fly.
+    pub fn iter(&self) -> impl Iterator<Item = Device> + 'a {
+        let mask = self.mask;
+        let alive = move |q: usize| mask.is_none_or(|m| m.is_alive(q));
+        match self.backing {
+            Backing::Slice(devices) => Either::A(
+                devices.iter().enumerate().filter(move |(q, _)| alive(*q)).map(|(_, d)| *d),
+            ),
+            Backing::Fleet(fleet) => Either::B(
+                (0..fleet.len()).filter(move |q| alive(*q)).map(|q| fleet.device(q)),
+            ),
+        }
+    }
+
+    /// Streams every device in the backing, ignoring the mask — the
+    /// rebuild path for index-maintaining selectors that track dead
+    /// devices too.
+    pub fn iter_universe(&self) -> impl Iterator<Item = Device> + 'a {
+        match self.backing {
+            Backing::Slice(devices) => Either::A(devices.iter().copied()),
+            Backing::Fleet(fleet) => Either::B(fleet.iter()),
+        }
+    }
+
+    /// Streams the selectable device ids in backing order.
+    pub fn ids(&self) -> impl Iterator<Item = DeviceId> + 'a {
+        self.iter().map(|d| d.id())
+    }
+
+    /// Whether `id` is selectable: O(1) for masked sets and fleets,
+    /// a linear scan for plain slices.
+    pub fn contains(&self, id: DeviceId) -> bool {
+        if let Some(mask) = self.mask {
+            return mask.is_alive(id.0);
+        }
+        match self.backing {
+            Backing::Slice(devices) => devices.iter().any(|d| d.id() == id),
+            Backing::Fleet(fleet) => id.0 < fleet.len(),
+        }
+    }
+}
+
+impl<'a> From<&'a [Device]> for DeviceSet<'a> {
+    fn from(devices: &'a [Device]) -> Self {
+        Self::from_slice(devices)
+    }
+}
+
+impl<'a> From<&'a Fleet> for DeviceSet<'a> {
+    fn from(fleet: &'a Fleet) -> Self {
+        Self::from_fleet(fleet)
+    }
+}
+
+/// Minimal two-variant iterator sum type (no external deps).
+enum Either<A, B> {
+    A(A),
+    B(B),
+}
+
+impl<A: Iterator<Item = T>, B: Iterator<Item = T>, T> Iterator for Either<A, B> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        match self {
+            Self::A(a) => a.next(),
+            Self::B(b) => b.next(),
+        }
+    }
+}
 
 /// Everything a selector may consult when picking the round's users.
 #[derive(Debug)]
 pub struct SelectionContext<'a> {
     /// 1-based training-iteration index `j`.
     pub round: usize,
-    /// All `Q` devices (the selectable set `V`).
-    pub devices: &'a [Device],
+    /// The selectable set `V` (alive devices).
+    pub devices: DeviceSet<'a>,
     /// Upload payload `C_model` in bits.
     pub payload: Bits,
     /// Requested selection size `N = max(Q·C, 1)`.
@@ -82,7 +242,8 @@ pub trait ClientSelector {
 }
 
 /// Validates a selector's output: non-empty, no duplicates, and every
-/// id present in the context's device set.
+/// id present in the context's device set. O(selected) when the set
+/// has O(1) membership (masked or fleet-backed).
 ///
 /// # Errors
 ///
@@ -98,7 +259,7 @@ pub fn validate_selection(ctx: &SelectionContext<'_>, selected: &[DeviceId]) -> 
                 reason: format!("device {id} selected twice"),
             });
         }
-        if !ctx.devices.iter().any(|d| d.id() == *id) {
+        if !ctx.devices.contains(*id) {
             return Err(FlError::InvalidSelection {
                 reason: format!("device {id} is not in the population"),
             });
@@ -131,7 +292,7 @@ mod tests {
     fn ctx(devices: &[Device]) -> SelectionContext<'_> {
         SelectionContext {
             round: 1,
-            devices,
+            devices: devices.into(),
             payload: Bits::from_megabits(40.0),
             target: 3,
         }
@@ -167,5 +328,59 @@ mod tests {
             c.total_delay_at_max(d),
             d.compute_delay_at_max() + d.upload_delay(c.payload)
         );
+    }
+
+    #[test]
+    fn slice_set_iterates_in_order_and_checks_membership() {
+        let pop = PopulationBuilder::paper_default().num_devices(6).build().unwrap();
+        let set = DeviceSet::from_slice(pop.devices());
+        assert_eq!(set.len(), 6);
+        assert!(!set.is_empty());
+        assert!(!set.has_implicit_ids());
+        let ids: Vec<usize> = set.ids().map(|id| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        assert!(set.contains(DeviceId(5)));
+        assert!(!set.contains(DeviceId(6)));
+    }
+
+    #[test]
+    fn masked_set_skips_dead_devices() {
+        let pop = PopulationBuilder::paper_default().num_devices(6).build().unwrap();
+        let mut mask = AliveMask::all_alive(6);
+        mask.kill(1);
+        mask.kill(4);
+        let set = DeviceSet::from_slice(pop.devices()).with_mask(&mask);
+        assert_eq!(set.len(), 4);
+        assert!(set.has_implicit_ids());
+        let ids: Vec<usize> = set.ids().map(|id| id.0).collect();
+        assert_eq!(ids, vec![0, 2, 3, 5]);
+        assert!(!set.contains(DeviceId(1)));
+        assert!(set.contains(DeviceId(2)));
+        // The universe still exposes everything.
+        assert_eq!(set.universe_len(), 6);
+        assert_eq!(set.iter_universe().count(), 6);
+    }
+
+    #[test]
+    fn fleet_set_matches_slice_set() {
+        let builder = PopulationBuilder::paper_default().num_devices(5).seed(3);
+        let pop = builder.build().unwrap();
+        let fleet = builder.build_fleet().unwrap();
+        let slice_set = DeviceSet::from_slice(pop.devices());
+        let fleet_set = DeviceSet::from_fleet(&fleet);
+        assert!(fleet_set.has_implicit_ids());
+        let a: Vec<Device> = slice_set.iter().collect();
+        let b: Vec<Device> = fleet_set.iter().collect();
+        assert_eq!(a, b);
+        assert!(fleet_set.contains(DeviceId(4)));
+        assert!(!fleet_set.contains(DeviceId(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "alive mask must cover")]
+    fn mismatched_mask_is_rejected() {
+        let pop = PopulationBuilder::paper_default().num_devices(6).build().unwrap();
+        let mask = AliveMask::all_alive(5);
+        let _ = DeviceSet::from_slice(pop.devices()).with_mask(&mask);
     }
 }

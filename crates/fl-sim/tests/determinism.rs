@@ -24,10 +24,9 @@ impl ClientSelector for Rotating {
     }
 
     fn select(&mut self, ctx: &SelectionContext<'_>) -> fl_sim::Result<Vec<DeviceId>> {
-        let n = ctx.devices.len();
-        Ok((0..ctx.target)
-            .map(|k| ctx.devices[(ctx.round + k) % n].id())
-            .collect())
+        let ids: Vec<DeviceId> = ctx.devices.ids().collect();
+        let n = ids.len();
+        Ok((0..ctx.target).map(|k| ids[(ctx.round + k) % n]).collect())
     }
 }
 

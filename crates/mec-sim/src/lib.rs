@@ -38,6 +38,7 @@ pub mod cpu;
 pub mod device;
 pub mod error;
 pub mod faults;
+pub mod fleet;
 pub mod population;
 pub mod tdma;
 pub mod timeline;
@@ -51,6 +52,8 @@ mod tests {
     fn public_types_are_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<crate::device::Device>();
+        assert_send_sync::<crate::fleet::Fleet>();
+        assert_send_sync::<crate::fleet::AliveMask>();
         assert_send_sync::<crate::population::Population>();
         assert_send_sync::<crate::timeline::RoundTimeline>();
         assert_send_sync::<crate::MecError>();

@@ -12,7 +12,8 @@ use crate::comm::Uplink;
 use crate::cpu::{DvfsCpu, FrequencyRange, PAPER_ALPHA};
 use crate::device::{Device, DeviceId};
 use crate::error::{MecError, Result};
-use crate::units::{Hertz, Watts};
+use crate::fleet::Fleet;
+use crate::units::{BitsPerSecond, Hertz, Watts};
 
 /// Builder for a heterogeneous [`Population`] of user devices.
 ///
@@ -140,6 +141,65 @@ impl PopulationBuilder {
     /// underlying validation error if a parameter combination is
     /// invalid (e.g. inverted frequency interval).
     pub fn build(&self) -> Result<Population> {
+        self.validate()?;
+        let mut rng = Rng::seed_from_u64(self.seed);
+        let mut devices = Vec::with_capacity(self.num_devices);
+        for i in 0..self.num_devices {
+            let (f_max, rate) = self.draw_device(&mut rng);
+            let cpu = DvfsCpu::new(FrequencyRange::new(self.f_min, f_max)?, self.alpha)?;
+            let uplink = Uplink::new(self.transmit_power, rate)?;
+            devices.push(Device::new(
+                DeviceId(i),
+                cpu,
+                self.cycles_per_sample,
+                self.default_samples,
+                uplink,
+            )?);
+        }
+        Ok(Population { devices, environment: self.environment })
+    }
+
+    /// Generates the same population as [`PopulationBuilder::build`] —
+    /// identical seed, identical draws, bit-identical devices — but
+    /// emits it directly in struct-of-arrays [`Fleet`] form, never
+    /// materializing a `Vec<Device>`. This is the entry point for
+    /// million-device runs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PopulationBuilder::build`], plus a
+    /// [`MecError::NonPositiveParameter`] if `default_samples`
+    /// overflows the fleet's `u32` sample storage.
+    pub fn build_fleet(&self) -> Result<Fleet> {
+        self.validate()?;
+        let samples = u32::try_from(self.default_samples).map_err(|_| {
+            MecError::NonPositiveParameter {
+                name: "default_samples overflows the fleet's u32 storage",
+                value: self.default_samples as f64,
+            }
+        })?;
+        let mut rng = Rng::seed_from_u64(self.seed);
+        let mut f_max = Vec::with_capacity(self.num_devices);
+        let mut rate = Vec::with_capacity(self.num_devices);
+        for _ in 0..self.num_devices {
+            let (f, r) = self.draw_device(&mut rng);
+            f_max.push(f.get());
+            rate.push(r.get());
+        }
+        let num_samples = vec![samples; self.num_devices];
+        Fleet::from_arrays(
+            self.f_min,
+            self.alpha,
+            self.cycles_per_sample,
+            self.transmit_power,
+            self.environment,
+            f_max,
+            rate,
+            num_samples,
+        )
+    }
+
+    fn validate(&self) -> Result<()> {
         if self.num_devices == 0 {
             return Err(MecError::EmptyDeviceSet);
         }
@@ -155,29 +215,25 @@ impl PopulationBuilder {
                 max: self.f_max_high,
             });
         }
-        let mut rng = Rng::seed_from_u64(self.seed);
-        let mut devices = Vec::with_capacity(self.num_devices);
-        for i in 0..self.num_devices {
-            let f_max = if self.f_max_low == self.f_max_high {
-                self.f_max_high
-            } else {
-                Hertz::new(rng.uniform(self.f_max_low.get(), self.f_max_high.get()))
-            };
-            let cpu = DvfsCpu::new(FrequencyRange::new(self.f_min, f_max)?, self.alpha)?;
-            let distance =
-                rng.uniform(self.distance_range_m.0, self.distance_range_m.1);
-            let gain = self.path_loss.sample_amplitude_gain(distance, &mut rng);
-            let rate = self.environment.uplink_rate(self.transmit_power, gain);
-            let uplink = Uplink::new(self.transmit_power, rate)?;
-            devices.push(Device::new(
-                DeviceId(i),
-                cpu,
-                self.cycles_per_sample,
-                self.default_samples,
-                uplink,
-            )?);
-        }
-        Ok(Population { devices, environment: self.environment })
+        Ok(())
+    }
+
+    /// One device's random draws, in the frozen order `build` has
+    /// always used: `f_max` (skipped for a degenerate interval), then
+    /// placement distance, then the shadowing sample inside
+    /// `sample_amplitude_gain`. `build` and `build_fleet` both route
+    /// through here so the two representations consume the RNG
+    /// identically.
+    fn draw_device(&self, rng: &mut Rng) -> (Hertz, BitsPerSecond) {
+        let f_max = if self.f_max_low == self.f_max_high {
+            self.f_max_high
+        } else {
+            Hertz::new(rng.uniform(self.f_max_low.get(), self.f_max_high.get()))
+        };
+        let distance = rng.uniform(self.distance_range_m.0, self.distance_range_m.1);
+        let gain = self.path_loss.sample_amplitude_gain(distance, rng);
+        let rate = self.environment.uplink_rate(self.transmit_power, gain);
+        (f_max, rate)
     }
 }
 
@@ -337,6 +393,31 @@ mod tests {
         let d = pop.get(DeviceId(17)).unwrap();
         assert_eq!(d.id(), DeviceId(17));
         assert!(pop.get(DeviceId(100)).is_none());
+    }
+
+    #[test]
+    fn build_fleet_matches_build_bit_for_bit() {
+        let builder = PopulationBuilder::paper_default().num_devices(64).seed(42);
+        let pop = builder.build().unwrap();
+        let fleet = builder.build_fleet().unwrap();
+        assert_eq!(fleet.len(), pop.len());
+        for (q, d) in pop.devices().iter().enumerate() {
+            assert_eq!(fleet.device(q), *d, "device {q} diverged");
+        }
+        assert_eq!(fleet, Fleet::from_population(&pop).unwrap());
+    }
+
+    #[test]
+    fn build_fleet_rejects_what_build_rejects() {
+        assert!(PopulationBuilder::paper_default().num_devices(0).build_fleet().is_err());
+        assert!(PopulationBuilder::paper_default()
+            .distance_range_m(200.0, 100.0)
+            .build_fleet()
+            .is_err());
+        assert!(PopulationBuilder::paper_default()
+            .f_max_interval(Hertz::from_ghz(2.0), Hertz::from_ghz(1.0))
+            .build_fleet()
+            .is_err());
     }
 
     #[test]

@@ -36,18 +36,19 @@ impl ClientSelector for StaleFirstSelector {
         if ctx.devices.is_empty() {
             return Err(FlError::InvalidSelection { reason: "no devices".into() });
         }
-        if self.last_seen.len() != ctx.devices.len() {
-            self.last_seen = vec![0; ctx.devices.len()];
+        let ids: Vec<DeviceId> = ctx.devices.ids().collect();
+        if self.last_seen.len() != ids.len() {
+            self.last_seen = vec![0; ids.len()];
         }
-        let mut order: Vec<usize> = (0..ctx.devices.len()).collect();
+        let mut order: Vec<usize> = (0..ids.len()).collect();
         order.sort_by_key(|&q| (self.last_seen[q], q));
-        let n = ctx.target.min(ctx.devices.len()).max(1);
+        let n = ctx.target.min(ids.len()).max(1);
         let picked: Vec<DeviceId> = order
             .into_iter()
             .take(n)
             .map(|q| {
                 self.last_seen[q] = ctx.round;
-                ctx.devices[q].id()
+                ids[q]
             })
             .collect();
         Ok(picked)
