@@ -25,8 +25,6 @@ trap 'rm -rf "$smoke_dir"' EXIT
 (
   cd "$smoke_dir"
   HELCFL_TRACE=jsonl "$repo_root/target/release/table1_delay" --fast --setting iid
-  # check_trace is the legacy shim; exercise it and the absorbing CLI.
-  "$repo_root/target/release/check_trace" results/trace_table1_delay.jsonl
   "$repo_root/target/release/helcfl-trace" check results/trace_table1_delay.jsonl
   # Replay the trace against the analytic model: slack ≥ 0, TDMA
   # serialization, E ∝ f², and delay-neutrality where claimed.
@@ -57,14 +55,18 @@ echo "==> perf gate: fresh --fast bench vs committed baseline"
 # tolerances — but markedly tighter than before the committed baseline
 # was recorded on the CI host itself: a --fast candidate now has to
 # stay within single-digit multiples of the full-scale numbers instead
-# of merely within two orders of magnitude. The self-gate against the
-# identical file is the exit-0 criterion.
+# of merely within two orders of magnitude. The overhead budget is the
+# loosest of all: relative telemetry overhead is regime-dependent —
+# --fast rounds are ~12× shorter than full-scale ones, so the same
+# fixed tracing cost reads as tens of percent here and under 1 % in
+# the committed baseline. The self-gate against the identical file
+# (default tolerances, 5 pp overhead) is the exit-0 criterion.
 (
   cd "$smoke_dir"
   "$repo_root/target/release/bench_round_engine" --fast > /dev/null
   "$repo_root/target/release/helcfl-trace" gate \
     "$repo_root/results/BENCH_round_engine.json" results/BENCH_round_engine.json \
-    --max-rps-drop-pct 80 --max-latency-growth-pct 500 --max-overhead-pp 30
+    --max-rps-drop-pct 80 --max-latency-growth-pct 500 --max-overhead-pp 75
   "$repo_root/target/release/helcfl-trace" gate \
     "$repo_root/results/BENCH_round_engine.json" "$repo_root/results/BENCH_round_engine.json"
 )
@@ -83,16 +85,29 @@ echo "==> kernel gate: fresh --smoke bench vs committed baseline"
     "$repo_root/results/BENCH_kernels.json" "$repo_root/results/BENCH_kernels.json"
 )
 
-echo "==> population gate: fresh --smoke sweep vs committed baseline"
+echo "==> population gate: traced --smoke sweep + digest audit vs committed baseline"
 # The committed baseline sweeps to Q = 10^7; the smoke candidate stops
 # at 10^5 (the extra sizes become notes, not failures). Latencies at
 # the shared sizes are single-digit to double-digit microseconds, so
 # the latency tolerance is loose — the gate exists to catch the
 # indexed selector losing its complexity class, not µs-level jitter.
-# Memory per device is deterministic and gets a tight budget.
+# Memory per device is deterministic and gets a tight budget. The
+# sweep runs in digest mode (--trace), and its cohort-digest trace
+# must satisfy the same schema check and analytic audit as a
+# full-fidelity federated trace; `watch` on the finished file proves
+# the tail-follower sees the rounds and exits on the metrics line.
+# Telemetry overhead is gated twice: the smoke candidate's absolute
+# per-round trace cost against the committed baseline (shared sizes),
+# and — via the self-gate — the committed report's relative overhead
+# at Q ≥ 10^6 against the absolute 10% ceiling.
 (
   cd "$smoke_dir"
-  "$repo_root/target/release/bench_population" --smoke > /dev/null
+  "$repo_root/target/release/bench_population" --smoke \
+    --trace results/trace_population.jsonl > /dev/null
+  "$repo_root/target/release/helcfl-trace" check results/trace_population.jsonl
+  "$repo_root/target/release/helcfl-trace" audit results/trace_population.jsonl
+  "$repo_root/target/release/helcfl-trace" watch results/trace_population.jsonl \
+    --interval-ms 10
   "$repo_root/target/release/helcfl-trace" gate \
     "$repo_root/results/BENCH_population.json" results/BENCH_population.json \
     --max-latency-growth-pct 400 --max-bytes-growth-pct 50

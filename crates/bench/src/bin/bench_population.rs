@@ -14,37 +14,69 @@
 //! which no real deployment does per round; a sub-percent cohort is
 //! the realistic regime the 50 ms latency budget applies to.
 //!
+//! Each size also measures the cost of *watching* a round at scale:
+//! the same selection + DVFS + TDMA pipeline runs with telemetry
+//! disabled and under digest-mode tracing, alternating, and the
+//! per-round medians of the two arms are compared (one `cohort_digest`
+//! aggregate plus [`TRACE_EXEMPLARS`] sampled `device_activity` spans
+//! per round, instead of `target` per-device spans). Digest tracing
+//! costs a *fixed amount per round* — the trace grows with rounds,
+//! not with the cohort — so the report records both forms:
+//! `trace_cost_us_per_round` (absolute, roughly flat across sizes)
+//! and `trace_overhead_pct` (relative, melting toward zero as rounds
+//! get heavier; at `Q = 10^3` a ~3 µs round cannot absorb a ~40 µs
+//! trace write, at `Q = 10^6` the same write disappears into a
+//! millisecond round). `helcfl-trace gate` accordingly bounds the
+//! per-round cost at every size and holds the relative overhead under
+//! [`PopulationGateConfig::max_trace_overhead_pct`] only at sizes
+//! where the round is heavy enough for the ratio to mean anything
+//! (`Q ≥ min_trace_overhead_q`). Both clamp at zero; the raw signed
+//! overhead is preserved alongside.
+//!
 //! Results go to stdout and `results/BENCH_population.json`
 //! (`helcfl-trace gate` diffs two such reports per population size).
 //!
-//! Usage: `bench_population [--smoke] [--seed N]`
+//! Usage: `bench_population [--smoke] [--seed N] [--trace PATH]`
 //!
 //! `--smoke` stops the size sweep at `Q = 10^5` and trims rounds for
 //! CI; the per-Q numbers stay comparable to the full report under the
-//! loose gate tolerances.
+//! loose gate tolerances. `--trace PATH` keeps the digest-mode JSONL
+//! trace (all sizes, one stream) for `helcfl-trace check`/`audit`;
+//! without it the trace goes to a temp file that is deleted on exit.
+//!
+//! [`PopulationGateConfig::max_trace_overhead_pct`]:
+//! helcfl_bench::gate::PopulationGateConfig
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use detrand::splitmix64;
 use fl_sim::frequency::FrequencyPolicy;
 use fl_sim::selection::{ClientSelector, SelectionContext};
 use helcfl::{IndexedDecaySelector, SlackFrequencyPolicy};
 use helcfl_bench::gate::percentile_nearest_rank;
 use helcfl_bench::json::JsonObject;
+use helcfl_telemetry::Telemetry;
 use mec_sim::population::PopulationBuilder;
+use mec_sim::timeline::{DigestConfig, RoundTimeline};
 use mec_sim::units::Bits;
 
 /// Population sizes of the full sweep (`--smoke` keeps the first 3).
 const SIZES: [usize; 5] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000];
 const SMOKE_SIZES: usize = 3;
 
+/// Exemplar devices per digest round — enough to spot-check the
+/// aggregates, small enough that trace volume is round-bound.
+const TRACE_EXEMPLARS: usize = 8;
+
 struct Args {
     smoke: bool,
     seed: u64,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { smoke: false, seed: 2022 };
+    let mut args = Args { smoke: false, seed: 2022, trace: None };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -53,9 +85,13 @@ fn parse_args() -> Args {
                 let v = it.next().expect("--seed requires a value");
                 args.seed = v.parse().expect("--seed must be an integer");
             }
+            "--trace" => {
+                let v = it.next().expect("--trace requires a path");
+                args.trace = Some(PathBuf::from(v));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_population [--smoke] [--seed N]");
+                eprintln!("usage: bench_population [--smoke] [--seed N] [--trace PATH]");
                 std::process::exit(2);
             }
         }
@@ -80,6 +116,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rounds,
         if args.smoke { " (smoke)" } else { "" }
     );
+    // One digest-mode JSONL stream covers the whole sweep, so the CI
+    // audit sees rounds at every size in a single file.
+    let trace_path = args.trace.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("bench_population_{}.jsonl", std::process::id()))
+    });
+    let tele_traced = Telemetry::to_file(&trace_path)?;
+    let tele_off = Telemetry::disabled();
+    let mut trace_round: u64 = 0;
     let mut populations = Vec::new();
     for &q in sizes {
         let target = target_for(q);
@@ -132,6 +176,100 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             build_us as f64 / 1e6
         );
 
+        // Telemetry overhead: the full selection + DVFS + TDMA round
+        // pipeline, untraced vs digest-traced. Same selector, same
+        // fleet — the round counter just keeps advancing, so both
+        // loops run in the selector's steady state.
+        let mut next_round = warmup + rounds;
+        // Phase children mirror the federated runner's round structure
+        // (selection → frequency → timeline) so the emitted trace
+        // satisfies the same ≥ 80 % span-coverage rule: at heavy sizes
+        // the round's wall-clock lives in those phases, and a round
+        // span whose only child wrapped the digest write would be
+        // almost entirely uncovered.
+        let mut sim_round = |round: usize, tele: &Telemetry, trace_round: u64| {
+            let mut round_span = tele.span("round");
+            round_span.set("index", trace_round);
+            let span_sel = round_span.child("selection");
+            let ctx = SelectionContext {
+                round,
+                devices: (&fleet).into(),
+                payload,
+                target,
+            };
+            let selected = selector.select(&ctx)?;
+            let cohort = fleet.gather(&selected);
+            span_sel.end();
+            let span_freq = round_span.child("frequency");
+            let freqs = SlackFrequencyPolicy.frequencies(&cohort, payload)?;
+            span_freq.end();
+            let mut span_tl = round_span.child("timeline");
+            let timeline = RoundTimeline::simulate(&cohort, &freqs, payload)?;
+            if tele.events_enabled() {
+                span_tl.set("policy", SlackFrequencyPolicy.name());
+                span_tl.set("delay_neutral", SlackFrequencyPolicy.delay_neutral());
+                timeline.trace_digest_into(
+                    &mut span_tl,
+                    DigestConfig {
+                        exemplars: TRACE_EXEMPLARS,
+                        seed: splitmix64(args.seed ^ trace_round),
+                    },
+                );
+            }
+            tele.with_metrics(|m| timeline.record_metrics(m));
+            span_tl.end();
+            round_span.end();
+            Ok::<(), Box<dyn std::error::Error>>(())
+        };
+        // The overhead is a difference of two per-round timings on a
+        // shared host, where a single scheduler hiccup can cost more
+        // than the entire effect being measured (observed: 3 ms
+        // outlier rounds against a ~50 µs tracing cost). So: time
+        // every round individually, alternate plain/traced passes,
+        // and compare the *medians* of the two per-round populations
+        // — outlier rounds land in the tails and never touch the
+        // estimate.
+        const OVERHEAD_REPS: usize = 3;
+        let mut plain_ns: Vec<u64> = Vec::with_capacity(OVERHEAD_REPS * rounds);
+        let mut traced_ns: Vec<u64> = Vec::with_capacity(OVERHEAD_REPS * rounds);
+        for _ in 0..OVERHEAD_REPS {
+            for _ in 0..rounds {
+                next_round += 1;
+                let t = Instant::now();
+                sim_round(next_round, &tele_off, 0)?;
+                plain_ns.push(t.elapsed().as_nanos() as u64);
+            }
+            for _ in 0..rounds {
+                next_round += 1;
+                trace_round += 1;
+                let t = Instant::now();
+                sim_round(next_round, &tele_traced, trace_round)?;
+                traced_ns.push(t.elapsed().as_nanos() as u64);
+            }
+        }
+        // The round-barrier drain happens once per size here, outside
+        // the timed loops — a tailing `watch` still sees whole sizes.
+        tele_traced.flush();
+        plain_ns.sort_unstable();
+        traced_ns.sort_unstable();
+        let plain_p50_ns = percentile_nearest_rank(&plain_ns, 0.5) as f64;
+        let traced_p50_ns = percentile_nearest_rank(&traced_ns, 0.5) as f64;
+        // Clamp at zero for gating — a traced median that happens to
+        // beat the untraced one is host noise, not negative cost. The
+        // raw signed value stays in the report for honesty.
+        let raw_trace_overhead_pct = (traced_p50_ns / plain_p50_ns - 1.0) * 100.0;
+        let trace_overhead_pct = raw_trace_overhead_pct.max(0.0);
+        // The absolute form of the same measurement: digest tracing
+        // costs a fixed amount per round (the trace grows with rounds,
+        // not devices), so this is the number that stays flat with Q
+        // while the relative overhead above melts toward zero.
+        let trace_cost_us_per_round = (traced_p50_ns - plain_p50_ns).max(0.0) / 1e3;
+        println!(
+            "             digest trace {trace_cost_us_per_round:7.1} µs/round \
+             ({trace_overhead_pct:.2} % of the round, raw {raw_trace_overhead_pct:+.2} %, \
+             {TRACE_EXEMPLARS} exemplars)"
+        );
+
         let mut entry = JsonObject::new();
         entry
             .field("q", q)
@@ -142,8 +280,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .field("round_p50_us", p50)
             .field("round_p99_us", p99)
             .field("resident_bytes", bytes)
-            .field("bytes_per_device", bytes_per_device);
+            .field("bytes_per_device", bytes_per_device)
+            .field("trace_exemplars", TRACE_EXEMPLARS)
+            .field("trace_overhead_pct", trace_overhead_pct)
+            .field("raw_trace_overhead_pct", raw_trace_overhead_pct)
+            .field("trace_cost_us_per_round", trace_cost_us_per_round);
         populations.push(entry);
+    }
+    tele_traced.finish();
+    if args.trace.is_some() {
+        println!("  digest trace written to {}", trace_path.display());
+    } else {
+        let _ = std::fs::remove_file(&trace_path);
     }
 
     let mut host = JsonObject::new();

@@ -9,41 +9,52 @@
 //! helcfl-trace phases [PATH]
 //! helcfl-trace check  [PATH]
 //! helcfl-trace audit  [PATH]
+//! helcfl-trace watch  [PATH] [--interval-ms N] [--max-polls N]
 //! helcfl-trace gate   BASELINE CANDIDATE [--max-rps-drop-pct X]
 //!                     [--max-latency-growth-pct X] [--max-overhead-pp X]
 //!                     [--max-gflops-drop-pct X] [--max-bytes-growth-pct X]
+//!                     [--max-trace-overhead-pct X]
 //! ```
 //!
 //! `PATH` defaults to `results/trace_table1_delay.jsonl`. Every
 //! subcommand exits non-zero on failure, so all of them can gate CI:
-//! `check` enforces the ≥ 80 % per-round span-coverage rule (the old
-//! `check_trace` binary now delegates here), `audit` replays the trace
-//! against the paper's analytic model (slack ≥ 0, TDMA serialization,
-//! Alg. 3 delay-neutrality, `E ∝ f²` consistency, metrics/span
-//! agreement), and `gate` diffs two bench reports — round-engine,
-//! kernel, or population-scaling, told apart by their `"bench"` tag —
-//! against regression tolerances.
+//! `check` enforces the ≥ 80 % per-round span-coverage rule, `audit`
+//! replays the trace against the paper's analytic model (slack ≥ 0,
+//! TDMA serialization, Alg. 3 delay-neutrality, `E ∝ f²` consistency,
+//! metrics/span agreement), and `gate` diffs two bench reports —
+//! round-engine, kernel, or population-scaling, told apart by their
+//! `"bench"` tag — against regression tolerances.
+//!
+//! `watch` tails a trace that is *still being written*: the runner
+//! flushes whole rounds at its round barrier, so each poll parses the
+//! well-formed prefix (a partially-flushed tail line and
+//! not-yet-parented spans are skipped, not fatal), prints a one-line
+//! snapshot whenever new rounds land, and exits once the trailing
+//! metrics line marks the run finished.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use helcfl_bench::gate::{
     gate, gate_kernels, gate_population, GateConfig, KernelGateConfig, PopulationGateConfig,
 };
 use helcfl_telemetry::analyze::{
-    check_coverage, phase_breakdown, SpanTree, Trace,
+    check_coverage, phase_breakdown, prune_orphan_spans, SpanTree, Trace,
 };
 use helcfl_telemetry::audit::{audit, AuditConfig};
 
 const DEFAULT_TRACE: &str = "results/trace_table1_delay.jsonl";
 
-const USAGE: &str = "usage: helcfl-trace <tree|phases|check|audit|gate> [args]
+const USAGE: &str = "usage: helcfl-trace <tree|phases|check|audit|watch|gate> [args]
   tree   [PATH] [--round N] [--max-depth D] [--limit N]   render span trees
   phases [PATH]                                           per-round phase table
   check  [PATH]                                           schema + coverage check
   audit  [PATH]                                           model-invariant audit
+  watch  [PATH] [--interval-ms N] [--max-polls N]         tail a growing trace
   gate   BASELINE CANDIDATE [--max-rps-drop-pct X]
          [--max-latency-growth-pct X] [--max-overhead-pp X]
          [--max-gflops-drop-pct X] [--max-bytes-growth-pct X]
+         [--max-trace-overhead-pct X]
                                                           bench regression gate
               (round_engine, kernels, or population reports, by \"bench\" tag)
 PATH defaults to results/trace_table1_delay.jsonl";
@@ -169,6 +180,65 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Tails a growing trace file. Each poll re-reads the file, parses the
+/// well-formed prefix leniently, and prints a one-line snapshot when
+/// new rounds have landed. Exits when the trailing metrics line
+/// appears (the writer called `finish()`), or after `--max-polls`
+/// polls — both are success: a watcher outliving its run is not a
+/// trace defect.
+fn cmd_watch(args: &Args) -> Result<(), String> {
+    let path = args.trace_path();
+    let interval =
+        Duration::from_millis(args.flag_usize("interval-ms")?.unwrap_or(500) as u64);
+    let max_polls = args.flag_usize("max-polls")?.unwrap_or(usize::MAX);
+    let mut last_rounds = 0usize;
+    let mut reported_final = false;
+    let mut polls = 0usize;
+    loop {
+        // The file may not exist yet (watch started before the run).
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        let (mut trace, mut pending) = Trace::parse_prefix(&text);
+        pending += prune_orphan_spans(&mut trace);
+        let finished = trace.metrics.is_some();
+        if !trace.spans.is_empty() {
+            // Lenient parsing guarantees every surviving span's parent
+            // chain resolves, so the tree build cannot fail here.
+            let tree = SpanTree::build(&trace)?;
+            let b = phase_breakdown(&trace, &tree);
+            if b.rounds > last_rounds || (finished && !reported_final) {
+                last_rounds = b.rounds;
+                reported_final = finished;
+                let top = b.phases.first().map_or_else(
+                    || "-".to_string(),
+                    |p| {
+                        format!(
+                            "{} {:.0}%",
+                            p.name,
+                            100.0 * p.total_us as f64 / b.rounds_total_us.max(1) as f64
+                        )
+                    },
+                );
+                println!(
+                    "watch: {} round(s), {:.2} s spanned, top phase {top}, \
+                     {pending} pending line(s)",
+                    b.rounds,
+                    b.rounds_total_us as f64 / 1e6,
+                );
+            }
+        }
+        if finished {
+            println!("watch: run finished — metrics line seen");
+            return Ok(());
+        }
+        polls += 1;
+        if polls >= max_polls {
+            println!("watch: stopped after {polls} poll(s) without a metrics line");
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 fn cmd_gate(args: &Args) -> Result<(), String> {
     let [baseline, candidate] = args.positional.as_slice() else {
         return Err("gate wants exactly two paths: BASELINE CANDIDATE".to_string());
@@ -197,6 +267,9 @@ fn cmd_gate(args: &Args) -> Result<(), String> {
         }
         if let Some(v) = args.flag_f64("max-bytes-growth-pct")? {
             cfg.max_bytes_growth_pct = v;
+        }
+        if let Some(v) = args.flag_f64("max-trace-overhead-pct")? {
+            cfg.max_trace_overhead_pct = v;
         }
         gate_population(&baseline_text, &candidate_text, &cfg)?
     } else {
@@ -233,6 +306,7 @@ fn main() -> ExitCode {
             "phases" => cmd_phases(&args),
             "check" => cmd_check(&args),
             "audit" => cmd_audit(&args),
+            "watch" => cmd_watch(&args),
             "gate" => cmd_gate(&args),
             other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
         }

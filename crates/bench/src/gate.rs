@@ -113,8 +113,12 @@ fn lookup_f64(root: &JsonValue, path: &str) -> Option<f64> {
 /// * `round_engine.serial.rounds_per_sec` and
 ///   `round_engine.parallel.rounds_per_sec` — may drop at most
 ///   [`GateConfig::max_rps_drop_pct`] percent;
-/// * `round_engine.telemetry.overhead_pct` — may grow at most
-///   [`GateConfig::max_overhead_pp`] percentage points;
+/// * `round_engine.telemetry.overhead_pct` and
+///   `round_engine.latency.events_overhead_pct` — may grow at most
+///   [`GateConfig::max_overhead_pp`] percentage points. Both sides are
+///   clamped at zero first: a negative overhead (the metered run beat
+///   the untraced one) is host noise, and letting it into the limit
+///   would gate future candidates against a below-zero baseline;
 /// * `round_engine.latency.p50_us` and `…p99_us` — may grow at most
 ///   [`GateConfig::max_latency_growth_pct`] percent.
 ///
@@ -153,9 +157,15 @@ pub fn gate(
         }
     }
 
-    let mut check = |path: &str, limit_of: &dyn Fn(f64) -> f64, higher_is_worse: bool| {
+    let mut check = |path: &str,
+                     limit_of: &dyn Fn(f64) -> f64,
+                     higher_is_worse: bool,
+                     clamp: bool| {
         match (lookup_f64(&baseline, path), lookup_f64(&candidate, path)) {
             (Some(b), Some(c)) => {
+                // Overheads recorded by older harnesses can be
+                // negative (timing noise); gate on the clamped values.
+                let (b, c) = if clamp { (b.max(0.0), c.max(0.0)) } else { (b, c) };
                 let limit = limit_of(b);
                 let passed = if higher_is_worse { c <= limit } else { c >= limit };
                 report.checks.push(GateCheck {
@@ -171,16 +181,23 @@ pub fn gate(
     };
 
     let rps_floor = 1.0 - cfg.max_rps_drop_pct / 100.0;
-    check("round_engine.serial.rounds_per_sec", &|b| b * rps_floor, false);
-    check("round_engine.parallel.rounds_per_sec", &|b| b * rps_floor, false);
+    check("round_engine.serial.rounds_per_sec", &|b| b * rps_floor, false, false);
+    check("round_engine.parallel.rounds_per_sec", &|b| b * rps_floor, false, false);
     check(
         "round_engine.telemetry.overhead_pct",
         &|b| b + cfg.max_overhead_pp,
         true,
+        true,
+    );
+    check(
+        "round_engine.latency.events_overhead_pct",
+        &|b| b + cfg.max_overhead_pp,
+        true,
+        true,
     );
     let lat_ceil = 1.0 + cfg.max_latency_growth_pct / 100.0;
-    check("round_engine.latency.p50_us", &|b| b * lat_ceil, true);
-    check("round_engine.latency.p99_us", &|b| b * lat_ceil, true);
+    check("round_engine.latency.p50_us", &|b| b * lat_ceil, true, false);
+    check("round_engine.latency.p99_us", &|b| b * lat_ceil, true, false);
 
     Ok(report)
 }
@@ -294,11 +311,35 @@ pub struct PopulationGateConfig {
     pub max_latency_growth_pct: f64,
     /// Max allowed growth in resident bytes per device, percent.
     pub max_bytes_growth_pct: f64,
+    /// Absolute ceiling on the digest-trace overhead of a round
+    /// (`trace_overhead_pct`), percent. Unlike the growth checks this
+    /// is not relative to the baseline: the contract is "watching a
+    /// round costs under this much", whatever it cost last time.
+    pub max_trace_overhead_pct: f64,
+    /// Smallest population size the relative-overhead ceiling applies
+    /// to. Digest tracing costs a fixed amount per round, so at small
+    /// `Q` the ratio against a microsecond-scale round is all fixed
+    /// cost and no signal; below this size only the absolute
+    /// `trace_cost_us_per_round` growth check runs.
+    pub min_trace_overhead_q: u64,
+    /// Floor on the `trace_cost_us_per_round` growth limit, µs. The
+    /// cost is a *difference* of two timings, so a lightly-loaded
+    /// baseline run can legitimately record ~0 µs at a size where the
+    /// rounds dwarf the tracing cost — and a multiplicative limit on
+    /// zero would fail any positive candidate. Limits never drop
+    /// below this; baselines above it are unaffected.
+    pub trace_cost_floor_us: f64,
 }
 
 impl Default for PopulationGateConfig {
     fn default() -> Self {
-        Self { max_latency_growth_pct: 200.0, max_bytes_growth_pct: 25.0 }
+        Self {
+            max_latency_growth_pct: 200.0,
+            max_bytes_growth_pct: 25.0,
+            max_trace_overhead_pct: 10.0,
+            min_trace_overhead_q: 1_000_000,
+            trace_cost_floor_us: 120.0,
+        }
     }
 }
 
@@ -309,7 +350,21 @@ impl Default for PopulationGateConfig {
 /// * `population.q{q}.round_p50_us` and `…round_p99_us` — may grow at
 ///   most [`PopulationGateConfig::max_latency_growth_pct`] percent;
 /// * `population.q{q}.bytes_per_device` — may grow at most
-///   [`PopulationGateConfig::max_bytes_growth_pct`] percent.
+///   [`PopulationGateConfig::max_bytes_growth_pct`] percent;
+/// * `population.q{q}.trace_cost_us_per_round` — the absolute
+///   per-round cost of digest tracing may grow at most
+///   [`PopulationGateConfig::max_latency_growth_pct`] percent (it is
+///   a latency of the same flavor), with the limit floored at
+///   [`PopulationGateConfig::trace_cost_floor_us`] so a ~0 µs
+///   baseline cannot fail every positive candidate. Checked at every
+///   size; absent from either side (an old harness) is a note;
+/// * `population.q{q}.trace_overhead_pct` — for sizes at or above
+///   [`PopulationGateConfig::min_trace_overhead_q`], must stay under
+///   the absolute [`PopulationGateConfig::max_trace_overhead_pct`]
+///   ceiling. A candidate entry without the field is a note; a
+///   baseline without one still gates the candidate against the fixed
+///   ceiling. Smaller sizes skip this check silently — there the
+///   ratio is all fixed per-round cost and no signal.
 ///
 /// Sizes present on only one side are noted, not failed (a `--smoke`
 /// candidate legitimately stops at `Q = 10^5` while the committed
@@ -328,7 +383,10 @@ pub fn gate_population(
     let baseline = parse(baseline_text).map_err(|e| format!("baseline: invalid JSON: {e}"))?;
     let candidate =
         parse(candidate_text).map_err(|e| format!("candidate: invalid JSON: {e}"))?;
-    type Entry = (u64, f64, f64, f64); // (q, p50, p99, bytes/device)
+    // (q, p50, p99, bytes/device, trace overhead %, trace µs/round —
+    // the trace fields are optional so reports from harnesses
+    // predating digest tracing still gate)
+    type Entry = (u64, f64, f64, f64, Option<f64>, Option<f64>);
     let entries_of = |side: &str, report: &JsonValue| -> Result<Vec<Entry>, String> {
         if report.get("bench").and_then(JsonValue::as_str) != Some("population") {
             return Err(format!("{side}: not a population bench report"));
@@ -352,6 +410,8 @@ pub fn gate_population(
                     get("round_p50_us")?,
                     get("round_p99_us")?,
                     get("bytes_per_device")?,
+                    item.get("trace_overhead_pct").and_then(JsonValue::as_f64),
+                    item.get("trace_cost_us_per_round").and_then(JsonValue::as_f64),
                 ))
             })
             .collect()
@@ -370,15 +430,14 @@ pub fn gate_population(
     }
     let lat_ceil = 1.0 + cfg.max_latency_growth_pct / 100.0;
     let bytes_ceil = 1.0 + cfg.max_bytes_growth_pct / 100.0;
-    for &(q, b_p50, b_p99, b_bytes) in &base_entries {
-        let Some(&(_, c_p50, c_p99, c_bytes)) =
+    for &(q, b_p50, b_p99, b_bytes, b_trace, b_cost) in &base_entries {
+        let Some(&(_, c_p50, c_p99, c_bytes, c_trace, c_cost)) =
             cand_entries.iter().find(|(cq, ..)| *cq == q)
         else {
             report.notes.push(format!("population q={q}: absent from candidate"));
             continue;
         };
-        let mut check = |name: &str, b: f64, c: f64, ceil: f64| {
-            let limit = b * ceil;
+        let mut check = |name: &str, b: f64, c: f64, limit: f64| {
             report.checks.push(GateCheck {
                 name: format!("population.q{q}.{name}"),
                 baseline: b,
@@ -387,9 +446,37 @@ pub fn gate_population(
                 passed: c <= limit,
             });
         };
-        check("round_p50_us", b_p50, c_p50, lat_ceil);
-        check("round_p99_us", b_p99, c_p99, lat_ceil);
-        check("bytes_per_device", b_bytes, c_bytes, bytes_ceil);
+        check("round_p50_us", b_p50, c_p50, b_p50 * lat_ceil);
+        check("round_p99_us", b_p99, c_p99, b_p99 * lat_ceil);
+        check("bytes_per_device", b_bytes, c_bytes, b_bytes * bytes_ceil);
+        match (b_cost, c_cost) {
+            (Some(b_c), Some(c_c)) => {
+                check(
+                    "trace_cost_us_per_round",
+                    b_c,
+                    c_c,
+                    (b_c * lat_ceil).max(cfg.trace_cost_floor_us),
+                );
+            }
+            _ => report.notes.push(format!(
+                "skipped population.q{q}.trace_cost_us_per_round: absent from one report"
+            )),
+        }
+        if q >= cfg.min_trace_overhead_q {
+            match c_trace {
+                // Absolute ceiling: the baseline value is informational
+                // (0.0 when the baseline predates digest tracing).
+                Some(c_t) => check(
+                    "trace_overhead_pct",
+                    b_trace.unwrap_or(0.0),
+                    c_t.max(0.0),
+                    cfg.max_trace_overhead_pct,
+                ),
+                None => report.notes.push(format!(
+                    "population q={q}: no trace_overhead_pct in candidate"
+                )),
+            }
+        }
     }
     for &(q, ..) in &cand_entries {
         if !base_entries.iter().any(|(bq, ..)| *bq == q) {
@@ -423,7 +510,9 @@ mod tests {
     fn report(serial_rps: f64, parallel_rps: f64, overhead: f64, latency: Option<(f64, f64)>) -> String {
         let latency = match latency {
             Some((p50, p99)) => {
-                format!(r#","latency":{{"rounds":300,"p50_us":{p50},"p99_us":{p99}}}"#)
+                format!(
+                    r#","latency":{{"rounds":300,"p50_us":{p50},"p99_us":{p99},"events_overhead_pct":1.2}}"#
+                )
             }
             None => String::new(),
         };
@@ -437,8 +526,30 @@ mod tests {
         let r = report(80.0, 81.0, 0.5, Some((12000.0, 15000.0)));
         let g = gate(&r, &r, &GateConfig::default()).unwrap();
         assert!(g.passed(), "{}", g.render());
-        assert_eq!(g.checks.len(), 5);
+        assert_eq!(g.checks.len(), 6);
         assert!(g.notes.is_empty(), "{:?}", g.notes);
+    }
+
+    /// A baseline recorded by an older harness can carry a negative
+    /// overhead (the metered run beat the untraced one by noise); the
+    /// gate clamps it so the limit never drops below `0 + tolerance`.
+    #[test]
+    fn negative_overhead_baselines_are_clamped_before_gating() {
+        let base = report(80.0, 81.0, -2.369415660932006, None);
+        let ok = report(80.0, 81.0, 4.0, None);
+        let g = gate(&base, &ok, &GateConfig::default()).unwrap();
+        assert!(g.passed(), "{}", g.render());
+        let check = g
+            .checks
+            .iter()
+            .find(|c| c.name.ends_with("overhead_pct"))
+            .expect("overhead check present");
+        assert_eq!(check.baseline, 0.0, "baseline not clamped");
+        assert!((check.limit - 5.0).abs() < 1e-12, "limit is 0 + 5pp");
+        // Beyond the clamped limit still fails.
+        let heavy = report(80.0, 81.0, 6.0, None);
+        let g = gate(&base, &heavy, &GateConfig::default()).unwrap();
+        assert!(!g.passed(), "{}", g.render());
     }
 
     #[test]
@@ -555,11 +666,27 @@ mod tests {
     }
 
     fn population_report(smoke: bool, entries: &[(u64, f64, f64, f64)]) -> String {
+        population_report_traced(smoke, entries, Some((1.5, 40.0)))
+    }
+
+    /// `trace` is the optional `(overhead %, µs/round)` pair every
+    /// entry carries; `None` mimics a report from an older harness.
+    fn population_report_traced(
+        smoke: bool,
+        entries: &[(u64, f64, f64, f64)],
+        trace: Option<(f64, f64)>,
+    ) -> String {
+        let trace = match trace {
+            Some((pct, cost)) => format!(
+                r#","trace_exemplars":8,"trace_overhead_pct":{pct},"trace_cost_us_per_round":{cost}"#
+            ),
+            None => String::new(),
+        };
         let items: Vec<String> = entries
             .iter()
             .map(|(q, p50, p99, bytes)| {
                 format!(
-                    r#"{{"q":{q},"target":10,"rounds":10,"build_us":100,"select_p50_us":1,"round_p50_us":{p50},"round_p99_us":{p99},"resident_bytes":1000,"bytes_per_device":{bytes}}}"#
+                    r#"{{"q":{q},"target":10,"rounds":10,"build_us":100,"select_p50_us":1,"round_p50_us":{p50},"round_p99_us":{p99},"resident_bytes":1000,"bytes_per_device":{bytes}{trace}}}"#
                 )
             })
             .collect();
@@ -577,8 +704,105 @@ mod tests {
         );
         let g = gate_population(&r, &r, &PopulationGateConfig::default()).unwrap();
         assert!(g.passed(), "{}", g.render());
-        assert_eq!(g.checks.len(), 6);
+        // 2 sizes × (p50, p99, bytes, trace cost) + the relative
+        // overhead ceiling at the one size ≥ min_trace_overhead_q.
+        assert_eq!(g.checks.len(), 9);
         assert!(g.notes.is_empty(), "{:?}", g.notes);
+    }
+
+    /// The trace-overhead check is an absolute ceiling at large sizes:
+    /// a candidate over the budget fails even when the baseline was
+    /// just as slow, and a baseline without the field still gates the
+    /// candidate. Small sizes skip the ceiling — their ratio is all
+    /// fixed per-round cost.
+    #[test]
+    fn population_trace_overhead_ceiling_is_absolute_and_scale_scoped() {
+        let entries = [(1_000_000, 900.0, 1500.0, 60.0)];
+        let base = population_report_traced(false, &entries, Some((12.0, 40.0)));
+        let cand = population_report_traced(false, &entries, Some((12.0, 40.0)));
+        let g = gate_population(&base, &cand, &PopulationGateConfig::default()).unwrap();
+        assert!(!g.passed(), "{}", g.render());
+        let bad: Vec<_> = g.checks.iter().filter(|c| !c.passed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].name, "population.q1000000.trace_overhead_pct");
+        assert!((bad[0].limit - 10.0).abs() < 1e-12, "default 10% ceiling");
+
+        // The same numbers at a small size pass: only the per-round
+        // cost is gated there, and it did not grow.
+        let small = [(1000, 2.0, 4.0, 58.0)];
+        let base_small = population_report_traced(false, &small, Some((1455.0, 40.0)));
+        let g = gate_population(&base_small, &base_small, &PopulationGateConfig::default())
+            .unwrap();
+        assert!(g.passed(), "{}", g.render());
+        assert!(
+            !g.checks.iter().any(|c| c.name.ends_with("trace_overhead_pct")),
+            "{}",
+            g.render()
+        );
+        assert!(g.checks.iter().any(|c| c.name.ends_with("trace_cost_us_per_round")));
+
+        // Old baseline without the trace fields: the candidate is
+        // still held to the absolute ceiling, the cost check is noted.
+        let old = population_report_traced(false, &entries, None);
+        let fast = population_report_traced(false, &entries, Some((3.0, 40.0)));
+        let g = gate_population(&old, &fast, &PopulationGateConfig::default()).unwrap();
+        assert!(g.passed(), "{}", g.render());
+        assert!(g.checks.iter().any(|c| c.name.ends_with("trace_overhead_pct")));
+        assert!(
+            g.notes.iter().any(|n| n.contains("trace_cost_us_per_round")),
+            "{:?}",
+            g.notes
+        );
+        // And an old candidate is a note, not a failure.
+        let g = gate_population(&fast, &old, &PopulationGateConfig::default()).unwrap();
+        assert!(g.passed(), "{}", g.render());
+        assert!(
+            g.notes.iter().any(|n| n.contains("no trace_overhead_pct")),
+            "{:?}",
+            g.notes
+        );
+    }
+
+    /// A tracing-cost regression (say, an accidental per-device span
+    /// re-emission) is caught by the per-round cost check at any size.
+    #[test]
+    fn population_trace_cost_growth_fails() {
+        let base =
+            population_report_traced(false, &[(1000, 2.0, 4.0, 58.0)], Some((1400.0, 40.0)));
+        let cand =
+            population_report_traced(false, &[(1000, 2.0, 4.0, 58.0)], Some((1400.0, 400.0)));
+        let g = gate_population(&base, &cand, &PopulationGateConfig::default()).unwrap();
+        assert!(!g.passed(), "{}", g.render());
+        let bad: Vec<_> = g.checks.iter().filter(|c| !c.passed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].name, "population.q1000.trace_cost_us_per_round");
+        // 200% growth tolerance on 40 µs means a 120 µs ceiling
+        // (which coincides with the floor).
+        assert!((bad[0].limit - 120.0).abs() < 1e-9);
+    }
+
+    /// A baseline that measured ~zero tracing cost (the diff of two
+    /// timings legitimately hits 0 when rounds dwarf the trace write)
+    /// must not turn every positive candidate into a failure: the
+    /// growth limit is floored.
+    #[test]
+    fn population_trace_cost_zero_baseline_uses_the_floor() {
+        let entries = [(10_000_000, 9000.0, 15000.0, 60.0)];
+        let base = population_report_traced(false, &entries, Some((0.0, 0.0)));
+        let ok = population_report_traced(false, &entries, Some((0.5, 80.0)));
+        let cfg = PopulationGateConfig::default();
+        let g = gate_population(&base, &ok, &cfg).unwrap();
+        assert!(g.passed(), "{}", g.render());
+        let cost = g
+            .checks
+            .iter()
+            .find(|c| c.name.ends_with("trace_cost_us_per_round"))
+            .unwrap();
+        assert!((cost.limit - cfg.trace_cost_floor_us).abs() < 1e-12);
+        // Beyond the floor still fails.
+        let slow = population_report_traced(false, &entries, Some((0.5, 400.0)));
+        let g = gate_population(&base, &slow, &cfg).unwrap();
+        assert!(!g.passed(), "{}", g.render());
     }
 
     #[test]
@@ -620,7 +844,7 @@ mod tests {
         let cand = population_report(true, &[(1000, 2.1, 4.2, 58.0), (500, 1.0, 2.0, 55.0)]);
         let g = gate_population(&base, &cand, &PopulationGateConfig::default()).unwrap();
         assert!(g.passed(), "{}", g.render());
-        assert_eq!(g.checks.len(), 3, "only the shared size is checked");
+        assert_eq!(g.checks.len(), 4, "only the shared size is checked");
         assert!(g.notes.iter().any(|n| n.contains("smoke mismatch")), "{:?}", g.notes);
         assert!(g.notes.iter().any(|n| n.contains("q=10000000")), "{:?}", g.notes);
         assert!(g.notes.iter().any(|n| n.contains("q=500")), "{:?}", g.notes);

@@ -1,0 +1,110 @@
+//! End-to-end checks of the `helcfl-trace` binary: `check` keeps the
+//! validation the retired `check_trace` shim enforced (strict schema,
+//! resolvable parents, coverage rule), and `watch` tails a trace
+//! without hanging CI.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A minimal valid trace: one round whose only child covers 100% of
+/// its duration, emitted completion-ordered (child first).
+const TRACE: &str = concat!(
+    r#"{"type":"span","name":"timeline","id":3,"parent":2,"t_us":0,"dur_us":20000}"#,
+    "\n",
+    r#"{"type":"span","name":"round","id":2,"parent":null,"t_us":0,"dur_us":20000,"attrs":{"index":1}}"#,
+    "\n",
+);
+
+/// The same round with the writer's trailing metrics line — what a
+/// finished run's file looks like.
+const FINISHED_TRACE: &str = concat!(
+    r#"{"type":"span","name":"timeline","id":3,"parent":2,"t_us":0,"dur_us":20000}"#,
+    "\n",
+    r#"{"type":"span","name":"round","id":2,"parent":null,"t_us":0,"dur_us":20000,"attrs":{"index":1}}"#,
+    "\n",
+    r#"{"type":"metrics","metrics":{}}"#,
+    "\n",
+);
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("helcfl_trace_cli_{tag}_{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn trace_cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_helcfl-trace"))
+}
+
+#[test]
+fn check_validates_a_wellformed_trace() {
+    let dir = scratch("ok");
+    let path = dir.join("trace.jsonl");
+    fs::write(&path, TRACE).unwrap();
+
+    let output = trace_cli().arg("check").arg(&path).output().expect("run helcfl-trace");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("OK"), "missing verdict: {stdout}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_fails_on_a_malformed_trace() {
+    let dir = scratch("bad");
+    let path = dir.join("bad.jsonl");
+    fs::write(&path, "not json at all\n").unwrap();
+
+    let output = trace_cli().arg("check").arg(&path).output().expect("run helcfl-trace");
+    assert!(!output.status.success(), "malformed trace must fail check");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("FAIL"), "missing failure banner: {stderr}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn watch_exits_cleanly_when_the_run_is_finished() {
+    let dir = scratch("watch_done");
+    let path = dir.join("trace.jsonl");
+    fs::write(&path, FINISHED_TRACE).unwrap();
+
+    let output = trace_cli()
+        .args(["watch", path.to_str().unwrap(), "--interval-ms", "10"])
+        .output()
+        .expect("run helcfl-trace");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("1 round(s)"), "missing snapshot line: {stdout}");
+    assert!(stdout.contains("run finished"), "missing exit reason: {stdout}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// A mid-run snapshot: the tail line is half-flushed and a child's
+/// `round` parent has not landed yet. `watch` must tolerate both and
+/// stop at the poll budget instead of hanging.
+#[test]
+fn watch_tolerates_a_partial_trace_and_poll_budget() {
+    let dir = scratch("watch_partial");
+    let path = dir.join("trace.jsonl");
+    let partial = format!(
+        "{TRACE}{}\n{}",
+        r#"{"type":"span","name":"timeline","id":9,"parent":8,"t_us":0,"dur_us":5}"#,
+        r#"{"type":"span","name":"rou"#, // torn tail write
+    );
+    fs::write(&path, partial).unwrap();
+
+    let output = trace_cli()
+        .args(["watch", path.to_str().unwrap(), "--interval-ms", "1", "--max-polls", "2"])
+        .output()
+        .expect("run helcfl-trace");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("1 round(s)"), "orphan/torn lines leaked in: {stdout}");
+    assert!(stdout.contains("2 pending line(s)"), "pending count wrong: {stdout}");
+    assert!(stdout.contains("stopped after 2 poll(s)"), "budget exit missing: {stdout}");
+    fs::remove_dir_all(&dir).ok();
+}

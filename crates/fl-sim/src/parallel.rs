@@ -777,7 +777,13 @@ pub fn with_trainer_pool<R>(
     std::thread::scope(|scope| {
         let shared = &shared;
         for (wid, trainer) in trainers.into_iter().enumerate() {
-            scope.spawn(move || worker_loop(wid, workers, trainer, shared, clients, eval_set));
+            scope.spawn(move || {
+                // Claim this worker's ShardedSink buffer up front, so
+                // any event emitted from worker context lands in its
+                // own shard instead of contending on a global lock.
+                helcfl_telemetry::register_shard(wid);
+                worker_loop(wid, workers, trainer, shared, clients, eval_set);
+            });
         }
         let _shutdown = ShutdownGuard { shared };
         let mut pool = TrainerPool { clients, eval_set, workers, mode: PoolMode::Pooled(shared) };

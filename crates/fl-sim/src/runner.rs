@@ -9,13 +9,17 @@
 //! fixed index order — so a run's [`TrainingHistory`] is bit-identical
 //! for every thread count.
 
-use detrand::Rng;
-use helcfl_telemetry::{span, Class, MetricsRegistry, Span, Telemetry};
+use std::time::{Duration, Instant};
+
+use detrand::{splitmix64, Rng};
+use helcfl_telemetry::{
+    resource, span, Class, MetricsRegistry, ProgressSink, RoundSnapshot, Span, Telemetry,
+};
 use mec_sim::battery::Battery;
 use mec_sim::device::DeviceId;
 use mec_sim::fleet::AliveMask;
 use mec_sim::population::Population;
-use mec_sim::timeline::RoundTimeline;
+use mec_sim::timeline::{DigestConfig, RoundTimeline};
 use mec_sim::units::{Bits, Joules, Seconds};
 
 use crate::client::{build_clients, Client, LocalUpdateSpec};
@@ -80,6 +84,15 @@ pub struct TrainingConfig {
     /// deadline, minimum aggregation quorum, and the `α_q`
     /// charge-or-refund rule.
     pub degradation: DegradationPolicy,
+    /// Digest-mode tracing: `Some(k)` replaces the per-device
+    /// `device_activity` children of each traced `timeline` span with
+    /// one `cohort_digest` aggregate plus `k` deterministically sampled
+    /// exemplar devices (per-round streams split off
+    /// [`Self::seed`] via `SeedDomain::DigestExemplars`). This changes
+    /// only the trace shape — histories and Sim metrics are
+    /// bit-identical with `None` — and is how million-device runs stay
+    /// traceable.
+    pub digest_exemplars: Option<usize>,
     /// Model layer widths `[input, hidden…, classes]`.
     pub model_dims: Vec<usize>,
     /// Master seed (split per component; see [`crate::seeds`]).
@@ -103,6 +116,7 @@ impl Default for TrainingConfig {
             convergence: None,
             faults: FaultConfig::none(),
             degradation: DegradationPolicy::default(),
+            digest_exemplars: None,
             model_dims: vec![64, 64, 10],
             seed: 0,
         }
@@ -373,6 +387,13 @@ impl RoundSim {
             Self::Faulted(f) => f.trace_into(span),
         }
     }
+
+    fn trace_digest_into(&self, span: &mut Span, cfg: DigestConfig) {
+        match self {
+            Self::Plain(t) => t.trace_digest_into(span, cfg),
+            Self::Faulted(f) => f.trace_digest_into(span, cfg),
+        }
+    }
 }
 
 /// Runs the full synchronous FL loop (Alg. 1) and returns its history.
@@ -420,6 +441,16 @@ pub fn run_federated(
 /// [`Telemetry::disabled`] handle this is exactly [`run_federated`]:
 /// every telemetry call short-circuits on one `Option` check.
 ///
+/// With [`TrainingConfig::digest_exemplars`] set, the `timeline` phase
+/// instead carries one `cohort_digest` aggregate plus the sampled
+/// exemplar `device_activity` spans. Every round additionally records
+/// Runtime-class resource gauges (`runtime.rss_bytes`,
+/// `runtime.peak_rss_bytes`, `fleet.memory_bytes`, and
+/// `pool.busy_share`/`pool.idle_share` pool utilization), feeds the
+/// opt-in `HELCFL_PROGRESS` live monitor, and ends with a sink flush —
+/// the round barrier on which sharded sinks drain their per-worker
+/// buffers in fixed order.
+///
 /// # Errors
 ///
 /// Same conditions as [`run_federated`].
@@ -461,6 +492,19 @@ pub fn run_federated_traced(
     // selectable set observed at each round start is identical.
     let mut alive_mask = AliveMask::all_alive(setup.population.len());
     let mut evaluated_accuracies: Vec<f64> = Vec::new();
+    // Per-round exemplar sampling streams for digest-mode tracing: one
+    // splitmix64 step off a dedicated seed domain per round, so the
+    // exemplar choice is reproducible and independent of every other
+    // consumer of the master seed.
+    let digest_master = derive(config.seed, SeedDomain::DigestExemplars);
+    // Live run monitor (stderr; opt-in via HELCFL_PROGRESS). Wall-clock
+    // only — it never touches the trace stream or Sim metrics.
+    let mut progress = ProgressSink::from_env();
+    let mut faults_cumulative: u64 = 0;
+    // Cumulative busy/idle nanoseconds already attributed to the pool,
+    // for per-round utilization deltas.
+    let mut pool_ns_seen = (0u64, 0u64);
+    let fleet_bytes = setup.population.memory_bytes();
     tele.event("pool_resolved")
         .with("workers", workers)
         .with("requested", config.threads)
@@ -478,6 +522,10 @@ pub fn run_federated_traced(
     with_trainer_pool(workers, &config.model_dims, clients, eval_set, move |pool| {
     for round in 1..=config.max_rounds {
         let mut round_span = span!(tele, "round", index = round);
+        // Wall-clock phase timing feeds only the live monitor; skip
+        // even the Instant reads when nobody is watching.
+        let timing = progress.is_some();
+        let mut phases: Vec<(&'static str, Duration)> = Vec::new();
         if tele.events_enabled() {
             // Fingerprint of this round's base RNG stream: two runs
             // that diverge can be bisected to the first round whose
@@ -519,6 +567,7 @@ pub fn run_federated_traced(
             .collect();
         let freqs = frequency_policy.frequencies_traced(&selected, config.payload, tele)?;
         span_phase.end();
+        let phase_t0 = timing.then(Instant::now);
         let mut span_phase = round_span.child("timeline");
         let sim = if faulted_engine {
             let faults: Vec<Option<DeviceFault>> =
@@ -541,9 +590,24 @@ pub fn run_federated_traced(
             // all-at-f_max makespan bound (FEDL legitimately doesn't).
             span_phase.set("policy", frequency_policy.name());
             span_phase.set("delay_neutral", frequency_policy.delay_neutral());
-            sim.trace_into(&mut span_phase);
+            // Digest mode swaps the Q per-device spans for one
+            // cohort_digest aggregate plus k sampled exemplars; the
+            // per-round seed keeps the sample reproducible.
+            match config.digest_exemplars {
+                Some(exemplars) => sim.trace_digest_into(
+                    &mut span_phase,
+                    DigestConfig {
+                        exemplars,
+                        seed: splitmix64(digest_master ^ round as u64),
+                    },
+                ),
+                None => sim.trace_into(&mut span_phase),
+            }
         }
         span_phase.end();
+        if let Some(t0) = phase_t0 {
+            phases.push(("timeline", t0.elapsed()));
+        }
 
         // 2b. Delivery resolution + quorum. Indices into
         //     `selected_ids` whose update reached the aggregator; the
@@ -573,6 +637,7 @@ pub fn run_federated_traced(
         //    `(round, id)`), and the results come back in
         //    `delivered_idx` order, so both the fan-out and the
         //    skipped clients are invisible to the aggregation below.
+        let phase_t0 = timing.then(Instant::now);
         let span_phase = round_span.child("local_update");
         let global = server.broadcast();
         let client_indices: Vec<usize> =
@@ -586,6 +651,9 @@ pub fn run_federated_traced(
             updates.push((params, weight));
         }
         span_phase.end();
+        if let Some(t0) = phase_t0 {
+            phases.push(("local_update", t0.elapsed()));
+        }
 
         // 4. FedAvg integration (Alg. 1 line 10, Eq. 18) over the
         //    delivered updates, re-weighted by their shard sizes. A
@@ -640,9 +708,13 @@ pub fn run_federated_traced(
         span_phase.end();
         let evaluate_now = round % config.eval_every == 0 || round == config.max_rounds;
         let test_accuracy = if evaluate_now {
+            let phase_t0 = timing.then(Instant::now);
             let span_phase = round_span.child("evaluate");
             let accuracy = pool.evaluate(&server.broadcast(), tele)?.1;
             span_phase.end();
+            if let Some(t0) = phase_t0 {
+                phases.push(("evaluate", t0.elapsed()));
+            }
             evaluated_accuracies.push(accuracy);
             Some(accuracy)
         } else {
@@ -651,6 +723,7 @@ pub fn run_federated_traced(
         let train_loss =
             if updates.is_empty() { 0.0 } else { (loss_sum / updates.len() as f64) as f32 };
         let span_phase = round_span.child("bookkeeping");
+        let mut pool_busy: Option<f64> = None;
         tele.with_metrics(|m| {
             m.counter_add(Class::Sim, "round.completed", 1);
             m.counter_add(Class::Sim, "round.selected", selected_ids.len() as u64);
@@ -664,6 +737,35 @@ pub fn run_federated_traced(
                 m.counter_add(Class::Sim, "round.skipped", 1);
             }
             sim.record_metrics(m);
+            // Resource gauges (Runtime class: process state and wall
+            // clock, excluded from the determinism pins).
+            m.gauge_set(Class::Runtime, "fleet.memory_bytes", fleet_bytes as f64);
+            if let Some(rss) = resource::rss_bytes() {
+                m.gauge_set(Class::Runtime, "runtime.rss_bytes", rss as f64);
+            }
+            if let Some(peak) = resource::peak_rss_bytes() {
+                m.gauge_set(Class::Runtime, "runtime.peak_rss_bytes", peak as f64);
+            }
+            // Pool utilization over this round: the delta of the
+            // cumulative per-worker busy/idle counters the train
+            // fan-out maintains.
+            let busy: u64 = (0..workers)
+                .map(|w| m.counter(&format!("local_update.worker{w}.busy_ns")))
+                .sum();
+            let idle: u64 = (0..workers)
+                .map(|w| m.counter(&format!("local_update.worker{w}.idle_ns")))
+                .sum();
+            let (db, di) = (
+                busy.saturating_sub(pool_ns_seen.0),
+                idle.saturating_sub(pool_ns_seen.1),
+            );
+            pool_ns_seen = (busy, idle);
+            if db + di > 0 {
+                let share = db as f64 / (db + di) as f64;
+                pool_busy = Some(share);
+                m.gauge_set(Class::Runtime, "pool.busy_share", share);
+                m.gauge_set(Class::Runtime, "pool.idle_share", 1.0 - share);
+            }
         });
         let delivered_ids: Vec<DeviceId> =
             delivered_idx.iter().map(|&i| selected_ids[i]).collect();
@@ -686,6 +788,20 @@ pub fn run_federated_traced(
             cumulative_energy,
         });
         span_phase.end();
+        faults_cumulative += sim.faults_fired() as u64;
+        if let Some(p) = progress.as_mut() {
+            p.record_round(&RoundSnapshot {
+                round,
+                phases: &phases,
+                pool_busy,
+                faults_fired: faults_cumulative,
+            });
+        }
+        round_span.end();
+        // Round barrier: drain the per-worker shard buffers in fixed
+        // worker order and flush the sink, so a tailing
+        // `helcfl-trace watch` always sees whole rounds.
+        tele.flush();
 
         // 6. Exit checks: deadline (Eq. 14) and the Alg. 1
         //    convergence test.
@@ -700,6 +816,7 @@ pub fn run_federated_traced(
             }
         }
     }
+    tele.flush();
     Ok(history)
     })
 }

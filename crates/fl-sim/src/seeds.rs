@@ -28,6 +28,12 @@ pub enum SeedDomain {
     /// fault drawn for a device never depends on thread count,
     /// selection order, or which other devices were selected.
     Faults,
+    /// Digest-mode exemplar sampling: the per-round stream that picks
+    /// which K devices of a cohort still emit full `device_activity`
+    /// spans when the timeline traces as a `cohort_digest`. A
+    /// dedicated domain so flipping digest tracing on or off can never
+    /// perturb selection, training, or fault draws.
+    DigestExemplars,
     /// Anything experiment-specific.
     Experiment(u64),
 }
@@ -42,6 +48,7 @@ impl SeedDomain {
             Self::Selection => 0x05,
             Self::ClientTraining => 0x06,
             Self::Faults => 0x07,
+            Self::DigestExemplars => 0x08,
             Self::Experiment(n) => 0x1000 + n,
         }
     }
@@ -86,6 +93,7 @@ mod tests {
             derive(master, SeedDomain::Selection),
             derive(master, SeedDomain::ClientTraining),
             derive(master, SeedDomain::Faults),
+            derive(master, SeedDomain::DigestExemplars),
             derive(master, SeedDomain::Experiment(0)),
             derive(master, SeedDomain::Experiment(1)),
         ];

@@ -4,7 +4,9 @@
 //! (Sim-class) slice of the merged metrics registry is itself
 //! bit-identical across thread counts.
 
-use helcfl_telemetry::{MemorySink, MetricsRegistry, Telemetry};
+use helcfl_telemetry::analyze::Trace;
+use helcfl_telemetry::audit::{audit, AuditConfig};
+use helcfl_telemetry::{MemorySink, MetricsRegistry, ShardedSink, Telemetry};
 
 use fl_sim::dataset::{DatasetConfig, SyntheticTask};
 use fl_sim::frequency::MaxFrequency;
@@ -31,6 +33,10 @@ impl ClientSelector for Rotating {
 }
 
 fn run_with(threads: usize, tele: &Telemetry) -> TrainingHistory {
+    run_cfg(threads, None, tele)
+}
+
+fn run_cfg(threads: usize, digest_exemplars: Option<usize>, tele: &Telemetry) -> TrainingHistory {
     let config = TrainingConfig {
         max_rounds: 5,
         fraction: 0.4,
@@ -41,6 +47,7 @@ fn run_with(threads: usize, tele: &Telemetry) -> TrainingHistory {
         threads,
         eval_every: 2,
         seed: 42,
+        digest_exemplars,
         ..TrainingConfig::default()
     };
     let task = SyntheticTask::generate(DatasetConfig {
@@ -149,4 +156,147 @@ fn consecutive_runs_reuse_pools_bit_identically() {
         let second = run_with(threads, &tele);
         assert_eq!(first, second, "{threads} threads: reruns diverged");
     }
+}
+
+/// Zeroes the wall-clock fields (`t_us`, `dur_us`) of a trace line so
+/// two separate runs — whose span ids and ordering are deterministic
+/// but whose clocks are not — can be compared byte-for-byte.
+/// Zeroes the digit run following each `key` occurrence in `line`.
+fn scrub_keys(line: &str, keys: &[&str]) -> String {
+    let mut out = line.to_string();
+    for key in keys {
+        if let Some(pos) = out.find(key) {
+            let start = pos + key.len();
+            let end = out[start..]
+                .find(|c: char| !c.is_ascii_digit())
+                .map_or(out.len(), |e| start + e);
+            if end > start {
+                out.replace_range(start..end, "0");
+            }
+        }
+    }
+    out
+}
+
+fn scrub_line(line: &str) -> String {
+    // `pool_resolved` records the fan-out width by design; zero it so
+    // traces from different worker counts can be compared.
+    let keys: &[&str] = if line.contains(r#""name":"pool_resolved""#) {
+        &["\"t_us\":", "\"dur_us\":", "\"workers\":", "\"requested\":"]
+    } else {
+        &["\"t_us\":", "\"dur_us\":"]
+    };
+    scrub_keys(line, keys)
+}
+
+/// Scrubs clocks and drops the trailing metrics line, whose
+/// Runtime-class entries (worker busy/idle, RSS) are wall-clock by
+/// design; everything deterministic stays in.
+fn scrubbed(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .filter(|l| !l.starts_with(r#"{"type":"metrics""#))
+        .map(|l| scrub_line(l))
+        .collect()
+}
+
+/// Digest-mode tracing is a pure trace-shape change: the history stays
+/// bit-identical, the per-device fan-out shrinks to the sampled
+/// exemplars, and every surviving `device_activity` span is tagged.
+#[test]
+fn digest_tracing_keeps_histories_bit_identical() {
+    let baseline = run_with(1, &Telemetry::disabled());
+    for threads in [1usize, 4] {
+        let memory = MemorySink::new();
+        let tele = Telemetry::with_sink(memory.clone());
+        assert_eq!(
+            baseline,
+            run_cfg(threads, Some(2), &tele),
+            "digest mode changed the history at {threads} threads"
+        );
+        let lines = memory.lines();
+        let digests =
+            lines.iter().filter(|l| l.contains(r#""name":"cohort_digest""#)).count();
+        assert_eq!(digests, 5, "one cohort_digest per round");
+        let activities: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains(r#""name":"device_activity""#))
+            .collect();
+        // 5 rounds × 2 exemplars, down from 5 × 4 selected devices.
+        assert_eq!(activities.len(), 10, "{threads} threads");
+        assert!(
+            activities.iter().all(|l| l.contains(r#""exemplar":true"#)),
+            "an untagged device_activity survived digest mode"
+        );
+    }
+}
+
+/// End-to-end audit closure: traces captured from real runs — full
+/// fidelity and digest mode, healthy and faulted — all pass
+/// `helcfl_telemetry::audit`, and the digest rounds are counted.
+#[test]
+fn digest_and_full_traces_from_real_runs_pass_audit() {
+    for digest in [None, Some(2)] {
+        let memory = MemorySink::new();
+        let tele = Telemetry::with_sink(memory.clone());
+        run_cfg(2, digest, &tele);
+        tele.finish();
+        let text = memory.lines().join("\n");
+        let trace = Trace::parse(&text).unwrap();
+        let report = audit(&trace, &AuditConfig::default()).unwrap();
+        assert!(
+            report.passed(),
+            "digest={digest:?} run failed audit:\n{}",
+            report.render()
+        );
+        assert_eq!(report.rounds_audited, 5);
+        assert_eq!(report.rounds_digest, if digest.is_some() { 5 } else { 0 });
+    }
+}
+
+/// A [`ShardedSink`] in front of the same inner sink yields the same
+/// bytes as the unsharded sink, for 1/2/4/8 workers — the per-worker
+/// buffers and the round-barrier drain must be invisible in the
+/// output. Wall-clock span fields are scrubbed before comparing.
+#[test]
+fn sharded_sinks_match_the_single_sink_byte_for_byte() {
+    let reference = {
+        let memory = MemorySink::new();
+        let tele = Telemetry::with_sink(memory.clone());
+        run_with(1, &tele);
+        tele.finish();
+        scrubbed(&memory.lines())
+    };
+    assert!(!reference.is_empty());
+    for workers in [1usize, 2, 4, 8] {
+        let memory = MemorySink::new();
+        let tele = Telemetry::with_sink(ShardedSink::new(memory.clone(), workers));
+        run_with(workers, &tele);
+        tele.finish();
+        assert_eq!(
+            scrubbed(&memory.lines()),
+            reference,
+            "sharded sink with {workers} workers diverged"
+        );
+    }
+}
+
+/// Back-to-back runs through one sharded telemetry handle leave no
+/// residue: the second run's stream is byte-identical to the first's.
+#[test]
+fn sharded_sink_back_to_back_runs_emit_identical_streams() {
+    let memory = MemorySink::new();
+    let tele = Telemetry::with_sink(ShardedSink::new(memory.clone(), 4));
+    run_with(2, &tele);
+    let first = scrubbed(&memory.lines());
+    run_with(2, &tele);
+    let all = scrubbed(&memory.lines());
+    assert_eq!(all.len(), 2 * first.len());
+    assert_eq!(&all[..first.len()], &first[..]);
+    // Span (and parent) ids keep counting across runs on one handle;
+    // zero both before comparing the two runs' stream shapes.
+    let strip_ids = |l: &String| scrub_keys(l, &["\"id\":", "\"parent\":"]);
+    let first_shape: Vec<String> = all[..first.len()].iter().map(strip_ids).collect();
+    let second_shape: Vec<String> = all[first.len()..].iter().map(strip_ids).collect();
+    assert_eq!(first_shape, second_shape, "second run's stream shape diverged");
 }

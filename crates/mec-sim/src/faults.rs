@@ -18,11 +18,12 @@
 //!
 //! [`RoundTimeline::simulate`]: crate::timeline::RoundTimeline::simulate
 
-use helcfl_telemetry::{Class, MetricsRegistry, Span};
+use helcfl_telemetry::{Class, Histogram, MetricsRegistry, Span};
 
 use crate::device::{Device, DeviceId};
 use crate::error::{MecError, Result};
 use crate::tdma::{TdmaSchedule, UploadRequest};
+use crate::timeline::{sample_exemplars, DigestConfig};
 use crate::units::{Bits, Hertz, Joules, Seconds};
 
 /// One fault event afflicting one device for one round.
@@ -637,6 +638,68 @@ impl FaultedRound {
     /// auditor replays), and one `fault` / `retry` / `abort` marker
     /// child per event.
     pub fn trace_into(&self, span: &mut Span) {
+        self.set_summary_attrs(span);
+        for o in &self.outcomes {
+            Self::emit_outcome(span, o, false);
+        }
+    }
+
+    /// Digest-mode variant of [`FaultedRound::trace_into`] (see
+    /// [`DigestConfig`]): the same summary totals plus `digest: true`
+    /// on `span` itself, one `cohort_digest` child carrying streaming
+    /// aggregates over every outcome (counts, energy/slack/wasted sums
+    /// and extrema, compact histograms, the latest release time), and
+    /// the full per-device children — `device_activity` plus its
+    /// `fault` / `retry` / `abort` markers — only for the exemplar
+    /// devices picked by `cfg`.
+    pub fn trace_digest_into(&self, span: &mut Span, cfg: DigestConfig) {
+        self.set_summary_attrs(span);
+        span.set("digest", true);
+        let exemplars = sample_exemplars(self.outcomes.len(), cfg);
+        {
+            let mut energy_hist = Histogram::new();
+            let mut slack_hist = Histogram::new();
+            let mut energy_min = f64::INFINITY;
+            let mut energy_max = f64::NEG_INFINITY;
+            let mut slack_min = f64::INFINITY;
+            let mut slack_max = f64::NEG_INFINITY;
+            let mut release_max = Seconds::ZERO;
+            for o in &self.outcomes {
+                let energy = o.total_energy().get();
+                let slack = o.slack().get();
+                energy_hist.record(energy);
+                slack_hist.record(slack);
+                energy_min = energy_min.min(energy);
+                energy_max = energy_max.max(energy);
+                slack_min = slack_min.min(slack);
+                slack_max = slack_max.max(slack);
+                release_max = release_max.max(o.release_time());
+            }
+            span.child("cohort_digest")
+                .with("devices", self.outcomes.len())
+                .with("exemplars", exemplars.len())
+                .with("uploads", self.uploaded_count())
+                .with("delivered", self.delivered_count())
+                .with("faults_fired", self.faults_fired())
+                .with("energy_sum_j", self.total_energy().get())
+                .with("energy_min_j", energy_min)
+                .with("energy_max_j", energy_max)
+                .with("compute_energy_sum_j", self.compute_energy().get())
+                .with("wasted_energy_sum_j", self.wasted_energy().get())
+                .with("slack_sum_s", self.total_slack().get())
+                .with("slack_min_s", slack_min)
+                .with("slack_max_s", slack_max)
+                .with("release_max_s", release_max.get())
+                .with("energy_hist", energy_hist.encode_compact())
+                .with("slack_hist", slack_hist.encode_compact())
+                .end();
+        }
+        for &i in &exemplars {
+            Self::emit_outcome(span, &self.outcomes[i], true);
+        }
+    }
+
+    fn set_summary_attrs(&self, span: &mut Span) {
         span.set("uploads", self.uploaded_count());
         span.set("makespan_s", self.round_time.get());
         span.set("slack_total_s", self.total_slack().get());
@@ -650,55 +713,59 @@ impl FaultedRound {
             span.set("deadline_s", t.get());
         }
         span.set("deadline_fired", self.deadline_fired);
-        for o in &self.outcomes {
-            {
-                let mut act = span
-                    .child("device_activity")
-                    .with("device", o.device.to_string())
-                    .with("device_id", o.device.0)
-                    .with("f_hz", o.frequency.get())
-                    .with("f_planned_hz", o.planned_frequency.get())
-                    .with("f_max_hz", o.f_max.get())
-                    .with("planned_compute_finish_s", o.planned_compute_finish.get())
-                    .with("planned_upload_s", o.planned_upload.get())
-                    .with("compute_finish_s", o.compute_finish.get())
-                    .with("upload_start_s", o.upload_start.get())
-                    .with("upload_end_s", o.upload_end.get())
-                    .with("compute_energy_j", o.compute_energy.get())
-                    .with("compute_energy_at_max_j", o.compute_energy_at_max.get())
-                    .with("upload_energy_j", o.upload_energy.get())
-                    .with("wasted_energy_j", o.wasted_energy.get())
-                    .with("uploaded", o.uploaded)
-                    .with("delivered", o.delivered)
-                    .with("retries", o.retries);
-                if let Some(fault) = o.fault {
-                    act.set("fault", fault.kind());
-                }
-                act.end();
+    }
+
+    fn emit_outcome(span: &mut Span, o: &DeviceOutcome, exemplar: bool) {
+        {
+            let mut act = span
+                .child("device_activity")
+                .with("device", o.device.to_string())
+                .with("device_id", o.device.0)
+                .with("f_hz", o.frequency.get())
+                .with("f_planned_hz", o.planned_frequency.get())
+                .with("f_max_hz", o.f_max.get())
+                .with("planned_compute_finish_s", o.planned_compute_finish.get())
+                .with("planned_upload_s", o.planned_upload.get())
+                .with("compute_finish_s", o.compute_finish.get())
+                .with("upload_start_s", o.upload_start.get())
+                .with("upload_end_s", o.upload_end.get())
+                .with("compute_energy_j", o.compute_energy.get())
+                .with("compute_energy_at_max_j", o.compute_energy_at_max.get())
+                .with("upload_energy_j", o.upload_energy.get())
+                .with("wasted_energy_j", o.wasted_energy.get())
+                .with("uploaded", o.uploaded)
+                .with("delivered", o.delivered)
+                .with("retries", o.retries);
+            if exemplar {
+                act.set("exemplar", true);
             }
             if let Some(fault) = o.fault {
-                span.child("fault")
-                    .with("device", o.device.to_string())
-                    .with("kind", fault.kind())
-                    .end();
+                act.set("fault", fault.kind());
             }
-            if o.retries > 0 {
-                let backoff = match o.fault {
-                    Some(DeviceFault::UploadRetry { backoff, .. }) => backoff.get(),
-                    _ => 0.0,
-                };
-                span.child("retry")
-                    .with("device", o.device.to_string())
-                    .with("failed_attempts", o.retries)
-                    .with("backoff_s", backoff)
-                    .end();
-            }
-            if let Some(reason) = o.abort {
-                span.child("abort")
-                    .with("device", o.device.to_string())
-                    .with("reason", reason.label())
-                    .end();
-            }
+            act.end();
+        }
+        if let Some(fault) = o.fault {
+            span.child("fault")
+                .with("device", o.device.to_string())
+                .with("kind", fault.kind())
+                .end();
+        }
+        if o.retries > 0 {
+            let backoff = match o.fault {
+                Some(DeviceFault::UploadRetry { backoff, .. }) => backoff.get(),
+                _ => 0.0,
+            };
+            span.child("retry")
+                .with("device", o.device.to_string())
+                .with("failed_attempts", o.retries)
+                .with("backoff_s", backoff)
+                .end();
+        }
+        if let Some(reason) = o.abort {
+            span.child("abort")
+                .with("device", o.device.to_string())
+                .with("reason", reason.label())
+                .end();
         }
     }
 }
@@ -950,5 +1017,72 @@ mod tests {
             .unwrap();
         assert_eq!(crashed.attr_bool("uploaded"), Some(false));
         assert_eq!(crashed.attr_str("fault"), Some("crash-compute"));
+    }
+
+    #[test]
+    fn trace_digest_into_reconciles_with_the_full_trace() {
+        use helcfl_telemetry::{analyze::Trace, MemorySink, Telemetry};
+        let (devs, freqs) = fleet();
+        let faults = [
+            Some(DeviceFault::CrashCompute { at: 0.5 }),
+            None,
+            Some(DeviceFault::UploadRetry {
+                failed_attempts: 1,
+                backoff: Seconds::new(0.5),
+                exhausted: false,
+            }),
+        ];
+        let r = FaultedRound::simulate(&devs, &freqs, payload(), &faults, None).unwrap();
+        let sink = MemorySink::new();
+        let tele = Telemetry::with_sink(sink.clone());
+        {
+            let mut span = tele.span("timeline");
+            r.trace_digest_into(&mut span, DigestConfig { exemplars: 1, seed: 11 });
+        }
+        let trace = Trace::parse(&sink.lines().join("\n")).unwrap();
+
+        // Summary attrs match the full-fidelity ones; digest flag set.
+        let timeline = trace.spans.iter().find(|s| s.name == "timeline").unwrap();
+        assert_eq!(timeline.attr_bool("digest"), Some(true));
+        assert_eq!(timeline.attr_u64("selected"), Some(3));
+        assert_eq!(timeline.attr_u64("delivered"), Some(2));
+
+        // The digest carries totals that agree with the round itself.
+        let digest = trace.spans.iter().find(|s| s.name == "cohort_digest").unwrap();
+        assert_eq!(digest.attr_u64("devices"), Some(3));
+        assert_eq!(digest.attr_u64("uploads"), Some(2));
+        assert_eq!(digest.attr_u64("delivered"), Some(2));
+        assert_eq!(digest.attr_u64("faults_fired"), Some(2));
+        assert_eq!(digest.attr_f64("energy_sum_j"), Some(r.total_energy().get()));
+        assert_eq!(
+            digest.attr_f64("wasted_energy_sum_j"),
+            Some(r.wasted_energy().get())
+        );
+        assert_eq!(digest.attr_f64("slack_sum_s"), Some(r.total_slack().get()));
+        let release_max = r
+            .outcomes()
+            .iter()
+            .map(|o| o.release_time())
+            .fold(Seconds::ZERO, Seconds::max);
+        assert_eq!(digest.attr_f64("release_max_s"), Some(release_max.get()));
+        let energy_hist =
+            Histogram::decode_compact(digest.attr_str("energy_hist").unwrap()).unwrap();
+        assert_eq!(energy_hist.count, 3);
+
+        // Exactly one exemplar, fully attributed; its markers (if any)
+        // are the only fault/retry/abort children in the digest trace.
+        let activities: Vec<_> =
+            trace.spans.iter().filter(|s| s.name == "device_activity").collect();
+        assert_eq!(activities.len(), 1);
+        let a = activities[0];
+        assert_eq!(a.attr_bool("exemplar"), Some(true));
+        let id = a.attr_u64("device_id").unwrap() as usize;
+        let o = r.outcome(DeviceId(id)).unwrap();
+        assert_eq!(a.attr_bool("delivered"), Some(o.delivered));
+        assert_eq!(a.attr_f64("wasted_energy_j"), Some(o.wasted_energy.get()));
+        let marker_count = |name: &str| trace.spans.iter().filter(|s| s.name == name).count();
+        assert_eq!(marker_count("fault"), usize::from(o.fault.is_some()));
+        assert_eq!(marker_count("retry"), usize::from(o.retries > 0));
+        assert_eq!(marker_count("abort"), usize::from(o.abort.is_some()));
     }
 }

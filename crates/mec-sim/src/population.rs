@@ -292,6 +292,14 @@ impl Population {
     pub fn iter(&self) -> core::slice::Iter<'_, Device> {
         self.devices.iter()
     }
+
+    /// Resident bytes of the device array plus the fixed header — the
+    /// array-of-structs counterpart of [`Fleet::memory_bytes`], feeding
+    /// the per-round `fleet.memory_bytes` gauge.
+    pub fn memory_bytes(&self) -> usize {
+        core::mem::size_of::<Self>()
+            + self.devices.capacity() * core::mem::size_of::<Device>()
+    }
 }
 
 impl<'a> IntoIterator for &'a Population {
@@ -306,6 +314,14 @@ impl<'a> IntoIterator for &'a Population {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn memory_bytes_covers_header_plus_devices() {
+        let pop = PopulationBuilder::paper_default().seed(1).build().unwrap();
+        let floor = core::mem::size_of::<Population>()
+            + pop.len() * core::mem::size_of::<Device>();
+        assert!(pop.memory_bytes() >= floor, "{} < {floor}", pop.memory_bytes());
+    }
 
     #[test]
     fn paper_default_produces_100_devices_in_spec() {

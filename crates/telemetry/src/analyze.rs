@@ -195,6 +195,47 @@ impl Trace {
         Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
     }
 
+    /// Lenient parse for a trace that is *still being written* (the
+    /// `helcfl-trace watch` path): malformed lines — typically one
+    /// partially-flushed tail line — and duplicate span ids are skipped
+    /// instead of failing, and spans whose parent has not landed yet
+    /// are pruned so [`SpanTree::build`] always succeeds on the result.
+    ///
+    /// Returns the parseable prefix plus the number of lines and spans
+    /// dropped. A fully-written trace drops nothing and round-trips
+    /// identically to [`Trace::parse`].
+    pub fn parse_prefix(text: &str) -> (Self, usize) {
+        let mut trace = Trace::default();
+        let mut dropped = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            // Every JSONL line is standalone, so the strict parser
+            // doubles as a per-line validator.
+            match Trace::parse(line) {
+                Ok(mut one) => {
+                    if let Some(span) = one.spans.pop() {
+                        if seen.insert(span.id) {
+                            trace.spans.push(span);
+                        } else {
+                            dropped += 1;
+                        }
+                    }
+                    trace.events.append(&mut one.events);
+                    if one.metrics.is_some() {
+                        trace.metrics = one.metrics;
+                    }
+                    trace.other_lines += one.other_lines;
+                }
+                Err(_) => dropped += 1,
+            }
+        }
+        dropped += prune_orphan_spans(&mut trace);
+        (trace, dropped)
+    }
+
     /// Looks up a span by id.
     pub fn span(&self, id: u64) -> Option<&TraceSpan> {
         self.spans.iter().find(|s| s.id == id)
@@ -213,6 +254,25 @@ impl Trace {
         (m.get("kind")?.as_str()? == "counter")
             .then(|| field_u64(m, "value"))
             .flatten()
+    }
+}
+
+/// Removes spans whose parent chain does not fully resolve within the
+/// trace — the completion-ordered stream writes children before
+/// parents, so a file snapshot taken mid-round holds spans whose
+/// enclosing `round` has not been emitted yet. Returns how many spans
+/// were pruned.
+pub fn prune_orphan_spans(trace: &mut Trace) -> usize {
+    let mut removed = 0;
+    loop {
+        let ids: std::collections::HashSet<u64> =
+            trace.spans.iter().map(|s| s.id).collect();
+        let before = trace.spans.len();
+        trace.spans.retain(|s| s.parent.is_none_or(|p| ids.contains(&p)));
+        removed += before - trace.spans.len();
+        if trace.spans.len() == before {
+            return removed;
+        }
     }
 }
 
@@ -625,6 +685,44 @@ mod tests {
         assert_eq!(trace.other_lines, 1);
         assert_eq!(trace.metric_counter("round.completed"), Some(1));
         assert_eq!(trace.span(2).unwrap().name, "round");
+    }
+
+    #[test]
+    fn parse_prefix_skips_partial_tails_and_prunes_orphans() {
+        // A snapshot of a growing file: complete round, then a child of
+        // a round span that hasn't been emitted yet (completion order),
+        // then a half-written line.
+        let text = [
+            span_line(3, "selection", Some(2), 10, 7),
+            span_line(2, "round", None, 9, 100),
+            span_line(6, "grandkid", Some(5), 110, 2),
+            span_line(5, "local_update", Some(4), 109, 20),
+            r#"{"type":"span","name":"tr"#.to_string(),
+        ]
+        .join("\n");
+        let (trace, dropped) = Trace::parse_prefix(&text);
+        // Orphan chain 5→4 (missing) pulls 6 down with it; the partial
+        // tail is one more drop.
+        assert_eq!(dropped, 3);
+        let ids: Vec<_> = trace.spans.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![3, 2]);
+        assert!(SpanTree::build(&trace).is_ok());
+
+        // A fully-written trace round-trips losslessly.
+        let whole = [
+            span_line(3, "selection", Some(2), 10, 7),
+            span_line(2, "round", None, 9, 100),
+        ]
+        .join("\n");
+        let (lenient, dropped) = Trace::parse_prefix(&whole);
+        assert_eq!(dropped, 0);
+        assert_eq!(lenient, Trace::parse(&whole).unwrap());
+
+        // Duplicate ids keep the first occurrence instead of erroring.
+        let dup = [span_line(2, "a", None, 0, 1), span_line(2, "b", None, 0, 1)].join("\n");
+        let (trace, dropped) = Trace::parse_prefix(&dup);
+        assert_eq!(dropped, 1);
+        assert_eq!(trace.spans[0].name, "a");
     }
 
     #[test]

@@ -41,6 +41,7 @@ use std::fmt;
 
 use crate::analyze::{SpanTree, Trace, TraceSpan};
 use crate::json::JsonValue;
+use crate::metrics::Histogram;
 
 /// Tolerances for the floating-point comparisons.
 ///
@@ -120,6 +121,10 @@ pub struct AuditReport {
     /// audited against the *plan-time* TDMA replay instead of the
     /// degraded actual makespan.
     pub rounds_fault_exempt: usize,
+    /// Audited rounds traced in digest mode (`cohort_digest` span):
+    /// exemplar devices replayed exactly, totals reconciled against the
+    /// digest aggregates, full-cohort TDMA replay skipped.
+    pub rounds_digest: usize,
     /// Total `device_activity` spans replayed.
     pub devices_audited: usize,
     /// Metrics-line cross-checks performed.
@@ -141,14 +146,15 @@ impl AuditReport {
         let _ = writeln!(
             out,
             "audit: {} — {} rounds ({} audited, {} delay-neutral, \
-             {} faulted, {} plan-time exempt), {} device activities, \
-             {} metrics checks, {} violations",
+             {} faulted, {} plan-time exempt, {} digest), {} device \
+             activities, {} metrics checks, {} violations",
             if self.passed() { "PASS" } else { "FAIL" },
             self.rounds,
             self.rounds_audited,
             self.rounds_delay_neutral,
             self.rounds_faulted,
             self.rounds_fault_exempt,
+            self.rounds_digest,
             self.devices_audited,
             self.metrics_checked,
             self.violations.len()
@@ -241,6 +247,72 @@ impl Activity {
     }
 }
 
+/// The cohort aggregates of a digest-mode round, decoded from a
+/// `cohort_digest` span (see `RoundTimeline::trace_digest_into` /
+/// `FaultedRound::trace_digest_into` in `mec-sim`).
+///
+/// Attributes the healthy timeline's digest does not emit fall back
+/// like [`Activity`]'s fault-era ones: `delivered` defaults to the
+/// device count, `faults_fired` to zero, and the wasted-energy sum to
+/// absent (check skipped).
+struct Digest {
+    devices: u64,
+    exemplars: u64,
+    uploads: u64,
+    delivered: u64,
+    faults_fired: u64,
+    energy_sum: f64,
+    energy_min: f64,
+    energy_max: f64,
+    compute_sum: f64,
+    wasted_sum: Option<f64>,
+    slack_sum: f64,
+    slack_min: f64,
+    slack_max: f64,
+    release_max: f64,
+    energy_hist: String,
+    slack_hist: String,
+}
+
+impl Digest {
+    fn decode(span: &TraceSpan) -> Result<Self, String> {
+        let need = |key: &str| {
+            span.attr_f64(key).ok_or_else(|| {
+                format!("cohort_digest span {} lacks numeric attr {key:?}", span.id)
+            })
+        };
+        let need_count = |key: &str| {
+            span.attr_u64(key).ok_or_else(|| {
+                format!("cohort_digest span {} lacks count attr {key:?}", span.id)
+            })
+        };
+        let need_str = |key: &str| {
+            span.attr_str(key).map(str::to_string).ok_or_else(|| {
+                format!("cohort_digest span {} lacks string attr {key:?}", span.id)
+            })
+        };
+        let devices = need_count("devices")?;
+        Ok(Self {
+            devices,
+            exemplars: need_count("exemplars")?,
+            uploads: need_count("uploads")?,
+            delivered: span.attr_u64("delivered").unwrap_or(devices),
+            faults_fired: span.attr_u64("faults_fired").unwrap_or(0),
+            energy_sum: need("energy_sum_j")?,
+            energy_min: need("energy_min_j")?,
+            energy_max: need("energy_max_j")?,
+            compute_sum: need("compute_energy_sum_j")?,
+            wasted_sum: span.attr_f64("wasted_energy_sum_j"),
+            slack_sum: need("slack_sum_s")?,
+            slack_min: need("slack_min_s")?,
+            slack_max: need("slack_max_s")?,
+            release_max: need("release_max_s")?,
+            energy_hist: need_str("energy_hist")?,
+            slack_hist: need_str("slack_hist")?,
+        })
+    }
+}
+
 /// Replays the TDMA queue over `(compute_finish, upload_duration)`
 /// pairs, FIFO by compute finish with device-id tie-break — the same
 /// discipline as `mec_sim::tdma::TdmaSchedule` — and returns the
@@ -302,13 +374,30 @@ fn replay_tdma(mut jobs: Vec<(f64, f64, u64)>) -> f64 {
 ///   delivery after retries wastes at most its upload energy, and the
 ///   timeline's wasted total equals the per-device sum.
 ///
+/// # Digest-mode rounds
+///
+/// A round whose `timeline` span carries `digest:true` and a
+/// `cohort_digest` child (see `trace_digest_into` in `mec-sim`) is
+/// audited under the digest contract (**digest-consistency**): the
+/// exemplar `device_activity` spans are replayed through every
+/// per-device check above exactly as full-fidelity spans are (a subset
+/// of a serial TDMA schedule still must not overlap), the timeline's
+/// energy/slack/wasted totals must equal the digest's streaming sums,
+/// its makespan must be the digest's `release_max_s` clamped to the
+/// deadline, the compact histograms must hold exactly one sample per
+/// device, every exemplar value must sit inside the digest extrema,
+/// and `selected`/`delivered` counts are taken from the digest. The
+/// full-cohort delay-neutrality replay is not reconstructible from K
+/// exemplars and is skipped on such rounds.
+///
 /// Plus, once per trace when a final metrics line exists
 /// (**metrics-consistency**): every histogram's category counts sum to
-/// its total, `tdma.uploads` equals the number of transmitting device
-/// activities, `round.completed` equals the number of round spans,
+/// its total, `tdma.uploads` equals the number of transmitting devices
+/// (per-round: digest counts on digest rounds, `device_activity` spans
+/// elsewhere), `round.completed` equals the number of round spans,
 /// `round.delivered` and `faults.fired` (when present) agree with the
-/// span stream, and the `round.makespan_s` histogram agrees with the
-/// timeline spans on sample count and maximum.
+/// same per-round accounting, and the `round.makespan_s` histogram
+/// agrees with the timeline spans on sample count and maximum.
 ///
 /// # Errors
 ///
@@ -322,6 +411,7 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
     }
     let tree = SpanTree::build(trace)?;
     let mut report = AuditReport::default();
+    let mut totals = StreamTotals::default();
 
     for round in trace.spans.iter().filter(|s| s.name == "round") {
         report.rounds += 1;
@@ -343,11 +433,25 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
                 }
             }
         }
-        if activities.is_empty() {
+        // Digest-mode rounds carry one cohort_digest child under the
+        // timeline span; their activities are the sampled exemplars.
+        let mut digest: Option<(u64, Digest)> = None;
+        if let Some(tl) = timeline_span {
+            for child in tree.children(tl.id) {
+                if child.name == "cohort_digest" {
+                    digest = Some((child.id, Digest::decode(child)?));
+                    break;
+                }
+            }
+        }
+        if activities.is_empty() && digest.is_none() {
             continue;
         }
         report.rounds_audited += 1;
         report.devices_audited += activities.len();
+        if digest.is_some() {
+            report.rounds_digest += 1;
+        }
         let claims_neutrality = timeline_span
             .and_then(|tl| tl.attr_bool("delay_neutral"))
             .unwrap_or(false);
@@ -361,11 +465,31 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
         let fault_flag = timeline_span.and_then(|tl| tl.attr_bool("fault_fired"));
         let device_faults =
             activities.iter().filter(|(_, a)| a.fault.is_some()).count();
-        let faulted = fault_flag.unwrap_or(false) || device_faults > 0 || deadline_fired;
+        let round_faults = match &digest {
+            Some((_, d)) => d.faults_fired as usize,
+            None => device_faults,
+        };
+        let faulted = fault_flag.unwrap_or(false) || round_faults > 0 || deadline_fired;
         if faulted {
             report.rounds_faulted += 1;
-            if claims_neutrality {
+            if claims_neutrality && digest.is_none() {
                 report.rounds_fault_exempt += 1;
+            }
+        }
+        match &digest {
+            Some((_, d)) => {
+                totals.devices += d.devices;
+                totals.uploads += d.uploads;
+                totals.delivered += d.delivered;
+                totals.faults += d.faults_fired;
+            }
+            None => {
+                totals.devices += activities.len() as u64;
+                totals.uploads +=
+                    activities.iter().filter(|(_, a)| a.uploaded).count() as u64;
+                totals.delivered +=
+                    activities.iter().filter(|(_, a)| a.delivered).count() as u64;
+                totals.faults += device_faults as u64;
             }
         }
         let mut violation = |invariant, span, detail| {
@@ -377,16 +501,34 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
             });
         };
 
-        // The timeline's fault flag must match the device evidence.
+        // The timeline's digest flag and the cohort_digest child must
+        // come and go together.
+        let claims_digest = timeline_span
+            .and_then(|tl| tl.attr_bool("digest"))
+            .unwrap_or(false);
+        if claims_digest != digest.is_some() {
+            violation(
+                "digest-consistency",
+                timeline_span.map(|tl| tl.id),
+                format!(
+                    "timeline digest flag is {claims_digest} but the round \
+                     {} a cohort_digest span",
+                    if digest.is_some() { "carries" } else { "lacks" }
+                ),
+            );
+        }
+
+        // The timeline's fault flag must match the round evidence: the
+        // digest tally when one exists, the device spans otherwise.
         if let Some(flag) = fault_flag {
-            let evidence = device_faults > 0 || deadline_fired;
+            let evidence = round_faults > 0 || deadline_fired;
             if flag != evidence {
                 violation(
                     "fault-consistency",
                     timeline_span.map(|tl| tl.id),
                     format!(
                         "timeline claims fault_fired={flag} but the round shows \
-                         {device_faults} device fault(s) and deadline_fired={deadline_fired}"
+                         {round_faults} fault(s) and deadline_fired={deadline_fired}"
                     ),
                 );
             }
@@ -520,8 +662,93 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
             }
         }
 
+        // Digest self-consistency: the aggregates must cohere with
+        // each other and bound the replayed exemplars.
+        if let Some((digest_id, d)) = &digest {
+            if d.exemplars != activities.len() as u64 {
+                violation(
+                    "digest-consistency",
+                    Some(*digest_id),
+                    format!(
+                        "digest claims {} exemplars but the round carries {} \
+                         device_activity spans",
+                        d.exemplars,
+                        activities.len()
+                    ),
+                );
+            }
+            for (what, count) in [
+                ("exemplars", d.exemplars),
+                ("uploads", d.uploads),
+                ("delivered", d.delivered),
+                ("faults_fired", d.faults_fired),
+            ] {
+                if count > d.devices {
+                    violation(
+                        "digest-consistency",
+                        Some(*digest_id),
+                        format!(
+                            "digest {what}={count} exceeds its device count {}",
+                            d.devices
+                        ),
+                    );
+                }
+            }
+            for (key, encoded) in
+                [("energy_hist", &d.energy_hist), ("slack_hist", &d.slack_hist)]
+            {
+                match Histogram::decode_compact(encoded) {
+                    Some(h) if h.count == d.devices => {}
+                    Some(h) => violation(
+                        "digest-consistency",
+                        Some(*digest_id),
+                        format!(
+                            "digest {key} holds {} samples for {} devices",
+                            h.count, d.devices
+                        ),
+                    ),
+                    None => violation(
+                        "digest-consistency",
+                        Some(*digest_id),
+                        format!("digest {key} is malformed: {encoded:?}"),
+                    ),
+                }
+            }
+            // Every exemplar's values must sit inside the cohort
+            // extrema the digest advertises.
+            for (span_id, a) in &activities {
+                let energy = a.compute_energy + a.upload_energy;
+                if !cfg.le(d.energy_min, energy) || !cfg.le(energy, d.energy_max) {
+                    violation(
+                        "digest-consistency",
+                        Some(*span_id),
+                        format!(
+                            "exemplar {}: energy {energy:.6}J outside the digest \
+                             range [{:.6}, {:.6}]J",
+                            a.device, d.energy_min, d.energy_max
+                        ),
+                    );
+                }
+                let slack =
+                    if a.uploaded { a.upload_start - a.compute_finish } else { 0.0 };
+                if !cfg.le(d.slack_min, slack) || !cfg.le(slack, d.slack_max) {
+                    violation(
+                        "digest-consistency",
+                        Some(*span_id),
+                        format!(
+                            "exemplar {}: slack {slack:.6}s outside the digest \
+                             range [{:.6}, {:.6}]s",
+                            a.device, d.slack_min, d.slack_max
+                        ),
+                    );
+                }
+            }
+        }
+
         // TDMA serialization: transmit windows sorted by start must
-        // not overlap. Devices that crashed before reaching the
+        // not overlap. A digest round's exemplars are a subset of a
+        // serial schedule, so the no-overlap law survives sampling.
+        // Devices that crashed before reaching the
         // channel never occupied it.
         let mut windows: Vec<&Activity> =
             activities.iter().map(|(_, a)| a).filter(|a| a.uploaded).collect();
@@ -547,11 +774,16 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
         }
 
         // The round ends when the last contribution releases the
-        // channel — or at the deadline, whichever comes first.
-        let natural = activities
-            .iter()
-            .map(|(_, a)| a.release())
-            .fold(f64::NEG_INFINITY, f64::max);
+        // channel — or at the deadline, whichever comes first. On a
+        // digest round the exemplars need not include the last
+        // releaser; the digest's release_max_s stands in for it.
+        let natural = match &digest {
+            Some((_, d)) => d.release_max,
+            None => activities
+                .iter()
+                .map(|(_, a)| a.release())
+                .fold(f64::NEG_INFINITY, f64::max),
+        };
         let expected_makespan = deadline.map_or(natural, |t| natural.min(t));
         let actual_makespan = activities
             .iter()
@@ -569,7 +801,10 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
         // the claim is audited at plan time instead: the planned
         // schedule at the assigned frequencies must not exceed the
         // planned schedule at f_max.
-        if claims_neutrality {
+        // A digest round exposes only its exemplars, so neither TDMA
+        // replay can be reconstructed — the claim is witnessed by the
+        // full-fidelity rounds and determinism suites instead.
+        if claims_neutrality && digest.is_none() {
             if faulted {
                 let planned_actual = replay_tdma(
                     activities
@@ -632,26 +867,51 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
             }
         }
 
-        // Timeline span totals must match the per-device sums; slack
+        // Timeline span totals must match the per-device sums — or, on
+        // a digest round, the digest's streaming sums (the digest and
+        // the timeline attrs are computed from the same resolved
+        // schedule, so disagreement means the emission broke). Slack
         // only accrues for devices that reached the channel.
         if let Some(tl) = timeline_span {
-            let sum_energy: f64 =
-                activities.iter().map(|(_, a)| a.compute_energy + a.upload_energy).sum();
-            let sum_compute: f64 =
-                activities.iter().map(|(_, a)| a.compute_energy).sum();
-            let sum_wasted: f64 =
-                activities.iter().map(|(_, a)| a.wasted_energy).sum();
-            let sum_slack: f64 = activities
-                .iter()
-                .filter(|(_, a)| a.uploaded)
-                .map(|(_, a)| a.upload_start - a.compute_finish)
-                .sum();
-            for (key, sum) in [
-                ("energy_j", sum_energy),
-                ("compute_energy_j", sum_compute),
-                ("wasted_energy_j", sum_wasted),
-                ("slack_total_s", sum_slack),
-            ] {
+            let sums: [(&str, Option<f64>); 4] = match &digest {
+                Some((_, d)) => [
+                    ("energy_j", Some(d.energy_sum)),
+                    ("compute_energy_j", Some(d.compute_sum)),
+                    ("wasted_energy_j", d.wasted_sum),
+                    ("slack_total_s", Some(d.slack_sum)),
+                ],
+                None => [
+                    (
+                        "energy_j",
+                        Some(
+                            activities
+                                .iter()
+                                .map(|(_, a)| a.compute_energy + a.upload_energy)
+                                .sum(),
+                        ),
+                    ),
+                    (
+                        "compute_energy_j",
+                        Some(activities.iter().map(|(_, a)| a.compute_energy).sum()),
+                    ),
+                    (
+                        "wasted_energy_j",
+                        Some(activities.iter().map(|(_, a)| a.wasted_energy).sum()),
+                    ),
+                    (
+                        "slack_total_s",
+                        Some(
+                            activities
+                                .iter()
+                                .filter(|(_, a)| a.uploaded)
+                                .map(|(_, a)| a.upload_start - a.compute_finish)
+                                .sum(),
+                        ),
+                    ),
+                ],
+            };
+            for (key, sum) in sums {
+                let Some(sum) = sum else { continue };
                 if let Some(total) = tl.attr_f64(key) {
                     if !cfg.close(total, sum) {
                         violation(
@@ -659,7 +919,7 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
                             Some(tl.id),
                             format!(
                                 "timeline attr {key}={total:.9} does not match \
-                                 the per-device sum {sum:.9}"
+                                 the round sum {sum:.9}"
                             ),
                         );
                     }
@@ -677,8 +937,13 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
                     );
                 }
             }
-            let delivered = activities.iter().filter(|(_, a)| a.delivered).count() as u64;
-            let selected = activities.len() as u64;
+            let (selected, delivered) = match &digest {
+                Some((_, d)) => (d.devices, d.delivered),
+                None => (
+                    activities.len() as u64,
+                    activities.iter().filter(|(_, a)| a.delivered).count() as u64,
+                ),
+            };
             for (source, span_id) in [
                 (Some(tl), Some(tl.id)),
                 (quorum_span, quorum_span.map(|q| q.id)),
@@ -711,12 +976,30 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
         );
     }
 
-    audit_metrics(trace, cfg, &mut report);
+    audit_metrics(trace, cfg, &totals, &mut report);
     Ok(report)
 }
 
+/// Per-round device accounting accumulated while auditing: digest
+/// rounds contribute their aggregate counts, full-fidelity rounds the
+/// counts of their `device_activity` spans. This is what the final
+/// metrics line must agree with — the simulator records metrics from
+/// the full round state regardless of trace mode.
+#[derive(Debug, Default)]
+struct StreamTotals {
+    devices: u64,
+    uploads: u64,
+    delivered: u64,
+    faults: u64,
+}
+
 /// Cross-checks the final metrics line against the span stream.
-fn audit_metrics(trace: &Trace, cfg: &AuditConfig, report: &mut AuditReport) {
+fn audit_metrics(
+    trace: &Trace,
+    cfg: &AuditConfig,
+    totals: &StreamTotals,
+    report: &mut AuditReport,
+) {
     let Some(JsonValue::Object(metrics)) = trace.metrics.as_ref() else {
         return;
     };
@@ -766,23 +1049,11 @@ fn audit_metrics(trace: &Trace, cfg: &AuditConfig, report: &mut AuditReport) {
     };
 
     let rounds = trace.spans.iter().filter(|s| s.name == "round").count() as u64;
-    let devices: Vec<&TraceSpan> =
-        trace.spans.iter().filter(|s| s.name == "device_activity").collect();
-    let uploads = devices
-        .iter()
-        .filter(|s| s.attr_bool("uploaded").unwrap_or(true))
-        .count() as u64;
-    let delivered = devices
-        .iter()
-        .filter(|s| s.attr_bool("delivered").unwrap_or(true))
-        .count() as u64;
-    let fault_events =
-        trace.spans.iter().filter(|s| s.name == "fault").count() as u64;
     for (counter, expect, what) in [
         ("round.completed", rounds, "round spans"),
-        ("tdma.uploads", uploads, "transmitting device_activity spans"),
-        ("round.delivered", delivered, "delivered device_activity spans"),
-        ("faults.fired", fault_events, "fault marker spans"),
+        ("tdma.uploads", totals.uploads, "transmitting devices"),
+        ("round.delivered", totals.delivered, "delivered devices"),
+        ("faults.fired", totals.faults, "device faults"),
     ] {
         if let Some(value) = trace.metric_counter(counter) {
             report.metrics_checked += 1;
@@ -796,8 +1067,8 @@ fn audit_metrics(trace: &Trace, cfg: &AuditConfig, report: &mut AuditReport) {
     }
     for (hist, expect) in [
         ("round.makespan_s", rounds as f64),
-        ("device.energy_j", devices.len() as f64),
-        ("tdma.queue_wait_s", uploads as f64),
+        ("device.energy_j", totals.devices as f64),
+        ("tdma.queue_wait_s", totals.uploads as f64),
     ] {
         if let Some(count) = hist_count(hist) {
             report.metrics_checked += 1;

@@ -43,13 +43,19 @@ pub mod analyze;
 pub mod audit;
 pub mod json;
 mod metrics;
+mod progress;
 mod report;
+pub mod resource;
 mod sink;
 mod span;
 
 pub use metrics::{Class, Histogram, Metric, MetricsRegistry};
+pub use progress::{ProgressSink, RoundSnapshot, PROGRESS_ENV};
 pub use report::TelemetryReport;
-pub use sink::{Event, EventKind, JsonlSink, MemorySink, NullSink, Sink, StderrSink};
+pub use sink::{
+    register_shard, Event, EventKind, JsonlSink, LineSink, MemorySink, NullSink,
+    ShardedSink, Sink, StderrSink,
+};
 pub use span::{Span, Value};
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -275,6 +281,16 @@ impl Telemetry {
                     shared.metrics.lock().expect("metrics lock poisoned").clone();
                 shared.sink.emit_metrics(&registry);
             }
+            shared.sink.flush();
+        }
+    }
+
+    /// Flushes the sink without emitting metrics — the round-barrier
+    /// drain point for buffering sinks like [`ShardedSink`], which
+    /// empty their per-worker buffers in fixed shard order here. Cheap
+    /// on non-buffering sinks; safe on a disabled handle.
+    pub fn flush(&self) {
+        if let Some(shared) = &self.shared {
             shared.sink.flush();
         }
     }

@@ -1,0 +1,233 @@
+//! Live run monitor: throttled one-line stderr progress snapshots.
+//!
+//! A [`ProgressSink`] consumes one [`RoundSnapshot`] per training round
+//! and, at most once per interval, renders a single status line —
+//! round counter, rounds/sec, per-phase p50 latencies, pool busy %,
+//! fault count, current RSS — to stderr. It is enabled by setting the
+//! `HELCFL_PROGRESS` environment variable (any value except `0`), works
+//! whether or not event tracing is on, and never writes to the trace
+//! stream itself, so it cannot perturb trace bytes or history
+//! determinism: everything it consumes is wall-clock (runtime-class)
+//! observability.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use crate::metrics::Histogram;
+use crate::resource;
+
+/// Environment variable that enables the live monitor.
+pub const PROGRESS_ENV: &str = "HELCFL_PROGRESS";
+
+/// One round's worth of live-monitor input, fed by the training loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundSnapshot<'a> {
+    /// Round index (0-based, as the runner counts them).
+    pub round: usize,
+    /// Wall-clock duration of named phases this round.
+    pub phases: &'a [(&'a str, Duration)],
+    /// Worker-pool busy share over the round, 0..=1, when known.
+    pub pool_busy: Option<f64>,
+    /// Cumulative faults fired so far in the run.
+    pub faults_fired: u64,
+}
+
+/// Throttled stderr progress reporter. See the module docs.
+#[derive(Debug)]
+pub struct ProgressSink {
+    interval: Duration,
+    started: Instant,
+    last_emit: Option<Instant>,
+    rounds_seen: u64,
+    /// Per-phase latency distribution and summed time, in seconds.
+    phase_hist: BTreeMap<String, (Histogram, f64)>,
+    last_busy: Option<f64>,
+    faults_fired: u64,
+}
+
+impl ProgressSink {
+    /// Builds the monitor when [`PROGRESS_ENV`] opts in; `None` keeps
+    /// the hot path free of even the per-round bookkeeping.
+    pub fn from_env() -> Option<Self> {
+        match std::env::var(PROGRESS_ENV) {
+            Ok(v) if !v.is_empty() && v != "0" => Some(Self::with_interval(Duration::from_secs(1))),
+            _ => None,
+        }
+    }
+
+    /// Monitor emitting at most once per `interval` (zero = every
+    /// round; used by tests).
+    pub fn with_interval(interval: Duration) -> Self {
+        Self {
+            interval,
+            started: Instant::now(),
+            last_emit: None,
+            rounds_seen: 0,
+            phase_hist: BTreeMap::new(),
+            last_busy: None,
+            faults_fired: 0,
+        }
+    }
+
+    /// Ingests one round and, when an emission is due, writes the
+    /// status line to stderr and returns it (tests inspect the return;
+    /// production ignores it).
+    pub fn record_round(&mut self, snap: &RoundSnapshot<'_>) -> Option<String> {
+        self.rounds_seen += 1;
+        for (name, dur) in snap.phases {
+            let entry = self
+                .phase_hist
+                .entry((*name).to_string())
+                .or_insert_with(|| (Histogram::new(), 0.0));
+            entry.0.record(dur.as_secs_f64());
+            entry.1 += dur.as_secs_f64();
+        }
+        self.last_busy = snap.pool_busy.or(self.last_busy);
+        self.faults_fired = snap.faults_fired;
+        let now = Instant::now();
+        let due = self
+            .last_emit
+            .is_none_or(|last| now.duration_since(last) >= self.interval);
+        if !due {
+            return None;
+        }
+        self.last_emit = Some(now);
+        let line = self.render_line(snap.round);
+        eprintln!("{line}");
+        Some(line)
+    }
+
+    /// Renders the one-line snapshot without emitting it.
+    pub fn render_line(&self, round: usize) -> String {
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let mut line = format!(
+            "[helcfl] round {round} | {:.2} r/s",
+            self.rounds_seen as f64 / elapsed
+        );
+        // Top phases by total time keep the line bounded no matter how
+        // many phases the loop reports.
+        let mut by_total: Vec<(&str, &Histogram, f64)> = self
+            .phase_hist
+            .iter()
+            .map(|(k, (h, total))| (k.as_str(), h, *total))
+            .collect();
+        by_total.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(b.0))
+        });
+        let shown: Vec<String> = by_total
+            .iter()
+            .take(3)
+            .filter_map(|(name, h, _)| {
+                h.approx_quantile(0.5).map(|p50| format!("{name} {}", fmt_seconds(p50)))
+            })
+            .collect();
+        if !shown.is_empty() {
+            let _ = write!(line, " | p50 {}", shown.join(", "));
+        }
+        if let Some(busy) = self.last_busy {
+            let _ = write!(line, " | busy {:.0}%", busy * 100.0);
+        }
+        let _ = write!(line, " | faults {}", self.faults_fired);
+        if let Some(rss) = resource::rss_bytes() {
+            let _ = write!(line, " | rss {}", fmt_bytes(rss));
+        }
+        line
+    }
+}
+
+fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{:.0}µs", s * 1e6)
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    const MIB: f64 = 1024.0 * 1024.0;
+    let b = b as f64;
+    if b >= 1024.0 * MIB {
+        format!("{:.2}GiB", b / (1024.0 * MIB))
+    } else {
+        format!("{:.0}MiB", b / MIB)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_line_carries_every_field() {
+        let mut sink = ProgressSink::with_interval(Duration::ZERO);
+        let phases = [
+            ("local_update", Duration::from_millis(40)),
+            ("timeline", Duration::from_micros(900)),
+        ];
+        let line = sink
+            .record_round(&RoundSnapshot {
+                round: 7,
+                phases: &phases,
+                pool_busy: Some(0.82),
+                faults_fired: 3,
+            })
+            .expect("zero interval always emits");
+        assert!(line.contains("round 7"), "{line}");
+        assert!(line.contains("r/s"), "{line}");
+        // Quantiles are bucket midpoints 1.5·2^e: 40 ms lands in
+        // [2⁻⁵, 2⁻⁴) → 46.9 ms; 900 µs in [2⁻¹¹, 2⁻¹⁰) → 732 µs.
+        assert!(line.contains("local_update 46.9ms"), "{line}");
+        assert!(line.contains("timeline 732µs"), "{line}");
+        assert!(line.contains("busy 82%"), "{line}");
+        assert!(line.contains("faults 3"), "{line}");
+        // RSS segment is present wherever procfs is (i.e. the CI box).
+        if resource::rss_bytes().is_some() {
+            assert!(line.contains("rss "), "{line}");
+        }
+    }
+
+    #[test]
+    fn throttling_suppresses_until_interval_elapses() {
+        let mut sink = ProgressSink::with_interval(Duration::from_secs(3600));
+        let first = sink.record_round(&RoundSnapshot::default());
+        assert!(first.is_some(), "first round always emits");
+        for round in 1..50 {
+            let again = sink.record_round(&RoundSnapshot { round, ..Default::default() });
+            assert!(again.is_none(), "inside the interval nothing emits");
+        }
+        // The state still accumulated behind the throttle.
+        assert_eq!(sink.rounds_seen, 50);
+    }
+
+    #[test]
+    fn busy_gauge_is_sticky_and_phases_rank_by_total_time() {
+        let mut sink = ProgressSink::with_interval(Duration::ZERO);
+        let heavy = [("aggregate", Duration::from_secs(2))];
+        sink.record_round(&RoundSnapshot {
+            round: 0,
+            phases: &heavy,
+            pool_busy: Some(0.5),
+            faults_fired: 0,
+        });
+        // No busy sample this round: the last known value is shown.
+        let line = sink
+            .record_round(&RoundSnapshot { round: 1, phases: &heavy, ..Default::default() })
+            .unwrap();
+        assert!(line.contains("busy 50%"), "{line}");
+        // 2 s sits in bucket [2, 4) whose midpoint is 3 s.
+        assert!(line.contains("aggregate 3.00s"), "{line}");
+    }
+
+    #[test]
+    fn from_env_respects_the_opt_in_contract() {
+        // Runs single-threaded assertions on whatever the ambient env
+        // is; the ctor contract itself is pure.
+        match std::env::var(PROGRESS_ENV) {
+            Ok(v) if !v.is_empty() && v != "0" => assert!(ProgressSink::from_env().is_some()),
+            _ => assert!(ProgressSink::from_env().is_none()),
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Std-only process resource probes.
+//!
+//! Million-device runs live or die on memory, so the runner records
+//! `runtime.rss_bytes` / `runtime.peak_rss_bytes` gauges every round.
+//! The probes read Linux procfs and degrade to `None` anywhere that
+//! interface is missing (other platforms, locked-down containers) —
+//! resource gauges are best-effort observability, never a correctness
+//! dependency, and all of them are [`crate::Class::Runtime`].
+
+/// Bytes per page; procfs `statm` reports pages. Linux x86-64/aarch64
+/// default. A probe built on a 64 KiB-page kernel underreports, which
+/// is acceptable for a trend gauge — exactness is not the contract.
+const PAGE_BYTES: u64 = 4096;
+
+/// Current resident set size in bytes, from `/proc/self/statm`
+/// (second field, in pages).
+///
+/// Returns `None` when procfs is unavailable or unparseable.
+pub fn rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident_pages * PAGE_BYTES)
+}
+
+/// Peak resident set size in bytes, from `/proc/self/status`
+/// (`VmHWM`, reported in kB).
+///
+/// Returns `None` when procfs is unavailable or the field is missing.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_hwm_parsing_handles_the_kernel_format() {
+        let status = "Name:\tcargo\nVmPeak:\t  123 kB\nVmHWM:\t   2048 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm(status), Some(2048 * 1024));
+        assert_eq!(parse_vm_hwm("Name:\tcargo\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[test]
+    fn probes_are_sane_on_linux_and_graceful_elsewhere() {
+        match rss_bytes() {
+            Some(rss) => {
+                // A running test process resides in at least a few pages
+                // and fewer than a terabyte.
+                assert!(rss > 64 * 1024, "implausibly small RSS {rss}");
+                assert!(rss < 1 << 40, "implausibly large RSS {rss}");
+                // Peak is at least current (when the kernel reports it).
+                if let Some(peak) = peak_rss_bytes() {
+                    assert!(peak + PAGE_BYTES >= rss, "peak {peak} below current {rss}");
+                }
+            }
+            None => {
+                // No procfs: both probes must agree there is nothing.
+                assert_eq!(peak_rss_bytes(), None);
+            }
+        }
+    }
+}

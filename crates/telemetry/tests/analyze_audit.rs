@@ -398,6 +398,172 @@ fn audit_flags_wasted_energy_that_ignores_a_failed_delivery() {
     );
 }
 
+/// A digest-era `timeline` span: the usual summary totals plus the
+/// `digest:true` flag that announces the cohort_digest child.
+fn digest_timeline_line(id: u64, parent: u64, energy: f64) -> String {
+    format!(
+        r#"{{"type":"span","name":"timeline","id":{id},"parent":{parent},"t_us":0,"dur_us":10,"attrs":{{"policy":"test","delay_neutral":true,"digest":true,"uploads":2,"makespan_s":12.5,"slack_total_s":0.0,"energy_j":{energy},"compute_energy_j":2.384}}}}"#
+    )
+}
+
+/// The worked example's cohort digest: two devices (3.0 J and 1.384 J,
+/// both zero slack), last channel release at 12.5 s. Any field can be
+/// perturbed by the caller to trip one check.
+#[allow(clippy::too_many_arguments)]
+fn cohort_digest_line(
+    id: u64,
+    parent: u64,
+    exemplars: u64,
+    energy_max: f64,
+    energy_hist: &str,
+    slack_hist: &str,
+) -> String {
+    format!(
+        r#"{{"type":"span","name":"cohort_digest","id":{id},"parent":{parent},"t_us":0,"dur_us":1,"attrs":{{"devices":2,"exemplars":{exemplars},"uploads":2,"energy_sum_j":4.384,"energy_min_j":1.384,"energy_max_j":{energy_max},"compute_energy_sum_j":2.384,"slack_sum_s":0.0,"slack_min_s":0.0,"slack_max_s":0.0,"release_max_s":12.5,"energy_hist":"{energy_hist}","slack_hist":"{slack_hist}"}}}}"#
+    )
+}
+
+/// Digest round distilled from the passing worked example: one
+/// exemplar (device 0, 3.0 J total) stands in for the two-device
+/// cohort. 3.0 J sits in bucket [2,4) (exponent 1), 1.384 J in [1,2)
+/// (exponent 0); both zero slacks land in the underflow tally.
+#[test]
+fn audit_passes_on_a_digest_round_that_matches_its_exemplar() {
+    let trace = fixture(&[
+        activity_line(4, 3, 0, 2.0e9, 2.0e9, 2.5, 2.5, 7.5, 2.0, 2.0),
+        cohort_digest_line(5, 3, 1, 3.0, "u0,n0,i0,x0,0:1,1:1", "u2,n0,i0,x0"),
+        digest_timeline_line(3, 2, 4.384),
+        round_line(2, 0),
+    ]);
+    let report = audit(&trace, &AuditConfig::default()).unwrap();
+    assert!(report.passed(), "unexpected violations:\n{}", report.render());
+    assert_eq!(report.rounds_audited, 1);
+    assert_eq!(report.rounds_digest, 1);
+    // The claim is still counted even though digest rounds skip the
+    // full-cohort delay-neutrality replay.
+    assert_eq!(report.rounds_delay_neutral, 1);
+}
+
+#[test]
+fn audit_flags_digest_totals_that_disagree_with_the_timeline() {
+    // The timeline over-reports total energy by 1 J against the
+    // digest's streaming sum.
+    let trace = fixture(&[
+        activity_line(4, 3, 0, 2.0e9, 2.0e9, 2.5, 2.5, 7.5, 2.0, 2.0),
+        cohort_digest_line(5, 3, 1, 3.0, "u0,n0,i0,x0,0:1,1:1", "u2,n0,i0,x0"),
+        digest_timeline_line(3, 2, 5.384),
+        round_line(2, 2),
+    ]);
+    let report = audit(&trace, &AuditConfig::default()).unwrap();
+    assert!(!report.passed());
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+    assert_eq!(report.violations[0].invariant, "energy-consistency");
+    assert_eq!(report.violations[0].round, Some(2));
+}
+
+#[test]
+fn audit_flags_an_exemplar_outside_the_digest_extrema() {
+    // The digest advertises energy_max 2.0 J; the exemplar spent 3.0 J.
+    let trace = fixture(&[
+        activity_line(4, 3, 0, 2.0e9, 2.0e9, 2.5, 2.5, 7.5, 2.0, 2.0),
+        cohort_digest_line(5, 3, 1, 2.0, "u0,n0,i0,x0,0:1,1:1", "u2,n0,i0,x0"),
+        digest_timeline_line(3, 2, 4.384),
+        round_line(2, 3),
+    ]);
+    let report = audit(&trace, &AuditConfig::default()).unwrap();
+    assert!(!report.passed());
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+    assert_eq!(report.violations[0].invariant, "digest-consistency");
+    assert_eq!(report.violations[0].span, Some(4), "blames the exemplar span");
+    assert!(
+        report.violations[0].detail.contains("outside the digest"),
+        "{}",
+        report.violations[0].detail
+    );
+}
+
+#[test]
+fn audit_flags_a_malformed_digest_histogram() {
+    let trace = fixture(&[
+        activity_line(4, 3, 0, 2.0e9, 2.0e9, 2.5, 2.5, 7.5, 2.0, 2.0),
+        cohort_digest_line(5, 3, 1, 3.0, "garbage", "u2,n0,i0,x0"),
+        digest_timeline_line(3, 2, 4.384),
+        round_line(2, 4),
+    ]);
+    let report = audit(&trace, &AuditConfig::default()).unwrap();
+    assert!(!report.passed());
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+    assert_eq!(report.violations[0].invariant, "digest-consistency");
+    assert!(
+        report.violations[0].detail.contains("malformed"),
+        "{}",
+        report.violations[0].detail
+    );
+}
+
+#[test]
+fn audit_flags_a_digest_histogram_that_lost_samples() {
+    // energy_hist tallies one sample for a two-device cohort.
+    let trace = fixture(&[
+        activity_line(4, 3, 0, 2.0e9, 2.0e9, 2.5, 2.5, 7.5, 2.0, 2.0),
+        cohort_digest_line(5, 3, 1, 3.0, "u0,n0,i0,x0,1:1", "u2,n0,i0,x0"),
+        digest_timeline_line(3, 2, 4.384),
+        round_line(2, 5),
+    ]);
+    let report = audit(&trace, &AuditConfig::default()).unwrap();
+    assert!(!report.passed());
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+    assert_eq!(report.violations[0].invariant, "digest-consistency");
+    assert!(
+        report.violations[0].detail.contains("holds 1 samples for 2 devices"),
+        "{}",
+        report.violations[0].detail
+    );
+}
+
+#[test]
+fn audit_flags_an_exemplar_count_mismatch() {
+    // The digest claims two exemplars; only one span was emitted.
+    let trace = fixture(&[
+        activity_line(4, 3, 0, 2.0e9, 2.0e9, 2.5, 2.5, 7.5, 2.0, 2.0),
+        cohort_digest_line(5, 3, 2, 3.0, "u0,n0,i0,x0,0:1,1:1", "u2,n0,i0,x0"),
+        digest_timeline_line(3, 2, 4.384),
+        round_line(2, 6),
+    ]);
+    let report = audit(&trace, &AuditConfig::default()).unwrap();
+    assert!(!report.passed());
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+    assert_eq!(report.violations[0].invariant, "digest-consistency");
+    assert!(
+        report.violations[0].detail.contains("claims 2 exemplars"),
+        "{}",
+        report.violations[0].detail
+    );
+}
+
+#[test]
+fn audit_flags_a_digest_flag_without_a_digest_span() {
+    // timeline says digest:true but no cohort_digest child exists; the
+    // round otherwise audits cleanly as a full trace, so the flag lie
+    // is the only violation.
+    let trace = fixture(&[
+        activity_line(4, 3, 0, 2.0e9, 2.0e9, 2.5, 2.5, 7.5, 2.0, 2.0),
+        activity_line(5, 3, 1, 0.8e9, 2.0e9, 7.5, 7.5, 12.5, 0.384, 2.4),
+        r#"{"type":"span","name":"timeline","id":3,"parent":2,"t_us":0,"dur_us":10,"attrs":{"policy":"test","delay_neutral":true,"digest":true}}"#
+            .to_string(),
+        round_line(2, 7),
+    ]);
+    let report = audit(&trace, &AuditConfig::default()).unwrap();
+    assert!(!report.passed());
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+    assert_eq!(report.violations[0].invariant, "digest-consistency");
+    assert!(
+        report.violations[0].detail.contains("lacks a cohort_digest"),
+        "{}",
+        report.violations[0].detail
+    );
+}
+
 #[test]
 fn audit_flags_timeline_totals_that_disagree_with_devices() {
     // The timeline span over-reports total energy by 1 J.
