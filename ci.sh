@@ -31,6 +31,33 @@ trap 'rm -rf "$smoke_dir"' EXIT
   "$repo_root/target/release/helcfl-trace" audit results/trace_table1_delay.jsonl
 )
 
+echo "==> observability gates: self-diff, flame, series, manifest refusal"
+# The smoke trace from the telemetry section, compared against itself,
+# must be the identity: every phase and metric a zero delta, exit 0.
+# The folded-stack and timeseries exports must produce non-empty
+# artifacts from the same trace, and a manifest whose identity has
+# been tampered with (the seed) must make the diff refuse with the
+# field named.
+(
+  cd "$smoke_dir"
+  trace=results/trace_table1_delay.jsonl
+  "$repo_root/target/release/helcfl-trace" diff "$trace" "$trace" > diff_self.txt
+  grep -q "zero deltas" diff_self.txt
+  "$repo_root/target/release/helcfl-trace" flame "$trace" --out stacks.folded
+  test -s stacks.folded
+  "$repo_root/target/release/helcfl-trace" series "$trace" --json > series.json
+  test -s series.json
+  # Tamper only the manifest line: cohort_digest spans carry a seed
+  # attribute of their own that must stay untouched.
+  sed '/"type":"run_manifest"/s/"seed":[0-9]*/"seed":999983/' "$trace" > tampered.jsonl
+  if "$repo_root/target/release/helcfl-trace" diff "$trace" tampered.jsonl \
+      2> diff_refusal.txt; then
+    echo "ERROR: diff accepted a tampered manifest" >&2
+    exit 1
+  fi
+  grep -q "seed" diff_refusal.txt
+)
+
 echo "==> fault smoke: seeded injection run + trace validation + audit"
 # A nonzero-rate fault plan must produce a trace that still satisfies
 # the (fault-aware) theory audit: wasted energy reconciled, fault spans

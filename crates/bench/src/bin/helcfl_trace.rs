@@ -6,10 +6,16 @@
 //!
 //! ```text
 //! helcfl-trace tree   [PATH] [--round N] [--max-depth D] [--limit N]
-//! helcfl-trace phases [PATH]
+//! helcfl-trace phases [PATH] [--json]
 //! helcfl-trace check  [PATH]
 //! helcfl-trace audit  [PATH]
 //! helcfl-trace watch  [PATH] [--interval-ms N] [--max-polls N]
+//! helcfl-trace diff   BASELINE CANDIDATE [--json] [--ignore-manifest]
+//!                     [--max-phase-p50-growth-pct X]
+//!                     [--max-phase-total-growth-pct X]
+//!                     [--max-round-total-growth-pct X]
+//! helcfl-trace flame  [PATH] [--out FILE]
+//! helcfl-trace series [PATH] [--json] [--window N] [--mad-k X]
 //! helcfl-trace gate   BASELINE CANDIDATE [--max-rps-drop-pct X]
 //!                     [--max-latency-growth-pct X] [--max-overhead-pp X]
 //!                     [--max-gflops-drop-pct X] [--max-bytes-growth-pct X]
@@ -21,16 +27,26 @@
 //! `check` enforces the ≥ 80 % per-round span-coverage rule, `audit`
 //! replays the trace against the paper's analytic model (slack ≥ 0,
 //! TDMA serialization, Alg. 3 delay-neutrality, `E ∝ f²` consistency,
-//! metrics/span agreement), and `gate` diffs two bench reports —
-//! round-engine, kernel, or population-scaling, told apart by their
-//! `"bench"` tag — against regression tolerances.
+//! metrics/span agreement), `diff` compares two *traces* (refusing
+//! cross-experiment comparisons via their `run_manifest` provenance
+//! lines, then reporting per-phase p50/p99/total deltas, a metrics
+//! diff, an audit diff, and a ranked attribution of the round-time
+//! delta), and `gate` diffs two scalar bench reports — round-engine,
+//! kernel, or population-scaling, told apart by their `"bench"` tag —
+//! against regression tolerances.
+//!
+//! `flame` exports folded stacks (`path;to;span self_µs`) consumable
+//! by flamegraph.pl / speedscope; `series` prints the per-round
+//! timeseries with rolling-median/MAD anomaly flags, catching phases
+//! that drift *within* one long run.
 //!
 //! `watch` tails a trace that is *still being written*: the runner
 //! flushes whole rounds at its round barrier, so each poll parses the
 //! well-formed prefix (a partially-flushed tail line and
 //! not-yet-parented spans are skipped, not fatal), prints a one-line
-//! snapshot whenever new rounds land, and exits once the trailing
-//! metrics line marks the run finished.
+//! snapshot whenever new rounds land (announcing each run_manifest as
+//! it appears), and exits once the trailing metrics line marks the run
+//! finished.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -39,18 +55,30 @@ use helcfl_bench::gate::{
     gate, gate_kernels, gate_population, GateConfig, KernelGateConfig, PopulationGateConfig,
 };
 use helcfl_telemetry::analyze::{
-    check_coverage, phase_breakdown, prune_orphan_spans, SpanTree, Trace,
+    check_coverage, folded_stacks, mad_flags, phase_breakdown, prune_orphan_spans,
+    round_series, SpanTree, Trace,
 };
 use helcfl_telemetry::audit::{audit, AuditConfig};
+use helcfl_telemetry::diff::{diff_traces, DiffConfig};
+use helcfl_telemetry::json::JsonObject;
 
 const DEFAULT_TRACE: &str = "results/trace_table1_delay.jsonl";
 
-const USAGE: &str = "usage: helcfl-trace <tree|phases|check|audit|watch|gate> [args]
+const USAGE: &str =
+    "usage: helcfl-trace <tree|phases|check|audit|watch|diff|flame|series|gate> [args]
   tree   [PATH] [--round N] [--max-depth D] [--limit N]   render span trees
-  phases [PATH]                                           per-round phase table
+  phases [PATH] [--json]                                  per-round phase table
   check  [PATH]                                           schema + coverage check
   audit  [PATH]                                           model-invariant audit
   watch  [PATH] [--interval-ms N] [--max-polls N]         tail a growing trace
+  diff   BASELINE CANDIDATE [--json] [--ignore-manifest]
+         [--max-phase-p50-growth-pct X] [--max-phase-total-growth-pct X]
+         [--max-round-total-growth-pct X]
+                                                          cross-run trace diff
+              (refuses mismatched run_manifest provenance)
+  flame  [PATH] [--out FILE]                              folded-stack export
+  series [PATH] [--json] [--window N] [--mad-k X]         per-round timeseries
+              (rolling-median/MAD anomaly flags)
   gate   BASELINE CANDIDATE [--max-rps-drop-pct X]
          [--max-latency-growth-pct X] [--max-overhead-pp X]
          [--max-gflops-drop-pct X] [--max-bytes-growth-pct X]
@@ -58,6 +86,9 @@ const USAGE: &str = "usage: helcfl-trace <tree|phases|check|audit|watch|gate> [a
                                                           bench regression gate
               (round_engine, kernels, or population reports, by \"bench\" tag)
 PATH defaults to results/trace_table1_delay.jsonl";
+
+/// Flags that take no value (presence-only switches).
+const SWITCHES: &[&str] = &["json", "ignore-manifest"];
 
 /// Positional arguments and `--flag value` pairs, untangled.
 struct Args {
@@ -71,11 +102,16 @@ impl Args {
         let mut i = 0;
         while i < raw.len() {
             if let Some(name) = raw[i].strip_prefix("--") {
-                let value = raw
-                    .get(i + 1)
-                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
-                out.flags.push((name.to_string(), value.clone()));
-                i += 2;
+                if SWITCHES.contains(&name) {
+                    out.flags.push((name.to_string(), String::new()));
+                    i += 1;
+                } else {
+                    let value = raw
+                        .get(i + 1)
+                        .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                    out.flags.push((name.to_string(), value.clone()));
+                    i += 2;
+                }
             } else {
                 out.positional.push(raw[i].clone());
                 i += 1;
@@ -102,6 +138,18 @@ impl Args {
                 .map_err(|_| format!("--{name} wants an integer, got {v:?}")),
             None => Ok(None),
         }
+    }
+
+    fn flag_str(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when a presence-only switch (`--json`, …) was given.
+    fn flag_set(&self, name: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == name)
     }
 
     fn trace_path(&self) -> &str {
@@ -153,7 +201,11 @@ fn cmd_phases(args: &Args) -> Result<(), String> {
     if breakdown.rounds == 0 {
         return Err("no round spans — was a federated run traced?".to_string());
     }
-    print!("{}", breakdown.render());
+    if args.flag_set("json") {
+        println!("{}", breakdown.to_json().finish());
+    } else {
+        print!("{}", breakdown.render());
+    }
     Ok(())
 }
 
@@ -192,6 +244,7 @@ fn cmd_watch(args: &Args) -> Result<(), String> {
         Duration::from_millis(args.flag_usize("interval-ms")?.unwrap_or(500) as u64);
     let max_polls = args.flag_usize("max-polls")?.unwrap_or(usize::MAX);
     let mut last_rounds = 0usize;
+    let mut seen_manifests = 0usize;
     let mut reported_final = false;
     let mut polls = 0usize;
     loop {
@@ -200,6 +253,12 @@ fn cmd_watch(args: &Args) -> Result<(), String> {
         let (mut trace, mut pending) = Trace::parse_prefix(&text);
         pending += prune_orphan_spans(&mut trace);
         let finished = trace.metrics.is_some();
+        // Announce provenance as soon as the runner stamps it, so a
+        // watcher knows *which* run it is tailing.
+        for manifest in trace.manifests.iter().skip(seen_manifests) {
+            println!("watch: {}", manifest.to_human_line());
+        }
+        seen_manifests = seen_manifests.max(trace.manifests.len());
         if !trace.spans.is_empty() {
             // Lenient parsing guarantees every surviving span's parent
             // chain resolves, so the tree build cannot fail here.
@@ -237,6 +296,117 @@ fn cmd_watch(args: &Args) -> Result<(), String> {
         }
         std::thread::sleep(interval);
     }
+}
+
+/// Cross-run trace diff: refuse incompatible runs, then report deltas.
+fn cmd_diff(args: &Args) -> Result<(), String> {
+    let [baseline, candidate] = args.positional.as_slice() else {
+        return Err("diff wants exactly two paths: BASELINE CANDIDATE".to_string());
+    };
+    let base = Trace::load(baseline)?;
+    let cand = Trace::load(candidate)?;
+    let cfg = DiffConfig {
+        max_phase_p50_growth_pct: args.flag_f64("max-phase-p50-growth-pct")?,
+        max_phase_total_growth_pct: args.flag_f64("max-phase-total-growth-pct")?,
+        max_round_total_growth_pct: args.flag_f64("max-round-total-growth-pct")?,
+        ignore_manifest: args.flag_set("ignore-manifest"),
+    };
+    let report = diff_traces(&base, &cand, &cfg)?;
+    if args.flag_set("json") {
+        println!("{}", report.to_json().finish());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!("{} regression(s) beyond tolerance", report.failures.len()))
+    }
+}
+
+/// Folded-stack export: one `path;to;span self_µs` line per stack,
+/// directly consumable by flamegraph.pl or speedscope.
+fn cmd_flame(args: &Args) -> Result<(), String> {
+    let trace = Trace::load(args.trace_path())?;
+    let tree = SpanTree::build(&trace)?;
+    let stacks = folded_stacks(&tree);
+    if stacks.is_empty() {
+        return Err("no spans with self-time — was anything traced?".to_string());
+    }
+    let mut out = String::new();
+    for (path, self_us) in &stacks {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&self_us.to_string());
+        out.push('\n');
+    }
+    match args.flag_str("out") {
+        Some(path) => std::fs::write(path, &out)
+            .map_err(|e| format!("cannot write {path}: {e}"))?,
+        None => print!("{out}"),
+    }
+    Ok(())
+}
+
+/// Per-round timeseries with rolling-median/MAD anomaly flags.
+fn cmd_series(args: &Args) -> Result<(), String> {
+    let trace = Trace::load(args.trace_path())?;
+    let tree = SpanTree::build(&trace)?;
+    let points = round_series(&trace, &tree);
+    if points.is_empty() {
+        return Err("no round spans — was a federated run traced?".to_string());
+    }
+    let window = args.flag_usize("window")?.unwrap_or(16);
+    let mad_k = args.flag_f64("mad-k")?.unwrap_or(5.0);
+    let durations: Vec<f64> = points.iter().map(|p| p.dur_us as f64).collect();
+    let flags = mad_flags(&durations, window, mad_k);
+    if args.flag_set("json") {
+        let rows: Vec<JsonObject> = points
+            .iter()
+            .zip(&flags)
+            .map(|(p, &anomalous)| {
+                let mut row = JsonObject::new();
+                row.field("round", p.index);
+                row.field("t_us", p.t_us);
+                row.field("dur_us", p.dur_us);
+                row.field("anomalous", anomalous);
+                let mut phases = JsonObject::new();
+                for (name, us) in &p.phases {
+                    phases.field(name, *us);
+                }
+                row.object("phases", phases);
+                row
+            })
+            .collect();
+        let mut doc = JsonObject::new();
+        doc.field("rounds", points.len() as u64);
+        doc.field("window", window as u64);
+        doc.field("mad_k", mad_k);
+        doc.field("anomalies", flags.iter().filter(|&&f| f).count() as u64);
+        doc.field("points", rows);
+        println!("{}", doc.finish());
+    } else {
+        let anomalies = flags.iter().filter(|&&f| f).count();
+        println!(
+            "series: {} round(s), window {window}, mad-k {mad_k}, {anomalies} anomalie(s)",
+            points.len()
+        );
+        for (p, &anomalous) in points.iter().zip(&flags) {
+            let label = p
+                .index
+                .map_or_else(|| "?".to_string(), |i| i.to_string());
+            let top = p.phases.iter().max_by_key(|(_, us)| *us).map_or_else(
+                || "-".to_string(),
+                |(name, us)| format!("{name} {us} µs"),
+            );
+            println!(
+                "  round {label:>4}  {:>10} µs  top {top}{}",
+                p.dur_us,
+                if anomalous { "  ← ANOMALY" } else { "" },
+            );
+        }
+    }
+    Ok(())
 }
 
 fn cmd_gate(args: &Args) -> Result<(), String> {
@@ -307,6 +477,9 @@ fn main() -> ExitCode {
             "check" => cmd_check(&args),
             "audit" => cmd_audit(&args),
             "watch" => cmd_watch(&args),
+            "diff" => cmd_diff(&args),
+            "flame" => cmd_flame(&args),
+            "series" => cmd_series(&args),
             "gate" => cmd_gate(&args),
             other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
         }

@@ -1,7 +1,8 @@
 //! End-to-end checks of the `helcfl-trace` binary: `check` keeps the
 //! validation the retired `check_trace` shim enforced (strict schema,
-//! resolvable parents, coverage rule), and `watch` tails a trace
-//! without hanging CI.
+//! resolvable parents, coverage rule), `watch` tails a trace without
+//! hanging CI, and the cross-run tooling (`diff`, `flame`, `series`)
+//! honours run_manifest provenance end to end.
 
 use std::fs;
 use std::path::PathBuf;
@@ -26,6 +27,25 @@ const FINISHED_TRACE: &str = concat!(
     r#"{"type":"metrics","metrics":{}}"#,
     "\n",
 );
+
+/// A run_manifest provenance line with the given seed, otherwise
+/// matching [`TRACE`]'s (hypothetical) producer.
+fn manifest_line(seed: u64) -> String {
+    format!(
+        concat!(
+            r#"{{"type":"run_manifest","schema_version":1,"seed":{},"#,
+            r#""scheme":"helcfl","config_fingerprint":"deadbeefdeadbeef","#,
+            r#""threads":1,"trace_mode":"full","fleet_size":10,"#,
+            r#""build_profile":"release"}}"#
+        ),
+        seed
+    )
+}
+
+/// [`TRACE`] with a provenance manifest at its head.
+fn manifested_trace(seed: u64) -> String {
+    format!("{}\n{TRACE}", manifest_line(seed))
+}
 
 fn scratch(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("helcfl_trace_cli_{tag}_{}", std::process::id()));
@@ -79,6 +99,167 @@ fn watch_exits_cleanly_when_the_run_is_finished() {
     assert!(output.status.success(), "stdout: {stdout}\nstderr: {stderr}");
     assert!(stdout.contains("1 round(s)"), "missing snapshot line: {stdout}");
     assert!(stdout.contains("run finished"), "missing exit reason: {stdout}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// A trace diffed against itself is the identity comparison: exit 0
+/// and an explicit "zero deltas" verdict (the phrase ci.sh greps for).
+#[test]
+fn diff_of_a_trace_against_itself_reports_zero_deltas() {
+    let dir = scratch("diff_self");
+    let path = dir.join("trace.jsonl");
+    fs::write(&path, manifested_trace(42)).unwrap();
+
+    let output = trace_cli()
+        .args(["diff", path.to_str().unwrap(), path.to_str().unwrap()])
+        .output()
+        .expect("run helcfl-trace");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("zero deltas"), "missing verdict: {stdout}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Mismatched identity (the seed) refuses the comparison with a named
+/// reason; `--ignore-manifest` is the explicit override.
+#[test]
+fn diff_refuses_mismatched_seeds_unless_overridden() {
+    let dir = scratch("diff_seed");
+    let base = dir.join("base.jsonl");
+    let cand = dir.join("cand.jsonl");
+    fs::write(&base, manifested_trace(42)).unwrap();
+    fs::write(&cand, manifested_trace(43)).unwrap();
+
+    let output = trace_cli()
+        .args(["diff", base.to_str().unwrap(), cand.to_str().unwrap()])
+        .output()
+        .expect("run helcfl-trace");
+    assert!(!output.status.success(), "mismatched seeds must refuse to diff");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("seed"), "refusal does not name the seed: {stderr}");
+
+    let output = trace_cli()
+        .args([
+            "diff",
+            base.to_str().unwrap(),
+            cand.to_str().unwrap(),
+            "--ignore-manifest",
+        ])
+        .output()
+        .expect("run helcfl-trace");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "--ignore-manifest must override: {stderr}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// `diff --json` emits one parseable JSON document.
+#[test]
+fn diff_json_output_is_valid_json() {
+    let dir = scratch("diff_json");
+    let path = dir.join("trace.jsonl");
+    fs::write(&path, manifested_trace(42)).unwrap();
+
+    let output = trace_cli()
+        .args(["diff", path.to_str().unwrap(), path.to_str().unwrap(), "--json"])
+        .output()
+        .expect("run helcfl-trace");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let doc = helcfl_telemetry::json::parse(stdout.trim()).expect("diff --json output parses");
+    assert_eq!(
+        doc.get("zero_delta").and_then(|v| v.as_bool()),
+        Some(true),
+        "self-diff must be a zero delta: {stdout}"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// `flame` exports folded stacks: `path;to;span weight` lines whose
+/// weights are self-times (round minus its child, plus the leaf).
+#[test]
+fn flame_exports_folded_stacks() {
+    let dir = scratch("flame");
+    let path = dir.join("trace.jsonl");
+    fs::write(&path, TRACE).unwrap();
+
+    let output =
+        trace_cli().args(["flame", path.to_str().unwrap()]).output().expect("run helcfl-trace");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "stdout: {stdout}\nstderr: {stderr}");
+    // The round's 20000 µs are entirely inside its timeline child, so
+    // only the leaf path carries weight.
+    assert_eq!(stdout.trim(), "round;timeline 20000");
+
+    // `--out` writes the same bytes to a file instead.
+    let out = dir.join("stacks.folded");
+    let output = trace_cli()
+        .args(["flame", path.to_str().unwrap(), "--out", out.to_str().unwrap()])
+        .output()
+        .expect("run helcfl-trace");
+    assert!(output.status.success());
+    assert_eq!(fs::read_to_string(&out).unwrap(), stdout.as_ref());
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// `series --json` emits one parseable document with a point per round.
+#[test]
+fn series_json_reports_one_point_per_round() {
+    let dir = scratch("series");
+    let path = dir.join("trace.jsonl");
+    fs::write(&path, TRACE).unwrap();
+
+    let output = trace_cli()
+        .args(["series", path.to_str().unwrap(), "--json"])
+        .output()
+        .expect("run helcfl-trace");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "stdout: {stdout}\nstderr: {stderr}");
+    let doc = helcfl_telemetry::json::parse(stdout.trim()).expect("series --json parses");
+    assert_eq!(doc.get("rounds").and_then(|v| v.as_f64()), Some(1.0), "{stdout}");
+    assert_eq!(doc.get("anomalies").and_then(|v| v.as_f64()), Some(0.0), "{stdout}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// `phases --json` emits the machine-readable breakdown.
+#[test]
+fn phases_json_output_is_valid_json() {
+    let dir = scratch("phases_json");
+    let path = dir.join("trace.jsonl");
+    fs::write(&path, TRACE).unwrap();
+
+    let output = trace_cli()
+        .args(["phases", path.to_str().unwrap(), "--json"])
+        .output()
+        .expect("run helcfl-trace");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "stdout: {stdout}\nstderr: {stderr}");
+    let doc = helcfl_telemetry::json::parse(stdout.trim()).expect("phases --json parses");
+    assert_eq!(doc.get("rounds").and_then(|v| v.as_f64()), Some(1.0), "{stdout}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// `watch` announces the run's provenance as soon as the manifest
+/// lands in the stream.
+#[test]
+fn watch_announces_the_run_manifest() {
+    let dir = scratch("watch_manifest");
+    let path = dir.join("trace.jsonl");
+    fs::write(&path, format!("{}\n{FINISHED_TRACE}", manifest_line(42))).unwrap();
+
+    let output = trace_cli()
+        .args(["watch", path.to_str().unwrap(), "--interval-ms", "10"])
+        .output()
+        .expect("run helcfl-trace");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(output.status.success(), "{stdout}");
+    assert!(
+        stdout.contains("run_manifest scheme=helcfl seed=42"),
+        "manifest not announced: {stdout}"
+    );
     fs::remove_dir_all(&dir).ok();
 }
 

@@ -418,7 +418,44 @@ pub fn run_federated(
     run_federated_traced(setup, config, selector, frequency_policy, &Telemetry::disabled())
 }
 
+/// FNV-1a fingerprint over the *semantic* training configuration — the
+/// fields that change the simulated experiment. Three fields are
+/// deliberately excluded so the run manifest's compatibility check
+/// matches what the determinism suite guarantees:
+///
+/// * `seed` — compared as its own manifest field, so a pure seed change
+///   is refused as "seed differs", not an opaque fingerprint mismatch;
+/// * `threads` — histories are bit-identical for every worker count;
+/// * `digest_exemplars` — changes only the trace shape, and diffing a
+///   full-mode trace against a digest-mode trace of the same run is an
+///   explicitly supported comparison.
+fn config_fingerprint(config: &TrainingConfig) -> String {
+    let canonical = format!(
+        "{}|{}|{:?}|{}|{}|{}|{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        config.max_rounds,
+        config.fraction,
+        config.payload,
+        config.learning_rate,
+        config.local_epochs,
+        config.batch_size,
+        config.eval_every,
+        config.eval_subsample,
+        config.deadline,
+        config.battery_capacity,
+        config.convergence,
+        config.faults,
+        config.degradation,
+        config.model_dims,
+    );
+    helcfl_telemetry::fnv1a_hex(canonical.as_bytes())
+}
+
 /// [`run_federated`] with full telemetry instrumentation.
+///
+/// Opens the trace with a `run_manifest` provenance line (schema
+/// version, seed, scheme, config fingerprint, resolved workers, trace
+/// mode, fleet size, build profile) that `helcfl-trace diff` uses to
+/// refuse cross-experiment comparisons.
 ///
 /// Per round, when events are enabled, emits a `round` span with
 /// children covering every phase — `availability`, `selection`,
@@ -505,6 +542,29 @@ pub fn run_federated_traced(
     // for per-round utilization deltas.
     let mut pool_ns_seen = (0u64, 0u64);
     let fleet_bytes = setup.population.memory_bytes();
+    // Provenance first: the run_manifest line heads the trace stream so
+    // every reader (diff, audit, watch) knows what produced the bytes
+    // that follow. events_enabled gates it exactly like spans.
+    if tele.events_enabled() {
+        tele.emit_manifest(&helcfl_telemetry::RunManifest {
+            schema_version: helcfl_telemetry::MANIFEST_SCHEMA_VERSION,
+            seed: config.seed,
+            scheme: selector.name().to_string(),
+            config_fingerprint: config_fingerprint(config),
+            threads: workers,
+            trace_mode: if config.digest_exemplars.is_some() {
+                "digest".to_string()
+            } else {
+                "full".to_string()
+            },
+            fleet_size: setup.population.len(),
+            build_profile: if cfg!(debug_assertions) {
+                "debug".to_string()
+            } else {
+                "release".to_string()
+            },
+        });
+    }
     tele.event("pool_resolved")
         .with("workers", workers)
         .with("requested", config.threads)

@@ -6,6 +6,7 @@
 
 use helcfl_telemetry::analyze::Trace;
 use helcfl_telemetry::audit::{audit, AuditConfig};
+use helcfl_telemetry::diff::{diff_traces, DiffConfig};
 use helcfl_telemetry::{MemorySink, MetricsRegistry, ShardedSink, Telemetry};
 
 use fl_sim::dataset::{DatasetConfig, SyntheticTask};
@@ -183,6 +184,10 @@ fn scrub_line(line: &str) -> String {
     // traces from different worker counts can be compared.
     let keys: &[&str] = if line.contains(r#""name":"pool_resolved""#) {
         &["\"t_us\":", "\"dur_us\":", "\"workers\":", "\"requested\":"]
+    } else if line.contains(r#""type":"run_manifest""#) {
+        // The manifest records the worker count as *environment* by
+        // design; identity fields must still match byte-for-byte.
+        &["\"threads\":"]
     } else {
         &["\"t_us\":", "\"dur_us\":"]
     };
@@ -252,6 +257,78 @@ fn digest_and_full_traces_from_real_runs_pass_audit() {
         assert_eq!(report.rounds_audited, 5);
         assert_eq!(report.rounds_digest, if digest.is_some() { 5 } else { 0 });
     }
+}
+
+/// Captures one traced run as parsed [`Trace`] plus its raw text.
+fn traced_run(threads: usize, digest_exemplars: Option<usize>) -> (Trace, String) {
+    let memory = MemorySink::new();
+    let tele = Telemetry::with_sink(memory.clone());
+    run_cfg(threads, digest_exemplars, &tele);
+    tele.finish();
+    let text = memory.lines().join("\n");
+    let trace = Trace::parse(&text).unwrap();
+    (trace, text)
+}
+
+/// A full-fidelity trace and a digest trace of the *same seeded run*
+/// diff cleanly: the manifests are compatible (trace mode is
+/// environment, not identity), the round-level aggregates agree, and
+/// every Sim-class metric is a zero delta.
+#[test]
+fn full_and_digest_traces_of_one_run_diff_cleanly() {
+    let (full, _) = traced_run(2, None);
+    let (digest, _) = traced_run(2, Some(2));
+    assert_eq!(full.manifests.len(), 1);
+    assert_eq!(digest.manifests.len(), 1);
+    assert_eq!(full.manifests[0].trace_mode, "full");
+    assert_eq!(digest.manifests[0].trace_mode, "digest");
+
+    let report = diff_traces(&full, &digest, &DiffConfig::default())
+        .expect("full-vs-digest diff of one seeded run must be comparable");
+    assert!(report.passed(), "no thresholds were set:\n{}", report.render());
+    assert_eq!(
+        report.round.base_count, report.round.cand_count,
+        "round counts diverged between trace modes"
+    );
+    for m in &report.metrics {
+        if m.class == "sim" {
+            assert!(
+                m.is_zero(),
+                "Sim-class metric {} differs across trace modes:\n{}",
+                m.name,
+                report.render()
+            );
+        }
+    }
+}
+
+/// Tampering with a manifest's identity (here: the seed) makes the
+/// diff refuse the comparison, naming the mismatched field.
+#[test]
+fn diff_refuses_a_tampered_seed_with_a_named_reason() {
+    let (baseline, text) = traced_run(1, None);
+    let tampered_text: String = text
+        .lines()
+        .map(|l| {
+            if l.contains(r#""type":"run_manifest""#) {
+                l.replace(r#""seed":42"#, r#""seed":999983"#)
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_ne!(text, tampered_text, "tamper did not land");
+    let tampered = Trace::parse(&tampered_text).unwrap();
+
+    let err = diff_traces(&baseline, &tampered, &DiffConfig::default())
+        .expect_err("mismatched seeds must refuse to diff");
+    assert!(err.contains("seed"), "refusal does not name the seed: {err}");
+
+    // `--ignore-manifest` is the explicit escape hatch.
+    let cfg = DiffConfig { ignore_manifest: true, ..DiffConfig::default() };
+    diff_traces(&baseline, &tampered, &cfg)
+        .expect("ignore_manifest must bypass the provenance check");
 }
 
 /// A [`ShardedSink`] in front of the same inner sink yields the same

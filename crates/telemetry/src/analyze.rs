@@ -15,7 +15,8 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::json::{parse, JsonValue};
+use crate::json::{parse, JsonObject, JsonValue};
+use crate::manifest::RunManifest;
 
 /// One completed span read back from a JSONL trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +99,10 @@ pub struct Trace {
     /// Lines of other tolerated types (e.g. `"round"` records appended
     /// by `TrainingHistory::to_jsonl`).
     pub other_lines: usize,
+    /// Run-provenance manifests, in file order. One per traced run; a
+    /// multi-run file (e.g. `table1_delay` sweeping several schemes
+    /// into one trace) holds several.
+    pub manifests: Vec<RunManifest>,
 }
 
 fn field_u64(v: &JsonValue, key: &str) -> Option<u64> {
@@ -172,6 +177,11 @@ impl Trace {
                 "metrics" => {
                     trace.metrics = value.get("metrics").cloned();
                 }
+                "run_manifest" => {
+                    let m = RunManifest::from_json(&value)
+                        .map_err(|e| format!("line {lineno}: {e}"))?;
+                    trace.manifests.push(m);
+                }
                 // "round" lines come from TrainingHistory::to_jsonl()
                 // when a history is appended to a trace stream.
                 "round" => trace.other_lines += 1,
@@ -228,6 +238,7 @@ impl Trace {
                         trace.metrics = one.metrics;
                     }
                     trace.other_lines += one.other_lines;
+                    trace.manifests.append(&mut one.manifests);
                 }
                 Err(_) => dropped += 1,
             }
@@ -551,6 +562,158 @@ impl PhaseBreakdown {
     }
 }
 
+impl PhaseBreakdown {
+    /// The breakdown as a JSON object (the `phases --json` payload).
+    pub fn to_json(&self) -> JsonObject {
+        let phases: Vec<JsonObject> = self
+            .phases
+            .iter()
+            .map(|p| {
+                let mut o = JsonObject::new();
+                o.field("name", &p.name)
+                    .field("count", p.count)
+                    .field("total_us", p.total_us)
+                    .field("max_us", p.max_us)
+                    .field("mean_us", p.total_us as f64 / p.count.max(1) as f64);
+                o
+            })
+            .collect();
+        let mut o = JsonObject::new();
+        o.field("rounds", self.rounds)
+            .field("rounds_total_us", self.rounds_total_us)
+            .field("longest_round_us", self.longest_round.map(|(d, _)| d))
+            .field("longest_round_span", self.longest_round.map(|(_, id)| id))
+            .field("worst_coverage", self.worst_coverage.map(|(c, _)| c))
+            .field("phases", phases);
+        o
+    }
+}
+
+/// Folded-stack export: one `(path, self_us)` entry per distinct span
+/// path, in the `a;b;c weight` format flamegraph.pl and speedscope
+/// consume.
+///
+/// The weight is **self time**: a span's duration minus the summed
+/// durations of its direct children, clamped at zero (children of a
+/// round can overlap the parent's bookkeeping by a µs of rounding).
+/// Self time makes the folded stacks additive — summing every line
+/// reproduces total root time without double counting — which is the
+/// invariant flamegraph renderers assume. Zero-weight paths are
+/// omitted; identical paths (e.g. every round's `round;selection`) are
+/// merged. Output is sorted by path for byte-stable export.
+pub fn folded_stacks(tree: &SpanTree<'_>) -> Vec<(String, u64)> {
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    // Iterative DFS: (span, path prefix). Depth is bounded by the span
+    // count; parse-time duplicate-id rejection rules out cycles.
+    let mut stack: Vec<(&TraceSpan, String)> = tree
+        .roots()
+        .map(|s| (s, s.name.clone()))
+        .collect();
+    while let Some((span, path)) = stack.pop() {
+        let child_sum: u64 = tree.children(span.id).map(|c| c.dur_us).sum();
+        let self_us = span.dur_us.saturating_sub(child_sum);
+        if self_us > 0 {
+            *folded.entry(path.clone()).or_insert(0) += self_us;
+        }
+        for child in tree.children(span.id) {
+            stack.push((child, format!("{path};{}", child.name)));
+        }
+    }
+    folded.into_iter().collect()
+}
+
+/// One round of a trace as a timeseries sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundPoint {
+    /// The round's `index` attribute, when recorded.
+    pub index: Option<u64>,
+    /// Span id of the round.
+    pub span_id: u64,
+    /// Start time in µs since the telemetry epoch.
+    pub t_us: u64,
+    /// Round duration in µs.
+    pub dur_us: u64,
+    /// Per-phase total µs within the round (direct children of the
+    /// round span, summed per name, name-sorted).
+    pub phases: Vec<(String, u64)>,
+}
+
+/// Extracts the per-round timeseries: one [`RoundPoint`] per `round`
+/// span, ordered by round index (rounds without an index sort last,
+/// then by start time and span id).
+pub fn round_series(trace: &Trace, tree: &SpanTree<'_>) -> Vec<RoundPoint> {
+    let mut points: Vec<RoundPoint> = trace
+        .spans
+        .iter()
+        .filter(|s| s.name == "round")
+        .map(|span| {
+            let mut phases: BTreeMap<String, u64> = BTreeMap::new();
+            for child in tree.children(span.id) {
+                *phases.entry(child.name.clone()).or_insert(0) += child.dur_us;
+            }
+            RoundPoint {
+                index: span.attr_u64("index"),
+                span_id: span.id,
+                t_us: span.t_us,
+                dur_us: span.dur_us,
+                phases: phases.into_iter().collect(),
+            }
+        })
+        .collect();
+    points.sort_by(|a, b| {
+        a.index
+            .unwrap_or(u64::MAX)
+            .cmp(&b.index.unwrap_or(u64::MAX))
+            .then(a.t_us.cmp(&b.t_us))
+            .then(a.span_id.cmp(&b.span_id))
+    });
+    points
+}
+
+/// Minimum trailing samples before a value is judged by [`mad_flags`].
+pub const MAD_MIN_HISTORY: usize = 4;
+
+/// Flags anomalous entries of `values` by robust deviation from a
+/// trailing window.
+///
+/// For each value with at least [`MAD_MIN_HISTORY`] earlier samples,
+/// the median and MAD (median absolute deviation) of the up-to-`window`
+/// most recent *earlier* values are computed; the value is flagged when
+/// it deviates from the median by more than `k` deviation units. The
+/// unit is the MAD floored at 1 % of the median's magnitude (and an
+/// absolute epsilon), so a perfectly flat history — MAD 0 — does not
+/// flag µs-level jitter. Median/MAD instead of mean/σ keeps one
+/// earlier spike from masking later ones.
+pub fn mad_flags(values: &[f64], window: usize, k: f64) -> Vec<bool> {
+    let window = window.max(MAD_MIN_HISTORY);
+    let mut flags = vec![false; values.len()];
+    let median = |sorted: &[f64]| -> f64 {
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        }
+    };
+    for (i, &x) in values.iter().enumerate() {
+        if i < MAD_MIN_HISTORY {
+            continue;
+        }
+        let start = i.saturating_sub(window);
+        let mut prior: Vec<f64> = values[start..i].to_vec();
+        prior.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let med = median(&prior);
+        let mut devs: Vec<f64> = prior.iter().map(|v| (v - med).abs()).collect();
+        devs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mad = median(&devs);
+        let scale = mad.max(med.abs() * 0.01).max(1e-12);
+        if (x - med).abs() > k * scale {
+            flags[i] = true;
+        }
+    }
+    flags
+}
+
 /// Coverage below this fails [`check_coverage`].
 pub const FAIL_BELOW: f64 = 0.80;
 /// Coverage below this warns.
@@ -816,6 +979,146 @@ mod tests {
         assert_eq!(b.phases[1].name, "selection");
         let rendered = b.render();
         assert!(rendered.contains("local_update"), "{rendered}");
+    }
+
+    fn manifest_line(seed: u64) -> String {
+        format!(
+            r#"{{"type":"run_manifest","schema_version":1,"seed":{seed},"scheme":"helcfl","config_fingerprint":"aa","threads":1,"trace_mode":"full","fleet_size":10,"build_profile":"release"}}"#
+        )
+    }
+
+    #[test]
+    fn parse_collects_manifests_in_order() {
+        let text = [
+            manifest_line(1),
+            span_line(2, "round", None, 0, 10),
+            manifest_line(7),
+        ]
+        .join("\n");
+        let trace = Trace::parse(&text).unwrap();
+        assert_eq!(trace.manifests.len(), 2);
+        assert_eq!(trace.manifests[0].seed, 1);
+        assert_eq!(trace.manifests[1].seed, 7);
+
+        // parse_prefix keeps them too.
+        let (lenient, dropped) = Trace::parse_prefix(&text);
+        assert_eq!(dropped, 0);
+        assert_eq!(lenient, trace);
+
+        // A malformed manifest is a parse error naming the line.
+        let bad = manifest_line(1).replace("\"seed\":1,", "");
+        let err = Trace::parse(&bad).unwrap_err();
+        assert!(err.contains("line 1") && err.contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn folded_stacks_weight_by_self_time() {
+        // round(100) = selection(10) + local_update(80) + 10 self;
+        // local_update has a grandchild worth 30.
+        let text = [
+            span_line(3, "selection", Some(2), 0, 10),
+            span_line(5, "gemm", Some(4), 12, 30),
+            span_line(4, "local_update", Some(2), 10, 80),
+            span_line(2, "round", None, 0, 100),
+        ]
+        .join("\n");
+        let trace = Trace::parse(&text).unwrap();
+        let tree = SpanTree::build(&trace).unwrap();
+        let folded = folded_stacks(&tree);
+        let get = |p: &str| folded.iter().find(|(q, _)| q == p).map(|(_, w)| *w);
+        assert_eq!(get("round"), Some(10));
+        assert_eq!(get("round;selection"), Some(10));
+        assert_eq!(get("round;local_update"), Some(50));
+        assert_eq!(get("round;local_update;gemm"), Some(30));
+        // Additivity: total weight equals total root time.
+        let total: u64 = folded.iter().map(|(_, w)| w).sum();
+        assert_eq!(total, 100);
+        // Paths are sorted for stable export.
+        let mut sorted = folded.clone();
+        sorted.sort();
+        assert_eq!(folded, sorted);
+    }
+
+    #[test]
+    fn folded_stacks_merge_repeated_paths_and_skip_zero_weights() {
+        let text = [
+            span_line(3, "work", Some(2), 0, 50),
+            span_line(2, "round", None, 0, 50), // zero self time
+            span_line(5, "work", Some(4), 50, 70),
+            span_line(4, "round", None, 50, 70), // zero self time
+        ]
+        .join("\n");
+        let trace = Trace::parse(&text).unwrap();
+        let tree = SpanTree::build(&trace).unwrap();
+        let folded = folded_stacks(&tree);
+        assert_eq!(folded, vec![("round;work".to_string(), 120)]);
+    }
+
+    #[test]
+    fn round_series_orders_by_index_and_sums_phases() {
+        // Rounds emitted out of index order; bookkeeping twice in one
+        // round must sum.
+        let text = [
+            r#"{"type":"span","name":"round","id":10,"parent":null,"t_us":500,"dur_us":100,"attrs":{"index":1}}"#
+                .to_string(),
+            span_line(12, "bookkeeping", Some(11), 0, 3),
+            span_line(13, "bookkeeping", Some(11), 90, 4),
+            r#"{"type":"span","name":"round","id":11,"parent":null,"t_us":0,"dur_us":100,"attrs":{"index":0}}"#
+                .to_string(),
+        ]
+        .join("\n");
+        let trace = Trace::parse(&text).unwrap();
+        let tree = SpanTree::build(&trace).unwrap();
+        let series = round_series(&trace, &tree);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].index, Some(0));
+        assert_eq!(series[0].phases, vec![("bookkeeping".to_string(), 7)]);
+        assert_eq!(series[1].index, Some(1));
+        assert!(series[1].phases.is_empty());
+    }
+
+    #[test]
+    fn mad_flags_catch_spikes_and_tolerate_flat_series() {
+        // Flat series with µs jitter: MAD is 0, the 1% floor keeps
+        // jitter unflagged.
+        let flat: Vec<f64> = (0..20).map(|i| 1000.0 + f64::from(i % 2)).collect();
+        assert!(mad_flags(&flat, 8, 5.0).iter().all(|f| !f));
+
+        // A 10× spike after warmup is flagged; warmup itself never is.
+        let mut spiky = vec![100.0; 12];
+        spiky[8] = 1000.0;
+        let flags = mad_flags(&spiky, 8, 5.0);
+        assert!(flags[8], "{flags:?}");
+        assert_eq!(flags.iter().filter(|f| **f).count(), 1, "{flags:?}");
+        assert!(!flags[..MAD_MIN_HISTORY].iter().any(|f| *f));
+
+        // Short series: nothing judged at all.
+        assert!(mad_flags(&[1.0, 2.0, 3.0], 8, 5.0).iter().all(|f| !f));
+    }
+
+    #[test]
+    fn phase_breakdown_to_json_is_valid_and_complete() {
+        let text = [
+            span_line(3, "selection", Some(2), 0, 100),
+            span_line(4, "local_update", Some(2), 100, 900),
+            span_line(2, "round", None, 0, 1000),
+        ]
+        .join("\n");
+        let trace = Trace::parse(&text).unwrap();
+        let tree = SpanTree::build(&trace).unwrap();
+        let json = phase_breakdown(&trace, &tree).to_json().finish();
+        let v = parse(&json).unwrap();
+        assert_eq!(v.get("rounds").and_then(JsonValue::as_f64), Some(1.0));
+        let phases = match v.get("phases") {
+            Some(JsonValue::Array(a)) => a,
+            other => panic!("phases not an array: {other:?}"),
+        };
+        assert_eq!(phases.len(), 2);
+        assert_eq!(
+            phases[0].get("name").and_then(JsonValue::as_str),
+            Some("local_update")
+        );
+        assert_eq!(phases[0].get("total_us").and_then(JsonValue::as_f64), Some(900.0));
     }
 
     #[test]

@@ -129,6 +129,8 @@ pub struct AuditReport {
     pub devices_audited: usize,
     /// Metrics-line cross-checks performed.
     pub metrics_checked: usize,
+    /// `run_manifest` lines seen (0 on pre-manifest traces).
+    pub manifests: usize,
     /// Every invariant violation found.
     pub violations: Vec<Violation>,
 }
@@ -147,7 +149,7 @@ impl AuditReport {
             out,
             "audit: {} — {} rounds ({} audited, {} delay-neutral, \
              {} faulted, {} plan-time exempt, {} digest), {} device \
-             activities, {} metrics checks, {} violations",
+             activities, {} metrics checks, {} manifest(s), {} violations",
             if self.passed() { "PASS" } else { "FAIL" },
             self.rounds,
             self.rounds_audited,
@@ -157,6 +159,7 @@ impl AuditReport {
             self.rounds_digest,
             self.devices_audited,
             self.metrics_checked,
+            self.manifests,
             self.violations.len()
         );
         for v in &self.violations {
@@ -409,8 +412,22 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
     if trace.spans.is_empty() {
         return Err("no spans at all — was tracing enabled?".to_string());
     }
+    // A manifest from a future schema means the trace may encode
+    // semantics this auditor does not know; refuse rather than pass a
+    // trace it cannot fully interpret. Manifest-free traces (pre-PR 8)
+    // stay auditable.
+    for m in &trace.manifests {
+        if m.schema_version != crate::manifest::MANIFEST_SCHEMA_VERSION {
+            return Err(format!(
+                "run_manifest schema v{} unsupported (auditor knows v{})",
+                m.schema_version,
+                crate::manifest::MANIFEST_SCHEMA_VERSION
+            ));
+        }
+    }
     let tree = SpanTree::build(trace)?;
-    let mut report = AuditReport::default();
+    let mut report =
+        AuditReport { manifests: trace.manifests.len(), ..AuditReport::default() };
     let mut totals = StreamTotals::default();
 
     for round in trace.spans.iter().filter(|s| s.name == "round") {

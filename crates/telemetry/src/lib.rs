@@ -41,7 +41,9 @@
 
 pub mod analyze;
 pub mod audit;
+pub mod diff;
 pub mod json;
+mod manifest;
 mod metrics;
 mod progress;
 mod report;
@@ -49,8 +51,9 @@ pub mod resource;
 mod sink;
 mod span;
 
+pub use manifest::{fnv1a_hex, RunManifest, MANIFEST_SCHEMA_VERSION};
 pub use metrics::{Class, Histogram, Metric, MetricsRegistry};
-pub use progress::{ProgressSink, RoundSnapshot, PROGRESS_ENV};
+pub use progress::{ProgressSink, ProgressTarget, RoundSnapshot, PROGRESS_ENV};
 pub use report::TelemetryReport;
 pub use sink::{
     register_shard, Event, EventKind, JsonlSink, LineSink, MemorySink, NullSink,
@@ -268,6 +271,17 @@ impl Telemetry {
     /// A renderable report over the current registry contents.
     pub fn report(&self) -> TelemetryReport {
         TelemetryReport::new(self.snapshot())
+    }
+
+    /// Stamps the run-provenance manifest at the head of the trace
+    /// stream. The runner calls this once per traced run, before the
+    /// first span; inert in metrics-only and disabled modes.
+    pub fn emit_manifest(&self, manifest: &RunManifest) {
+        if let Some(shared) = &self.shared {
+            if shared.events {
+                shared.sink.emit_manifest(manifest);
+            }
+        }
     }
 
     /// Emits the final metrics record to the sink and flushes it.

@@ -1,0 +1,264 @@
+//! Run provenance manifests.
+//!
+//! Every traced run opens its stream with one
+//! `{"type":"run_manifest",...}` line describing *what produced the
+//! bytes that follow*: manifest schema version, master seed, scheme
+//! name, a fingerprint of the semantic training configuration, the
+//! resolved worker count, the trace mode (full or digest), the fleet
+//! size, and the build profile. The read side
+//! ([`crate::analyze::Trace`]) collects these into
+//! [`crate::analyze::Trace::manifests`], and cross-run comparison
+//! ([`crate::diff`]) refuses to diff traces whose manifests are
+//! [incompatible](RunManifest::compatible) — comparing a seed-7 HELCFL
+//! run against a seed-9 FedCS run produces numbers, but not evidence.
+//!
+//! Identity versus environment: `schema_version`, `seed`, `scheme`,
+//! `config_fingerprint`, and `fleet_size` define the *experiment* and
+//! must match for a comparison to be meaningful. `threads`,
+//! `trace_mode`, and `build_profile` describe *how it was recorded* —
+//! histories are bit-identical across all three by construction, so
+//! they are allowed to differ (that is exactly the comparison a perf
+//! investigation wants: same experiment, different environment).
+
+use crate::json::{JsonObject, JsonValue};
+
+/// Version of the `run_manifest` line format. Bump on any breaking
+/// change to the field set; readers refuse to compare across versions.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash, rendered as 16 lowercase hex digits.
+///
+/// The workspace's standard cheap fingerprint (the fault-determinism
+/// suite pins histories with the same function); used here to reduce a
+/// training configuration to a comparable token.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// Provenance of one traced run. See the module docs for which fields
+/// are identity and which are environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// [`MANIFEST_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Scheme / selector name (`"helcfl"`, `"fedcs"`, …).
+    pub scheme: String,
+    /// Fingerprint over the semantic training configuration (fields
+    /// that change the simulated experiment; trace shape, worker count,
+    /// and the seed itself are excluded).
+    pub config_fingerprint: String,
+    /// Resolved worker-thread count (environment; may differ).
+    pub threads: usize,
+    /// `"full"` or `"digest"` (environment; may differ).
+    pub trace_mode: String,
+    /// Device population size.
+    pub fleet_size: usize,
+    /// `"release"` or `"debug"` (environment; may differ).
+    pub build_profile: String,
+}
+
+fn field_u64(v: &JsonValue, key: &str) -> Option<u64> {
+    let f = v.get(key)?.as_f64()?;
+    (f >= 0.0 && f.fract() == 0.0).then_some(f as u64)
+}
+
+fn field_str(v: &JsonValue, key: &str) -> Option<String> {
+    Some(v.get(key)?.as_str()?.to_string())
+}
+
+impl RunManifest {
+    /// Renders the manifest as its one JSONL trace line.
+    pub fn to_json_line(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field("type", "run_manifest")
+            .field("schema_version", u64::from(self.schema_version))
+            .field("seed", self.seed)
+            .field("scheme", &self.scheme)
+            .field("config_fingerprint", &self.config_fingerprint)
+            .field("threads", self.threads)
+            .field("trace_mode", &self.trace_mode)
+            .field("fleet_size", self.fleet_size)
+            .field("build_profile", &self.build_profile);
+        o.finish()
+    }
+
+    /// One-line human rendering (the stderr sink's format).
+    pub fn to_human_line(&self) -> String {
+        format!(
+            "run_manifest scheme={} seed={} fleet={} mode={} threads={} \
+             config={} profile={} schema=v{}",
+            self.scheme,
+            self.seed,
+            self.fleet_size,
+            self.trace_mode,
+            self.threads,
+            self.config_fingerprint,
+            self.build_profile,
+            self.schema_version,
+        )
+    }
+
+    /// Decodes a parsed `run_manifest` JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or ill-typed field.
+    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let miss = |f: &str| format!("run_manifest without {f}");
+        Ok(Self {
+            schema_version: field_u64(v, "schema_version")
+                .ok_or_else(|| miss("schema_version"))? as u32,
+            seed: field_u64(v, "seed").ok_or_else(|| miss("seed"))?,
+            scheme: field_str(v, "scheme").ok_or_else(|| miss("scheme"))?,
+            config_fingerprint: field_str(v, "config_fingerprint")
+                .ok_or_else(|| miss("config_fingerprint"))?,
+            threads: field_u64(v, "threads").ok_or_else(|| miss("threads"))? as usize,
+            trace_mode: field_str(v, "trace_mode").ok_or_else(|| miss("trace_mode"))?,
+            fleet_size: field_u64(v, "fleet_size").ok_or_else(|| miss("fleet_size"))?
+                as usize,
+            build_profile: field_str(v, "build_profile")
+                .ok_or_else(|| miss("build_profile"))?,
+        })
+    }
+
+    /// Whether two runs are comparable, i.e. describe the same
+    /// experiment.
+    ///
+    /// Identity fields (`schema_version`, `seed`, `scheme`,
+    /// `config_fingerprint`, `fleet_size`) must match; environment
+    /// fields (`threads`, `trace_mode`, `build_profile`) may differ —
+    /// histories are pinned bit-identical across those by the
+    /// determinism suites, so comparing them is the point.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first mismatched identity field and
+    /// both values.
+    pub fn compatible(&self, other: &RunManifest) -> Result<(), String> {
+        if self.schema_version != other.schema_version {
+            return Err(format!(
+                "schema_version differs: baseline v{}, candidate v{}",
+                self.schema_version, other.schema_version
+            ));
+        }
+        if self.seed != other.seed {
+            return Err(format!(
+                "seed differs: baseline {}, candidate {}",
+                self.seed, other.seed
+            ));
+        }
+        if self.scheme != other.scheme {
+            return Err(format!(
+                "scheme differs: baseline {:?}, candidate {:?}",
+                self.scheme, other.scheme
+            ));
+        }
+        if self.config_fingerprint != other.config_fingerprint {
+            return Err(format!(
+                "config_fingerprint differs: baseline {}, candidate {}",
+                self.config_fingerprint, other.config_fingerprint
+            ));
+        }
+        if self.fleet_size != other.fleet_size {
+            return Err(format!(
+                "fleet_size differs: baseline {}, candidate {}",
+                self.fleet_size, other.fleet_size
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn manifest() -> RunManifest {
+        RunManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
+            seed: 42,
+            scheme: "helcfl".to_string(),
+            config_fingerprint: "deadbeefdeadbeef".to_string(),
+            threads: 4,
+            trace_mode: "full".to_string(),
+            fleet_size: 100,
+            build_profile: "release".to_string(),
+        }
+    }
+
+    #[test]
+    fn json_line_round_trips() {
+        let m = manifest();
+        let line = m.to_json_line();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("run_manifest"));
+        let back = RunManifest::from_json(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn decode_names_the_missing_field() {
+        let line = manifest().to_json_line().replace("\"seed\":42,", "");
+        let v = parse(&line).unwrap();
+        let err = RunManifest::from_json(&v).unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn identity_mismatches_are_refused_by_name() {
+        let base = manifest();
+        type Mutator = Box<dyn Fn(&mut RunManifest)>;
+        let cases: [(&str, Mutator); 5] = [
+            ("schema_version", Box::new(|m| m.schema_version = 2)),
+            ("seed", Box::new(|m| m.seed = 7)),
+            ("scheme", Box::new(|m| m.scheme = "fedcs".to_string())),
+            ("config_fingerprint", Box::new(|m| {
+                m.config_fingerprint = "0000000000000000".to_string();
+            })),
+            ("fleet_size", Box::new(|m| m.fleet_size = 99)),
+        ];
+        for (field, mutate) in cases {
+            let mut other = base.clone();
+            mutate(&mut other);
+            let err = base.compatible(&other).unwrap_err();
+            assert!(err.contains(field), "field {field} not named in {err:?}");
+        }
+    }
+
+    #[test]
+    fn environment_differences_stay_compatible() {
+        let base = manifest();
+        let mut other = base.clone();
+        other.threads = 8;
+        other.trace_mode = "digest".to_string();
+        other.build_profile = "debug".to_string();
+        assert!(base.compatible(&other).is_ok());
+        assert!(other.compatible(&base).is_ok());
+    }
+
+    #[test]
+    fn fnv_fingerprint_is_stable_and_input_sensitive() {
+        // Pinned vector: FNV-1a 64 of the empty input is the offset
+        // basis; any drift here silently invalidates every recorded
+        // manifest.
+        assert_eq!(fnv1a_hex(b""), "cbf29ce484222325");
+        assert_eq!(fnv1a_hex(b"a"), fnv1a_hex(b"a"));
+        assert_ne!(fnv1a_hex(b"a"), fnv1a_hex(b"b"));
+    }
+
+    #[test]
+    fn human_line_carries_the_identity_fields() {
+        let line = manifest().to_human_line();
+        for needle in ["scheme=helcfl", "seed=42", "fleet=100", "mode=full"] {
+            assert!(line.contains(needle), "{line}");
+        }
+    }
+}

@@ -3,8 +3,10 @@
 //! A [`ProgressSink`] consumes one [`RoundSnapshot`] per training round
 //! and, at most once per interval, renders a single status line —
 //! round counter, rounds/sec, per-phase p50 latencies, pool busy %,
-//! fault count, current RSS — to stderr. It is enabled by setting the
-//! `HELCFL_PROGRESS` environment variable (any value except `0`), works
+//! fault count, current RSS — to its [`ProgressTarget`]. It is enabled
+//! by setting the `HELCFL_PROGRESS` environment variable (any value
+//! except `0`; `file:PATH` appends the lines to a file instead of
+//! stderr, for headless runs whose stderr nobody watches), works
 //! whether or not event tracing is on, and never writes to the trace
 //! stream itself, so it cannot perturb trace bytes or history
 //! determinism: everything it consumes is wall-clock (runtime-class)
@@ -12,6 +14,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 use crate::metrics::Histogram;
@@ -33,10 +36,21 @@ pub struct RoundSnapshot<'a> {
     pub faults_fired: u64,
 }
 
-/// Throttled stderr progress reporter. See the module docs.
+/// Where progress lines go.
+#[derive(Debug)]
+pub enum ProgressTarget {
+    /// Lines via `eprintln!` (the default).
+    Stderr,
+    /// Lines appended to an already-opened file, flushed per line so a
+    /// tail-follower sees them promptly.
+    File(std::fs::File),
+}
+
+/// Throttled progress reporter. See the module docs.
 #[derive(Debug)]
 pub struct ProgressSink {
     interval: Duration,
+    target: ProgressTarget,
     started: Instant,
     last_emit: Option<Instant>,
     rounds_seen: u64,
@@ -48,19 +62,56 @@ pub struct ProgressSink {
 
 impl ProgressSink {
     /// Builds the monitor when [`PROGRESS_ENV`] opts in; `None` keeps
-    /// the hot path free of even the per-round bookkeeping.
+    /// the hot path free of even the per-round bookkeeping. A
+    /// `file:PATH` value appends to `PATH`; when the file cannot be
+    /// opened the monitor degrades to stderr with a warning rather
+    /// than disabling itself or failing the run.
     pub fn from_env() -> Option<Self> {
         match std::env::var(PROGRESS_ENV) {
-            Ok(v) if !v.is_empty() && v != "0" => Some(Self::with_interval(Duration::from_secs(1))),
+            Ok(v) if !v.is_empty() && v != "0" => {
+                let interval = Duration::from_secs(1);
+                match v.strip_prefix("file:") {
+                    Some(path) => Some(match Self::with_file(interval, path) {
+                        Ok(sink) => sink,
+                        Err(err) => {
+                            eprintln!(
+                                "warning: cannot open progress file '{path}': {err}; \
+                                 progress falls back to stderr"
+                            );
+                            Self::with_interval(interval)
+                        }
+                    }),
+                    None => Some(Self::with_interval(interval)),
+                }
+            }
             _ => None,
         }
     }
 
     /// Monitor emitting at most once per `interval` (zero = every
-    /// round; used by tests).
+    /// round; used by tests), to stderr.
     pub fn with_interval(interval: Duration) -> Self {
+        Self::with_target(interval, ProgressTarget::Stderr)
+    }
+
+    /// Monitor appending to the file at `path` (created if missing,
+    /// appended to if present — a multi-run sweep accumulates one log).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the file cannot be opened.
+    pub fn with_file(
+        interval: Duration,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self::with_target(interval, ProgressTarget::File(file)))
+    }
+
+    fn with_target(interval: Duration, target: ProgressTarget) -> Self {
         Self {
             interval,
+            target,
             started: Instant::now(),
             last_emit: None,
             rounds_seen: 0,
@@ -71,8 +122,8 @@ impl ProgressSink {
     }
 
     /// Ingests one round and, when an emission is due, writes the
-    /// status line to stderr and returns it (tests inspect the return;
-    /// production ignores it).
+    /// status line to the target and returns it (tests inspect the
+    /// return; production ignores it).
     pub fn record_round(&mut self, snap: &RoundSnapshot<'_>) -> Option<String> {
         self.rounds_seen += 1;
         for (name, dur) in snap.phases {
@@ -94,7 +145,14 @@ impl ProgressSink {
         }
         self.last_emit = Some(now);
         let line = self.render_line(snap.round);
-        eprintln!("{line}");
+        match &mut self.target {
+            ProgressTarget::Stderr => eprintln!("{line}"),
+            ProgressTarget::File(file) => {
+                // A full disk must not kill the run; drop the line.
+                let _ = writeln!(file, "{line}");
+                let _ = file.flush();
+            }
+        }
         Some(line)
     }
 
@@ -219,6 +277,70 @@ mod tests {
         assert!(line.contains("busy 50%"), "{line}");
         // 2 s sits in bucket [2, 4) whose midpoint is 3 s.
         assert!(line.contains("aggregate 3.00s"), "{line}");
+    }
+
+    #[test]
+    fn file_mode_appends_across_rounds_and_runs() {
+        let path = std::env::temp_dir()
+            .join(format!("progress_append_{}.log", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        {
+            let mut sink =
+                ProgressSink::with_file(Duration::ZERO, &path).unwrap();
+            sink.record_round(&RoundSnapshot::default()).unwrap();
+            sink.record_round(&RoundSnapshot { round: 1, ..Default::default() })
+                .unwrap();
+        }
+        {
+            // A second run on the same path appends, never truncates.
+            let mut sink =
+                ProgressSink::with_file(Duration::ZERO, &path).unwrap();
+            sink.record_round(&RoundSnapshot { round: 2, ..Default::default() })
+                .unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains("round 0"), "{text}");
+        assert!(lines[2].contains("round 2"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_mode_rejects_unwritable_paths() {
+        // A directory cannot be opened for append; the constructor
+        // surfaces the error instead of panicking, and from_env's
+        // fallback path turns it into a stderr sink.
+        let dir = std::env::temp_dir()
+            .join(format!("progress_dir_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(ProgressSink::with_file(Duration::ZERO, &dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_mode_line_format_matches_stderr_mode() {
+        // The snapshot line is a stable format shared by both targets;
+        // scripts parsing the file must see exactly what stderr shows.
+        let path = std::env::temp_dir()
+            .join(format!("progress_fmt_{}.log", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let phases = [("local_update", Duration::from_millis(40))];
+        let snap = RoundSnapshot {
+            round: 5,
+            phases: &phases,
+            pool_busy: Some(0.5),
+            faults_fired: 2,
+        };
+        let mut sink = ProgressSink::with_file(Duration::ZERO, &path).unwrap();
+        let returned = sink.record_round(&snap).unwrap();
+        drop(sink);
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk.trim_end(), returned, "file and return value diverge");
+        assert!(returned.starts_with("[helcfl] round 5 | "), "{returned}");
+        assert!(returned.contains("| faults 2"), "{returned}");
+        assert!(returned.contains("busy 50%"), "{returned}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -15,17 +15,25 @@ const PAGE_BYTES: u64 = 4096;
 /// Current resident set size in bytes, from `/proc/self/statm`
 /// (second field, in pages).
 ///
-/// Returns `None` when procfs is unavailable or unparseable.
+/// Returns `None` when procfs is unavailable or unparseable — a
+/// truncated, garbled, or absurdly large `statm` must degrade the
+/// gauge, never panic the run.
 pub fn rss_bytes() -> Option<u64> {
     let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    parse_statm_rss(&statm)
+}
+
+fn parse_statm_rss(statm: &str) -> Option<u64> {
     let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
-    Some(resident_pages * PAGE_BYTES)
+    // A hostile/corrupt page count times the page size must not wrap.
+    resident_pages.checked_mul(PAGE_BYTES)
 }
 
 /// Peak resident set size in bytes, from `/proc/self/status`
 /// (`VmHWM`, reported in kB).
 ///
-/// Returns `None` when procfs is unavailable or the field is missing.
+/// Returns `None` when procfs is unavailable or the field is missing
+/// or malformed.
 pub fn peak_rss_bytes() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     parse_vm_hwm(&status)
@@ -34,7 +42,7 @@ pub fn peak_rss_bytes() -> Option<u64> {
 fn parse_vm_hwm(status: &str) -> Option<u64> {
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
+    kb.checked_mul(1024)
 }
 
 #[cfg(test)]
@@ -47,6 +55,40 @@ mod tests {
         assert_eq!(parse_vm_hwm(status), Some(2048 * 1024));
         assert_eq!(parse_vm_hwm("Name:\tcargo\n"), None);
         assert_eq!(parse_vm_hwm("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[test]
+    fn statm_parsing_handles_the_kernel_format() {
+        assert_eq!(parse_statm_rss("12345 678 90 1 0 2 0\n"), Some(678 * PAGE_BYTES));
+        // Leading whitespace and trailing junk fields are tolerated —
+        // only the second field matters.
+        assert_eq!(parse_statm_rss("  1 2 junk"), Some(2 * PAGE_BYTES));
+    }
+
+    #[test]
+    fn malformed_statm_degrades_to_none_without_panicking() {
+        for garbage in [
+            "",               // empty read
+            "12345",          // truncated: no second field
+            "12345 ",         // trailing space, still no field
+            "abc def",        // non-numeric
+            "1 -2 3",         // negative page count
+            "1 2.5 3",        // fractional
+            "1 99999999999999999999 3", // overflows u64 in parse
+            "\0\0\0",         // binary garbage
+        ] {
+            assert_eq!(parse_statm_rss(garbage), None, "accepted {garbage:?}");
+        }
+    }
+
+    #[test]
+    fn overflowing_page_counts_are_rejected_not_wrapped() {
+        // u64::MAX pages parses, but times the page size would wrap;
+        // checked_mul must turn it into None.
+        let statm = format!("1 {} 3", u64::MAX);
+        assert_eq!(parse_statm_rss(&statm), None);
+        let status = format!("VmHWM:\t{} kB\n", u64::MAX);
+        assert_eq!(parse_vm_hwm(&status), None);
     }
 
     #[test]

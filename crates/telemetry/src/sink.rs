@@ -11,6 +11,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use crate::json::JsonObject;
+use crate::manifest::RunManifest;
 use crate::metrics::MetricsRegistry;
 use crate::span::Value;
 
@@ -93,6 +94,13 @@ pub trait Sink: Send + Sync {
     /// Consumes one completed event.
     fn emit(&self, event: &Event<'_>);
 
+    /// Consumes the run-provenance manifest the runner stamps at the
+    /// top of a traced run. Defaults to a no-op for sinks with no
+    /// durable stream to open.
+    fn emit_manifest(&self, manifest: &RunManifest) {
+        let _ = manifest;
+    }
+
     /// Consumes the merged end-of-run metrics registry.
     fn emit_metrics(&self, registry: &MetricsRegistry) {
         let _ = registry;
@@ -161,6 +169,10 @@ impl JsonlSink {
 impl Sink for JsonlSink {
     fn emit(&self, event: &Event<'_>) {
         self.write_line(&event.to_json_line());
+    }
+
+    fn emit_manifest(&self, manifest: &RunManifest) {
+        self.write_line(&manifest.to_json_line());
     }
 
     fn emit_metrics(&self, registry: &MetricsRegistry) {
@@ -266,6 +278,13 @@ impl<S: LineSink> Sink for ShardedSink<S> {
             .push(event.to_json_line());
     }
 
+    fn emit_manifest(&self, manifest: &RunManifest) {
+        // Manifests head the stream; drain anything already buffered
+        // (e.g. a previous run on a reused handle) so ordering holds.
+        self.drain();
+        self.inner.write_jsonl_line(&manifest.to_json_line());
+    }
+
     fn emit_metrics(&self, registry: &MetricsRegistry) {
         // The metrics line must land after every buffered event.
         self.drain();
@@ -295,6 +314,10 @@ pub struct StderrSink;
 impl Sink for StderrSink {
     fn emit(&self, event: &Event<'_>) {
         eprintln!("trace: {}", event.to_human_line());
+    }
+
+    fn emit_manifest(&self, manifest: &RunManifest) {
+        eprintln!("trace: {}", manifest.to_human_line());
     }
 
     fn emit_metrics(&self, registry: &MetricsRegistry) {
@@ -330,6 +353,13 @@ impl Sink for MemorySink {
             .lock()
             .expect("memory sink lock poisoned")
             .push(event.to_json_line());
+    }
+
+    fn emit_manifest(&self, manifest: &RunManifest) {
+        self.lines
+            .lock()
+            .expect("memory sink lock poisoned")
+            .push(manifest.to_json_line());
     }
 
     fn emit_metrics(&self, registry: &MetricsRegistry) {
@@ -503,6 +533,30 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains(r#""name":"flushed""#), "{text}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn manifest_line_heads_a_sharded_stream() {
+        let manifest = RunManifest {
+            schema_version: crate::manifest::MANIFEST_SCHEMA_VERSION,
+            seed: 1,
+            scheme: "helcfl".to_string(),
+            config_fingerprint: "00".to_string(),
+            threads: 2,
+            trace_mode: "full".to_string(),
+            fleet_size: 3,
+            build_profile: "debug".to_string(),
+        };
+        let memory = MemorySink::new();
+        let sharded = ShardedSink::new(memory.clone(), 2);
+        sharded.emit_manifest(&manifest);
+        sharded.emit(&point("a", 1));
+        sharded.flush();
+        let lines = memory.lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""type":"run_manifest""#), "{lines:?}");
+        assert!(crate::json::validate(&lines[0]).is_ok(), "{lines:?}");
+        assert!(lines[1].contains(r#""name":"a""#), "{lines:?}");
     }
 
     #[test]
