@@ -142,4 +142,16 @@ echo "==> population gate: traced --smoke sweep + digest audit vs committed base
     "$repo_root/results/BENCH_population.json" "$repo_root/results/BENCH_population.json"
 )
 
+echo "==> chaos gate: kill/resume determinism + checkpoint integrity"
+# Real SIGKILLs at five seeded rounds, one torn checkpoint write that
+# bypasses the atomic-rename protocol, then a clean resume: the final
+# history must reproduce the committed golden byte-for-byte, and a
+# bit-flipped checkpoint ring must be refused by checksum. The bin
+# exits non-zero if any gate fails; --seed keeps the schedule pinned.
+(
+  cd "$smoke_dir"
+  "$repo_root/target/release/chaos_resume" --smoke --seed 2022 \
+    --golden "$repo_root/results/golden/history_fast_iid_helcfl.csv"
+)
+
 echo "==> ci.sh: all gates passed"

@@ -4,7 +4,7 @@
 use detrand::Rng;
 
 use fl_sim::error::{FlError, Result};
-use fl_sim::selection::{ClientSelector, SelectionContext};
+use fl_sim::selection::{ClientSelector, SelectionContext, SelectorSnapshot};
 use mec_sim::device::DeviceId;
 
 /// The classic FedAvg selector: uniform without replacement.
@@ -41,6 +41,34 @@ impl ClientSelector for RandomSelector {
         let n = ctx.target.min(ids.len()).max(1);
         let picked = self.rng.sample_indices(ids.len(), n);
         Ok(picked.into_iter().map(|i| ids[i]).collect())
+    }
+
+    fn snapshot(&self) -> SelectorSnapshot {
+        // The RNG cursor is the selector's only cross-round state: a
+        // resumed run must continue the sample sequence, not restart it.
+        SelectorSnapshot {
+            counters_len: 0,
+            counters: Vec::new(),
+            rng_state: Some(self.rng.state()),
+        }
+    }
+
+    fn restore(&mut self, snap: &SelectorSnapshot) -> Result<()> {
+        if !snap.counters.is_empty() || snap.counters_len != 0 {
+            return Err(FlError::InvalidConfig {
+                field: "selector_snapshot",
+                reason: format!(
+                    "{} selector keeps no appearance counters but the checkpoint has some",
+                    self.name
+                ),
+            });
+        }
+        let state = snap.rng_state.ok_or_else(|| FlError::InvalidConfig {
+            field: "selector_snapshot",
+            reason: format!("{} selector needs RNG state and the checkpoint has none", self.name),
+        })?;
+        self.rng = Rng::from_state(state);
+        Ok(())
     }
 }
 
@@ -111,5 +139,29 @@ mod tests {
     fn empty_population_is_rejected() {
         let mut sel = RandomSelector::new(0);
         assert!(sel.select(&ctx(&[], 3)).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_continues_the_sample_sequence() {
+        let pop = PopulationBuilder::paper_default().num_devices(30).seed(5).build().unwrap();
+        let mut sel = RandomSelector::new(11);
+        for _ in 0..5 {
+            sel.select(&ctx(pop.devices(), 4)).unwrap();
+        }
+        let snap = sel.snapshot();
+        assert!(snap.rng_state.is_some());
+        let mut resumed = RandomSelector::new(11);
+        resumed.restore(&snap).unwrap();
+        for round in 0..10 {
+            let a = sel.select(&ctx(pop.devices(), 4)).unwrap();
+            let b = resumed.select(&ctx(pop.devices(), 4)).unwrap();
+            assert_eq!(a, b, "round {round} diverged after restore");
+        }
+        // Missing RNG state or stray counters are refused.
+        assert!(sel.restore(&SelectorSnapshot::default()).is_err());
+        let mut with_counters = snap.clone();
+        with_counters.counters_len = 3;
+        with_counters.counters = vec![(0, 1)];
+        assert!(sel.restore(&with_counters).is_err());
     }
 }

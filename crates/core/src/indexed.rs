@@ -46,7 +46,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Bound;
 
 use fl_sim::error::{FlError, Result};
-use fl_sim::selection::{ClientSelector, SelectionContext};
+use fl_sim::selection::{ClientSelector, SelectionContext, SelectorSnapshot};
 use helcfl_telemetry::{Class, Telemetry};
 use mec_sim::device::DeviceId;
 use mec_sim::units::{Bits, Seconds};
@@ -404,6 +404,40 @@ impl ClientSelector for IndexedDecaySelector {
             }
         }
     }
+
+    fn snapshot(&self) -> SelectorSnapshot {
+        // The counters are the selector's only durable state: the
+        // index is a pure cache over (counters, payload, delays) and is
+        // rebuilt lazily on the first post-restore round.
+        SelectorSnapshot {
+            counters_len: self.counters.len(),
+            counters: self.counters.to_sparse(),
+            rng_state: None,
+        }
+    }
+
+    fn restore(&mut self, snap: &SelectorSnapshot) -> Result<()> {
+        if snap.rng_state.is_some() {
+            return Err(FlError::InvalidConfig {
+                field: "selector_snapshot",
+                reason: "helcfl selector carries no RNG but the checkpoint has RNG state"
+                    .into(),
+            });
+        }
+        if let Some(&(q, _)) = snap.counters.iter().find(|&&(q, _)| q >= snap.counters_len) {
+            return Err(FlError::InvalidConfig {
+                field: "selector_snapshot",
+                reason: format!(
+                    "appearance counter for device {q} exceeds counters_len {}",
+                    snap.counters_len
+                ),
+            });
+        }
+        self.counters = AppearanceCounters::from_sparse(snap.counters_len, &snap.counters);
+        self.coverage = self.counters.coverage();
+        self.index = None;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -575,6 +609,36 @@ mod tests {
         let c = ctx(pop.devices(), 99, 4);
         let picks = indexed.select(&c).unwrap();
         assert_eq!(picks, vec![DeviceId(0), DeviceId(1), DeviceId(2), DeviceId(3)]);
+    }
+
+    #[test]
+    fn snapshot_restore_matches_reference_and_uninterrupted_index() {
+        let pop = PopulationBuilder::paper_default().num_devices(30).seed(14).build().unwrap();
+        let mut live = IndexedDecaySelector::default();
+        let mut reference = GreedyDecaySelector::default();
+        for round in 1..=9 {
+            let c = ctx(pop.devices(), round, 4);
+            assert_eq!(live.select(&c).unwrap(), reference.select(&c).unwrap());
+        }
+        let snap = ClientSelector::snapshot(&live);
+        // The snapshot interchanges with the reference selector's: both
+        // carry exactly the appearance counters.
+        assert_eq!(snap, ClientSelector::snapshot(&reference));
+        let mut resumed = IndexedDecaySelector::default();
+        resumed.restore(&snap).unwrap();
+        assert_eq!(resumed.counters(), live.counters());
+        for round in 10..=30 {
+            let c = ctx(pop.devices(), round, 4);
+            let a = live.select(&c).unwrap();
+            let b = resumed.select(&c).unwrap();
+            let r = reference.select(&c).unwrap();
+            assert_eq!(a, b, "round {round}: resumed index diverged");
+            assert_eq!(a, r, "round {round}: index diverged from reference");
+        }
+        // RNG state in the image is refused.
+        let mut bad = snap.clone();
+        bad.rng_state = Some([9, 9, 9, 9]);
+        assert!(resumed.restore(&bad).is_err());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 
 use fl_sim::error::{FlError, Result};
-use fl_sim::selection::{ClientSelector, SelectionContext};
+use fl_sim::selection::{ClientSelector, SelectionContext, SelectorSnapshot};
 use helcfl_telemetry::{Class, Telemetry};
 use mec_sim::device::DeviceId;
 use mec_sim::units::Seconds;
@@ -152,6 +152,35 @@ impl ClientSelector for GreedyDecaySelector {
                 self.counters.decrement(id.0);
             }
         }
+    }
+
+    fn snapshot(&self) -> SelectorSnapshot {
+        SelectorSnapshot {
+            counters_len: self.counters.len(),
+            counters: self.counters.to_sparse(),
+            rng_state: None,
+        }
+    }
+
+    fn restore(&mut self, snap: &SelectorSnapshot) -> Result<()> {
+        if snap.rng_state.is_some() {
+            return Err(FlError::InvalidConfig {
+                field: "selector_snapshot",
+                reason: "helcfl selector carries no RNG but the checkpoint has RNG state"
+                    .into(),
+            });
+        }
+        if let Some(&(q, _)) = snap.counters.iter().find(|&&(q, _)| q >= snap.counters_len) {
+            return Err(FlError::InvalidConfig {
+                field: "selector_snapshot",
+                reason: format!(
+                    "appearance counter for device {q} exceeds counters_len {}",
+                    snap.counters_len
+                ),
+            });
+        }
+        self.counters = AppearanceCounters::from_sparse(snap.counters_len, &snap.counters);
+        Ok(())
     }
 }
 
@@ -347,6 +376,33 @@ mod tests {
             }
             assert_eq!(picked, expected, "round {round} target {target}");
         }
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identical_future_selections() {
+        let pop = PopulationBuilder::paper_default().num_devices(25).seed(13).build().unwrap();
+        let mut sel = GreedyDecaySelector::new(DecayCoefficient::new(0.5).unwrap());
+        for _ in 0..7 {
+            sel.select(&ctx(pop.devices(), 4)).unwrap();
+        }
+        let snap = sel.snapshot();
+        assert_eq!(snap.counters_len, 25);
+        assert!(snap.rng_state.is_none());
+        let mut resumed = GreedyDecaySelector::new(DecayCoefficient::new(0.5).unwrap());
+        resumed.restore(&snap).unwrap();
+        assert_eq!(resumed.counters(), sel.counters());
+        for round in 0..10 {
+            let a = sel.select(&ctx(pop.devices(), 4)).unwrap();
+            let b = resumed.select(&ctx(pop.devices(), 4)).unwrap();
+            assert_eq!(a, b, "round {round} diverged after restore");
+        }
+        // An image with RNG state or out-of-range ids is refused.
+        let mut bad = snap.clone();
+        bad.rng_state = Some([1, 2, 3, 4]);
+        assert!(sel.restore(&bad).is_err());
+        let mut oob = snap.clone();
+        oob.counters.push((25, 1));
+        assert!(sel.restore(&oob).is_err());
     }
 
     #[test]

@@ -180,6 +180,58 @@ impl AppearanceCounters {
         }
     }
 
+    /// Sets `α_q` to an exact value — the checkpoint-restore path.
+    /// Setting zero never materializes a page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[inline]
+    pub fn set(&mut self, q: usize, count: u32) {
+        assert!(q < self.len, "user {q} out of range for {} counters", self.len);
+        if count == 0 {
+            if let Some(page) = &mut self.pages[q / PAGE] {
+                page[q % PAGE] = 0;
+            }
+            return;
+        }
+        let page = self.pages[q / PAGE].get_or_insert_with(|| Box::new([0u32; PAGE]));
+        page[q % PAGE] = count;
+    }
+
+    /// The nonzero counters as ascending `(user, count)` pairs — the
+    /// sparse form a checkpoint serializes (zero counters dominate in
+    /// large fleets and carry no information).
+    pub fn to_sparse(&self) -> Vec<(usize, u32)> {
+        let mut out = Vec::new();
+        for (p, slot) in self.pages.iter().enumerate() {
+            if let Some(page) = slot {
+                for (i, &c) in page.iter().enumerate() {
+                    let q = p * PAGE + i;
+                    if c > 0 && q < self.len {
+                        out.push((q, c));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuilds counters of logical length `len` from a sparse
+    /// `(user, count)` list, the inverse of
+    /// [`AppearanceCounters::to_sparse`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any user id is `>= len`.
+    pub fn from_sparse(len: usize, counts: &[(usize, u32)]) -> Self {
+        let mut c = Self::new(len);
+        for &(q, count) in counts {
+            c.set(q, count);
+        }
+        c
+    }
+
     /// Total appearances across users (= rounds × selection size).
     pub fn total(&self) -> u64 {
         self.pages
@@ -313,6 +365,38 @@ mod tests {
         // Different logical lengths are different counters.
         a.grow_to(3 * 1024);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sparse_round_trip_preserves_logical_state() {
+        let mut c = AppearanceCounters::new(3000);
+        c.increment(0);
+        c.increment(0);
+        c.increment(1500);
+        c.increment(2999);
+        let sparse = c.to_sparse();
+        assert_eq!(sparse, vec![(0, 2), (1500, 1), (2999, 1)]);
+        let back = AppearanceCounters::from_sparse(c.len(), &sparse);
+        assert_eq!(back, c);
+        assert_eq!(back.coverage(), 3);
+        // Empty counters round-trip to empty.
+        let empty = AppearanceCounters::new(10);
+        assert!(empty.to_sparse().is_empty());
+        assert_eq!(AppearanceCounters::from_sparse(10, &[]), empty);
+    }
+
+    #[test]
+    fn set_overwrites_without_accumulating() {
+        let mut c = AppearanceCounters::new(8);
+        c.set(3, 7);
+        assert_eq!(c.get(3), 7);
+        c.set(3, 2);
+        assert_eq!(c.get(3), 2);
+        // Setting zero on an untouched page allocates nothing.
+        let mut sparse = AppearanceCounters::new(5000);
+        sparse.set(4000, 0);
+        assert_eq!(sparse.get(4000), 0);
+        assert_eq!(sparse.coverage(), 0);
     }
 
     #[test]

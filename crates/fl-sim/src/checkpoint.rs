@@ -1,0 +1,1167 @@
+//! Round-granular durable checkpoint/resume for the federated runner.
+//!
+//! A [`RunCheckpoint`] captures everything the round loop consumes that
+//! is not re-derived from the master seed each round: the global model
+//! parameters, the accumulated [`crate::history::TrainingHistory`],
+//! cumulative time/energy, per-device batteries and the alive mask,
+//! the selector's persistent state (via
+//! [`crate::selection::ClientSelector::snapshot`]), the Sim-class
+//! metrics registry, and the telemetry span-id cursor. Per-round RNG
+//! streams (training minibatches, fault sampling, digest exemplars)
+//! are *not* stored: they are derived fresh from the master seed and
+//! the round index (see [`crate::seeds`]), so the completed-round
+//! index is their entire cursor.
+//!
+//! Every scalar that must survive bit-exactly is serialized as the hex
+//! of its IEEE-754 bit pattern (`f64::to_bits` / `f32::to_bits`), and
+//! `u64` values as 16-digit hex, so the JSON round trip can never
+//! round. A checkpoint file is two JSON lines: the payload and a
+//! trailer carrying the payload's FNV-1a checksum.
+//!
+//! Durability protocol (crash-safe on POSIX semantics):
+//!
+//! 1. write the full body to `checkpoint_<slot>.tmp`,
+//! 2. `fsync` the temp file,
+//! 3. `rename` it over `checkpoint_<slot>.json` (atomic replace),
+//! 4. best-effort `fsync` of the directory.
+//!
+//! Slots alternate 0/1 (an N=2 ring), so even if a tampered or torn
+//! `checkpoint_<slot>.json` shows up, [`load_latest`] falls back to the
+//! other slot's older-but-valid checkpoint. Truncated, bit-flipped
+//! (checksum-mismatch), and wrong-schema-version files are refused
+//! with a reason naming the violation; they are only fatal when no
+//! valid slot remains.
+//!
+//! Checkpointing is wired into
+//! [`crate::runner::run_federated_traced`] either programmatically
+//! (via [`crate::runner::TrainingConfig::checkpoint`]) or through the
+//! `HELCFL_CHECKPOINT=dir[:interval]` environment variable, so bench
+//! binaries and chaos harnesses can enable it without touching the
+//! call sites.
+
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Once;
+
+use helcfl_telemetry::json::{self, JsonObject, JsonValue};
+use helcfl_telemetry::{fnv1a_hex, Histogram, Metric};
+use mec_sim::device::DeviceId;
+use mec_sim::units::{Joules, Seconds};
+
+use crate::error::{FlError, Result};
+use crate::history::RoundRecord;
+use crate::selection::SelectorSnapshot;
+
+/// Schema version written into (and demanded from) checkpoint files.
+pub const CHECKPOINT_SCHEMA_VERSION: u64 = 1;
+
+/// Environment variable enabling checkpointing: `dir` or
+/// `dir:interval` (checkpoint every `interval` rounds, default 1).
+pub const CHECKPOINT_ENV: &str = "HELCFL_CHECKPOINT";
+
+/// Chaos-harness hook: SIGKILL the process at the end of this round
+/// (after the checkpoint cadence ran). Test-only; never set in
+/// production runs.
+pub const CHAOS_KILL_ENV: &str = "HELCFL_CHAOS_KILL_AT";
+
+/// Chaos-harness hook: simulate a torn in-place checkpoint write at
+/// this round — half the body is written straight to the slot file
+/// (bypassing the temp+rename protocol) and the process aborts.
+/// Exercises the loader's ring fallback. Test-only.
+pub const CHAOS_TORN_ENV: &str = "HELCFL_CHAOS_TORN_AT";
+
+/// Where and how often the runner checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointConfig {
+    /// Directory holding the two-slot checkpoint ring.
+    pub dir: PathBuf,
+    /// Checkpoint every this many completed rounds (≥ 1).
+    pub interval: usize,
+    /// Test/ops seam: force a checkpoint after this round and return
+    /// early with the partial history — an in-process stand-in for a
+    /// kill that lands right after the round barrier.
+    pub halt_after: Option<usize>,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir` after every round.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into(), interval: 1, halt_after: None }
+    }
+
+    /// Reads [`CHECKPOINT_ENV`]. Invalid or empty values warn once on
+    /// stderr and fall back to the defaults described by
+    /// [`checkpoint_from_env_value`].
+    pub fn from_env() -> Option<Self> {
+        let value = std::env::var(CHECKPOINT_ENV).ok()?;
+        let (config, warning) = checkpoint_from_env_value(&value);
+        if let Some(w) = warning {
+            static WARNED: Once = Once::new();
+            WARNED.call_once(|| eprintln!("helcfl: {w}"));
+        }
+        config
+    }
+}
+
+/// Parses a [`CHECKPOINT_ENV`] value: `dir` or `dir:interval`.
+///
+/// Returns the parsed config (or `None` when checkpointing must stay
+/// disabled) plus an optional warning describing what was ignored:
+///
+/// * empty/whitespace value → disabled, warned;
+/// * `dir` → every round;
+/// * `dir:N` with `N ≥ 1` → every `N` rounds;
+/// * `dir:0` or `dir:junk` → every round, warned;
+/// * a `:` whose suffix contains `/` is part of the path, not an
+///   interval (`/data/a:b/ckpt` is a directory).
+pub fn checkpoint_from_env_value(value: &str) -> (Option<CheckpointConfig>, Option<String>) {
+    let v = value.trim();
+    if v.is_empty() {
+        return (
+            None,
+            Some(format!("{CHECKPOINT_ENV} is set but empty; checkpointing stays disabled")),
+        );
+    }
+    let (dir, interval, warning) = match v.rsplit_once(':') {
+        Some((d, suffix))
+            if !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()) =>
+        {
+            match suffix.parse::<usize>() {
+                Ok(n) if n >= 1 => (d, n, None),
+                _ => (
+                    d,
+                    1,
+                    Some(format!(
+                        "{CHECKPOINT_ENV} interval `{suffix}` must be a round count \
+                         of at least 1; checkpointing every round instead"
+                    )),
+                ),
+            }
+        }
+        Some((d, suffix)) if !suffix.contains('/') => (
+            d,
+            1,
+            Some(format!(
+                "{CHECKPOINT_ENV} interval `{suffix}` is not a number; \
+                 checkpointing every round instead"
+            )),
+        ),
+        _ => (v, 1, None),
+    };
+    if dir.is_empty() {
+        return (
+            None,
+            Some(format!(
+                "{CHECKPOINT_ENV} names an empty directory; checkpointing stays disabled"
+            )),
+        );
+    }
+    (
+        Some(CheckpointConfig { dir: PathBuf::from(dir), interval, halt_after: None }),
+        warning,
+    )
+}
+
+/// Everything the round loop consumes, frozen after a completed round.
+///
+/// The identity block (`seed`, `scheme`, `config_fingerprint`,
+/// `fleet_size`) mirrors the run manifest's compatibility fields;
+/// [`RunCheckpoint::compatible`] refuses a mismatched resume by naming
+/// the first differing field, exactly like
+/// `RunManifest::compatible`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunCheckpoint {
+    /// Checkpoint format version ([`CHECKPOINT_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Selector/scheme name (e.g. `"helcfl"`).
+    pub scheme: String,
+    /// Semantic config fingerprint (see the runner's manifest docs).
+    pub config_fingerprint: String,
+    /// Device population size.
+    pub fleet_size: usize,
+    /// Last completed (and fully recorded) 1-based round.
+    pub round: usize,
+    /// Global model parameters after aggregating `round`.
+    pub model: Vec<f32>,
+    /// Cumulative training delay through `round`.
+    pub cumulative_time: Seconds,
+    /// Cumulative training energy through `round`.
+    pub cumulative_energy: Joules,
+    /// Accuracy of every evaluation so far (convergence-check input).
+    pub evaluated_accuracies: Vec<f64>,
+    /// Per-device battery capacity, when batteries are simulated.
+    pub battery_capacity: Option<Joules>,
+    /// Per-device remaining charge, index-aligned with the population.
+    pub battery_remaining: Option<Vec<Joules>>,
+    /// Devices whose battery depleted (dead in the alive mask).
+    pub dead_devices: Vec<usize>,
+    /// Fault events fired so far.
+    pub faults_cumulative: u64,
+    /// The selector's persistent cross-round state.
+    pub selector: SelectorSnapshot,
+    /// Next telemetry span id, so a resumed trace tail continues the
+    /// uninterrupted run's id sequence.
+    pub next_span_id: u64,
+    /// Sim-class metrics (name → metric), bit-exact.
+    pub sim_metrics: Vec<(String, Metric)>,
+    /// Every completed round's record, in order.
+    pub history: Vec<RoundRecord>,
+}
+
+fn hex_u64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+fn hex_f64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn hex_f32(v: f32) -> String {
+    format!("{:08x}", v.to_bits())
+}
+
+impl RunCheckpoint {
+    /// Serializes the checkpoint payload as one JSON line (no
+    /// checksum trailer; see [`RunCheckpoint::to_file_bytes`]).
+    pub fn to_json_line(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field("type", "helcfl_checkpoint")
+            .field("schema_version", self.schema_version)
+            .field("seed", hex_u64(self.seed))
+            .field("scheme", self.scheme.as_str())
+            .field("config_fingerprint", self.config_fingerprint.as_str())
+            .field("fleet_size", self.fleet_size)
+            .field("round", self.round)
+            .field("model", self.model.iter().map(|&p| hex_f32(p)).collect::<Vec<_>>())
+            .field("cumulative_time", hex_f64(self.cumulative_time.get()))
+            .field("cumulative_energy", hex_f64(self.cumulative_energy.get()))
+            .field(
+                "evaluated_accuracies",
+                self.evaluated_accuracies.iter().map(|&a| hex_f64(a)).collect::<Vec<_>>(),
+            )
+            .field("battery_capacity", self.battery_capacity.map(|c| hex_f64(c.get())))
+            .field(
+                "battery_remaining",
+                self.battery_remaining
+                    .as_ref()
+                    .map(|v| v.iter().map(|r| hex_f64(r.get())).collect::<Vec<_>>()),
+            )
+            .field("dead_devices", self.dead_devices.clone())
+            .field("faults_cumulative", hex_u64(self.faults_cumulative))
+            .field("selector_counters_len", self.selector.counters_len)
+            .field(
+                "selector_counters",
+                self.selector
+                    .counters
+                    .iter()
+                    .map(|&(q, c)| vec![q as u64, u64::from(c)])
+                    .collect::<Vec<_>>(),
+            )
+            .field(
+                "selector_rng",
+                self.selector
+                    .rng_state
+                    .map(|s| s.iter().map(|&w| hex_u64(w)).collect::<Vec<_>>()),
+            )
+            .field("next_span_id", hex_u64(self.next_span_id))
+            .field(
+                "sim_metrics",
+                self.sim_metrics.iter().map(|(n, m)| metric_to_json(n, m)).collect::<Vec<_>>(),
+            )
+            .field("history", self.history.iter().map(record_to_json).collect::<Vec<_>>());
+        o.finish()
+    }
+
+    /// The complete on-disk representation: the payload line plus a
+    /// `checkpoint_checksum` trailer line carrying the payload's
+    /// FNV-1a hash.
+    pub fn to_file_bytes(&self) -> String {
+        let payload = self.to_json_line();
+        let checksum = fnv1a_hex(payload.as_bytes());
+        format!("{payload}\n{{\"type\":\"checkpoint_checksum\",\"fnv1a\":\"{checksum}\"}}\n")
+    }
+
+    /// Checks the identity block against the run about to resume.
+    ///
+    /// # Errors
+    ///
+    /// Names the first differing field (`seed`, `scheme`,
+    /// `config_fingerprint`, `fleet_size`) so operators can see *why*
+    /// the resume was refused instead of getting silent divergence.
+    pub fn compatible(
+        &self,
+        seed: u64,
+        scheme: &str,
+        config_fingerprint: &str,
+        fleet_size: usize,
+    ) -> core::result::Result<(), String> {
+        if self.seed != seed {
+            return Err(format!("seed differs: checkpoint {}, run {seed}", self.seed));
+        }
+        if self.scheme != scheme {
+            return Err(format!(
+                "scheme differs: checkpoint `{}`, run `{scheme}`",
+                self.scheme
+            ));
+        }
+        if self.config_fingerprint != config_fingerprint {
+            return Err(format!(
+                "config fingerprint differs: checkpoint {}, run {config_fingerprint}",
+                self.config_fingerprint
+            ));
+        }
+        if self.fleet_size != fleet_size {
+            return Err(format!(
+                "fleet size differs: checkpoint {}, run {fleet_size}",
+                self.fleet_size
+            ));
+        }
+        Ok(())
+    }
+
+    /// Parses a checkpoint payload object (checksum already verified).
+    fn from_json(v: &JsonValue) -> core::result::Result<Self, String> {
+        let fleet_size = want_usize(v, "fleet_size")?;
+        let round = want_usize(v, "round")?;
+        let model = want_array(v, "model")?
+            .iter()
+            .map(|e| {
+                e.as_str()
+                    .ok_or_else(|| "non-string model parameter".to_string())
+                    .and_then(|s| parse_hex_f32(s, "model"))
+            })
+            .collect::<core::result::Result<Vec<_>, _>>()?;
+        let evaluated_accuracies = want_array(v, "evaluated_accuracies")?
+            .iter()
+            .map(|e| {
+                e.as_str()
+                    .ok_or_else(|| "non-string accuracy".to_string())
+                    .and_then(|s| parse_hex_f64(s, "evaluated_accuracies"))
+            })
+            .collect::<core::result::Result<Vec<_>, _>>()?;
+        let battery_capacity = match v.get("battery_capacity") {
+            Some(JsonValue::Null) => None,
+            Some(JsonValue::String(s)) => {
+                Some(Joules::new(parse_hex_f64(s, "battery_capacity")?))
+            }
+            _ => return Err("missing or malformed field `battery_capacity`".into()),
+        };
+        let battery_remaining = match v.get("battery_remaining") {
+            Some(JsonValue::Null) => None,
+            Some(JsonValue::Array(items)) => Some(
+                items
+                    .iter()
+                    .map(|e| {
+                        e.as_str()
+                            .ok_or_else(|| "non-string battery charge".to_string())
+                            .and_then(|s| parse_hex_f64(s, "battery_remaining"))
+                            .map(Joules::new)
+                    })
+                    .collect::<core::result::Result<Vec<_>, _>>()?,
+            ),
+            _ => return Err("missing or malformed field `battery_remaining`".into()),
+        };
+        if let Some(rem) = &battery_remaining {
+            if rem.len() != fleet_size {
+                return Err(format!(
+                    "battery_remaining covers {} devices but fleet_size is {fleet_size}",
+                    rem.len()
+                ));
+            }
+        }
+        let dead_devices = want_array(v, "dead_devices")?
+            .iter()
+            .map(|e| usize_of(e, "dead_devices"))
+            .collect::<core::result::Result<Vec<_>, _>>()?;
+        if let Some(&q) = dead_devices.iter().find(|&&q| q >= fleet_size) {
+            return Err(format!("dead device {q} exceeds fleet_size {fleet_size}"));
+        }
+        let counters_len = want_usize(v, "selector_counters_len")?;
+        let counters = want_array(v, "selector_counters")?
+            .iter()
+            .map(|pair| match pair {
+                JsonValue::Array(kv) if kv.len() == 2 => {
+                    let q = usize_of(&kv[0], "selector_counters")?;
+                    let c = usize_of(&kv[1], "selector_counters")?;
+                    u32::try_from(c)
+                        .map(|c| (q, c))
+                        .map_err(|_| "selector counter exceeds u32".to_string())
+                }
+                _ => Err("selector_counters entries must be [id, count] pairs".into()),
+            })
+            .collect::<core::result::Result<Vec<_>, _>>()?;
+        let rng_state = match v.get("selector_rng") {
+            Some(JsonValue::Null) => None,
+            Some(JsonValue::Array(words)) if words.len() == 4 => {
+                let mut s = [0u64; 4];
+                for (slot, w) in s.iter_mut().zip(words) {
+                    *slot = w
+                        .as_str()
+                        .ok_or_else(|| "non-string RNG word".to_string())
+                        .and_then(|t| parse_hex_u64(t, "selector_rng"))?;
+                }
+                Some(s)
+            }
+            _ => return Err("missing or malformed field `selector_rng`".into()),
+        };
+        let sim_metrics = want_array(v, "sim_metrics")?
+            .iter()
+            .map(metric_from_json)
+            .collect::<core::result::Result<Vec<_>, _>>()?;
+        let history = want_array(v, "history")?
+            .iter()
+            .map(record_from_json)
+            .collect::<core::result::Result<Vec<_>, _>>()?;
+        if history.last().map(|r: &RoundRecord| r.round) != Some(round) {
+            return Err(format!(
+                "history ends at round {:?} but the checkpoint claims round {round}",
+                history.last().map(|r| r.round)
+            ));
+        }
+        Ok(Self {
+            schema_version: CHECKPOINT_SCHEMA_VERSION,
+            seed: want_u64_hex(v, "seed")?,
+            scheme: want_str(v, "scheme")?.to_string(),
+            config_fingerprint: want_str(v, "config_fingerprint")?.to_string(),
+            fleet_size,
+            round,
+            model,
+            cumulative_time: Seconds::new(want_f64_bits(v, "cumulative_time")?),
+            cumulative_energy: Joules::new(want_f64_bits(v, "cumulative_energy")?),
+            evaluated_accuracies,
+            battery_capacity,
+            battery_remaining,
+            dead_devices,
+            faults_cumulative: want_u64_hex(v, "faults_cumulative")?,
+            selector: SelectorSnapshot { counters_len, counters, rng_state },
+            next_span_id: want_u64_hex(v, "next_span_id")?,
+            sim_metrics,
+            history,
+        })
+    }
+}
+
+fn metric_to_json(name: &str, metric: &Metric) -> JsonObject {
+    let mut o = JsonObject::new();
+    o.field("name", name);
+    match metric {
+        Metric::Counter(v) => {
+            o.field("kind", "counter").field("value", hex_u64(*v));
+        }
+        Metric::Gauge(v) => {
+            o.field("kind", "gauge").field("value", hex_f64(*v));
+        }
+        Metric::Histogram(h) => {
+            o.field("kind", "histogram")
+                .field("count", hex_u64(h.count))
+                .field("underflow", hex_u64(h.underflow))
+                .field("negative", hex_u64(h.negative))
+                .field("infinite", hex_u64(h.infinite))
+                .field("nan", hex_u64(h.nan))
+                .field("min", hex_f64(h.min))
+                .field("max", hex_f64(h.max))
+                .field(
+                    "buckets",
+                    h.buckets
+                        .iter()
+                        .map(|(&e, &c)| vec![i64::from(e).to_string(), hex_u64(c)])
+                        .collect::<Vec<_>>(),
+                );
+        }
+    }
+    o
+}
+
+fn metric_from_json(v: &JsonValue) -> core::result::Result<(String, Metric), String> {
+    let name = want_str(v, "name")?.to_string();
+    let metric = match want_str(v, "kind")? {
+        "counter" => Metric::Counter(want_u64_hex(v, "value")?),
+        "gauge" => Metric::Gauge(want_f64_bits(v, "value")?),
+        "histogram" => {
+            let mut h = Histogram::new();
+            h.count = want_u64_hex(v, "count")?;
+            h.underflow = want_u64_hex(v, "underflow")?;
+            h.negative = want_u64_hex(v, "negative")?;
+            h.infinite = want_u64_hex(v, "infinite")?;
+            h.nan = want_u64_hex(v, "nan")?;
+            h.min = want_f64_bits(v, "min")?;
+            h.max = want_f64_bits(v, "max")?;
+            for pair in want_array(v, "buckets")? {
+                match pair {
+                    JsonValue::Array(kv) if kv.len() == 2 => {
+                        let e = kv[0]
+                            .as_str()
+                            .ok_or_else(|| "non-string bucket exponent".to_string())?
+                            .parse::<i16>()
+                            .map_err(|_| "unparseable bucket exponent".to_string())?;
+                        let c = kv[1]
+                            .as_str()
+                            .ok_or_else(|| "non-string bucket count".to_string())
+                            .and_then(|s| parse_hex_u64(s, "buckets"))?;
+                        h.buckets.insert(e, c);
+                    }
+                    _ => return Err("histogram buckets must be [exp, count] pairs".into()),
+                }
+            }
+            Metric::Histogram(h)
+        }
+        other => return Err(format!("unknown metric kind `{other}`")),
+    };
+    Ok((name, metric))
+}
+
+fn record_to_json(r: &RoundRecord) -> JsonObject {
+    let mut o = JsonObject::new();
+    o.field("round", r.round)
+        .field("selected", r.selected.iter().map(|id| id.0).collect::<Vec<_>>())
+        .field("delivered", r.delivered.iter().map(|id| id.0).collect::<Vec<_>>())
+        .field("alive_devices", r.alive_devices)
+        .field("round_time", hex_f64(r.round_time.get()))
+        .field("eq10_time", hex_f64(r.eq10_time.get()))
+        .field("round_energy", hex_f64(r.round_energy.get()))
+        .field("compute_energy", hex_f64(r.compute_energy.get()))
+        .field("slack", hex_f64(r.slack.get()))
+        .field("wasted_energy", hex_f64(r.wasted_energy.get()))
+        .field("faults", r.faults)
+        .field("aggregated", r.aggregated)
+        .field("train_loss", hex_f32(r.train_loss))
+        .field("test_accuracy", r.test_accuracy.map(hex_f64))
+        .field("cumulative_time", hex_f64(r.cumulative_time.get()))
+        .field("cumulative_energy", hex_f64(r.cumulative_energy.get()));
+    o
+}
+
+fn record_from_json(v: &JsonValue) -> core::result::Result<RoundRecord, String> {
+    let ids = |key: &str| -> core::result::Result<Vec<DeviceId>, String> {
+        want_array(v, key)?
+            .iter()
+            .map(|e| usize_of(e, key).map(DeviceId))
+            .collect()
+    };
+    let test_accuracy = match v.get("test_accuracy") {
+        Some(JsonValue::Null) => None,
+        Some(JsonValue::String(s)) => Some(parse_hex_f64(s, "test_accuracy")?),
+        _ => return Err("missing or malformed field `test_accuracy`".into()),
+    };
+    Ok(RoundRecord {
+        round: want_usize(v, "round")?,
+        selected: ids("selected")?,
+        delivered: ids("delivered")?,
+        alive_devices: want_usize(v, "alive_devices")?,
+        round_time: Seconds::new(want_f64_bits(v, "round_time")?),
+        eq10_time: Seconds::new(want_f64_bits(v, "eq10_time")?),
+        round_energy: Joules::new(want_f64_bits(v, "round_energy")?),
+        compute_energy: Joules::new(want_f64_bits(v, "compute_energy")?),
+        slack: Seconds::new(want_f64_bits(v, "slack")?),
+        wasted_energy: Joules::new(want_f64_bits(v, "wasted_energy")?),
+        faults: want_usize(v, "faults")?,
+        aggregated: v
+            .get("aggregated")
+            .and_then(JsonValue::as_bool)
+            .ok_or("missing or non-boolean field `aggregated`")?,
+        train_loss: {
+            let s = want_str(v, "train_loss")?;
+            parse_hex_f32(s, "train_loss")?
+        },
+        test_accuracy,
+        cumulative_time: Seconds::new(want_f64_bits(v, "cumulative_time")?),
+        cumulative_energy: Joules::new(want_f64_bits(v, "cumulative_energy")?),
+    })
+}
+
+// --- strict field accessors (errors name the offending field) --------
+
+fn want_str<'a>(v: &'a JsonValue, key: &str) -> core::result::Result<&'a str, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing or non-string field `{key}`"))
+}
+
+fn parse_hex_u64(s: &str, key: &str) -> core::result::Result<u64, String> {
+    u64::from_str_radix(s, 16).map_err(|_| format!("field `{key}` is not hex: `{s}`"))
+}
+
+fn parse_hex_f64(s: &str, key: &str) -> core::result::Result<f64, String> {
+    parse_hex_u64(s, key).map(f64::from_bits)
+}
+
+fn parse_hex_f32(s: &str, key: &str) -> core::result::Result<f32, String> {
+    u32::from_str_radix(s, 16)
+        .map(f32::from_bits)
+        .map_err(|_| format!("field `{key}` is not hex: `{s}`"))
+}
+
+fn want_u64_hex(v: &JsonValue, key: &str) -> core::result::Result<u64, String> {
+    parse_hex_u64(want_str(v, key)?, key)
+}
+
+fn want_f64_bits(v: &JsonValue, key: &str) -> core::result::Result<f64, String> {
+    parse_hex_f64(want_str(v, key)?, key)
+}
+
+fn usize_of(e: &JsonValue, key: &str) -> core::result::Result<usize, String> {
+    let n = e.as_f64().ok_or_else(|| format!("non-numeric entry in `{key}`"))?;
+    if n < 0.0 || n.fract() != 0.0 || n > 9.007_199_254_740_992e15 {
+        return Err(format!("entry {n} in `{key}` is not an index"));
+    }
+    Ok(n as usize)
+}
+
+fn want_usize(v: &JsonValue, key: &str) -> core::result::Result<usize, String> {
+    let e = v.get(key).ok_or_else(|| format!("missing field `{key}`"))?;
+    usize_of(e, key)
+}
+
+fn want_array<'a>(
+    v: &'a JsonValue,
+    key: &str,
+) -> core::result::Result<&'a [JsonValue], String> {
+    match v.get(key) {
+        Some(JsonValue::Array(items)) => Ok(items),
+        _ => Err(format!("missing or non-array field `{key}`")),
+    }
+}
+
+// --- file I/O --------------------------------------------------------
+
+/// Parses and verifies one checkpoint file's text.
+///
+/// Returns the checkpoint plus its payload checksum (the value the run
+/// manifest records as `resumed_from`).
+///
+/// # Errors
+///
+/// Refuses, naming the violation: truncated files (missing payload or
+/// trailer), malformed or mismatching checksum trailers (bit flips),
+/// non-checkpoint JSON, and unsupported schema versions.
+pub fn parse_checkpoint_file(
+    text: &str,
+) -> core::result::Result<(RunCheckpoint, String), String> {
+    let mut lines = text.lines();
+    let payload = lines.next().ok_or("truncated checkpoint: empty file")?;
+    let trailer =
+        lines.next().ok_or("truncated checkpoint: missing checksum trailer")?;
+    if lines.next().is_some_and(|l| !l.trim().is_empty()) {
+        return Err("trailing garbage after the checksum trailer".into());
+    }
+    let tv = json::parse(trailer).map_err(|e| {
+        format!("truncated or malformed checksum trailer: {e}")
+    })?;
+    if tv.get("type").and_then(JsonValue::as_str) != Some("checkpoint_checksum") {
+        return Err("malformed checksum trailer: wrong `type`".into());
+    }
+    let stored = want_str(&tv, "fnv1a")?;
+    let computed = fnv1a_hex(payload.as_bytes());
+    if stored != computed {
+        return Err(format!(
+            "checksum mismatch: trailer says {stored}, payload hashes to {computed} \
+             — refusing the corrupt checkpoint"
+        ));
+    }
+    let v = json::parse(payload)
+        .map_err(|e| format!("unparseable checkpoint payload: {e}"))?;
+    if v.get("type").and_then(JsonValue::as_str) != Some("helcfl_checkpoint") {
+        return Err("not a HELCFL checkpoint (wrong `type`)".into());
+    }
+    let schema = v
+        .get("schema_version")
+        .and_then(JsonValue::as_f64)
+        .ok_or("missing field `schema_version`")?;
+    if schema != CHECKPOINT_SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "unsupported checkpoint schema version {schema} \
+             (this build reads version {CHECKPOINT_SCHEMA_VERSION})"
+        ));
+    }
+    RunCheckpoint::from_json(&v).map(|c| (c, computed))
+}
+
+fn ckpt_err(path: &Path, reason: String) -> FlError {
+    FlError::Checkpoint { path: path.display().to_string(), reason }
+}
+
+fn write_atomic(tmp: &Path, dest: &Path, body: &str) -> Result<()> {
+    let mut f = File::create(tmp)
+        .map_err(|e| ckpt_err(tmp, format!("cannot create checkpoint temp file: {e}")))?;
+    f.write_all(body.as_bytes())
+        .map_err(|e| ckpt_err(tmp, format!("checkpoint write failed: {e}")))?;
+    f.sync_all()
+        .map_err(|e| ckpt_err(tmp, format!("checkpoint fsync failed: {e}")))?;
+    drop(f);
+    fs::rename(tmp, dest)
+        .map_err(|e| ckpt_err(dest, format!("cannot publish checkpoint (rename): {e}")))?;
+    Ok(())
+}
+
+/// Writes checkpoints into the two-slot ring, alternating slots so the
+/// previous checkpoint survives until the next one is durably
+/// published.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    dir: PathBuf,
+    next_slot: usize,
+}
+
+impl CheckpointWriter {
+    /// A writer whose first save lands in `first_slot` (resume passes
+    /// the slot *not* holding the checkpoint it loaded; fresh runs
+    /// start at 0).
+    pub fn new(dir: PathBuf, first_slot: usize) -> Self {
+        Self { dir, next_slot: first_slot % 2 }
+    }
+
+    /// Durably writes `ckpt` (temp file + fsync + atomic rename +
+    /// directory fsync) and advances the ring.
+    ///
+    /// # Errors
+    ///
+    /// Reports I/O failures with the offending path; the ring slot is
+    /// not advanced on failure, so the last good checkpoint is never
+    /// sacrificed to a sick disk.
+    pub fn save(&mut self, ckpt: &RunCheckpoint) -> Result<PathBuf> {
+        let slot = self.next_slot;
+        let dest = self.dir.join(format!("checkpoint_{slot}.json"));
+        fs::create_dir_all(&self.dir).map_err(|e| {
+            ckpt_err(&self.dir, format!("cannot create checkpoint directory: {e}"))
+        })?;
+        let body = ckpt.to_file_bytes();
+        if round_from_env(CHAOS_TORN_ENV) == Some(ckpt.round) {
+            // Chaos hook: a torn in-place write — half the body lands
+            // in the slot file with no rename protecting it, then the
+            // process dies. The loader must refuse this slot by
+            // checksum and fall back to the other one.
+            let torn = &body.as_bytes()[..body.len() / 2];
+            let _ = fs::write(&dest, torn);
+            if let Ok(f) = File::open(&dest) {
+                let _ = f.sync_all();
+            }
+            eprintln!(
+                "helcfl chaos: torn checkpoint write at round {} ({})",
+                ckpt.round,
+                dest.display()
+            );
+            std::process::abort();
+        }
+        let tmp = self.dir.join(format!("checkpoint_{slot}.tmp"));
+        write_atomic(&tmp, &dest, &body)?;
+        if let Ok(d) = File::open(&self.dir) {
+            // Directory fsync is best-effort: some filesystems refuse
+            // fsync on directory handles; the rename is already
+            // atomic with respect to readers.
+            let _ = d.sync_all();
+        }
+        self.next_slot = 1 - slot;
+        Ok(dest)
+    }
+}
+
+/// A checkpoint picked from the on-disk ring.
+#[derive(Debug)]
+pub struct LoadedCheckpoint {
+    /// The parsed, checksum-verified checkpoint.
+    pub checkpoint: RunCheckpoint,
+    /// Ring slot it came from (0 or 1).
+    pub slot: usize,
+    /// File it was read from.
+    pub path: PathBuf,
+    /// FNV-1a checksum of its payload (the manifest's `resumed_from`).
+    pub checksum: String,
+}
+
+/// Scans the two-slot ring in `dir` and returns the valid checkpoint
+/// with the highest completed round.
+///
+/// * No slot files → `Ok(None)` (fresh start).
+/// * A corrupt slot alongside a valid one → the valid one wins and the
+///   corruption is reported on stderr (torn-write fallback).
+/// * Only corrupt slots → an error naming the first violation, so a
+///   tampered checkpoint can never be silently ignored.
+///
+/// # Errors
+///
+/// Returns [`FlError::Checkpoint`] when every present slot is refused.
+pub fn load_latest(dir: &Path) -> Result<Option<LoadedCheckpoint>> {
+    let mut valid: Vec<LoadedCheckpoint> = Vec::new();
+    let mut invalid: Vec<(PathBuf, String)> = Vec::new();
+    for slot in 0..2 {
+        let path = dir.join(format!("checkpoint_{slot}.json"));
+        if !path.exists() {
+            continue;
+        }
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                invalid.push((path, format!("unreadable checkpoint: {e}")));
+                continue;
+            }
+        };
+        match parse_checkpoint_file(&text) {
+            Ok((checkpoint, checksum)) => {
+                valid.push(LoadedCheckpoint { checkpoint, slot, path, checksum });
+            }
+            Err(reason) => invalid.push((path, reason)),
+        }
+    }
+    if let Some(best) = valid.into_iter().max_by_key(|l| l.checkpoint.round) {
+        for (p, r) in &invalid {
+            eprintln!(
+                "helcfl checkpoint: ignoring invalid slot {} ({r}); \
+                 falling back to {} (round {})",
+                p.display(),
+                best.path.display(),
+                best.checkpoint.round
+            );
+        }
+        return Ok(Some(best));
+    }
+    match invalid.into_iter().next() {
+        Some((path, reason)) => Err(ckpt_err(&path, reason)),
+        None => Ok(None),
+    }
+}
+
+fn round_from_env(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse::<usize>().ok()
+}
+
+/// Per-experiment subdirectory used when checkpointing is enabled via
+/// [`CHECKPOINT_ENV`] rather than an explicit
+/// [`CheckpointConfig`](crate::runner::TrainingConfig::checkpoint):
+/// `<scheme>_seed<seed>_<fingerprint[..8]>`.
+///
+/// One exported `HELCFL_CHECKPOINT` must be safe for binaries that run
+/// several schemes or settings back to back; without namespacing, the
+/// second experiment would find the first's ring and (correctly)
+/// refuse to resume from it. An explicit config skips this and uses
+/// its directory exactly as given.
+pub fn experiment_subdir(scheme: &str, seed: u64, fingerprint: &str) -> String {
+    let fp = fingerprint.get(..8).unwrap_or(fingerprint);
+    format!("{scheme}_seed{seed}_{fp}")
+}
+
+/// Chaos-harness hook: if [`CHAOS_KILL_ENV`] names this round, the
+/// process SIGKILLs itself (a real, uncatchable kill — delivered via
+/// `kill -9`, with `abort` as the fallback when no `kill` binary
+/// exists). Called by the runner at the end of every round; inert
+/// unless the environment variable is set.
+pub fn chaos_kill_if_scheduled(round: usize) {
+    if round_from_env(CHAOS_KILL_ENV) != Some(round) {
+        return;
+    }
+    eprintln!("helcfl chaos: SIGKILL at round {round}");
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill").args(["-9", &pid]).status();
+    std::process::abort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sample_checkpoint(round: usize) -> RunCheckpoint {
+        let mut buckets = BTreeMap::new();
+        buckets.insert(-3i16, 4u64);
+        buckets.insert(2i16, 9u64);
+        let record = |r: usize| RoundRecord {
+            round: r,
+            selected: vec![DeviceId(1), DeviceId(3)],
+            delivered: vec![DeviceId(1)],
+            alive_devices: 5,
+            round_time: Seconds::new(12.25),
+            eq10_time: Seconds::new(11.5),
+            round_energy: Joules::new(0.1 + r as f64),
+            compute_energy: Joules::new(0.07),
+            slack: Seconds::new(0.5),
+            wasted_energy: Joules::new(0.01),
+            faults: 1,
+            aggregated: r.is_multiple_of(2),
+            train_loss: 1.75,
+            test_accuracy: if r.is_multiple_of(2) { Some(0.1 + 0.3 * r as f64) } else { None },
+            cumulative_time: Seconds::new(12.25 * r as f64),
+            cumulative_energy: Joules::new(0.2 * r as f64),
+        };
+        RunCheckpoint {
+            schema_version: CHECKPOINT_SCHEMA_VERSION,
+            seed: 0xDEAD_BEEF_CAFE_F00D,
+            scheme: "helcfl".into(),
+            config_fingerprint: "abc123".into(),
+            fleet_size: 5,
+            round,
+            model: vec![0.5, -1.25, 3.0e-7, f32::MIN_POSITIVE],
+            cumulative_time: Seconds::new(12.25 * round as f64),
+            cumulative_energy: Joules::new(0.2 * round as f64),
+            evaluated_accuracies: vec![0.1, 0.4, 0.1 + 0.2],
+            battery_capacity: Some(Joules::new(10.0)),
+            battery_remaining: Some(
+                (0..5).map(|q| Joules::new(10.0 - q as f64 * 0.3)).collect(),
+            ),
+            dead_devices: vec![4],
+            faults_cumulative: 3,
+            selector: SelectorSnapshot {
+                counters_len: 5,
+                counters: vec![(1, 2), (3, 1)],
+                rng_state: Some([1, u64::MAX, 0x1234, 7]),
+            },
+            next_span_id: 91,
+            sim_metrics: vec![
+                ("round.completed".into(), Metric::Counter(round as u64)),
+                ("eval.accuracy".into(), Metric::Gauge(0.1 + 0.2)),
+                (
+                    "round.train_loss".into(),
+                    Metric::Histogram(Histogram {
+                        count: 13,
+                        underflow: 1,
+                        negative: 0,
+                        infinite: 0,
+                        nan: 2,
+                        min: -0.0,
+                        max: 1.75,
+                        buckets,
+                    }),
+                ),
+            ],
+            history: (1..=round).map(record).collect(),
+        }
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("helcfl_ckpt_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bit_exactly() {
+        let ck = sample_checkpoint(3);
+        let (parsed, checksum) = parse_checkpoint_file(&ck.to_file_bytes()).unwrap();
+        assert_eq!(parsed, ck);
+        assert_eq!(checksum.len(), 16);
+        // Bit-exactness probes: values JSON text formatting would
+        // round or normalize survive via their bit patterns.
+        assert_eq!(parsed.model[3].to_bits(), f32::MIN_POSITIVE.to_bits());
+        assert_eq!(
+            parsed.evaluated_accuracies[2].to_bits(),
+            (0.1f64 + 0.2).to_bits()
+        );
+    }
+
+    #[test]
+    fn env_value_parsing_covers_valid_and_invalid_forms() {
+        let (c, w) = checkpoint_from_env_value("/tmp/ck");
+        assert_eq!(c.as_ref().map(|c| c.interval), Some(1));
+        assert!(w.is_none());
+        let (c, w) = checkpoint_from_env_value("/tmp/ck:5");
+        assert_eq!(c.as_ref().map(|c| c.interval), Some(5));
+        assert_eq!(c.unwrap().dir, PathBuf::from("/tmp/ck"));
+        assert!(w.is_none());
+        // Empty and whitespace-only values disable with a warning.
+        for empty in ["", "   "] {
+            let (c, w) = checkpoint_from_env_value(empty);
+            assert!(c.is_none());
+            assert!(w.unwrap().contains("empty"));
+        }
+        // A zero or non-numeric interval warns and falls back to 1.
+        let (c, w) = checkpoint_from_env_value("/tmp/ck:0");
+        assert_eq!(c.unwrap().interval, 1);
+        assert!(w.unwrap().contains("at least 1"));
+        let (c, w) = checkpoint_from_env_value("/tmp/ck:fast");
+        let c = c.unwrap();
+        assert_eq!((c.dir, c.interval), (PathBuf::from("/tmp/ck"), 1));
+        assert!(w.unwrap().contains("not a number"));
+        // A colon inside the path is not an interval separator.
+        let (c, w) = checkpoint_from_env_value("/data/a:b/ck");
+        assert_eq!(c.unwrap().dir, PathBuf::from("/data/a:b/ck"));
+        assert!(w.is_none());
+        // An interval with an empty directory cannot enable anything.
+        let (c, w) = checkpoint_from_env_value(":3");
+        assert!(c.is_none());
+        assert!(w.unwrap().contains("empty directory"));
+    }
+
+    #[test]
+    fn writer_alternates_slots_and_loader_picks_the_newest() {
+        let dir = scratch_dir("ring");
+        let mut w = CheckpointWriter::new(dir.clone(), 0);
+        let p1 = w.save(&sample_checkpoint(1)).unwrap();
+        let p2 = w.save(&sample_checkpoint(2)).unwrap();
+        assert!(p1.ends_with("checkpoint_0.json"));
+        assert!(p2.ends_with("checkpoint_1.json"));
+        let latest = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(latest.checkpoint.round, 2);
+        assert_eq!(latest.slot, 1);
+        // A third save overwrites the oldest slot, not the newest.
+        let p3 = w.save(&sample_checkpoint(3)).unwrap();
+        assert!(p3.ends_with("checkpoint_0.json"));
+        assert_eq!(load_latest(&dir).unwrap().unwrap().checkpoint.round, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_bitflipped_and_wrong_schema_files_are_refused_by_name() {
+        let ck = sample_checkpoint(2);
+        let good = ck.to_file_bytes();
+
+        // Truncated: the trailer (or part of the payload) never hit
+        // the disk.
+        let payload_len = good.lines().next().unwrap().len();
+        let err = parse_checkpoint_file(&good[..payload_len / 2]).unwrap_err();
+        assert!(err.contains("truncated"), "unexpected refusal: {err}");
+        let err = parse_checkpoint_file("").unwrap_err();
+        assert!(err.contains("truncated"), "unexpected refusal: {err}");
+
+        // Bit flip inside the payload: the checksum trailer convicts.
+        let mut bytes = good.clone().into_bytes();
+        bytes[payload_len / 2] ^= 0x40;
+        let err =
+            parse_checkpoint_file(std::str::from_utf8(&bytes).unwrap()).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "unexpected refusal: {err}");
+
+        // Wrong schema version with a *valid* checksum: refused for
+        // the version, not the hash.
+        let future = good.replacen(
+            "\"schema_version\":1",
+            "\"schema_version\":999",
+            1,
+        );
+        let payload = future.lines().next().unwrap();
+        let retrailed = format!(
+            "{payload}\n{{\"type\":\"checkpoint_checksum\",\"fnv1a\":\"{}\"}}\n",
+            fnv1a_hex(payload.as_bytes())
+        );
+        let err = parse_checkpoint_file(&retrailed).unwrap_err();
+        assert!(
+            err.contains("unsupported checkpoint schema version 999"),
+            "unexpected refusal: {err}"
+        );
+
+        // Wrong document type entirely.
+        let err = parse_checkpoint_file(
+            "{\"type\":\"run_manifest\"}\n{\"type\":\"checkpoint_checksum\",\"fnv1a\":\"x\"}\n",
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("checksum mismatch") || err.contains("not a HELCFL checkpoint"),
+            "unexpected refusal: {err}"
+        );
+    }
+
+    #[test]
+    fn torn_newest_slot_falls_back_to_the_previous_good_checkpoint() {
+        let dir = scratch_dir("fallback");
+        let mut w = CheckpointWriter::new(dir.clone(), 0);
+        w.save(&sample_checkpoint(1)).unwrap();
+        w.save(&sample_checkpoint(2)).unwrap();
+        // Tear the newest slot (slot 1, round 2) mid-file.
+        let newest = dir.join("checkpoint_1.json");
+        let full = fs::read(&newest).unwrap();
+        fs::write(&newest, &full[..full.len() / 3]).unwrap();
+        let latest = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(latest.checkpoint.round, 1, "did not fall back");
+        assert_eq!(latest.slot, 0);
+        // With every slot corrupt, the refusal is fatal and names the
+        // violation instead of silently restarting from scratch.
+        let oldest = dir.join("checkpoint_0.json");
+        let full = fs::read(&oldest).unwrap();
+        fs::write(&oldest, &full[..full.len() / 3]).unwrap();
+        let err = load_latest(&dir).unwrap_err();
+        assert!(
+            err.to_string().contains("truncated"),
+            "unexpected refusal: {err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_directory_and_missing_directory_mean_fresh_start() {
+        let dir = scratch_dir("fresh");
+        assert!(load_latest(&dir).unwrap().is_none());
+        assert!(load_latest(&dir.join("never_created")).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn identity_mismatches_are_refused_by_field_name() {
+        let ck = sample_checkpoint(1);
+        assert!(ck.compatible(ck.seed, "helcfl", "abc123", 5).is_ok());
+        let err = ck.compatible(1, "helcfl", "abc123", 5).unwrap_err();
+        assert!(err.contains("seed differs"), "{err}");
+        let err = ck.compatible(ck.seed, "classic", "abc123", 5).unwrap_err();
+        assert!(err.contains("scheme differs"), "{err}");
+        let err = ck.compatible(ck.seed, "helcfl", "zzz", 5).unwrap_err();
+        assert!(err.contains("config fingerprint differs"), "{err}");
+        let err = ck.compatible(ck.seed, "helcfl", "abc123", 6).unwrap_err();
+        assert!(err.contains("fleet size differs"), "{err}");
+    }
+
+    #[test]
+    fn write_errors_surface_as_errors_not_panics() {
+        // /dev/full accepts opens and fails writes with ENOSPC: the
+        // atomic writer must report the failure and leave the
+        // destination alone.
+        if Path::new("/dev/full").exists() {
+            let err = write_atomic(
+                Path::new("/dev/full"),
+                Path::new("/dev/full"),
+                &sample_checkpoint(1).to_file_bytes(),
+            )
+            .unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("checkpoint write failed")
+                    || msg.contains("checkpoint fsync failed"),
+                "unexpected error: {msg}"
+            );
+        }
+        // A checkpoint directory that cannot exist (a file stands in
+        // its way) is a named error, not a panic.
+        let mut w = CheckpointWriter::new(PathBuf::from("/dev/null/ck"), 0);
+        let err = w.save(&sample_checkpoint(1)).unwrap_err();
+        assert!(
+            err.to_string().contains("checkpoint"),
+            "unexpected error: {err}"
+        );
+        // And loading from it is simply a fresh start.
+        assert!(load_latest(Path::new("/dev/null/ck")).unwrap().is_none());
+    }
+
+    #[test]
+    fn ring_slot_does_not_advance_on_failed_saves() {
+        let dir = scratch_dir("sick");
+        let mut w = CheckpointWriter::new(dir.clone(), 0);
+        w.save(&sample_checkpoint(1)).unwrap();
+        // Redirect the writer at an impossible directory: failures
+        // must not rotate the ring...
+        let mut sick = CheckpointWriter { dir: PathBuf::from("/dev/null/ck"), next_slot: w.next_slot };
+        assert!(sick.save(&sample_checkpoint(2)).is_err());
+        assert_eq!(sick.next_slot, w.next_slot);
+        // ...so the last good checkpoint is still loadable.
+        assert_eq!(load_latest(&dir).unwrap().unwrap().checkpoint.round, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn experiment_subdir_namespaces_by_identity() {
+        let a = experiment_subdir("helcfl", 2022, "deadbeefcafef00d");
+        assert_eq!(a, "helcfl_seed2022_deadbeef");
+        // Any identity field changing moves the ring elsewhere.
+        assert_ne!(a, experiment_subdir("fedcs", 2022, "deadbeefcafef00d"));
+        assert_ne!(a, experiment_subdir("helcfl", 2023, "deadbeefcafef00d"));
+        assert_ne!(a, experiment_subdir("helcfl", 2022, "0000beefcafef00d"));
+        // Degenerate fingerprints must not panic.
+        assert_eq!(experiment_subdir("x", 1, "ab"), "x_seed1_ab");
+    }
+
+    #[test]
+    fn fresh_histories_with_no_rounds_are_rejected() {
+        let mut ck = sample_checkpoint(2);
+        ck.history.pop();
+        let err = parse_checkpoint_file(&ck.to_file_bytes()).unwrap_err();
+        assert!(err.contains("history ends at round"), "{err}");
+    }
+}

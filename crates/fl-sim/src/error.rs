@@ -33,6 +33,13 @@ pub enum FlError {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// A checkpoint file could not be written, read, or trusted.
+    Checkpoint {
+        /// Path of the offending file or directory.
+        path: String,
+        /// Human-readable refusal or failure reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FlError {
@@ -48,6 +55,9 @@ impl fmt::Display for FlError {
                 "partition covers {partition_users} users but population has {population_users}"
             ),
             Self::InvalidSelection { reason } => write!(f, "invalid selection: {reason}"),
+            Self::Checkpoint { path, reason } => {
+                write!(f, "checkpoint {path}: {reason}")
+            }
         }
     }
 }
@@ -95,6 +105,17 @@ mod tests {
     fn config_errors_name_the_field() {
         let e = FlError::InvalidConfig { field: "fraction", reason: "must be in (0,1]".into() };
         assert!(e.to_string().contains("`fraction`"));
+    }
+
+    #[test]
+    fn checkpoint_errors_name_the_path() {
+        let e = FlError::Checkpoint {
+            path: "/tmp/ck/checkpoint_0.json".into(),
+            reason: "checksum mismatch".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("/tmp/ck/checkpoint_0.json"));
+        assert!(msg.contains("checksum mismatch"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! fixed index order — so a run's [`TrainingHistory`] is bit-identical
 //! for every thread count.
 
+use std::sync::Once;
 use std::time::{Duration, Instant};
 
 use detrand::{splitmix64, Rng};
@@ -22,6 +23,9 @@ use mec_sim::population::Population;
 use mec_sim::timeline::{DigestConfig, RoundTimeline};
 use mec_sim::units::{Bits, Joules, Seconds};
 
+use crate::checkpoint::{
+    self, CheckpointConfig, CheckpointWriter, LoadedCheckpoint, RunCheckpoint,
+};
 use crate::client::{build_clients, Client, LocalUpdateSpec};
 use crate::dataset::{LabeledSet, SyntheticTask};
 use crate::error::{FlError, Result};
@@ -93,6 +97,16 @@ pub struct TrainingConfig {
     /// bit-identical with `None` — and is how million-device runs stay
     /// traceable.
     pub digest_exemplars: Option<usize>,
+    /// Round-granular checkpointing (see [`crate::checkpoint`]):
+    /// `Some` writes a durable [`RunCheckpoint`] into the configured
+    /// two-slot ring every `interval` completed rounds and resumes
+    /// from the newest valid one on the next run. `None` (the
+    /// default) falls back to the `HELCFL_CHECKPOINT` environment
+    /// variable. Like `threads` and `digest_exemplars`, this field is
+    /// excluded from the config fingerprint: a resumed run's history
+    /// is bit-identical to the uninterrupted one, so checkpoint
+    /// cadence is not part of the experiment's identity.
+    pub checkpoint: Option<CheckpointConfig>,
     /// Model layer widths `[input, hidden…, classes]`.
     pub model_dims: Vec<usize>,
     /// Master seed (split per component; see [`crate::seeds`]).
@@ -117,6 +131,7 @@ impl Default for TrainingConfig {
             faults: FaultConfig::none(),
             degradation: DegradationPolicy::default(),
             digest_exemplars: None,
+            checkpoint: None,
             model_dims: vec![64, 64, 10],
             seed: 0,
         }
@@ -236,6 +251,14 @@ impl TrainingConfig {
                     field: "convergence.min_improvement",
                     reason: format!("must be finite and non-negative, got {}",
                         policy.min_improvement),
+                });
+            }
+        }
+        if let Some(ckpt) = &self.checkpoint {
+            if ckpt.interval == 0 {
+                return Err(FlError::InvalidConfig {
+                    field: "checkpoint.interval",
+                    reason: "must be at least 1 round".into(),
                 });
             }
         }
@@ -450,6 +473,74 @@ fn config_fingerprint(config: &TrainingConfig) -> String {
     helcfl_telemetry::fnv1a_hex(canonical.as_bytes())
 }
 
+/// Environment variable overriding the trace mode without touching the
+/// run's identity: `full`, `digest` (8 exemplars), or `digest:k`.
+/// Legal precisely because `digest_exemplars` is excluded from the
+/// config fingerprint — the override changes only the trace shape.
+pub const TRACE_MODE_ENV: &str = "HELCFL_TRACE_MODE";
+
+/// Parses a [`TRACE_MODE_ENV`] value.
+///
+/// Returns `Some(mode)` when the value names a trace mode
+/// (`Some(None)` = full, `Some(Some(k))` = digest with `k` exemplars)
+/// and `None` when the configured mode must be kept, plus an optional
+/// warning describing what was ignored. Empty values, unknown modes,
+/// and non-numeric exemplar counts all warn and keep the configured
+/// mode — a typo must never silently change what gets traced.
+fn trace_mode_from_env_value(value: &str) -> (Option<Option<usize>>, Option<String>) {
+    let v = value.trim();
+    if v.is_empty() {
+        return (
+            None,
+            Some(format!(
+                "{TRACE_MODE_ENV} is set but empty; keeping the configured trace mode"
+            )),
+        );
+    }
+    if v == "full" {
+        return (Some(None), None);
+    }
+    if let Some(rest) = v.strip_prefix("digest") {
+        if rest.is_empty() {
+            return (Some(Some(8)), None);
+        }
+        if let Some(count) = rest.strip_prefix(':') {
+            return match count.trim().parse::<usize>() {
+                Ok(k) => (Some(Some(k)), None),
+                Err(_) => (
+                    None,
+                    Some(format!(
+                        "{TRACE_MODE_ENV} exemplar count `{count}` is not a number; \
+                         keeping the configured trace mode"
+                    )),
+                ),
+            };
+        }
+    }
+    (
+        None,
+        Some(format!(
+            "{TRACE_MODE_ENV} value `{v}` is not `full` or `digest[:k]`; \
+             keeping the configured trace mode"
+        )),
+    )
+}
+
+/// Resolves the effective digest-exemplar setting: the environment
+/// override when present and valid, the configured value otherwise.
+/// Invalid values warn once on stderr.
+fn trace_mode_override(configured: Option<usize>) -> Option<usize> {
+    let Ok(value) = std::env::var(TRACE_MODE_ENV) else {
+        return configured;
+    };
+    let (mode, warning) = trace_mode_from_env_value(&value);
+    if let Some(w) = warning {
+        static WARNED: Once = Once::new();
+        WARNED.call_once(|| eprintln!("helcfl: {w}"));
+    }
+    mode.unwrap_or(configured)
+}
+
 /// [`run_federated`] with full telemetry instrumentation.
 ///
 /// Opens the trace with a `run_manifest` provenance line (schema
@@ -506,6 +597,50 @@ pub fn run_federated_traced(
     let faulted_engine = fault_plan.is_active() || config.degradation.is_active();
     let mut server = Flcc::new(&config.model_dims, derive(config.seed, SeedDomain::Model))?;
     let workers = worker_threads(config.threads);
+    // Trace-shape-only knobs may come from the environment because
+    // neither participates in the config fingerprint.
+    let digest_exemplars = trace_mode_override(config.digest_exemplars);
+    let fingerprint = config_fingerprint(config);
+    // Checkpointing: the programmatic config wins and uses its dir
+    // exactly as given; otherwise HELCFL_CHECKPOINT=dir[:interval]
+    // enables it from outside, which is how the chaos harness reaches
+    // runs behind Scheme wrappers. The env dir is namespaced per
+    // experiment so one exported variable is safe for binaries that
+    // run several schemes back to back — without it, the second
+    // scheme would find the first's checkpoint and (correctly) refuse
+    // to resume from it.
+    let ckpt_config: Option<CheckpointConfig> =
+        config.checkpoint.clone().or_else(|| {
+            CheckpointConfig::from_env().map(|mut cc| {
+                cc.dir = cc.dir.join(checkpoint::experiment_subdir(
+                    selector.name(),
+                    config.seed,
+                    &fingerprint,
+                ));
+                cc
+            })
+        });
+    // Resume: pick the newest valid checkpoint from the ring and
+    // refuse identity mismatches by field name, exactly like the
+    // manifest compatibility check.
+    let resumed: Option<LoadedCheckpoint> = match &ckpt_config {
+        Some(cc) => checkpoint::load_latest(&cc.dir)?,
+        None => None,
+    };
+    if let Some(loaded) = &resumed {
+        loaded
+            .checkpoint
+            .compatible(
+                config.seed,
+                selector.name(),
+                &fingerprint,
+                setup.population.len(),
+            )
+            .map_err(|reason| FlError::Checkpoint {
+                path: loaded.path.display().to_string(),
+                reason: format!("refusing resume: {reason}"),
+            })?;
+    }
     let spec = LocalUpdateSpec {
         learning_rate: config.learning_rate,
         local_epochs: config.local_epochs,
@@ -542,6 +677,59 @@ pub fn run_federated_traced(
     // for per-round utilization deltas.
     let mut pool_ns_seen = (0u64, 0u64);
     let fleet_bytes = setup.population.memory_bytes();
+    // Reinstall the interrupted run's loop state. Per-round RNG
+    // streams need no restore: training, fault, and exemplar streams
+    // are derived fresh from the master seed and the round index, so
+    // `start_round` is their entire cursor.
+    let mut start_round = 1usize;
+    if let Some(loaded) = &resumed {
+        let ck = &loaded.checkpoint;
+        server.restore_parameters(&ck.model)?;
+        for record in &ck.history {
+            history.push(record.clone());
+        }
+        cumulative_time = ck.cumulative_time;
+        cumulative_energy = ck.cumulative_energy;
+        evaluated_accuracies.clone_from(&ck.evaluated_accuracies);
+        faults_cumulative = ck.faults_cumulative;
+        match (batteries.as_mut(), ck.battery_remaining.as_ref()) {
+            (Some(bats), Some(remaining)) => {
+                let capacity = ck.battery_capacity.unwrap_or_else(|| {
+                    config.battery_capacity.expect("batteries imply a capacity")
+                });
+                for (battery, &left) in bats.iter_mut().zip(remaining) {
+                    *battery = Battery::restore(capacity, left)?;
+                }
+            }
+            (None, None) => {}
+            _ => {
+                return Err(FlError::Checkpoint {
+                    path: loaded.path.display().to_string(),
+                    reason: "battery state presence disagrees with the run config \
+                             (same fingerprint, different battery shape)"
+                        .into(),
+                });
+            }
+        }
+        for &dead in &ck.dead_devices {
+            if dead < setup.population.len() && alive_mask.is_alive(dead) {
+                alive_mask.kill(dead);
+            }
+        }
+        selector.restore(&ck.selector)?;
+        start_round = ck.round + 1;
+        eprintln!(
+            "helcfl checkpoint: resuming after round {} from {} (checksum {})",
+            ck.round,
+            loaded.path.display(),
+            loaded.checksum
+        );
+    }
+    // A resume's next save must not overwrite the checkpoint it just
+    // loaded; fresh runs start the ring at slot 0.
+    let mut ckpt_writer = ckpt_config
+        .as_ref()
+        .map(|cc| CheckpointWriter::new(cc.dir.clone(), resumed.as_ref().map_or(0, |l| 1 - l.slot)));
     // Provenance first: the run_manifest line heads the trace stream so
     // every reader (diff, audit, watch) knows what produced the bytes
     // that follow. events_enabled gates it exactly like spans.
@@ -550,9 +738,9 @@ pub fn run_federated_traced(
             schema_version: helcfl_telemetry::MANIFEST_SCHEMA_VERSION,
             seed: config.seed,
             scheme: selector.name().to_string(),
-            config_fingerprint: config_fingerprint(config),
+            config_fingerprint: fingerprint.clone(),
             threads: workers,
-            trace_mode: if config.digest_exemplars.is_some() {
+            trace_mode: if digest_exemplars.is_some() {
                 "digest".to_string()
             } else {
                 "full".to_string()
@@ -563,6 +751,8 @@ pub fn run_federated_traced(
             } else {
                 "release".to_string()
             },
+            resumed_from: resumed.as_ref().map(|l| l.checksum.clone()),
+            start_round: resumed.as_ref().map(|l| (l.checkpoint.round + 1) as u64),
         });
     }
     tele.event("pool_resolved")
@@ -570,6 +760,20 @@ pub fn run_federated_traced(
         .with("requested", config.threads)
         .with("scheme", selector.name())
         .emit();
+    if let Some(loaded) = &resumed {
+        // Reinstall the Sim-class metrics and the span-id cursor only
+        // now: the manifest and pool_resolved event above consumed the
+        // same early span ids they did in the uninterrupted run, so
+        // every remaining round span carries an identical id and the
+        // resumed trace tail lines up byte-for-byte (timestamps
+        // aside).
+        tele.with_metrics(|m| {
+            for (name, metric) in &loaded.checkpoint.sim_metrics {
+                m.insert(Class::Sim, name, metric.clone());
+            }
+        });
+        tele.restore_next_span_id(loaded.checkpoint.next_span_id);
+    }
 
     // The persistent pool spans the whole run: its worker threads are
     // spawned here, reused by every round's train and eval fan-out,
@@ -580,7 +784,7 @@ pub fn run_federated_traced(
     let eval_set = &setup.eval_set;
     let population = &setup.population;
     with_trainer_pool(workers, &config.model_dims, clients, eval_set, move |pool| {
-    for round in 1..=config.max_rounds {
+    for round in start_round..=config.max_rounds {
         let mut round_span = span!(tele, "round", index = round);
         // Wall-clock phase timing feeds only the live monitor; skip
         // even the Instant reads when nobody is watching.
@@ -653,7 +857,7 @@ pub fn run_federated_traced(
             // Digest mode swaps the Q per-device spans for one
             // cohort_digest aggregate plus k sampled exemplars; the
             // per-round seed keeps the sample reproducible.
-            match config.digest_exemplars {
+            match digest_exemplars {
                 Some(exemplars) => sim.trace_digest_into(
                     &mut span_phase,
                     DigestConfig {
@@ -862,6 +1066,68 @@ pub fn run_federated_traced(
         // worker order and flush the sink, so a tailing
         // `helcfl-trace watch` always sees whole rounds.
         tele.flush();
+
+        // 6a. Checkpoint cadence. The trace is synced to disk *before*
+        //     the checkpoint is written, so a kill between the two
+        //     leaves a trace that is replayable at least up to the
+        //     round the checkpoint names — never a checkpoint claiming
+        //     rounds the trace has not durably seen.
+        let halt_now = ckpt_config.as_ref().is_some_and(|cc| cc.halt_after == Some(round));
+        if let Some(cc) = &ckpt_config {
+            if round % cc.interval == 0 || halt_now || round == config.max_rounds {
+                tele.sync_flush();
+                let ck = RunCheckpoint {
+                    schema_version: checkpoint::CHECKPOINT_SCHEMA_VERSION,
+                    seed: config.seed,
+                    scheme: selector.name().to_string(),
+                    config_fingerprint: fingerprint.clone(),
+                    fleet_size: population.len(),
+                    round,
+                    model: server.broadcast(),
+                    cumulative_time,
+                    cumulative_energy,
+                    evaluated_accuracies: evaluated_accuracies.clone(),
+                    battery_capacity: config.battery_capacity,
+                    battery_remaining: batteries
+                        .as_ref()
+                        .map(|bs| bs.iter().map(Battery::remaining).collect()),
+                    dead_devices: (0..population.len())
+                        .filter(|&q| !alive_mask.is_alive(q))
+                        .collect(),
+                    faults_cumulative,
+                    selector: selector.snapshot(),
+                    next_span_id: tele.peek_next_span_id(),
+                    sim_metrics: tele
+                        .snapshot()
+                        .iter()
+                        .filter(|(_, class, _)| *class == Class::Sim)
+                        .map(|(name, _, metric)| (name.to_string(), metric.clone()))
+                        .collect(),
+                    history: history.records().to_vec(),
+                };
+                if let Some(writer) = ckpt_writer.as_mut() {
+                    if let Err(e) = writer.save(&ck) {
+                        // A sick disk must not kill the run: the last
+                        // good checkpoint survives (the ring slot did
+                        // not advance) and training continues.
+                        eprintln!(
+                            "helcfl checkpoint: write failed after round {round}, \
+                             run continues without it: {e}"
+                        );
+                        tele.with_metrics(|m| {
+                            m.counter_add(Class::Runtime, "checkpoint.write_errors", 1);
+                        });
+                    }
+                }
+            }
+        }
+        // Chaos hook (inert unless HELCFL_CHAOS_KILL_AT is set):
+        // placed after the cadence so a scheduled kill lands exactly
+        // where a real crash between rounds would.
+        checkpoint::chaos_kill_if_scheduled(round);
+        if halt_now {
+            break;
+        }
 
         // 6. Exit checks: deadline (Eq. 14) and the Alg. 1
         //    convergence test.
@@ -1274,6 +1540,48 @@ mod tests {
             ..TrainingConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn trace_mode_env_values_parse_like_threads_from_env() {
+        // Valid forms override the configured mode.
+        assert_eq!(trace_mode_from_env_value("full"), (Some(None), None));
+        assert_eq!(trace_mode_from_env_value(" full "), (Some(None), None));
+        assert_eq!(trace_mode_from_env_value("digest"), (Some(Some(8)), None));
+        assert_eq!(trace_mode_from_env_value("digest:3"), (Some(Some(3)), None));
+        assert_eq!(trace_mode_from_env_value("digest:0"), (Some(Some(0)), None));
+        // Invalid forms keep the configured mode and warn.
+        for bad in ["", "  ", "FULL", "summary", "digest:many", "digest:-1"] {
+            let (mode, warning) = trace_mode_from_env_value(bad);
+            assert_eq!(mode, None, "accepted `{bad}`");
+            assert!(warning.is_some(), "no warning for `{bad}`");
+        }
+    }
+
+    #[test]
+    fn checkpoint_interval_zero_is_rejected_by_validate() {
+        let c = TrainingConfig {
+            checkpoint: Some(CheckpointConfig {
+                dir: "/tmp/ck".into(),
+                interval: 0,
+                halt_after: None,
+            }),
+            ..TrainingConfig::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("checkpoint.interval"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_config_is_excluded_from_the_fingerprint() {
+        let plain = TrainingConfig::default();
+        let checkpointed = TrainingConfig {
+            checkpoint: Some(CheckpointConfig::new("/tmp/ck")),
+            ..TrainingConfig::default()
+        };
+        // Resume compares fingerprints; the checkpoint cadence itself
+        // (like threads and trace shape) must not change run identity.
+        assert_eq!(config_fingerprint(&plain), config_fingerprint(&checkpointed));
     }
 
     #[test]

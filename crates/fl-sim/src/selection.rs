@@ -188,6 +188,34 @@ impl SelectionContext<'_> {
     }
 }
 
+/// Durable image of a selector's cross-round state, as captured by
+/// [`ClientSelector::snapshot`] and reinstalled by
+/// [`ClientSelector::restore`].
+///
+/// The fields are the union of what the in-tree selectors carry:
+/// HELCFL's appearance counters (sparse, since zero counts dominate in
+/// large fleets) and the persistent RNG of the random baseline. A
+/// stateless selector snapshots to [`SelectorSnapshot::default`] —
+/// the empty image — and restores only from it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SelectorSnapshot {
+    /// Logical length of the appearance-counter table (0 when unused).
+    pub counters_len: usize,
+    /// Nonzero appearance counts as ascending `(device id, count)`
+    /// pairs.
+    pub counters: Vec<(usize, u32)>,
+    /// Raw xoshiro256++ state words of a selector-owned RNG, when the
+    /// selector has one.
+    pub rng_state: Option<[u64; 4]>,
+}
+
+impl SelectorSnapshot {
+    /// Whether this is the empty image (a stateless selector's state).
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
 /// A per-round client-selection strategy.
 ///
 /// Implementations may be stateful across rounds (HELCFL's appearance
@@ -238,6 +266,40 @@ pub trait ClientSelector {
     /// correct "charge" semantics for stateless selectors.
     fn on_delivery_failure(&mut self, failed: &[DeviceId]) {
         let _ = failed;
+    }
+
+    /// Captures the selector's cross-round state for a checkpoint.
+    ///
+    /// The default returns the empty image, which is correct for
+    /// stateless selectors; stateful ones (appearance counters, a
+    /// persistent RNG) override it so a resumed run replays their
+    /// exact future decisions.
+    fn snapshot(&self) -> SelectorSnapshot {
+        SelectorSnapshot::default()
+    }
+
+    /// Reinstalls state captured by [`ClientSelector::snapshot`].
+    ///
+    /// The default accepts only the empty image: handing stateful data
+    /// to a selector that cannot absorb it would silently fork the
+    /// run's future from the interrupted one, so it is refused by name
+    /// instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] when `snap` carries state the
+    /// selector has no way to restore.
+    fn restore(&mut self, snap: &SelectorSnapshot) -> Result<()> {
+        if snap.is_empty() {
+            return Ok(());
+        }
+        Err(FlError::InvalidConfig {
+            field: "selector_snapshot",
+            reason: format!(
+                "selector {:?} is stateless but the checkpoint carries selector state",
+                self.name()
+            ),
+        })
     }
 }
 
@@ -374,6 +436,32 @@ mod tests {
         assert_eq!(a, b);
         assert!(fleet_set.contains(DeviceId(4)));
         assert!(!fleet_set.contains(DeviceId(5)));
+    }
+
+    #[test]
+    fn stateless_selector_defaults_snapshot_empty_and_refuse_state() {
+        struct TakeFirst;
+        impl ClientSelector for TakeFirst {
+            fn name(&self) -> &'static str {
+                "take_first"
+            }
+            fn select(&mut self, ctx: &SelectionContext<'_>) -> Result<Vec<DeviceId>> {
+                Ok(ctx.devices.ids().take(ctx.target).collect())
+            }
+        }
+        let mut s = TakeFirst;
+        let snap = s.snapshot();
+        assert!(snap.is_empty());
+        // The empty image restores as a no-op.
+        assert!(s.restore(&snap).is_ok());
+        // Stateful data is refused by name, not silently dropped.
+        let stateful = SelectorSnapshot {
+            counters_len: 4,
+            counters: vec![(1, 2)],
+            rng_state: None,
+        };
+        let err = s.restore(&stateful).unwrap_err();
+        assert!(err.to_string().contains("take_first"), "{err}");
     }
 
     #[test]

@@ -36,6 +36,20 @@ impl Flcc {
         self.global.parameters()
     }
 
+    /// Overwrites the global model with checkpointed parameters.
+    ///
+    /// Used by the resume path: the parameters are installed verbatim,
+    /// so a restored controller broadcasts bit-for-bit what the
+    /// interrupted run would have.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shape error when `params` does not match the
+    /// model's parameter count.
+    pub fn restore_parameters(&mut self, params: &[f32]) -> Result<()> {
+        self.global.set_parameters(params).map_err(FlError::from)
+    }
+
     /// FedAvg integration (Eq. 18): replaces the global parameters by
     /// the dataset-size-weighted mean of the uploaded updates.
     ///
@@ -144,6 +158,18 @@ mod tests {
         for (a, b) in s.broadcast().iter().zip(&before) {
             assert!((a - b).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn restore_parameters_round_trips_bit_exactly() {
+        let donor = flcc();
+        let mut fresh = Flcc::new(&[4, 6, 3], 999).unwrap();
+        assert_ne!(donor.broadcast(), fresh.broadcast());
+        fresh.restore_parameters(&donor.broadcast()).unwrap();
+        let (a, b) = (donor.broadcast(), fresh.broadcast());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        // Wrong length is a shape error, not a silent truncation.
+        assert!(fresh.restore_parameters(&[0.0; 3]).is_err());
     }
 
     #[test]

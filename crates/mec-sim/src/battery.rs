@@ -50,6 +50,29 @@ impl Battery {
         Ok(Self { capacity, remaining: capacity })
     }
 
+    /// Rebuilds a battery at an exact charge level, for checkpoint
+    /// restore. The `remaining` value is taken bit-for-bit — no
+    /// clamping or rounding — so a resumed simulation drains from
+    /// precisely the charge the interrupted run had left.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::NonPositiveParameter`] for a non-positive or
+    /// non-finite capacity, and [`MecError::NonPositiveParameter`] with
+    /// name `battery_remaining` when `remaining` is not a finite value
+    /// in `[0, capacity]`.
+    pub fn restore(capacity: Joules, remaining: Joules) -> Result<Self> {
+        Self::new(capacity)?;
+        let r = remaining.get();
+        if !(r.is_finite() && r >= 0.0 && remaining <= capacity) {
+            return Err(MecError::NonPositiveParameter {
+                name: "battery_remaining",
+                value: r,
+            });
+        }
+        Ok(Self { capacity, remaining })
+    }
+
     /// Total capacity.
     #[inline]
     pub fn capacity(&self) -> Joules {
@@ -133,6 +156,25 @@ mod tests {
         let mut b = Battery::new(Joules::new(5.0)).unwrap();
         assert!(b.try_drain(Joules::new(5.0)));
         assert!(b.is_depleted());
+    }
+
+    #[test]
+    fn restore_is_bit_exact_and_validated() {
+        let cap = Joules::new(10.0);
+        // An awkward, non-representable-in-decimal charge survives the
+        // round trip exactly.
+        let charge = Joules::new(10.0 / 3.0);
+        let b = Battery::restore(cap, charge).unwrap();
+        assert_eq!(b.remaining().get().to_bits(), charge.get().to_bits());
+        assert_eq!(b.capacity(), cap);
+        // Bounds: empty and full are both legal states.
+        assert!(Battery::restore(cap, Joules::ZERO).unwrap().is_depleted());
+        assert_eq!(Battery::restore(cap, cap).unwrap().fraction(), 1.0);
+        // Rejections: bad capacity, negative/overfull/non-finite charge.
+        assert!(Battery::restore(Joules::ZERO, Joules::ZERO).is_err());
+        assert!(Battery::restore(cap, Joules::new(-0.5)).is_err());
+        assert!(Battery::restore(cap, Joules::new(10.5)).is_err());
+        assert!(Battery::restore(cap, Joules::new(f64::NAN)).is_err());
     }
 
     #[test]

@@ -131,6 +131,11 @@ pub struct AuditReport {
     pub metrics_checked: usize,
     /// `run_manifest` lines seen (0 on pre-manifest traces).
     pub manifests: usize,
+    /// Manifests carrying checkpoint lineage (`resumed_from`): runs
+    /// whose trace holds only the rounds after their resume point. The
+    /// auditor replays whatever rounds are present — lineage changes
+    /// nothing about the invariants, only how many rounds there are.
+    pub manifests_resumed: usize,
     /// Every invariant violation found.
     pub violations: Vec<Violation>,
 }
@@ -162,6 +167,14 @@ impl AuditReport {
             self.manifests,
             self.violations.len()
         );
+        if self.manifests_resumed > 0 {
+            let _ = writeln!(
+                out,
+                "  {} run(s) resumed from a checkpoint (trace holds only \
+                 post-resume rounds)",
+                self.manifests_resumed
+            );
+        }
         for v in &self.violations {
             let _ = writeln!(out, "  {v}");
         }
@@ -426,8 +439,15 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> Result<AuditReport, String> {
         }
     }
     let tree = SpanTree::build(trace)?;
-    let mut report =
-        AuditReport { manifests: trace.manifests.len(), ..AuditReport::default() };
+    let mut report = AuditReport {
+        manifests: trace.manifests.len(),
+        manifests_resumed: trace
+            .manifests
+            .iter()
+            .filter(|m| m.resumed_from.is_some())
+            .count(),
+        ..AuditReport::default()
+    };
     let mut totals = StreamTotals::default();
 
     for round in trace.spans.iter().filter(|s| s.name == "round") {
@@ -1164,6 +1184,25 @@ mod tests {
         let trace = Trace::parse(text).unwrap();
         let err = audit(&trace, &AuditConfig::default()).unwrap_err();
         assert!(err.contains("no device_activity"), "{err}");
+    }
+
+    #[test]
+    fn resumed_manifests_are_counted_and_rendered() {
+        let report = AuditReport {
+            manifests: 2,
+            manifests_resumed: 1,
+            ..AuditReport::default()
+        };
+        let rendered = report.render();
+        assert!(rendered.contains("2 manifest(s)"), "{rendered}");
+        assert!(
+            rendered.contains("1 run(s) resumed from a checkpoint"),
+            "{rendered}"
+        );
+        // Lineage is informational, never a violation.
+        assert!(report.passed());
+        let fresh = AuditReport { manifests: 1, ..AuditReport::default() };
+        assert!(!fresh.render().contains("resumed"), "{}", fresh.render());
     }
 
     #[test]

@@ -550,6 +550,20 @@ fn check_manifests(
         b.compatible(c).map_err(|e| {
             format!("incompatible manifests (run {i}): {e}")
         })?;
+        // Checkpoint lineage is provenance, not identity: a resumed
+        // run is pinned bit-identical to the uninterrupted one, so the
+        // comparison proceeds — but the note keeps it honest (a
+        // resumed side holds only the rounds after its start_round).
+        for (side, m) in [("baseline", b), ("candidate", c)] {
+            if let Some(checksum) = &m.resumed_from {
+                let from = m
+                    .start_round
+                    .map_or_else(String::new, |r| format!(", rounds {r}.."));
+                notes.push(format!(
+                    "{side} run {i} resumed from checkpoint {checksum}{from}"
+                ));
+            }
+        }
     }
     Ok(())
 }
@@ -834,6 +848,26 @@ mod tests {
             ..DiffConfig::default()
         };
         assert!(diff_traces(&base, &cand, &loose).unwrap().passed());
+    }
+
+    #[test]
+    fn resumed_runs_diff_cleanly_and_are_noted() {
+        let base = simple_trace(42, 900);
+        // Same experiment, but the candidate trace was produced by a
+        // process that resumed from a checkpoint at round 17.
+        let mut cand = simple_trace(42, 900);
+        cand.manifests[0].resumed_from = Some("deadbeefdeadbeef".to_string());
+        cand.manifests[0].start_round = Some(17);
+        let report = diff_traces(&base, &cand, &DiffConfig::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.failures);
+        let note = report
+            .notes
+            .iter()
+            .find(|n| n.contains("resumed from checkpoint"))
+            .expect("lineage note missing");
+        assert!(note.contains("candidate"), "{note}");
+        assert!(note.contains("deadbeefdeadbeef"), "{note}");
+        assert!(note.contains("rounds 17.."), "{note}");
     }
 
     #[test]

@@ -273,6 +273,26 @@ impl Telemetry {
         TelemetryReport::new(self.snapshot())
     }
 
+    /// The id the next span or event will be assigned — captured at a
+    /// round barrier by the checkpoint writer so a resumed run's trace
+    /// tail continues the id sequence instead of restarting at 1.
+    /// Returns 1 (the initial counter value) on a disabled handle.
+    pub fn peek_next_span_id(&self) -> u64 {
+        match &self.shared {
+            Some(shared) => shared.next_id.load(Ordering::Relaxed),
+            None => 1,
+        }
+    }
+
+    /// Restores the span/event id counter — the resume path's pairing
+    /// of [`Telemetry::peek_next_span_id`]. Call before the first span
+    /// of the resumed run; a no-op on a disabled handle.
+    pub fn restore_next_span_id(&self, next: u64) {
+        if let Some(shared) = &self.shared {
+            shared.next_id.store(next, Ordering::Relaxed);
+        }
+    }
+
     /// Stamps the run-provenance manifest at the head of the trace
     /// stream. The runner calls this once per traced run, before the
     /// first span; inert in metrics-only and disabled modes.
@@ -306,6 +326,17 @@ impl Telemetry {
     pub fn flush(&self) {
         if let Some(shared) = &self.shared {
             shared.sink.flush();
+        }
+    }
+
+    /// Durable round-barrier flush: like [`Telemetry::flush`] but the
+    /// sink also fsyncs its file (see [`Sink::flush_sync`]). The
+    /// runner uses this instead of `flush` when checkpointing is
+    /// active, so a SIGKILLed run's trace is replayable up to the last
+    /// completed round. Safe on a disabled handle.
+    pub fn sync_flush(&self) {
+        if let Some(shared) = &self.shared {
+            shared.sink.flush_sync();
         }
     }
 }
@@ -434,6 +465,28 @@ mod tests {
             parsed[3].get("type").and_then(|v| v.as_str()),
             Some("metrics")
         );
+    }
+
+    #[test]
+    fn span_id_counter_survives_a_checkpoint_round_trip() {
+        let sink = MemorySink::new();
+        let tele = Telemetry::with_sink(sink.clone());
+        drop(tele.span("a"));
+        drop(tele.span("b"));
+        let saved = tele.peek_next_span_id();
+        assert_eq!(saved, 3, "two spans consumed ids 1 and 2");
+        // A fresh handle (the resumed process) continues the sequence.
+        let resumed_sink = MemorySink::new();
+        let resumed = Telemetry::with_sink(resumed_sink.clone());
+        resumed.restore_next_span_id(saved);
+        drop(resumed.span("c"));
+        let line = &resumed_sink.lines()[0];
+        let v = json::parse(line).unwrap();
+        assert_eq!(v.get("id").and_then(|x| x.as_f64()), Some(3.0));
+        // Disabled handles stay inert.
+        let off = Telemetry::disabled();
+        off.restore_next_span_id(99);
+        assert_eq!(off.peek_next_span_id(), 1);
     }
 
     #[test]

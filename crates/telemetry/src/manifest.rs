@@ -62,6 +62,16 @@ pub struct RunManifest {
     pub fleet_size: usize,
     /// `"release"` or `"debug"` (environment; may differ).
     pub build_profile: String,
+    /// Checkpoint lineage: the FNV-1a checksum of the checkpoint this
+    /// run resumed from, absent for uninterrupted runs. Lineage
+    /// describes *how the bytes were produced*, not what experiment
+    /// they describe — a resumed run is pinned bit-identical to the
+    /// uninterrupted one, so lineage never affects
+    /// [`RunManifest::compatible`].
+    pub resumed_from: Option<String>,
+    /// First round the resumed process executed (1-based), absent for
+    /// uninterrupted runs.
+    pub start_round: Option<u64>,
 }
 
 fn field_u64(v: &JsonValue, key: &str) -> Option<u64> {
@@ -86,12 +96,18 @@ impl RunManifest {
             .field("trace_mode", &self.trace_mode)
             .field("fleet_size", self.fleet_size)
             .field("build_profile", &self.build_profile);
+        if let Some(resumed_from) = &self.resumed_from {
+            o.field("resumed_from", resumed_from);
+        }
+        if let Some(start_round) = self.start_round {
+            o.field("start_round", start_round);
+        }
         o.finish()
     }
 
     /// One-line human rendering (the stderr sink's format).
     pub fn to_human_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "run_manifest scheme={} seed={} fleet={} mode={} threads={} \
              config={} profile={} schema=v{}",
             self.scheme,
@@ -102,7 +118,14 @@ impl RunManifest {
             self.config_fingerprint,
             self.build_profile,
             self.schema_version,
-        )
+        );
+        if let Some(resumed_from) = &self.resumed_from {
+            line.push_str(&format!(" resumed_from={resumed_from}"));
+        }
+        if let Some(start_round) = self.start_round {
+            line.push_str(&format!(" start_round={start_round}"));
+        }
+        line
     }
 
     /// Decodes a parsed `run_manifest` JSON object.
@@ -125,6 +148,10 @@ impl RunManifest {
                 as usize,
             build_profile: field_str(v, "build_profile")
                 .ok_or_else(|| miss("build_profile"))?,
+            // Lineage fields are optional: pre-checkpoint traces (and
+            // every uninterrupted run) simply don't carry them.
+            resumed_from: field_str(v, "resumed_from"),
+            start_round: field_u64(v, "start_round"),
         })
     }
 
@@ -191,6 +218,8 @@ mod tests {
             trace_mode: "full".to_string(),
             fleet_size: 100,
             build_profile: "release".to_string(),
+            resumed_from: None,
+            start_round: None,
         }
     }
 
@@ -242,6 +271,31 @@ mod tests {
         other.build_profile = "debug".to_string();
         assert!(base.compatible(&other).is_ok());
         assert!(other.compatible(&base).is_ok());
+    }
+
+    #[test]
+    fn lineage_round_trips_and_never_breaks_compatibility() {
+        let mut resumed = manifest();
+        resumed.resumed_from = Some("deadbeefdeadbeef".to_string());
+        resumed.start_round = Some(17);
+        let line = resumed.to_json_line();
+        let back = RunManifest::from_json(&parse(&line).unwrap()).unwrap();
+        assert_eq!(back, resumed);
+        // Resumed-vs-uninterrupted is exactly the comparison the chaos
+        // harness makes: lineage is provenance, not identity.
+        let uninterrupted = manifest();
+        assert!(resumed.compatible(&uninterrupted).is_ok());
+        assert!(uninterrupted.compatible(&resumed).is_ok());
+        // Both renderings surface the lineage.
+        let human = resumed.to_human_line();
+        assert!(human.contains("resumed_from=deadbeefdeadbeef"), "{human}");
+        assert!(human.contains("start_round=17"), "{human}");
+        // A pre-lineage line (no fields) parses to None, not an error.
+        assert_eq!(back.resumed_from.as_deref(), Some("deadbeefdeadbeef"));
+        let old = manifest().to_json_line();
+        let old_back = RunManifest::from_json(&parse(&old).unwrap()).unwrap();
+        assert_eq!(old_back.resumed_from, None);
+        assert_eq!(old_back.start_round, None);
     }
 
     #[test]

@@ -23,6 +23,55 @@ use crate::resource;
 /// Environment variable that enables the live monitor.
 pub const PROGRESS_ENV: &str = "HELCFL_PROGRESS";
 
+/// What a parsed [`PROGRESS_ENV`] value asks for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgressMode {
+    /// Progress lines to stderr.
+    Stderr,
+    /// Progress lines appended to this file.
+    ToFile(String),
+}
+
+/// Parses a [`PROGRESS_ENV`] value without touching the environment.
+///
+/// Returns the requested mode (`None` = monitor disabled) plus an
+/// optional warning describing what was ignored:
+///
+/// * `0`, `off`, `false` (any case) → disabled, no warning (explicit
+///   opt-out);
+/// * empty or whitespace-only → disabled, warned (a set-but-empty
+///   variable is a typo, not an opt-in);
+/// * `file:PATH` → append to `PATH`;
+/// * `file:` with no path → stderr, warned;
+/// * anything else → stderr (any other value opts in).
+pub fn progress_from_env_value(value: &str) -> (Option<ProgressMode>, Option<String>) {
+    let v = value.trim();
+    if v.is_empty() {
+        return (
+            None,
+            Some(format!(
+                "{PROGRESS_ENV} is set but empty; the live monitor stays off"
+            )),
+        );
+    }
+    if v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
+        return (None, None);
+    }
+    if let Some(path) = v.strip_prefix("file:") {
+        if path.trim().is_empty() {
+            return (
+                Some(ProgressMode::Stderr),
+                Some(format!(
+                    "{PROGRESS_ENV} names an empty progress file; \
+                     progress falls back to stderr"
+                )),
+            );
+        }
+        return (Some(ProgressMode::ToFile(path.to_string())), None);
+    }
+    (Some(ProgressMode::Stderr), None)
+}
+
 /// One round's worth of live-monitor input, fed by the training loop.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RoundSnapshot<'a> {
@@ -62,29 +111,32 @@ pub struct ProgressSink {
 
 impl ProgressSink {
     /// Builds the monitor when [`PROGRESS_ENV`] opts in; `None` keeps
-    /// the hot path free of even the per-round bookkeeping. A
-    /// `file:PATH` value appends to `PATH`; when the file cannot be
-    /// opened the monitor degrades to stderr with a warning rather
-    /// than disabling itself or failing the run.
+    /// the hot path free of even the per-round bookkeeping. Values are
+    /// parsed by [`progress_from_env_value`]: a `file:PATH` value
+    /// appends to `PATH`, and invalid values (empty variable, empty
+    /// file path, unopenable file) warn once on stderr and fall back
+    /// to the nearest sane default rather than disabling themselves
+    /// silently or failing the run.
     pub fn from_env() -> Option<Self> {
-        match std::env::var(PROGRESS_ENV) {
-            Ok(v) if !v.is_empty() && v != "0" => {
-                let interval = Duration::from_secs(1);
-                match v.strip_prefix("file:") {
-                    Some(path) => Some(match Self::with_file(interval, path) {
-                        Ok(sink) => sink,
-                        Err(err) => {
-                            eprintln!(
-                                "warning: cannot open progress file '{path}': {err}; \
-                                 progress falls back to stderr"
-                            );
-                            Self::with_interval(interval)
-                        }
-                    }),
-                    None => Some(Self::with_interval(interval)),
+        let value = std::env::var(PROGRESS_ENV).ok()?;
+        let (mode, warning) = progress_from_env_value(&value);
+        if let Some(w) = warning {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| eprintln!("helcfl: {w}"));
+        }
+        let interval = Duration::from_secs(1);
+        match mode? {
+            ProgressMode::Stderr => Some(Self::with_interval(interval)),
+            ProgressMode::ToFile(path) => Some(match Self::with_file(interval, &path) {
+                Ok(sink) => sink,
+                Err(err) => {
+                    eprintln!(
+                        "warning: cannot open progress file '{path}': {err}; \
+                         progress falls back to stderr"
+                    );
+                    Self::with_interval(interval)
                 }
-            }
-            _ => None,
+            }),
         }
     }
 
@@ -348,8 +400,41 @@ mod tests {
         // Runs single-threaded assertions on whatever the ambient env
         // is; the ctor contract itself is pure.
         match std::env::var(PROGRESS_ENV) {
-            Ok(v) if !v.is_empty() && v != "0" => assert!(ProgressSink::from_env().is_some()),
-            _ => assert!(ProgressSink::from_env().is_none()),
+            Ok(v) => assert_eq!(
+                ProgressSink::from_env().is_some(),
+                progress_from_env_value(&v).0.is_some()
+            ),
+            Err(_) => assert!(ProgressSink::from_env().is_none()),
         }
+    }
+
+    #[test]
+    fn env_value_parsing_covers_valid_and_invalid_forms() {
+        // Plain opt-ins go to stderr.
+        for on in ["1", "yes", "watch", " 1 "] {
+            let (mode, warning) = progress_from_env_value(on);
+            assert_eq!(mode, Some(ProgressMode::Stderr), "`{on}`");
+            assert!(warning.is_none(), "`{on}` warned");
+        }
+        // Explicit opt-outs disable without a warning.
+        for off in ["0", "off", "OFF", "false", "False"] {
+            let (mode, warning) = progress_from_env_value(off);
+            assert_eq!(mode, None, "`{off}`");
+            assert!(warning.is_none(), "`{off}` warned");
+        }
+        // Set-but-empty is a typo: disabled, but warned about.
+        for empty in ["", "   "] {
+            let (mode, warning) = progress_from_env_value(empty);
+            assert_eq!(mode, None);
+            assert!(warning.unwrap().contains("empty"));
+        }
+        // File mode carries the path through verbatim.
+        let (mode, warning) = progress_from_env_value("file:/tmp/p.log");
+        assert_eq!(mode, Some(ProgressMode::ToFile("/tmp/p.log".into())));
+        assert!(warning.is_none());
+        // An empty file path falls back to stderr with a warning.
+        let (mode, warning) = progress_from_env_value("file:");
+        assert_eq!(mode, Some(ProgressMode::Stderr));
+        assert!(warning.unwrap().contains("empty progress file"));
     }
 }

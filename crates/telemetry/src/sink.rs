@@ -108,6 +108,16 @@ pub trait Sink: Send + Sync {
 
     /// Flushes any buffered output.
     fn flush(&self) {}
+
+    /// Flushes and, where the sink owns a durable file, fsyncs it so
+    /// the bytes survive a process kill. Called by the runner at round
+    /// barriers **only when checkpointing is active** — a killed run's
+    /// trace must be replayable up to the last completed round, which
+    /// a page-cache-only flush cannot promise. Defaults to a plain
+    /// [`Sink::flush`] for sinks with nothing durable to sync.
+    fn flush_sync(&self) {
+        self.flush();
+    }
 }
 
 /// Discards everything. Used when metrics are wanted without a trace
@@ -183,6 +193,14 @@ impl Sink for JsonlSink {
 
     fn flush(&self) {
         let _ = self.out.lock().expect("trace file lock poisoned").flush();
+    }
+
+    fn flush_sync(&self) {
+        let mut out = self.out.lock().expect("trace file lock poisoned");
+        // Same error posture as write_line: a sick disk degrades the
+        // trace, it does not kill the simulation.
+        let _ = out.flush();
+        let _ = out.get_ref().sync_data();
     }
 }
 
@@ -294,6 +312,11 @@ impl<S: LineSink> Sink for ShardedSink<S> {
     fn flush(&self) {
         self.drain();
         self.inner.flush();
+    }
+
+    fn flush_sync(&self) {
+        self.drain();
+        self.inner.flush_sync();
     }
 }
 
@@ -518,7 +541,28 @@ mod tests {
         sink.emit(&point("lost", 1));
         sink.flush();
         sink.emit_metrics(&MetricsRegistry::new());
+        // The durable round-barrier flush must also survive ENOSPC.
+        sink.flush_sync();
         // Reaching here without a panic is the assertion.
+    }
+
+    #[test]
+    fn flush_sync_persists_lines_and_keeps_the_sink_usable() {
+        let path = std::env::temp_dir()
+            .join(format!("jsonl_sink_sync_{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.emit(&point("round_one", 1));
+        sink.flush_sync();
+        // The line is on disk (not just buffered) while the sink is
+        // still alive — what a SIGKILLed run's trace depends on.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(r#""name":"round_one""#), "{text}");
+        sink.emit(&point("round_two", 2));
+        sink.flush_sync();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(r#""name":"round_two""#), "{text}");
+        drop(sink);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -546,6 +590,8 @@ mod tests {
             trace_mode: "full".to_string(),
             fleet_size: 3,
             build_profile: "debug".to_string(),
+            resumed_from: None,
+            start_round: None,
         };
         let memory = MemorySink::new();
         let sharded = ShardedSink::new(memory.clone(), 2);
