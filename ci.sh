@@ -98,19 +98,37 @@ echo "==> perf gate: fresh --fast bench vs committed baseline"
     "$repo_root/results/BENCH_round_engine.json" "$repo_root/results/BENCH_round_engine.json"
 )
 
-echo "==> kernel gate: fresh --smoke bench vs committed baseline"
+echo "==> kernel gate: fresh --smoke bench vs committed baseline (SIMD + scalar)"
 # Same-host, same-shape comparison (only the measurement budget
-# differs), so the default ±50% GFLOP/s tolerance of the kernel gate
-# applies as-is; it catches a kernel falling off a cliff — a broken
-# blocking scheme, a lost vectorization — not benchmark noise.
+# differs). The gate runs once per HELCFL_SIMD mode against that
+# mode's own committed baseline — the vectorized kernels against
+# BENCH_kernels.json, the scalar reference oracle against
+# BENCH_kernels_scalar.json — so a lost vectorization (auto-dispatch
+# silently landing on the scalar path would read as a 2-9× drop) and
+# a scalar-oracle regression are both caught. Tolerance is tightened
+# from the old ±50% default to ±40%: timed-warmup calibration now
+# gives sub-50µs kernels a real sample budget, so smoke-mode rates
+# are far less noisy than when the gate was introduced.
 (
   cd "$smoke_dir"
   "$repo_root/target/release/bench_kernels" --smoke > /dev/null
   "$repo_root/target/release/helcfl-trace" gate \
-    "$repo_root/results/BENCH_kernels.json" results/BENCH_kernels.json
+    "$repo_root/results/BENCH_kernels.json" results/BENCH_kernels.json \
+    --max-gflops-drop-pct 40
+  HELCFL_SIMD=off "$repo_root/target/release/bench_kernels" --smoke > /dev/null
+  "$repo_root/target/release/helcfl-trace" gate \
+    "$repo_root/results/BENCH_kernels_scalar.json" results/BENCH_kernels.json \
+    --max-gflops-drop-pct 40
   "$repo_root/target/release/helcfl-trace" gate \
     "$repo_root/results/BENCH_kernels.json" "$repo_root/results/BENCH_kernels.json"
 )
+
+echo "==> scalar determinism: fault golden check with SIMD forced off"
+# The SIMD dispatch contract: kernel path selection is bit-invisible.
+# The committed golden history must reproduce byte-for-byte with the
+# scalar reference kernels pinned.
+HELCFL_SIMD=off "$repo_root/target/release/fault_sweep" --golden-check \
+  "$repo_root/results/golden/history_fast_iid_helcfl.csv"
 
 echo "==> population gate: traced --smoke sweep + digest audit vs committed baseline"
 # The committed baseline sweeps to Q = 10^7; the smoke candidate stops

@@ -346,9 +346,48 @@ enum JobOut {
     Eval(f64, usize),
 }
 
-/// Runs one item of `job` on a worker's trainer — the single function
-/// both the inline path and the worker threads execute, so the two
-/// modes cannot drift.
+/// Whether a job may take the grouped cohort path: only full-batch
+/// train jobs qualify. Minibatch updates consume the per-client RNG
+/// stream, which grouping cannot reproduce.
+fn cohort_eligible(job: &Job) -> bool {
+    matches!(job, Job::Train { spec, .. } if spec.batch_size == 0)
+}
+
+/// Runs a worker's whole item stride of a full-batch train job as one
+/// grouped cohort dispatch ([`ClientTrainer::local_update_cohort`]),
+/// returning each item's output in stride order. Per-item results are
+/// bit-identical to [`run_item`] on the same items; only the kernel
+/// grouping differs.
+///
+/// # Errors
+///
+/// Propagates training errors without per-item attribution — the
+/// caller falls back to solo [`run_item`] execution so the reported
+/// error is still the lowest-indexed failing item's.
+fn run_train_cohort(
+    job: &Job,
+    items: &[usize],
+    trainer: &mut ClientTrainer,
+    clients: &[Client],
+) -> Result<Vec<JobOut>> {
+    let Job::Train { spec, global, client_indices, .. } = job else {
+        unreachable!("cohort dispatch is only for train jobs");
+    };
+    let cohort: Vec<&Client> = items.iter().map(|&i| &clients[client_indices[i]]).collect();
+    let outs = trainer.local_update_cohort(&cohort, global, spec)?;
+    Ok(outs
+        .into_iter()
+        .zip(&cohort)
+        .map(|((params, loss), client)| {
+            JobOut::Train(params, client.num_samples() as f64, loss)
+        })
+        .collect())
+}
+
+/// Runs one item of `job` on a worker's trainer — the reference
+/// execution every mode reduces to: the inline path, the worker
+/// threads, and the error-attribution fallback of the cohort path all
+/// call it, so the modes cannot drift.
 fn run_item(
     job: &Job,
     item: usize,
@@ -471,19 +510,41 @@ fn worker_loop(
             continue; // `remaining` only counts participants
         }
         let _done = DoneGuard { shared };
-        let mut produced: Vec<(usize, Result<JobOut>)> = Vec::new();
         let (label, traced) = match &*job {
             Job::Train { label, traced, .. } => (label.as_str(), *traced),
             Job::Eval { .. } => ("", false),
         };
         let mut local = if traced { Some(MetricsRegistry::new()) } else { None };
-        for item in (wid..num_items).step_by(eff) {
+        let stride: Vec<usize> = (wid..num_items).step_by(eff).collect();
+        let mut produced: Vec<(usize, Result<JobOut>)> = Vec::with_capacity(stride.len());
+        let mut solo = true;
+        if cohort_eligible(&job) && stride.len() > 1 {
             let started = Instant::now();
-            let out = run_item(&job, item, &mut trainer, clients, eval_set);
-            if let Some(metrics) = &mut local {
-                record_item(metrics, label, wid, started.elapsed());
+            if let Ok(outs) = run_train_cohort(&job, &stride, &mut trainer, clients) {
+                // One grouped dispatch covered the whole stride:
+                // telemetry attributes the elapsed time evenly so the
+                // item histogram still counts one entry per item.
+                let per_item = started.elapsed() / stride.len() as u32;
+                for (&item, out) in stride.iter().zip(outs) {
+                    if let Some(metrics) = &mut local {
+                        record_item(metrics, label, wid, per_item);
+                    }
+                    produced.push((item, Ok(out)));
+                }
+                solo = false;
             }
-            produced.push((item, out));
+            // On error, fall back to solo runs: bit-identical work,
+            // and the failing item reports its own error.
+        }
+        if solo {
+            for &item in &stride {
+                let started = Instant::now();
+                let out = run_item(&job, item, &mut trainer, clients, eval_set);
+                if let Some(metrics) = &mut local {
+                    record_item(metrics, label, wid, started.elapsed());
+                }
+                produced.push((item, out));
+            }
         }
         {
             let mut slots = lock(&shared.slots);
@@ -598,6 +659,28 @@ impl TrainerPool<'_> {
                 }
                 let wall_start = Instant::now();
                 let mut local = if traced { Some(MetricsRegistry::new()) } else { None };
+                if spec.batch_size == 0 && num_items > 1 {
+                    let cohort: Vec<&Client> =
+                        client_indices.iter().map(|&ci| &clients[ci]).collect();
+                    let started = Instant::now();
+                    if let Ok(outs) = trainer.local_update_cohort(&cohort, global, spec) {
+                        let per_item = started.elapsed() / num_items as u32;
+                        let mut results = Vec::with_capacity(num_items);
+                        for ((params, loss), client) in outs.into_iter().zip(&cohort) {
+                            if let Some(metrics) = &mut local {
+                                record_item(metrics, label, 0, per_item);
+                            }
+                            results.push((params, client.num_samples() as f64, loss));
+                        }
+                        if let Some(mut metrics) = local {
+                            record_idle(&mut metrics, label, 1, wall_start.elapsed());
+                            tele.merge_registry(&metrics);
+                        }
+                        return Ok(results);
+                    }
+                    // Cohort failed: re-run solo below so the error
+                    // names the lowest-indexed failing client.
+                }
                 let mut results = Vec::with_capacity(num_items);
                 let mut first_err: Option<FlError> = None;
                 for &client_index in client_indices {
@@ -1093,6 +1176,109 @@ mod tests {
         })
         .unwrap();
         assert_eq!(inline, pooled);
+    }
+
+    /// Like [`pool_fixture`] but full-batch (`batch_size == 0`), the
+    /// configuration that takes the grouped cohort dispatch path.
+    fn cohort_fixture() -> (SyntheticTask, Vec<Client>, Vec<f32>, LocalUpdateSpec) {
+        let (task, clients, global, mut spec) = pool_fixture();
+        spec.batch_size = 0;
+        (task, clients, global, spec)
+    }
+
+    #[test]
+    fn full_batch_cohort_train_is_bit_identical_across_worker_counts() {
+        // batch_size == 0 routes through CohortArena grouping; the
+        // reference is the per-item path, forced by running each
+        // client as its own single-item job.
+        let (task, clients, global, spec) = cohort_fixture();
+        let indices: Vec<usize> = (0..clients.len()).collect();
+        let disabled = Telemetry::disabled();
+        let reference: Vec<(Vec<f32>, f64, f32)> =
+            with_trainer_pool(1, &[6, 8, 4], &clients, task.test(), |pool| {
+                let mut out = Vec::new();
+                for &i in &indices {
+                    out.extend(pool.train(
+                        2,
+                        42,
+                        &spec,
+                        &global,
+                        &[i],
+                        &disabled,
+                        "local_update",
+                    )?);
+                }
+                Ok(out)
+            })
+            .unwrap();
+        for workers in [1, 2, 4, 8] {
+            let got = with_trainer_pool(workers, &[6, 8, 4], &clients, task.test(), |pool| {
+                pool.train(2, 42, &spec, &global, &indices, &disabled, "local_update")
+            })
+            .unwrap();
+            assert_eq!(got.len(), reference.len());
+            for (q, ((gp, gw, gl), (rp, rw, rl))) in got.iter().zip(&reference).enumerate() {
+                let gb: Vec<u32> = gp.iter().map(|v| v.to_bits()).collect();
+                let rb: Vec<u32> = rp.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(gb, rb, "params diverge: client {q}, {workers} workers");
+                assert_eq!(gw, rw, "weight diverges: client {q}, {workers} workers");
+                assert_eq!(
+                    gl.to_bits(),
+                    rl.to_bits(),
+                    "loss diverges: client {q}, {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cohort_train_keeps_the_telemetry_shape() {
+        // Grouped dispatch must still produce one item_us entry per
+        // client and per-worker item counts summing to the job size.
+        let (task, clients, global, spec) = cohort_fixture();
+        let indices: Vec<usize> = (0..clients.len()).collect();
+        for workers in [1, 3] {
+            let tele = Telemetry::metrics_only();
+            with_trainer_pool(workers, &[6, 8, 4], &clients, task.test(), |pool| {
+                pool.train(1, 42, &spec, &global, &indices, &tele, "local_update")?;
+                Ok(())
+            })
+            .unwrap();
+            let snap = tele.snapshot();
+            let items: u64 = (0..workers)
+                .map(|w| snap.counter(&format!("local_update.worker{w}.items")))
+                .sum();
+            assert_eq!(items, indices.len() as u64, "items at {workers} workers");
+            assert_eq!(
+                snap.histogram("local_update.item_us").unwrap().count,
+                indices.len() as u64,
+                "histogram at {workers} workers"
+            );
+            assert!(snap.deterministic().is_empty());
+        }
+    }
+
+    #[test]
+    fn cohort_train_failure_falls_back_with_attribution() {
+        // A bad global vector fails the grouped dispatch; the solo
+        // fallback must surface a client-level error (not a panic) and
+        // leave the pool healthy.
+        let (task, clients, global, spec) = cohort_fixture();
+        let indices: Vec<usize> = (0..clients.len()).collect();
+        let disabled = Telemetry::disabled();
+        let bad = vec![0.0f32; 3];
+        for workers in [1, 4] {
+            with_trainer_pool(workers, &[6, 8, 4], &clients, task.test(), |pool| {
+                assert!(pool
+                    .train(1, 42, &spec, &bad, &indices, &disabled, "local_update")
+                    .is_err());
+                let ok =
+                    pool.train(1, 42, &spec, &global, &indices, &disabled, "local_update")?;
+                assert_eq!(ok.len(), indices.len());
+                Ok(())
+            })
+            .unwrap();
+        }
     }
 
     #[test]

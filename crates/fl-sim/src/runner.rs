@@ -760,6 +760,15 @@ pub fn run_federated_traced(
         .with("requested", config.threads)
         .with("scheme", selector.name())
         .emit();
+    // Record which kernel path this run computes on — Runtime-class
+    // gauge plus an event, never a manifest field: SIMD selection is
+    // bit-invisible to results, so it must not perturb determinism
+    // comparisons or trace identity.
+    let simd_path = tinynn::simd::active_path();
+    tele.event("kernels_resolved").with("simd_path", simd_path.name()).emit();
+    tele.with_metrics(|m| {
+        m.gauge_set(Class::Runtime, "kernels.simd_lanes", simd_path.lanes() as f64);
+    });
     if let Some(loaded) = &resumed {
         // Reinstall the Sim-class metrics and the span-id cursor only
         // now: the manifest and pool_resolved event above consumed the

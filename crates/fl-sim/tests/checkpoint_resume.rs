@@ -136,13 +136,15 @@ fn scrub_clocks(line: &str) -> String {
 }
 
 /// The per-round slice of a trace: everything except the manifest, the
-/// pool_resolved preamble, and the trailing metrics line.
+/// pool_resolved / kernels_resolved preamble, and the trailing metrics
+/// line.
 fn round_lines(lines: &[String]) -> Vec<String> {
     lines
         .iter()
         .filter(|l| {
             !l.contains(r#""type":"run_manifest""#)
                 && !l.contains(r#""name":"pool_resolved""#)
+                && !l.contains(r#""name":"kernels_resolved""#)
                 && !l.starts_with(r#"{"type":"metrics""#)
         })
         .map(|l| scrub_clocks(l))

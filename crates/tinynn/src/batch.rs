@@ -1,0 +1,339 @@
+//! Cohort-batched training: one grouped dispatch for a round's `K`
+//! identical-architecture client jobs.
+//!
+//! The solo per-client loop re-stages the same just-loaded global
+//! weights `K` times: in particular, every client's backward pass
+//! re-packs each hidden layer's transposed weight panel (`dz · Wᵀ`)
+//! from byte-identical weights. A [`CohortArena`] runs the members
+//! **member-major** — each client's full training step completes
+//! before the next starts, so its activations and gradients stay hot
+//! in cache exactly as in the solo path — while amortizing the shared
+//! staging work:
+//!
+//! - on the first local epoch every member starts from the identical
+//!   global parameters, so each hidden layer's backward panel is
+//!   packed **once per cohort** and shared by all `K` members (later
+//!   epochs, where weights have diverged, pack-and-use a scratch
+//!   panel per member);
+//! - one model replica, one scratch set, and the panels serve the
+//!   whole cohort — per-member results leave as flat parameter
+//!   vectors, so steady-state cohort training allocates nothing
+//!   beyond the one inherent upload vector per member.
+//!
+//! An earlier phase-major layout (all members' layer-1 forwards, then
+//! all layer-2 forwards, …) with one model replica *per member*
+//! measured *slower* than solo at the paper's shapes: `K` 200-row
+//! activation sets walked per phase evict each other from L2, costing
+//! more than the packing it amortized.
+//!
+//! **Determinism.** Grouping changes *when* shared staging happens,
+//! never *what* each member computes: every member executes exactly
+//! the op sequence of [`Mlp::train_step_with`] on its own buffers, and
+//! the packed `dz · Wᵀ` form is bit-identical to the direct kernel
+//! ([`Matrix::matmul_nt_packed_into`]). Cohort-trained histories are
+//! therefore bit-identical to solo-trained ones at every worker count
+//! and on every SIMD path — this module's tests and fl-sim's pin it.
+
+use crate::activation::relu_backward_inplace;
+use crate::error::{NnError, Result};
+use crate::loss::softmax_cross_entropy_into;
+use crate::model::{Mlp, TrainScratch};
+use crate::tensor::{Matrix, NtPanel};
+
+/// One client's training inputs for a cohort dispatch: borrowed
+/// views of its local shard.
+#[derive(Debug, Clone, Copy)]
+pub struct CohortJob<'a> {
+    /// The client's full local batch (`samples × features`).
+    pub features: &'a Matrix,
+    /// One class label per batch row.
+    pub labels: &'a [usize],
+}
+
+/// The arena's single working set: one model replica plus its
+/// forward/backward scratch, reused member-to-member (and across
+/// rounds) so cohort training's cache footprint equals the solo
+/// path's.
+#[derive(Debug, Clone)]
+struct Member {
+    model: Mlp,
+    scratch: TrainScratch,
+}
+
+/// Reusable grouped-GEMM arena for one model architecture.
+///
+/// Create once per worker ([`CohortArena::new`] is cheap — buffers are
+/// grown lazily on first use), then call [`CohortArena::train`] once
+/// per round with that worker's client jobs.
+#[derive(Debug, Clone)]
+pub struct CohortArena {
+    dims: Vec<usize>,
+    member: Option<Member>,
+    /// One backward weight panel per layer index, packed from the
+    /// shared global parameters once per cohort (slot 0 unused: the
+    /// input layer computes no `dx`). All hidden-layer panels stay
+    /// alive together so the epoch-0 packs serve every member.
+    global_panels: Vec<NtPanel>,
+    /// Pack-and-use-immediately panel for epochs past the first,
+    /// where each member's weights have diverged from the globals.
+    scratch_panel: NtPanel,
+}
+
+impl CohortArena {
+    /// An empty arena for models of the given layer widths
+    /// (`[input, hidden…, classes]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ZeroDimension`] if fewer than two widths are
+    /// given or any width is zero (the [`Mlp::new`] contract).
+    pub fn new(dims: &[usize]) -> Result<Self> {
+        if dims.len() < 2 || dims.contains(&0) {
+            return Err(NnError::ZeroDimension { context: "CohortArena::new dims" });
+        }
+        Ok(Self {
+            dims: dims.to_vec(),
+            member: None,
+            global_panels: Vec::new(),
+            scratch_panel: NtPanel::new(),
+        })
+    }
+
+    /// The model architecture this arena trains.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Trains every job's model for `epochs` full-batch steps (at
+    /// least one, like the solo path) from the shared `global`
+    /// parameters, returning each member's updated flat parameters and
+    /// first-epoch loss, in job order.
+    ///
+    /// Bit-identical to running [`Mlp::set_parameters`] +
+    /// `epochs` × [`Mlp::train_step_with`] per job in isolation — see
+    /// the module docs for why.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/label/parameter-count validation errors from
+    /// the first offending job (in phase order). On error the arena
+    /// stays reusable, but no per-job attribution is made — callers
+    /// that need it (the round engine's fallback) re-run jobs solo.
+    pub fn train(
+        &mut self,
+        jobs: &[CohortJob<'_>],
+        global: &[f32],
+        learning_rate: f32,
+        epochs: usize,
+    ) -> Result<Vec<(Vec<f32>, f32)>> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let Self { dims, member, global_panels, scratch_panel } = self;
+        if member.is_none() {
+            // Seed 0 is arbitrary: the init is immediately overwritten
+            // by `set_parameters` below on every use.
+            let model = Mlp::new(dims, 0)?;
+            let scratch = TrainScratch::for_model(&model)?;
+            *member = Some(Member { model, scratch });
+        }
+        let Member { model, scratch } = member.as_mut().expect("member grown above");
+        let num_layers = dims.len() - 1;
+        while global_panels.len() < num_layers {
+            global_panels.push(NtPanel::new());
+        }
+
+        // The cohort-shared staging: every member starts its first
+        // epoch from the identical global parameters, so each hidden
+        // layer's backward panel is packed once here and reused by all
+        // `K` members instead of `K` times.
+        model.set_parameters(global)?;
+        for (panel, layer) in global_panels.iter_mut().zip(&model.layers).skip(1) {
+            panel.pack(layer.weights());
+        }
+
+        // Member-major: each member's whole local update runs
+        // start-to-finish on the single shared working set, in exactly
+        // the op order of `Mlp::train_step_with`.
+        let mut results = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            model.set_parameters(global)?;
+            let mut first_loss = 0.0f32;
+            for epoch in 0..epochs.max(1) {
+                let shared_weights = epoch == 0;
+                for l in 0..num_layers - 1 {
+                    if l == 0 {
+                        model.layers[0].forward_relu_into(job.features, &mut scratch.acts[0])?;
+                    } else {
+                        let (done, rest) = scratch.acts.split_at_mut(l);
+                        model.layers[l].forward_relu_into(&done[l - 1], &mut rest[0])?;
+                    }
+                }
+                let last_input =
+                    if num_layers == 1 { job.features } else { &scratch.acts[num_layers - 2] };
+                model.layers[num_layers - 1].forward_into(last_input, &mut scratch.logits)?;
+
+                let loss =
+                    softmax_cross_entropy_into(&scratch.logits, job.labels, &mut scratch.dz)?;
+                if epoch == 0 {
+                    first_loss = loss;
+                }
+
+                // Backward, descending. Non-input layers take the
+                // packed `dz·Wᵀ` form: against the cohort-shared
+                // panels on the first epoch, and a pack-and-use
+                // scratch panel once this member's weights diverge.
+                for l in (1..num_layers).rev() {
+                    let panel = if shared_weights {
+                        &global_panels[l]
+                    } else {
+                        scratch_panel.pack(model.layers[l].weights());
+                        &*scratch_panel
+                    };
+                    let TrainScratch { acts, dz, dx, grads, .. } = scratch;
+                    model.layers[l].backward_into_packed(
+                        &acts[l - 1],
+                        dz,
+                        &mut grads.layers[l],
+                        dx,
+                        panel,
+                    )?;
+                    relu_backward_inplace(dx, &acts[l - 1]);
+                    core::mem::swap(dz, dx);
+                }
+                model.layers[0].backward_grads_into(
+                    job.features,
+                    &scratch.dz,
+                    &mut scratch.grads.layers[0],
+                )?;
+
+                for (layer, grad) in model.layers.iter_mut().zip(&scratch.grads.layers) {
+                    layer.apply_step(grad, learning_rate)?;
+                }
+            }
+            results.push((model.parameters(), first_loss));
+        }
+
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job_data(seed: u64, samples: usize, features: usize, classes: usize) -> (Matrix, Vec<usize>) {
+        let mut rng = detrand::Rng::seed_from_u64(seed);
+        let data: Vec<f32> =
+            (0..samples * features).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+        let labels: Vec<usize> = (0..samples).map(|_| rng.below(classes)).collect();
+        (Matrix::from_vec(samples, features, data).unwrap(), labels)
+    }
+
+    /// The load-bearing pin: a cohort dispatch must be bit-identical
+    /// to training each member solo, for single- and multi-epoch runs.
+    #[test]
+    fn cohort_training_is_bit_identical_to_solo() {
+        let dims = [6usize, 8, 4];
+        let global = Mlp::new(&dims, 99).unwrap().parameters();
+        let shards: Vec<(Matrix, Vec<usize>)> =
+            (0..5).map(|i| job_data(1000 + i, 9 + i as usize, 6, 4)).collect();
+
+        for epochs in [1usize, 3] {
+            let mut arena = CohortArena::new(&dims).unwrap();
+            let jobs: Vec<CohortJob<'_>> = shards
+                .iter()
+                .map(|(x, y)| CohortJob { features: x, labels: y })
+                .collect();
+            let cohort = arena.train(&jobs, &global, 0.3, epochs).unwrap();
+
+            let mut solo_model = Mlp::new(&dims, 0).unwrap();
+            let mut scratch = TrainScratch::for_model(&solo_model).unwrap();
+            for ((x, y), (params, loss)) in shards.iter().zip(&cohort) {
+                solo_model.set_parameters(&global).unwrap();
+                let mut first = 0.0;
+                for e in 0..epochs {
+                    let l = solo_model.train_step_with(x, y, 0.3, &mut scratch).unwrap();
+                    if e == 0 {
+                        first = l;
+                    }
+                }
+                assert_eq!(first.to_bits(), loss.to_bits());
+                let want = solo_model.parameters();
+                assert_eq!(want.len(), params.len());
+                for (a, b) in want.iter().zip(params) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    /// A single-layer model (no hidden layers) exercises the
+    /// backward loop's empty packed segment.
+    #[test]
+    fn single_layer_cohort_matches_solo() {
+        let dims = [5usize, 3];
+        let global = Mlp::new(&dims, 7).unwrap().parameters();
+        let (x, y) = job_data(42, 11, 5, 3);
+        let mut arena = CohortArena::new(&dims).unwrap();
+        let got = arena
+            .train(&[CohortJob { features: &x, labels: &y }], &global, 0.1, 2)
+            .unwrap();
+
+        let mut solo = Mlp::new(&dims, 0).unwrap();
+        solo.set_parameters(&global).unwrap();
+        let mut scratch = TrainScratch::for_model(&solo).unwrap();
+        let first = solo.train_step_with(&x, &y, 0.1, &mut scratch).unwrap();
+        solo.train_step_with(&x, &y, 0.1, &mut scratch).unwrap();
+        assert_eq!(got[0].1.to_bits(), first.to_bits());
+        for (a, b) in solo.parameters().iter().zip(&got[0].0) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Arena reuse across rounds (members and panel recycled, cohort
+    /// size shrinking and growing) must not leak state between calls.
+    #[test]
+    fn arena_reuse_is_stateless_across_calls() {
+        let dims = [4usize, 6, 3];
+        let global = Mlp::new(&dims, 5).unwrap().parameters();
+        let (xa, ya) = job_data(1, 8, 4, 3);
+        let (xb, yb) = job_data(2, 12, 4, 3);
+
+        let mut arena = CohortArena::new(&dims).unwrap();
+        let jobs2 = [
+            CohortJob { features: &xa, labels: &ya },
+            CohortJob { features: &xb, labels: &yb },
+        ];
+        let first = arena.train(&jobs2, &global, 0.2, 1).unwrap();
+        // Shrink to one job, then grow back: results must match the
+        // first call exactly.
+        let only = arena
+            .train(&[CohortJob { features: &xb, labels: &yb }], &global, 0.2, 1)
+            .unwrap();
+        let again = arena.train(&jobs2, &global, 0.2, 1).unwrap();
+        assert_eq!(first, again);
+        assert_eq!(first[1], only[0]);
+    }
+
+    #[test]
+    fn empty_cohort_is_a_no_op() {
+        let mut arena = CohortArena::new(&[4, 2]).unwrap();
+        assert!(arena.train(&[], &[0.0; 10], 0.1, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn constructor_validates_dims() {
+        assert!(CohortArena::new(&[4]).is_err());
+        assert!(CohortArena::new(&[4, 0, 2]).is_err());
+        assert!(CohortArena::new(&[]).is_err());
+    }
+
+    #[test]
+    fn bad_global_parameters_are_rejected() {
+        let (x, y) = job_data(3, 4, 4, 2);
+        let mut arena = CohortArena::new(&[4, 2]).unwrap();
+        let err = arena.train(&[CohortJob { features: &x, labels: &y }], &[0.0; 3], 0.1, 1);
+        assert!(matches!(err, Err(NnError::ParameterCountMismatch { .. })));
+    }
+}

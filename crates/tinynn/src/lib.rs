@@ -26,10 +26,14 @@
 //! # Ok::<(), tinynn::NnError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `simd` module opts back in (module-local
+// `#![allow]`) for the std::arch intrinsic kernels. Everything else in
+// the crate stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod activation;
+pub mod batch;
 pub mod error;
 pub mod init;
 pub mod layer;
@@ -37,6 +41,7 @@ pub mod loss;
 pub mod metrics;
 pub mod model;
 pub mod optim;
+pub mod simd;
 pub mod tensor;
 
 pub use error::{NnError, Result};

@@ -20,7 +20,7 @@ use crate::tensor::Matrix;
 /// Gradients of all layers of an [`Mlp`], ordered input → output.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Gradients {
-    layers: Vec<DenseGrad>,
+    pub(crate) layers: Vec<DenseGrad>,
 }
 
 impl Gradients {
@@ -59,14 +59,14 @@ impl Gradients {
 pub struct TrainScratch {
     /// Post-ReLU activation of each hidden layer
     /// (`relu(x·W + b)`, produced by the fused forward kernel).
-    acts: Vec<Matrix>,
+    pub(crate) acts: Vec<Matrix>,
     /// The last layer's affine output (`n × classes` logits).
-    logits: Matrix,
+    pub(crate) logits: Matrix,
     /// Upstream gradient buffers, swapped while walking backward.
-    dz: Matrix,
-    dx: Matrix,
+    pub(crate) dz: Matrix,
+    pub(crate) dx: Matrix,
     /// Parameter-gradient storage.
-    grads: Gradients,
+    pub(crate) grads: Gradients,
 }
 
 impl TrainScratch {
@@ -121,7 +121,7 @@ impl TrainScratch {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
     dims: Vec<usize>,
-    layers: Vec<Dense>,
+    pub(crate) layers: Vec<Dense>,
 }
 
 impl Mlp {

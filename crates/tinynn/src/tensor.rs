@@ -11,6 +11,7 @@
 //! buffer reuse, blocking width, and thread counts.
 
 use crate::error::{NnError, Result};
+use crate::simd::{self, SimdPath};
 
 /// Output columns per wide register block: each block keeps this many
 /// `f32` accumulators live in vector registers across the whole
@@ -39,9 +40,13 @@ const NT_BLOCK: usize = 8;
 /// sequence of the naive kernel starting from `0.0`, so the stored
 /// block is bit-identical to the unblocked result while the per-`k`
 /// read-modify-write of the output row is gone.
+///
+/// `SKIP` selects the zero-skip contract: `true` for the NN/TN family
+/// (ReLU-sparse left operands), `false` for the packed-transpose
+/// `matmul_nt` form, whose documented contract computes every addend.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn gemm_block<const W: usize>(
+fn gemm_block<const W: usize, const SKIP: bool>(
     lhs: &[f32],
     stride: usize,
     len: usize,
@@ -55,7 +60,7 @@ fn gemm_block<const W: usize>(
     let mut acc = [0.0f32; W];
     for k in 0..len {
         let a = lhs[k * stride];
-        if a == 0.0 {
+        if SKIP && a == 0.0 {
             continue;
         }
         let row = &rhs[k * cols + j..k * cols + j + W];
@@ -89,7 +94,7 @@ fn gemm_block<const W: usize>(
 /// accumulator array is simply used partially.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn gemm_tail(
+fn gemm_tail<const SKIP: bool>(
     lhs: &[f32],
     stride: usize,
     len: usize,
@@ -106,7 +111,7 @@ fn gemm_tail(
     let acc = &mut acc[..width];
     for k in 0..len {
         let a = lhs[k * stride];
-        if a == 0.0 {
+        if SKIP && a == 0.0 {
             continue;
         }
         let row = &rhs[k * cols + j..k * cols + j + width];
@@ -133,7 +138,7 @@ fn gemm_tail(
 /// runtime-width [`gemm_tail`] for whatever is left, all sharing the
 /// one reduction operand described by `(lhs, stride, len)`.
 #[allow(clippy::too_many_arguments)]
-fn gemm_row(
+fn gemm_row<const SKIP: bool>(
     lhs: &[f32],
     stride: usize,
     len: usize,
@@ -146,12 +151,65 @@ fn gemm_row(
     let mut j = 0;
     let mut wide = out_row.chunks_exact_mut(WIDE);
     for chunk in wide.by_ref() {
-        gemm_block::<WIDE>(lhs, stride, len, rhs, cols, j, chunk, bias, relu);
+        gemm_block::<WIDE, SKIP>(lhs, stride, len, rhs, cols, j, chunk, bias, relu);
         j += WIDE;
     }
     let rem = wide.into_remainder();
     if !rem.is_empty() {
-        gemm_tail(lhs, stride, len, rhs, cols, j, rem, bias, relu);
+        gemm_tail::<SKIP>(lhs, stride, len, rhs, cols, j, rem, bias, relu);
+    }
+}
+
+thread_local! {
+    /// Per-thread packing scratch for the SIMD `matmul_nt_into` path:
+    /// the transposed right operand is staged here so the product can
+    /// run through the contiguous no-skip NN kernel. Reused across
+    /// calls, so steady-state training stays allocation-free.
+    static NT_PANEL: std::cell::RefCell<NtPanel> = std::cell::RefCell::new(NtPanel::new());
+}
+
+/// A right operand packed in transposed (`k × n`) layout for
+/// [`Matrix::matmul_nt_packed_into`].
+///
+/// `matmul_nt` computes `self · rhsᵀ` with `rhs` stored `n × k`;
+/// packing stages `panel[kk·n + j] = rhs[j][kk]` once so every product
+/// against the same `rhs` walks contiguous rows — the form the SIMD
+/// lanes want, and the piece cohort batching shares across a round's
+/// clients (all of whom multiply by the same just-loaded global
+/// weights). The packed product is bit-identical to the direct kernel:
+/// element `(i, j)` still sums `self[i][kk] · rhs[j][kk]` in ascending
+/// `kk` into one accumulator, with no zero-skip on either side.
+#[derive(Debug, Clone, Default)]
+pub struct NtPanel {
+    data: Vec<f32>,
+    k: usize,
+    n: usize,
+}
+
+impl NtPanel {
+    /// An empty panel; [`NtPanel::pack`] gives it a shape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages `rhs` (stored `n × k`) in transposed `k × n` layout,
+    /// reusing the existing allocation when capacity allows.
+    pub fn pack(&mut self, rhs: &Matrix) {
+        self.n = rhs.rows;
+        self.k = rhs.cols;
+        self.data.clear();
+        self.data.resize(self.k * self.n, 0.0);
+        for (j, row) in rhs.data.chunks_exact(self.k).enumerate() {
+            for (kk, &v) in row.iter().enumerate() {
+                self.data[kk * self.n + j] = v;
+            }
+        }
+    }
+
+    /// Shape of the packed operand as `(n, k)` — the shape of the
+    /// `rhs` matrix it was packed from.
+    pub fn src_shape(&self) -> (usize, usize) {
+        (self.n, self.k)
     }
 }
 
@@ -352,6 +410,21 @@ impl Matrix {
         Ok(())
     }
 
+    /// [`Matrix::resize`] minus the zeroing, for kernels that are about
+    /// to overwrite every element anyway: shrinking or reusing the
+    /// steady-state buffer touches no data at all (the public `resize`
+    /// memsets ~51 KB per 200×64 activation, ~10% of a fused-kernel
+    /// call), and growth zero-fills only the new tail.
+    fn resize_for_kernel(&mut self, rows: usize, cols: usize) -> Result<()> {
+        if rows == 0 || cols == 0 {
+            return Err(NnError::ZeroDimension { context: "Matrix::resize" });
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+        Ok(())
+    }
+
     /// Copies `src` into `self`, resizing as needed (no allocation once
     /// capacity suffices).
     pub fn copy_from(&mut self, src: &Self) {
@@ -396,11 +469,26 @@ impl Matrix {
                 op: "matmul",
             });
         }
-        out.resize(self.rows, rhs.cols)?;
-        for i in 0..self.rows {
-            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            gemm_row(lhs_row, 1, self.cols, &rhs.data, rhs.cols, out_row, None, false);
+        out.resize_for_kernel(self.rows, rhs.cols)?;
+        match simd::active_path() {
+            SimdPath::Scalar => {
+                for i in 0..self.rows {
+                    let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                    let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                    gemm_row::<true>(lhs_row, 1, self.cols, &rhs.data, rhs.cols, out_row, None, false);
+                }
+            }
+            path => simd::gemm_nn(
+                path,
+                &self.data,
+                self.rows,
+                self.cols,
+                &rhs.data,
+                rhs.cols,
+                &mut out.data,
+                None,
+                false,
+            ),
         }
         Ok(())
     }
@@ -460,11 +548,35 @@ impl Matrix {
                 op: "matmul_bias",
             });
         }
-        out.resize(self.rows, rhs.cols)?;
-        for i in 0..self.rows {
-            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            gemm_row(lhs_row, 1, self.cols, &rhs.data, rhs.cols, out_row, Some(bias), relu);
+        out.resize_for_kernel(self.rows, rhs.cols)?;
+        match simd::active_path() {
+            SimdPath::Scalar => {
+                for i in 0..self.rows {
+                    let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                    let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                    gemm_row::<true>(
+                        lhs_row,
+                        1,
+                        self.cols,
+                        &rhs.data,
+                        rhs.cols,
+                        out_row,
+                        Some(bias),
+                        relu,
+                    );
+                }
+            }
+            path => simd::gemm_nn(
+                path,
+                &self.data,
+                self.rows,
+                self.cols,
+                &rhs.data,
+                rhs.cols,
+                &mut out.data,
+                Some(bias),
+                relu,
+            ),
         }
         Ok(())
     }
@@ -503,13 +615,35 @@ impl Matrix {
                 op: "matmul_tn",
             });
         }
-        out.resize(self.cols, rhs.cols)?;
-        for i in 0..self.cols {
-            // Element `r` of this output row's reduction operand is
-            // column `i` of left row `r`: `self.data[i + r * cols]`.
-            let lhs_col = &self.data[i..];
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            gemm_row(lhs_col, self.cols, self.rows, &rhs.data, rhs.cols, out_row, None, false);
+        out.resize_for_kernel(self.cols, rhs.cols)?;
+        match simd::active_path() {
+            SimdPath::Scalar => {
+                for i in 0..self.cols {
+                    // Element `r` of this output row's reduction operand is
+                    // column `i` of left row `r`: `self.data[i + r * cols]`.
+                    let lhs_col = &self.data[i..];
+                    let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                    gemm_row::<true>(
+                        lhs_col,
+                        self.cols,
+                        self.rows,
+                        &rhs.data,
+                        rhs.cols,
+                        out_row,
+                        None,
+                        false,
+                    );
+                }
+            }
+            path => simd::gemm_tn(
+                path,
+                &self.data,
+                self.rows,
+                self.cols,
+                &rhs.data,
+                rhs.cols,
+                &mut out.data,
+            ),
         }
         Ok(())
     }
@@ -552,7 +686,35 @@ impl Matrix {
                 op: "matmul_nt",
             });
         }
-        out.resize(self.rows, rhs.rows)?;
+        out.resize_for_kernel(self.rows, rhs.rows)?;
+        match simd::active_path() {
+            SimdPath::Scalar => self.matmul_nt_scalar(rhs, out),
+            path => {
+                // Stage `rhsᵀ` in a per-thread panel, then run the
+                // contiguous no-skip NN kernel over it — the identical
+                // ascending-`k` addend sequence per output element, so
+                // the result is bit-for-bit the direct kernel's.
+                NT_PANEL.with(|panel| {
+                    let mut panel = panel.borrow_mut();
+                    panel.pack(rhs);
+                    simd::gemm_nn_noskip(
+                        path,
+                        &self.data,
+                        self.rows,
+                        self.cols,
+                        &panel.data,
+                        rhs.rows,
+                        &mut out.data,
+                    );
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The direct (unpacked) scalar `self · rhsᵀ` kernel — the
+    /// reference the packed SIMD form must match bit-for-bit.
+    fn matmul_nt_scalar(&self, rhs: &Self, out: &mut Self) {
         let cols = self.cols;
         for i in 0..self.rows {
             let left_row = &self.data[i * cols..(i + 1) * cols];
@@ -591,6 +753,57 @@ impl Matrix {
                 *o = acc;
                 j += 1;
             }
+        }
+    }
+
+    /// `self · rhsᵀ` against a pre-packed right operand — the form
+    /// cohort batching uses to pack a round's shared global weights
+    /// once and reuse the panel across every client in the dispatch.
+    ///
+    /// Bit-identical to [`Matrix::matmul_nt_into`] on the matrix the
+    /// panel was packed from: each output element is the same
+    /// ascending-`k`, one-accumulator, no-skip dot product; packing
+    /// only changes the memory layout the addends are read from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless `self.cols` matches
+    /// the packed operand's `k`.
+    pub fn matmul_nt_packed_into(&self, panel: &NtPanel, out: &mut Self) -> Result<()> {
+        if self.cols != panel.k {
+            return Err(NnError::ShapeMismatch {
+                left: self.shape(),
+                right: (panel.n, panel.k),
+                op: "matmul_nt_packed",
+            });
+        }
+        out.resize_for_kernel(self.rows, panel.n)?;
+        match simd::active_path() {
+            SimdPath::Scalar => {
+                for i in 0..self.rows {
+                    let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                    let out_row = &mut out.data[i * panel.n..(i + 1) * panel.n];
+                    gemm_row::<false>(
+                        lhs_row,
+                        1,
+                        self.cols,
+                        &panel.data,
+                        panel.n,
+                        out_row,
+                        None,
+                        false,
+                    );
+                }
+            }
+            path => simd::gemm_nn_noskip(
+                path,
+                &self.data,
+                self.rows,
+                self.cols,
+                &panel.data,
+                panel.n,
+                &mut out.data,
+            ),
         }
         Ok(())
     }

@@ -17,9 +17,32 @@
 //! the zero-skip path, which must be a pure no-op on the result.
 
 use detrand::Rng;
-use tinynn::tensor::Matrix;
+use tinynn::simd::{available_paths, force_path_for_tests, SimdPath};
+use tinynn::tensor::{Matrix, NtPanel};
 
 const CASES: usize = 200;
+
+/// Cases per SIMD path in the cross-path suites (every case runs on
+/// every path the host supports, so the totals multiply).
+const PATH_CASES: usize = 60;
+
+/// Forces `path` for the calling thread and restores normal dispatch
+/// on drop (also on panic, so a failing case cannot poison dispatch
+/// for tests that share the thread).
+struct PathGuard;
+
+impl PathGuard {
+    fn force(path: SimdPath) -> Self {
+        force_path_for_tests(Some(path));
+        PathGuard
+    }
+}
+
+impl Drop for PathGuard {
+    fn drop(&mut self) {
+        force_path_for_tests(None);
+    }
+}
 
 fn gen_matrix(rng: &mut Rng, rows: usize, cols: usize) -> Matrix {
     let data: Vec<f32> = (0..rows * cols).map(|_| rng.uniform_f32(-4.0, 4.0)).collect();
@@ -230,6 +253,153 @@ fn degenerate_shapes_are_exact_too() {
         let bt = gen_matrix(&mut rng, n, k);
         a.matmul_nt_into(&bt, &mut out).unwrap();
         assert_bits_eq(&out, &naive_matmul_nt(&a, &bt), "matmul_nt (degenerate)", case);
+    }
+}
+
+/// Every kernel path the host supports — scalar, portable 8-wide, and
+/// whatever vector ISAs are detected — must produce the oracle's bits
+/// on the full shape distribution. Each path matching the same oracle
+/// also pins scalar-vs-SIMD bit-identity directly.
+#[test]
+fn every_simd_path_is_bit_identical_to_the_oracle() {
+    let paths = available_paths();
+    for case in 0..PATH_CASES {
+        // Same seed stream per case regardless of path count, so a
+        // failure reproduces identically on any host.
+        let mut rng = Rng::seed_from_u64(0x4e4e_0021 ^ case as u64);
+        let (m, k, n) = gen_shape(&mut rng);
+        let a = if case % 2 == 0 {
+            gen_matrix(&mut rng, m, k)
+        } else {
+            gen_sparse(&mut rng, m, k, 0.5)
+        };
+        let b = gen_matrix(&mut rng, k, n);
+        let bt = gen_matrix(&mut rng, n, k);
+        let at = gen_sparse(&mut rng, k, m, 0.5);
+        let bias: Vec<f32> = (0..n).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+
+        let want_nn = naive_matmul(&a, &b);
+        let mut want_bias = want_nn.clone();
+        naive_bias_epilogue(&mut want_bias, &bias, false);
+        let mut want_relu = want_nn.clone();
+        naive_bias_epilogue(&mut want_relu, &bias, true);
+        let want_tn = naive_matmul_tn(&at, &b);
+        let want_nt = naive_matmul_nt(&a, &bt);
+
+        let mut out = Matrix::zeros(1, 1).unwrap();
+        for &path in &paths {
+            let _guard = PathGuard::force(path);
+            let what = |kernel: &str| format!("{kernel}[{}]", path.name());
+            a.matmul_into(&b, &mut out).unwrap();
+            assert_bits_eq(&out, &want_nn, &what("matmul"), case);
+            a.matmul_bias_into(&b, &bias, &mut out).unwrap();
+            assert_bits_eq(&out, &want_bias, &what("matmul_bias"), case);
+            a.matmul_bias_relu_into(&b, &bias, &mut out).unwrap();
+            assert_bits_eq(&out, &want_relu, &what("matmul_bias_relu"), case);
+            at.matmul_tn_into(&b, &mut out).unwrap();
+            assert_bits_eq(&out, &want_tn, &what("matmul_tn"), case);
+            a.matmul_nt_into(&bt, &mut out).unwrap();
+            assert_bits_eq(&out, &want_nt, &what("matmul_nt"), case);
+        }
+    }
+}
+
+/// The packed-transpose `matmul_nt` form must match both the oracle
+/// and the direct kernel on every path — this is the equivalence the
+/// cohort arena's shared weight panel rides on.
+#[test]
+fn packed_nt_is_bit_identical_to_direct_nt_on_every_path() {
+    let paths = available_paths();
+    for case in 0..PATH_CASES {
+        let mut rng = Rng::seed_from_u64(0x4e4e_0022 ^ case as u64);
+        let (m, k, n) = gen_shape(&mut rng);
+        let a = gen_matrix(&mut rng, m, k);
+        let bt = gen_matrix(&mut rng, n, k);
+        let want = naive_matmul_nt(&a, &bt);
+        let mut panel = NtPanel::new();
+        panel.pack(&bt);
+        let mut direct = Matrix::zeros(1, 1).unwrap();
+        let mut packed = Matrix::zeros(1, 1).unwrap();
+        for &path in &paths {
+            let _guard = PathGuard::force(path);
+            let what = format!("matmul_nt_packed[{}]", path.name());
+            a.matmul_nt_into(&bt, &mut direct).unwrap();
+            a.matmul_nt_packed_into(&panel, &mut packed).unwrap();
+            assert_bits_eq(&packed, &want, &what, case);
+            assert_bits_eq(&packed, &direct, &what, case);
+        }
+    }
+}
+
+/// The paper-shape laggards the SIMD work targets (narrow n=10 logit
+/// shapes, the transposed-left gradient shapes, the NT backward shape)
+/// pinned explicitly on every path with ReLU-sparse activations —
+/// exactly the value profile `bench_kernels` measures.
+#[test]
+fn paper_laggard_shapes_are_exact_on_every_path() {
+    let mut rng = Rng::seed_from_u64(0x4e4e_0023);
+    let x = gen_matrix(&mut rng, 200, 64);
+    let act = gen_sparse(&mut rng, 200, 64, 0.5);
+    let w2 = gen_matrix(&mut rng, 64, 10);
+    let b2: Vec<f32> = (0..10).map(|_| rng.uniform_f32(-0.5, 0.5)).collect();
+    let dz = gen_matrix(&mut rng, 200, 10);
+
+    // matmul_bias 200x64x10 (logits), matmul_tn 64x200x64 and
+    // 64x200x10 (weight grads), matmul_nt 200x10x64 (input grads).
+    let mut want_logits = naive_matmul(&act, &w2);
+    naive_bias_epilogue(&mut want_logits, &b2, false);
+    let want_tn_wide = naive_matmul_tn(&act, &x);
+    let want_tn_narrow = naive_matmul_tn(&act, &dz);
+    let want_nt = naive_matmul_nt(&dz, &w2);
+
+    let mut out = Matrix::zeros(1, 1).unwrap();
+    for (case, &path) in available_paths().iter().enumerate() {
+        let _guard = PathGuard::force(path);
+        let what = |kernel: &str| format!("{kernel}[{}]", path.name());
+        act.matmul_bias_into(&w2, &b2, &mut out).unwrap();
+        assert_bits_eq(&out, &want_logits, &what("matmul_bias 200x64x10"), case);
+        act.matmul_tn_into(&x, &mut out).unwrap();
+        assert_bits_eq(&out, &want_tn_wide, &what("matmul_tn 64x200x64"), case);
+        act.matmul_tn_into(&dz, &mut out).unwrap();
+        assert_bits_eq(&out, &want_tn_narrow, &what("matmul_tn 64x200x10"), case);
+        dz.matmul_nt_into(&w2, &mut out).unwrap();
+        assert_bits_eq(&out, &want_nt, &what("matmul_nt 200x10x64"), case);
+    }
+}
+
+/// Special values must survive every path identically: the ReLU
+/// epilogue's `v < 0.0` passes NaN and `-0.0` through, and the
+/// zero-skip only ever skips exact `+0.0`/`-0.0` multiplicands.
+#[test]
+fn special_values_behave_identically_on_every_path() {
+    let a = Matrix::from_rows(&[
+        &[1.0, -0.0, f32::NAN, 2.0],
+        &[0.0, 0.5, -3.0, f32::INFINITY],
+        &[-1.5, 0.0, 4.0, -0.25],
+    ])
+    .unwrap();
+    let b = Matrix::from_rows(&[
+        &[0.5, -2.0, 1.0],
+        &[f32::NAN, 3.0, -0.0],
+        &[1.25, 0.0, -1.0],
+        &[-0.75, 2.5, 0.125],
+    ])
+    .unwrap();
+    let bias = [f32::NAN, -0.5, 0.0];
+    let mut scalar_plain = Matrix::zeros(1, 1).unwrap();
+    let mut scalar_relu = Matrix::zeros(1, 1).unwrap();
+    {
+        let _guard = PathGuard::force(SimdPath::Scalar);
+        a.matmul_into(&b, &mut scalar_plain).unwrap();
+        a.matmul_bias_relu_into(&b, &bias, &mut scalar_relu).unwrap();
+    }
+    let mut out = Matrix::zeros(1, 1).unwrap();
+    for (case, &path) in available_paths().iter().enumerate() {
+        let _guard = PathGuard::force(path);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_bits_eq(&out, &scalar_plain, &format!("special matmul[{}]", path.name()), case);
+        a.matmul_bias_relu_into(&b, &bias, &mut out).unwrap();
+        assert_bits_eq(&out, &scalar_relu, &format!("special relu[{}]", path.name()), case);
     }
 }
 
